@@ -1,0 +1,278 @@
+//! Random forest baseline ("RFC" in Figure 3).
+
+use crate::Classifier;
+use fusa_neuro::Matrix;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A CART decision tree node.
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf {
+        /// Fraction of positive training samples reaching this leaf.
+        probability: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<TreeNode>,
+        right: Box<TreeNode>,
+    },
+}
+
+impl TreeNode {
+    fn predict(&self, row: &[f64]) -> f64 {
+        match self {
+            TreeNode::Leaf { probability } => *probability,
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if row[*feature] <= *threshold {
+                    left.predict(row)
+                } else {
+                    right.predict(row)
+                }
+            }
+        }
+    }
+}
+
+/// A bootstrap-aggregated ensemble of Gini-split decision trees with
+/// per-split feature subsampling.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    seed: u64,
+    trees: Vec<TreeNode>,
+}
+
+impl RandomForest {
+    /// Creates an untrained forest.
+    pub fn new(seed: u64) -> RandomForest {
+        RandomForest {
+            num_trees: 50,
+            max_depth: 8,
+            min_samples_split: 4,
+            seed,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted trees (0 before training).
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        RandomForest::new(0)
+    }
+}
+
+fn gini(positive: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = positive as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+fn build_tree(
+    x: &Matrix,
+    labels: &[bool],
+    samples: &[usize],
+    depth: usize,
+    max_depth: usize,
+    min_samples_split: usize,
+    features_per_split: usize,
+    rng: &mut ChaCha8Rng,
+) -> TreeNode {
+    let positives = samples.iter().filter(|&&i| labels[i]).count();
+    let probability = positives as f64 / samples.len().max(1) as f64;
+    if depth >= max_depth
+        || samples.len() < min_samples_split
+        || positives == 0
+        || positives == samples.len()
+    {
+        return TreeNode::Leaf { probability };
+    }
+
+    // Candidate features for this split.
+    let mut feature_pool: Vec<usize> = (0..x.cols()).collect();
+    feature_pool.shuffle(rng);
+    feature_pool.truncate(features_per_split.max(1));
+
+    let parent_impurity = gini(positives, samples.len());
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    for &feature in &feature_pool {
+        // Sort samples by the feature and scan split points.
+        let mut values: Vec<(f64, bool)> = samples
+            .iter()
+            .map(|&i| (x.get(i, feature), labels[i]))
+            .collect();
+        values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
+        let total = values.len();
+        let total_pos = positives;
+        let mut left_pos = 0usize;
+        for k in 1..total {
+            if values[k - 1].1 {
+                left_pos += 1;
+            }
+            if values[k].0 == values[k - 1].0 {
+                continue;
+            }
+            let left_n = k;
+            let right_n = total - k;
+            let right_pos = total_pos - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / total as f64;
+            let gain = parent_impurity - weighted;
+            let threshold = (values[k - 1].0 + values[k].0) / 2.0;
+            if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-12) {
+                best = Some((gain, feature, threshold));
+            }
+        }
+    }
+
+    let Some((_, feature, threshold)) = best else {
+        return TreeNode::Leaf { probability };
+    };
+    let (left_samples, right_samples): (Vec<usize>, Vec<usize>) = samples
+        .iter()
+        .partition(|&&i| x.get(i, feature) <= threshold);
+    if left_samples.is_empty() || right_samples.is_empty() {
+        return TreeNode::Leaf { probability };
+    }
+    TreeNode::Split {
+        feature,
+        threshold,
+        left: Box::new(build_tree(
+            x,
+            labels,
+            &left_samples,
+            depth + 1,
+            max_depth,
+            min_samples_split,
+            features_per_split,
+            rng,
+        )),
+        right: Box::new(build_tree(
+            x,
+            labels,
+            &right_samples,
+            depth + 1,
+            max_depth,
+            min_samples_split,
+            features_per_split,
+            rng,
+        )),
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &'static str {
+        "RFC"
+    }
+
+    fn fit(&mut self, x: &Matrix, labels: &[bool], train_indices: &[usize]) {
+        crate::check_fit_inputs(x, labels, train_indices);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let features_per_split = (x.cols() as f64).sqrt().ceil() as usize;
+        self.trees = (0..self.num_trees)
+            .map(|_| {
+                // Bootstrap sample of the training indices.
+                let bootstrap: Vec<usize> = (0..train_indices.len())
+                    .map(|_| train_indices[rng.gen_range(0..train_indices.len())])
+                    .collect();
+                build_tree(
+                    x,
+                    labels,
+                    &bootstrap,
+                    0,
+                    self.max_depth,
+                    self.min_samples_split,
+                    features_per_split,
+                    &mut rng,
+                )
+            })
+            .collect();
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "model is trained");
+        (0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn solves_linear_task() {
+        let (x, labels) = testutil::linear_task(300, 31);
+        let mut model = RandomForest::default();
+        let accuracy = testutil::train_accuracy(&mut model, &x, &labels);
+        assert!(accuracy > 0.93, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn solves_xor() {
+        let (x, labels) = testutil::xor_task(400, 32);
+        let mut model = RandomForest::new(3);
+        let accuracy = testutil::train_accuracy(&mut model, &x, &labels);
+        assert!(accuracy > 0.9, "forest should carve out XOR, got {accuracy}");
+    }
+
+    #[test]
+    fn builds_requested_number_of_trees() {
+        let (x, labels) = testutil::linear_task(60, 33);
+        let mut model = RandomForest {
+            num_trees: 7,
+            ..RandomForest::new(1)
+        };
+        let all: Vec<usize> = (0..x.rows()).collect();
+        model.fit(&x, &labels, &all);
+        assert_eq!(model.tree_count(), 7);
+    }
+
+    #[test]
+    fn pure_leaf_stops_splitting() {
+        // All-positive data yields a single leaf with probability 1.
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let labels = [true, true, true];
+        let mut model = RandomForest {
+            num_trees: 1,
+            ..RandomForest::new(0)
+        };
+        model.fit(&x, &labels, &[0, 1, 2]);
+        assert_eq!(model.predict_proba(&x), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, labels) = testutil::linear_task(100, 34);
+        let all: Vec<usize> = (0..x.rows()).collect();
+        let mut a = RandomForest::new(9);
+        let mut b = RandomForest::new(9);
+        a.fit(&x, &labels, &all);
+        b.fit(&x, &labels, &all);
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+}

@@ -1,0 +1,174 @@
+//! Feature-only baseline classifiers (Figure 3 / Figure 4 comparators).
+//!
+//! The paper compares its GCN against five conventional ML models that
+//! see node features but not graph structure: a multi-layer perceptron,
+//! logistic regression, a random forest, a support vector machine and an
+//! Explainable Boosting Machine. All five are implemented here from
+//! scratch behind the common [`Classifier`] trait so the benchmark
+//! harness can sweep them uniformly.
+//!
+//! # Example
+//!
+//! ```
+//! use fusa_baselines::{Classifier, LogisticRegression};
+//! use fusa_neuro::Matrix;
+//!
+//! let x = Matrix::from_rows(&[&[0.0], &[1.0], &[0.1], &[0.9]]);
+//! let y = [false, true, false, true];
+//! let mut model = LogisticRegression::default();
+//! model.fit(&x, &y, &[0, 1, 2, 3]);
+//! assert_eq!(model.predict(&x), vec![false, true, false, true]);
+//! ```
+
+pub mod ebm;
+pub mod forest;
+pub mod logistic;
+pub mod mlp;
+pub mod svm;
+
+pub use ebm::ExplainableBoosting;
+pub use forest::RandomForest;
+pub use logistic::LogisticRegression;
+pub use mlp::Mlp;
+pub use svm::LinearSvm;
+
+use fusa_neuro::Matrix;
+
+/// A feature-only binary classifier.
+///
+/// Implementations train on the rows of `x` selected by `train_indices`
+/// and score every row at prediction time (mirroring how the GCN is
+/// trained on a node split but evaluated graph-wide).
+pub trait Classifier {
+    /// Short display name used in figures (e.g. `"LoR"`).
+    fn name(&self) -> &'static str;
+
+    /// Fits the model on the selected training rows.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `labels.len() != x.rows()` or an index
+    /// is out of range.
+    fn fit(&mut self, x: &Matrix, labels: &[bool], train_indices: &[usize]);
+
+    /// Positive-class probability (or a monotone score in `[0, 1]`) for
+    /// every row of `x`.
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Hard predictions at the 0.5 probability threshold.
+    fn predict(&self, x: &Matrix) -> Vec<bool> {
+        self.predict_proba(x).iter().map(|&p| p >= 0.5).collect()
+    }
+}
+
+/// Instantiates all five baselines with the given seed.
+pub fn all_baselines(seed: u64) -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(Mlp::new(seed)),
+        Box::new(LogisticRegression::new(seed)),
+        Box::new(RandomForest::new(seed)),
+        Box::new(LinearSvm::new(seed)),
+        Box::new(ExplainableBoosting::new(seed)),
+    ]
+}
+
+/// Validation helper shared by the implementations.
+pub(crate) fn check_fit_inputs(x: &Matrix, labels: &[bool], train_indices: &[usize]) {
+    assert_eq!(labels.len(), x.rows(), "label count mismatch");
+    assert!(!train_indices.is_empty(), "empty training set");
+    for &i in train_indices {
+        assert!(i < x.rows(), "training index {i} out of range");
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use fusa_neuro::Matrix;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A feature-separable binary task: class follows the sign of a
+    /// noisy linear combination of two of the four features.
+    pub fn linear_task(n: usize, seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let margin = 1.5 * f[0] - 2.0 * f[2] + rng.gen_range(-0.2..0.2);
+            labels.push(margin > 0.0);
+            rows.push(f);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), labels)
+    }
+
+    /// An XOR-style task only nonlinear models can solve.
+    pub fn xor_task(n: usize, seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            labels.push((a > 0.0) != (b > 0.0));
+            rows.push(vec![a, b]);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), labels)
+    }
+
+    pub fn train_accuracy(
+        model: &mut dyn crate::Classifier,
+        x: &Matrix,
+        labels: &[bool],
+    ) -> f64 {
+        let all: Vec<usize> = (0..x.rows()).collect();
+        model.fit(x, labels, &all);
+        let predictions = model.predict(x);
+        predictions
+            .iter()
+            .zip(labels)
+            .filter(|(p, a)| p == a)
+            .count() as f64
+            / labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_baselines_have_distinct_names() {
+        let models = all_baselines(1);
+        let names: std::collections::HashSet<&str> =
+            models.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn every_baseline_learns_a_linear_task() {
+        let (x, labels) = testutil::linear_task(300, 9);
+        for mut model in all_baselines(3) {
+            let accuracy = testutil::train_accuracy(model.as_mut(), &x, &labels);
+            assert!(
+                accuracy > 0.85,
+                "{} got {accuracy} on the linear task",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let (x, labels) = testutil::linear_task(120, 2);
+        for mut model in all_baselines(5) {
+            let all: Vec<usize> = (0..x.rows()).collect();
+            model.fit(&x, &labels, &all);
+            for p in model.predict_proba(&x) {
+                assert!((0.0..=1.0).contains(&p), "{}: {p}", model.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Logistic regression ("LoR" in Figure 3).
+
+use crate::Classifier;
+use fusa_neuro::layers::sigmoid;
+use fusa_neuro::Matrix;
+
+/// L2-regularized logistic regression trained by full-batch gradient
+/// descent.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    weights: Vec<f64>,
+    bias: f64,
+    #[allow(dead_code)]
+    seed: u64,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model (the seed is accepted for interface
+    /// uniformity; training is deterministic).
+    pub fn new(seed: u64) -> LogisticRegression {
+        LogisticRegression {
+            epochs: 500,
+            learning_rate: 0.5,
+            l2: 1e-4,
+            weights: Vec::new(),
+            bias: 0.0,
+            seed,
+        }
+    }
+
+    /// Fitted weights (empty before training).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    fn margin(&self, row: &[f64]) -> f64 {
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .map(|(&w, &v)| w * v)
+                .sum::<f64>()
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        LogisticRegression::new(0)
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "LoR"
+    }
+
+    fn fit(&mut self, x: &Matrix, labels: &[bool], train_indices: &[usize]) {
+        crate::check_fit_inputs(x, labels, train_indices);
+        self.weights = vec![0.0; x.cols()];
+        self.bias = 0.0;
+        let m = train_indices.len() as f64;
+        for _ in 0..self.epochs {
+            let mut grad_w = vec![0.0; x.cols()];
+            let mut grad_b = 0.0;
+            for &i in train_indices {
+                let row = x.row(i);
+                let error = sigmoid(self.margin(row)) - f64::from(labels[i]);
+                for (g, &v) in grad_w.iter_mut().zip(row) {
+                    *g += error * v;
+                }
+                grad_b += error;
+            }
+            for (w, g) in self.weights.iter_mut().zip(&grad_w) {
+                *w -= self.learning_rate * (g / m + self.l2 * *w);
+            }
+            self.bias -= self.learning_rate * grad_b / m;
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|i| sigmoid(self.margin(x.row(i)))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn solves_linear_task() {
+        let (x, labels) = testutil::linear_task(300, 11);
+        let mut model = LogisticRegression::default();
+        let accuracy = testutil::train_accuracy(&mut model, &x, &labels);
+        assert!(accuracy > 0.95, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn cannot_solve_xor() {
+        let (x, labels) = testutil::xor_task(400, 12);
+        let mut model = LogisticRegression::default();
+        let accuracy = testutil::train_accuracy(&mut model, &x, &labels);
+        assert!(accuracy < 0.7, "linear model should fail XOR, got {accuracy}");
+    }
+
+    #[test]
+    fn recovered_weights_have_correct_signs() {
+        let (x, labels) = testutil::linear_task(400, 13);
+        let mut model = LogisticRegression::default();
+        let all: Vec<usize> = (0..x.rows()).collect();
+        model.fit(&x, &labels, &all);
+        // Task: margin = 1.5 f0 - 2.0 f2.
+        assert!(model.weights()[0] > 0.0);
+        assert!(model.weights()[2] < 0.0);
+        assert!(model.weights()[0].abs() > model.weights()[1].abs());
+    }
+
+    #[test]
+    fn training_subset_is_respected() {
+        let (x, labels) = testutil::linear_task(100, 14);
+        let mut model = LogisticRegression::default();
+        // Train only on the first half.
+        let half: Vec<usize> = (0..50).collect();
+        model.fit(&x, &labels, &half);
+        let predictions = model.predict(&x);
+        let test_accuracy = (50..100)
+            .filter(|&i| predictions[i] == labels[i])
+            .count() as f64
+            / 50.0;
+        assert!(test_accuracy > 0.9, "generalization {test_accuracy}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Multi-layer perceptron baseline ("MLP" in Figure 3).
+
+use crate::Classifier;
+use fusa_neuro::layers::{sigmoid, Dense, Relu};
+use fusa_neuro::optim::Adam;
+use fusa_neuro::Matrix;
+
+/// A two-hidden-layer perceptron with ReLU activations and a logistic
+/// output, trained with Adam on binary cross-entropy.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Hidden layer widths.
+    pub hidden: (usize, usize),
+    /// Training epochs (full-batch).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    seed: u64,
+    layers: Option<(Dense, Relu, Dense, Relu, Dense)>,
+}
+
+impl Mlp {
+    /// Creates an untrained MLP.
+    pub fn new(seed: u64) -> Mlp {
+        Mlp {
+            hidden: (32, 16),
+            epochs: 400,
+            learning_rate: 0.01,
+            seed,
+            layers: None,
+        }
+    }
+
+    fn forward_scores(&self, x: &Matrix) -> Vec<f64> {
+        let (l1, _, l2, _, l3) = self.layers.as_ref().expect("model is trained");
+        let h1 = l1.forward_inference(x).map(|v| v.max(0.0));
+        let h2 = l2.forward_inference(&h1).map(|v| v.max(0.0));
+        let out = l3.forward_inference(&h2);
+        (0..out.rows()).map(|r| sigmoid(out.get(r, 0))).collect()
+    }
+}
+
+impl Default for Mlp {
+    fn default() -> Self {
+        Mlp::new(0)
+    }
+}
+
+impl Classifier for Mlp {
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+
+    fn fit(&mut self, x: &Matrix, labels: &[bool], train_indices: &[usize]) {
+        crate::check_fit_inputs(x, labels, train_indices);
+        // Gather the training submatrix.
+        let rows: Vec<&[f64]> = train_indices.iter().map(|&i| x.row(i)).collect();
+        let train_x = Matrix::from_rows(&rows);
+        let train_y: Vec<f64> = train_indices.iter().map(|&i| f64::from(labels[i])).collect();
+
+        let mut l1 = Dense::new(x.cols(), self.hidden.0, self.seed);
+        let mut r1 = Relu::new();
+        let mut l2 = Dense::new(self.hidden.0, self.hidden.1, self.seed.wrapping_add(1));
+        let mut r2 = Relu::new();
+        let mut l3 = Dense::new(self.hidden.1, 1, self.seed.wrapping_add(2));
+        let mut optimizer = Adam::new(self.learning_rate);
+        let m = train_indices.len() as f64;
+
+        for _ in 0..self.epochs {
+            let h1 = r1.forward(&l1.forward(&train_x));
+            let h2 = r2.forward(&l2.forward(&h1));
+            let out = l3.forward(&h2);
+
+            // BCE through the logistic link: ∂L/∂logit = σ(z) - y.
+            let mut grad = Matrix::zeros(out.rows(), 1);
+            for r in 0..out.rows() {
+                grad.set(r, 0, (sigmoid(out.get(r, 0)) - train_y[r]) / m);
+            }
+
+            for p in l1
+                .params_mut()
+                .into_iter()
+                .chain(l2.params_mut())
+                .chain(l3.params_mut())
+            {
+                p.zero_grad();
+            }
+            let g = l3.backward(&grad);
+            let g = r2.backward(&g);
+            let g = l2.backward(&g);
+            let g = r1.backward(&g);
+            let _ = l1.backward(&g);
+
+            let mut params = l1.params_mut();
+            params.extend(l2.params_mut());
+            params.extend(l3.params_mut());
+            optimizer.step(&mut params);
+        }
+        self.layers = Some((l1, r1, l2, r2, l3));
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        self.forward_scores(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn solves_linear_task() {
+        let (x, labels) = testutil::linear_task(300, 21);
+        let mut model = Mlp::default();
+        let accuracy = testutil::train_accuracy(&mut model, &x, &labels);
+        assert!(accuracy > 0.93, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn solves_xor_unlike_linear_models() {
+        let (x, labels) = testutil::xor_task(400, 22);
+        let mut model = Mlp::new(5);
+        let accuracy = testutil::train_accuracy(&mut model, &x, &labels);
+        assert!(accuracy > 0.9, "MLP should solve XOR, got {accuracy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "model is trained")]
+    fn predicting_before_fit_panics() {
+        let model = Mlp::default();
+        let x = Matrix::zeros(1, 2);
+        let _ = model.predict_proba(&x);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, labels) = testutil::linear_task(100, 23);
+        let all: Vec<usize> = (0..x.rows()).collect();
+        let mut a = Mlp::new(7);
+        let mut b = Mlp::new(7);
+        a.fit(&x, &labels, &all);
+        b.fit(&x, &labels, &all);
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+}

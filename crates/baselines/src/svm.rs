@@ -1,0 +1,154 @@
+//! Support vector machine baseline ("SVM" in Figure 3).
+
+use crate::Classifier;
+use fusa_neuro::layers::sigmoid;
+use fusa_neuro::Matrix;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A linear soft-margin SVM trained with the Pegasos stochastic
+/// sub-gradient algorithm (Shalev-Shwartz et al.), with a logistic link
+/// on the margin for probability-like scores.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Regularization parameter λ of the Pegasos objective.
+    pub lambda: f64,
+    /// Number of stochastic epochs over the training set.
+    pub epochs: usize,
+    seed: u64,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvm {
+    /// Creates an untrained SVM.
+    pub fn new(seed: u64) -> LinearSvm {
+        LinearSvm {
+            lambda: 1e-3,
+            epochs: 60,
+            seed,
+            weights: Vec::new(),
+            bias: 0.0,
+        }
+    }
+
+    /// The separating hyperplane's weights (empty before training).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Signed distance-proportional margin of one row.
+    pub fn margin(&self, row: &[f64]) -> f64 {
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .map(|(&w, &v)| w * v)
+                .sum::<f64>()
+    }
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        LinearSvm::new(0)
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+
+    fn fit(&mut self, x: &Matrix, labels: &[bool], train_indices: &[usize]) {
+        crate::check_fit_inputs(x, labels, train_indices);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        self.weights = vec![0.0; x.cols()];
+        self.bias = 0.0;
+        let mut t = 0u64;
+        for _ in 0..self.epochs {
+            let mut order = train_indices.to_vec();
+            order.shuffle(&mut rng);
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (self.lambda * t as f64);
+                let y = if labels[i] { 1.0 } else { -1.0 };
+                let row = x.row(i);
+                let margin = self.margin(row);
+                // w ← (1 − ηλ)w (+ ηy·x on hinge violation).
+                let shrink = 1.0 - eta * self.lambda;
+                for w in &mut self.weights {
+                    *w *= shrink;
+                }
+                if y * margin < 1.0 {
+                    for (w, &v) in self.weights.iter_mut().zip(row) {
+                        *w += eta * y * v;
+                    }
+                    self.bias += eta * y;
+                }
+            }
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.weights.is_empty(), "model is trained");
+        (0..x.rows()).map(|i| sigmoid(self.margin(x.row(i)))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn solves_linear_task() {
+        let (x, labels) = testutil::linear_task(300, 41);
+        let mut model = LinearSvm::default();
+        let accuracy = testutil::train_accuracy(&mut model, &x, &labels);
+        assert!(accuracy > 0.93, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn cannot_solve_xor() {
+        let (x, labels) = testutil::xor_task(400, 42);
+        let mut model = LinearSvm::default();
+        let accuracy = testutil::train_accuracy(&mut model, &x, &labels);
+        assert!(accuracy < 0.7, "linear SVM should fail XOR, got {accuracy}");
+    }
+
+    #[test]
+    fn margin_separates_classes() {
+        let (x, labels) = testutil::linear_task(200, 43);
+        let mut model = LinearSvm::default();
+        let all: Vec<usize> = (0..x.rows()).collect();
+        model.fit(&x, &labels, &all);
+        let mut pos_margin = 0.0;
+        let mut neg_margin = 0.0;
+        let mut pos_count = 0;
+        let mut neg_count = 0;
+        for i in 0..x.rows() {
+            let m = model.margin(x.row(i));
+            if labels[i] {
+                pos_margin += m;
+                pos_count += 1;
+            } else {
+                neg_margin += m;
+                neg_count += 1;
+            }
+        }
+        assert!(pos_margin / pos_count as f64 > 0.5);
+        assert!((neg_margin / neg_count as f64) < 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, labels) = testutil::linear_task(100, 44);
+        let all: Vec<usize> = (0..x.rows()).collect();
+        let mut a = LinearSvm::new(9);
+        let mut b = LinearSvm::new(9);
+        a.fit(&x, &labels, &all);
+        b.fit(&x, &labels, &all);
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+}

@@ -1,0 +1,192 @@
+//! Criterion performance benches covering every substrate:
+//! netlist construction, levelization, scalar and bit-parallel
+//! simulation, fault campaigns, graph normalization, GCN training and
+//! inference, and explainer iterations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fusa_faultsim::{CampaignConfig, FaultCampaign, FaultList};
+use fusa_gcn::pipeline::{FusaPipeline, PipelineConfig};
+use fusa_gcn::{train_classifier, ExplainerConfig, GcnConfig, TrainConfig};
+use fusa_graph::{normalized_adjacency, CircuitGraph, FeatureMatrix};
+use fusa_logicsim::{
+    BitSim, SignalStats, SignalStatsConfig, Simulator, WorkloadConfig, WorkloadSuite,
+};
+use fusa_netlist::designs::{or1200_icfsm, sdram_ctrl};
+use fusa_netlist::Levelizer;
+use std::hint::black_box;
+
+fn bench_netlist(c: &mut Criterion) {
+    c.bench_function("netlist/build_sdram_ctrl", |b| {
+        b.iter(|| black_box(sdram_ctrl()))
+    });
+    let netlist = sdram_ctrl();
+    c.bench_function("netlist/levelize_sdram_ctrl", |b| {
+        b.iter(|| black_box(Levelizer::levelize(&netlist)))
+    });
+    let text = fusa_netlist::writer::write_verilog(&netlist);
+    c.bench_function("netlist/parse_verilog_sdram_ctrl", |b| {
+        b.iter(|| black_box(fusa_netlist::parser::parse_verilog(&text).expect("parses")))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let netlist = sdram_ctrl();
+    let pi = netlist.primary_inputs().len();
+    let vector: Vec<bool> = (0..pi).map(|i| i % 3 == 0).collect();
+
+    c.bench_function("sim/scalar_cycle_sdram", |b| {
+        let mut sim = Simulator::new(&netlist);
+        let logic: Vec<fusa_logicsim::Logic> = vector
+            .iter()
+            .map(|&v| fusa_logicsim::Logic::from_bool(v))
+            .collect();
+        b.iter(|| black_box(sim.step(&logic)))
+    });
+
+    c.bench_function("sim/bitparallel_cycle_sdram_64lanes", |b| {
+        let mut sim = BitSim::new(&netlist);
+        b.iter(|| black_box(sim.step_broadcast(&vector)))
+    });
+
+    c.bench_function("sim/signal_stats_icfsm_64cycles", |b| {
+        let small = or1200_icfsm();
+        let config = SignalStatsConfig {
+            cycles: 64,
+            warmup: 8,
+            ..Default::default()
+        };
+        b.iter(|| black_box(SignalStats::estimate(&small, &config)))
+    });
+}
+
+fn bench_fault_campaign(c: &mut Criterion) {
+    let netlist = or1200_icfsm();
+    let faults = FaultList::all_gate_outputs(&netlist);
+    let workloads = WorkloadSuite::generate(
+        &netlist,
+        &WorkloadConfig {
+            num_workloads: 2,
+            vectors_per_workload: 64,
+            ..Default::default()
+        },
+    );
+    c.bench_function("fault/campaign_icfsm_2x64", |b| {
+        let campaign = FaultCampaign::new(CampaignConfig {
+            threads: 1,
+            classify_latent: true,
+            ..Default::default()
+        });
+        b.iter(|| black_box(campaign.run(&netlist, &faults, &workloads)))
+    });
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let netlist = sdram_ctrl();
+    c.bench_function("graph/from_netlist_sdram", |b| {
+        b.iter(|| black_box(CircuitGraph::from_netlist(&netlist)))
+    });
+    let graph = CircuitGraph::from_netlist(&netlist);
+    c.bench_function("graph/normalize_sdram", |b| {
+        b.iter(|| black_box(normalized_adjacency(&graph)))
+    });
+    let stats = SignalStats::estimate(
+        &netlist,
+        &SignalStatsConfig {
+            cycles: 64,
+            warmup: 8,
+            ..Default::default()
+        },
+    );
+    c.bench_function("graph/extract_features_sdram", |b| {
+        b.iter(|| black_box(FeatureMatrix::extract(&netlist, &stats)))
+    });
+}
+
+fn gcn_inputs() -> (fusa_neuro::CsrMatrix, fusa_neuro::Matrix, Vec<bool>) {
+    let netlist = or1200_icfsm();
+    let graph = CircuitGraph::from_netlist(&netlist);
+    let adj = normalized_adjacency(&graph);
+    let stats = SignalStats::estimate(
+        &netlist,
+        &SignalStatsConfig {
+            cycles: 64,
+            warmup: 8,
+            ..Default::default()
+        },
+    );
+    let features = FeatureMatrix::extract(&netlist, &stats).into_matrix();
+    let labels: Vec<bool> = (0..graph.node_count()).map(|i| graph.degree(i) >= 4).collect();
+    (adj, features, labels)
+}
+
+fn bench_gcn(c: &mut Criterion) {
+    let (adj, features, labels) = gcn_inputs();
+    let split = fusa_neuro::split::Split::stratified(&labels, 0.8, 1);
+
+    c.bench_function("gcn/train_10_epochs_icfsm", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                black_box(train_classifier(
+                    &adj,
+                    &features,
+                    &labels,
+                    &split,
+                    GcnConfig::default(),
+                    &TrainConfig {
+                        epochs: 10,
+                        ..Default::default()
+                    },
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let (model, _, _) = train_classifier(
+        &adj,
+        &features,
+        &labels,
+        &split,
+        GcnConfig::default(),
+        &TrainConfig {
+            epochs: 20,
+            ..Default::default()
+        },
+    );
+    c.bench_function("gcn/inference_full_graph_icfsm", |b| {
+        b.iter(|| black_box(model.predict_critical_probability(&adj, &features)))
+    });
+
+    let graph = CircuitGraph::from_netlist(&or1200_icfsm());
+    c.bench_function("gcn/explain_one_node_20iter", |b| {
+        let explainer = fusa_gcn::Explainer::new(
+            &model,
+            &graph,
+            &features,
+            ExplainerConfig {
+                iterations: 20,
+                ..Default::default()
+            },
+        );
+        b.iter(|| black_box(explainer.explain(3)))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("end_to_end_icfsm_fast", |b| {
+        let netlist = or1200_icfsm();
+        let pipeline = FusaPipeline::new(PipelineConfig::fast());
+        b.iter(|| black_box(pipeline.run(&netlist).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_netlist, bench_simulation, bench_fault_campaign, bench_graph, bench_gcn, bench_pipeline
+}
+criterion_main!(benches);

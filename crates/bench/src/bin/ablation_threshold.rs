@@ -1,0 +1,52 @@
+//! Extension ablation: criticality threshold sweep. Algorithm 1 labels a
+//! node critical when its score reaches `th` (the paper fixes 0.5 and
+//! notes the choice belongs to the stakeholder); this binary shows how
+//! class balance and model accuracy move with `th`.
+//!
+//! Usage: `cargo run --release -p fusa-bench --bin ablation_threshold [-- --smoke]`
+
+use fusa_bench::{config_from_args, paper_designs, save_results};
+use fusa_gcn::pipeline::{FusaPipeline, PipelineConfig};
+use std::fmt::Write as _;
+
+fn main() {
+    let base = config_from_args();
+    println!("Criticality threshold sweep (Algorithm 1's th).\n");
+    let thresholds = [0.3, 0.4, 0.5, 0.6, 0.7];
+
+    let mut csv = String::from("design,threshold,critical_fraction,accuracy,auc\n");
+    for netlist in paper_designs() {
+        println!("=== {} ===", netlist.name());
+        for &threshold in &thresholds {
+            let config = PipelineConfig {
+                criticality_threshold: threshold,
+                ..base.clone()
+            };
+            match FusaPipeline::new(config).run(&netlist) {
+                Ok(analysis) => {
+                    println!(
+                        "  th={threshold:.1}: {:>5.1}% critical, accuracy {:.2}%, AUC {:.3}",
+                        analysis.dataset.critical_fraction() * 100.0,
+                        analysis.evaluation.accuracy * 100.0,
+                        analysis.evaluation.auc
+                    );
+                    let _ = writeln!(
+                        csv,
+                        "{},{:.2},{:.4},{:.4},{:.4}",
+                        netlist.name(),
+                        threshold,
+                        analysis.dataset.critical_fraction(),
+                        analysis.evaluation.accuracy,
+                        analysis.evaluation.auc
+                    );
+                }
+                Err(e) => {
+                    println!("  th={threshold:.1}: {e}");
+                    let _ = writeln!(csv, "{},{:.2},,,", netlist.name(), threshold);
+                }
+            }
+        }
+        println!();
+    }
+    save_results("ablation_threshold.csv", &csv);
+}

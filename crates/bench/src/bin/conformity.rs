@@ -1,0 +1,61 @@
+//! E7 — §4.2.2 claim: regression scores conform with the classifier on
+//! more than 85% of nodes.
+//!
+//! Usage: `cargo run --release -p fusa-bench --bin conformity [-- --smoke]`
+
+use fusa_bench::{config_from_args, paper_designs, run_design, save_results};
+use fusa_gcn::TrainConfig;
+use fusa_neuro::metrics::{pearson, spearman};
+use std::fmt::Write as _;
+
+fn main() {
+    let config = config_from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("Regression/classification conformity (§4.2.2; paper reports > 85%).\n");
+
+    let mut csv = String::from("design,conformity,pearson_vs_truth,spearman_vs_truth\n");
+    for netlist in paper_designs() {
+        let run = run_design(&netlist, &config);
+        let (_regressor, predicted_scores) = run.analysis.train_regressor(&TrainConfig {
+            epochs: if smoke { 60 } else { 200 },
+            ..Default::default()
+        });
+        let conformity = run.analysis.regression_conformity(&predicted_scores);
+
+        // Correlation of predicted scores against ground-truth scores on
+        // validation nodes.
+        let truth: Vec<f64> = run
+            .analysis
+            .split
+            .validation
+            .iter()
+            .map(|&i| run.analysis.dataset.scores()[i])
+            .collect();
+        let predicted: Vec<f64> = run
+            .analysis
+            .split
+            .validation
+            .iter()
+            .map(|&i| predicted_scores[i])
+            .collect();
+        let linear = pearson(&predicted, &truth);
+        let rank = spearman(&predicted, &truth);
+
+        println!(
+            "  {:<14} conformity {:>5.1}%   pearson {:.3}   spearman {:.3}",
+            netlist.name(),
+            conformity * 100.0,
+            linear,
+            rank
+        );
+        let _ = writeln!(
+            csv,
+            "{},{:.4},{:.4},{:.4}",
+            netlist.name(),
+            conformity,
+            linear,
+            rank
+        );
+    }
+    save_results("conformity.csv", &csv);
+}

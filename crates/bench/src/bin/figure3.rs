@@ -1,0 +1,35 @@
+//! E1 — Figure 3: critical-node classification accuracy of the GCN vs
+//! MLP / LoR / RFC / SVM / EBM on all three designs.
+//!
+//! Usage: `cargo run --release -p fusa-bench --bin figure3 [-- --smoke]`
+
+use fusa_bench::{bar, config_from_args, paper_designs, run_design, save_results};
+use std::fmt::Write as _;
+
+fn main() {
+    let config = config_from_args();
+    println!("Figure 3. Critical node classification accuracy for all three designs.\n");
+
+    let mut csv = String::from("design,model,accuracy\n");
+    for netlist in paper_designs() {
+        let started = std::time::Instant::now();
+        let run = run_design(&netlist, &config);
+        println!(
+            "=== {} ({} gates, {} critical / {} nodes, {:.1}s) ===",
+            netlist.name(),
+            netlist.gate_count(),
+            run.analysis.dataset.critical_count(),
+            run.analysis.dataset.labels().len(),
+            started.elapsed().as_secs_f64(),
+        );
+        let mut rows: Vec<(&str, f64)> = vec![("GCN", run.gcn_accuracy())];
+        rows.extend(run.baselines.iter().map(|b| (b.name, b.accuracy)));
+        for (name, accuracy) in &rows {
+            println!("  {name:<4} {} {:.2}%", bar(*accuracy), accuracy * 100.0);
+            let _ = writeln!(csv, "{},{},{:.4}", netlist.name(), name, accuracy);
+        }
+        let margin = run.gcn_accuracy() - run.best_baseline_accuracy();
+        println!("  GCN margin over best baseline: {:+.2}%\n", margin * 100.0);
+    }
+    save_results("figure3_accuracy.csv", &csv);
+}

@@ -1,0 +1,50 @@
+//! E2 — Figure 4: ROC curves and AUC of every classifier per design.
+//!
+//! Usage: `cargo run --release -p fusa-bench --bin figure4 [-- --smoke]`
+
+use fusa_bench::{config_from_args, paper_designs, run_design, save_results};
+use std::fmt::Write as _;
+
+fn main() {
+    let config = config_from_args();
+    println!("Figure 4. ROC curves to visualize the performance of various classifiers.\n");
+
+    for (index, netlist) in paper_designs().into_iter().enumerate() {
+        let run = run_design(&netlist, &config);
+        let panel = char::from(b'a' + index as u8);
+        println!("--- Figure 4({panel}): {} ---", netlist.name());
+        println!("  {:<4} AUC", "");
+        println!("  {:<4} {:.3}", "GCN", run.gcn_auc());
+
+        let mut csv = String::from("model,threshold,fpr,tpr\n");
+        for point in &run.analysis.evaluation.roc.points {
+            let _ = writeln!(
+                csv,
+                "GCN,{:.6},{:.6},{:.6}",
+                point.threshold, point.false_positive_rate, point.true_positive_rate
+            );
+        }
+        for baseline in &run.baselines {
+            println!("  {:<4} {:.3}", baseline.name, baseline.auc);
+            for point in &baseline.roc.points {
+                let _ = writeln!(
+                    csv,
+                    "{},{:.6},{:.6},{:.6}",
+                    baseline.name,
+                    point.threshold,
+                    point.false_positive_rate,
+                    point.true_positive_rate
+                );
+            }
+        }
+        let gcn_best = run
+            .baselines
+            .iter()
+            .all(|b| run.gcn_auc() >= b.auc - 1e-9);
+        println!(
+            "  GCN has the highest AUC: {}\n",
+            if gcn_best { "yes" } else { "NO (shape deviation)" }
+        );
+        save_results(&format!("figure4{panel}_roc_{}.csv", netlist.name()), &csv);
+    }
+}

@@ -1,0 +1,70 @@
+//! E8 — the paper's economic argument (§1, §2.2): once trained on a
+//! subset, GCN inference replaces exhaustive fault injection on the rest
+//! of the design. This binary measures both wall-clocks.
+//!
+//! Usage: `cargo run --release -p fusa-bench --bin speedup [-- --smoke]`
+
+use fusa_bench::{config_from_args, paper_designs, save_results};
+use fusa_faultsim::{FaultCampaign, FaultList};
+use fusa_gcn::pipeline::FusaPipeline;
+use fusa_logicsim::WorkloadSuite;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let config = config_from_args();
+    println!("Fault-injection vs GCN-inference wall-clock (per design).\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10}",
+        "design", "FI campaign", "train", "inference", "FI/infer"
+    );
+
+    let mut csv = String::from("design,fi_seconds,train_seconds,inference_seconds,speedup\n");
+    for netlist in paper_designs() {
+        // Exhaustive fault injection over the whole design.
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
+        let fi_started = Instant::now();
+        let report = FaultCampaign::new(config.campaign).run(&netlist, &faults, &workloads);
+        let fi_seconds = fi_started.elapsed().as_secs_f64();
+        let _ = report.mean_coverage();
+
+        // Pipeline (includes a fresh campaign for ground truth + training).
+        let train_started = Instant::now();
+        let analysis = FusaPipeline::new(config.clone())
+            .run(&netlist)
+            .expect("pipeline runs");
+        let train_seconds = train_started.elapsed().as_secs_f64();
+
+        // Inference over every node of the design.
+        let infer_started = Instant::now();
+        let iterations = 10usize;
+        for _ in 0..iterations {
+            let _ = analysis
+                .classifier
+                .predict_critical_probability(&analysis.adjacency, &analysis.features);
+        }
+        let inference_seconds = infer_started.elapsed().as_secs_f64() / iterations as f64;
+
+        let speedup = fi_seconds / inference_seconds.max(1e-9);
+        println!(
+            "{:<14} {:>11.2}s {:>11.2}s {:>11.5}s {:>9.0}x",
+            netlist.name(),
+            fi_seconds,
+            train_seconds,
+            inference_seconds,
+            speedup
+        );
+        let _ = writeln!(
+            csv,
+            "{},{:.4},{:.4},{:.6},{:.1}",
+            netlist.name(),
+            fi_seconds,
+            train_seconds,
+            inference_seconds,
+            speedup
+        );
+    }
+    save_results("speedup.csv", &csv);
+    println!("\n(The trained model amortizes: classifying unseen nodes needs no further FI.)");
+}

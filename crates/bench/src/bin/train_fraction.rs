@@ -1,0 +1,46 @@
+//! Extension: training-fraction sweep — how little fault-injection
+//! ground truth does the GCN need? This quantifies the paper's core
+//! economic argument (§1: "mitigating the necessity for conventional
+//! fault injection procedures across the entire circuit").
+//!
+//! Usage: `cargo run --release -p fusa-bench --bin train_fraction [-- --smoke]`
+
+use fusa_bench::{config_from_args, paper_designs, save_results};
+use fusa_gcn::pipeline::{FusaPipeline, PipelineConfig};
+use std::fmt::Write as _;
+
+fn main() {
+    let base = config_from_args();
+    println!("Training-fraction sweep: accuracy vs share of nodes with FI ground truth.\n");
+    let fractions = [0.1, 0.2, 0.4, 0.6, 0.8];
+
+    let mut csv = String::from("design,train_fraction,accuracy,auc\n");
+    for netlist in paper_designs() {
+        println!("=== {} ===", netlist.name());
+        for &fraction in &fractions {
+            let config = PipelineConfig {
+                train_fraction: fraction,
+                ..base.clone()
+            };
+            let analysis = FusaPipeline::new(config)
+                .run(&netlist)
+                .expect("pipeline runs");
+            println!(
+                "  {:>4.0}% of nodes fault-injected -> accuracy {:.2}%, AUC {:.3}",
+                fraction * 100.0,
+                analysis.evaluation.accuracy * 100.0,
+                analysis.evaluation.auc
+            );
+            let _ = writeln!(
+                csv,
+                "{},{:.2},{:.4},{:.4}",
+                netlist.name(),
+                fraction,
+                analysis.evaluation.accuracy,
+                analysis.evaluation.auc
+            );
+        }
+        println!();
+    }
+    save_results("train_fraction.csv", &csv);
+}

@@ -1,0 +1,60 @@
+//! Extension: cross-design transfer — train the GCN on one design's
+//! fault-injection ground truth, predict criticality on a *different*
+//! design with zero fault injection there. This is the paper's economic
+//! argument taken one step further (its §3 goal is transfer across
+//! *parts of one design*).
+//!
+//! Usage: `cargo run --release -p fusa-bench --bin transfer [-- --smoke]`
+
+use fusa_bench::{config_from_args, paper_designs, save_results};
+use fusa_gcn::pipeline::FusaPipeline;
+use fusa_neuro::metrics::{auc, Confusion};
+use std::fmt::Write as _;
+
+fn main() {
+    let config = config_from_args();
+    println!("Cross-design transfer: train on row, evaluate on column (accuracy %).\n");
+
+    // Full analyses (including ground truth) for every design.
+    let analyses: Vec<_> = paper_designs()
+        .into_iter()
+        .map(|netlist| {
+            FusaPipeline::new(config.clone())
+                .run(&netlist)
+                .expect("pipeline runs")
+        })
+        .collect();
+
+    let names: Vec<String> = analyses.iter().map(|a| a.design_name.clone()).collect();
+    print!("{:<14}", "train \\ eval");
+    for name in &names {
+        print!(" {name:>14}");
+    }
+    println!();
+
+    let mut csv = String::from("train_design,eval_design,accuracy,auc\n");
+    for source in &analyses {
+        print!("{:<14}", source.design_name);
+        for target in &analyses {
+            // Apply the source-trained classifier to the target's graph
+            // (features standardized by the target's own statistics —
+            // what a user without target ground truth can compute).
+            let probabilities = source
+                .classifier
+                .predict_critical_probability(&target.adjacency, &target.features);
+            let predicted: Vec<bool> = probabilities.iter().map(|&p| p >= 0.5).collect();
+            let accuracy =
+                Confusion::from_predictions(&predicted, target.labels()).accuracy();
+            let roc_auc = auc(&probabilities, target.labels());
+            print!(" {:>13.1}%", accuracy * 100.0);
+            let _ = writeln!(
+                csv,
+                "{},{},{:.4},{:.4}",
+                source.design_name, target.design_name, accuracy, roc_auc
+            );
+        }
+        println!();
+    }
+    save_results("transfer.csv", &csv);
+    println!("\n(diagonal = in-design whole-graph accuracy; off-diagonal = zero-FI transfer)");
+}

@@ -1,0 +1,360 @@
+//! The end-to-end flow of Figure 2: netlist → graph → features → fault
+//! injection → GCN training → classification / scoring / explanation.
+
+use crate::explain::{Explainer, ExplainerConfig};
+use crate::model::{GcnConfig, GcnRegressor};
+use crate::train::{train_classifier, train_regressor, EvaluationReport, TrainConfig, TrainHistory};
+use fusa_faultsim::{CampaignConfig, CriticalityDataset, FaultCampaign, FaultList};
+use fusa_graph::{normalized_adjacency, CircuitGraph, FeatureMatrix, Standardizer};
+use fusa_logicsim::{SignalStats, SignalStatsConfig, WorkloadConfig, WorkloadSuite};
+use fusa_netlist::Netlist;
+use fusa_neuro::split::Split;
+use fusa_neuro::{CsrMatrix, Matrix};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Workload suite parameters (`N` workloads of §3.2).
+    pub workloads: WorkloadConfig,
+    /// Monte-Carlo signal-probability estimation parameters (§3.1).
+    pub signal_stats: SignalStatsConfig,
+    /// Fault campaign execution parameters.
+    pub campaign: CampaignConfig,
+    /// Criticality threshold `th` of Algorithm 1 (the paper uses 0.5).
+    pub criticality_threshold: f64,
+    /// Training fraction of the node split (the paper uses 0.8).
+    pub train_fraction: f64,
+    /// Seed of the stratified split.
+    pub split_seed: u64,
+    /// GCN architecture (`in_features` is set from the feature matrix).
+    pub model: GcnConfig,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workloads: WorkloadConfig::default(),
+            signal_stats: SignalStatsConfig::default(),
+            campaign: CampaignConfig {
+                // Grade danger by divergence rate (§3.2 framing:
+                // "functional errors for more than X% of the time");
+                // single-cycle glitches classify as latent instead.
+                min_divergence_fraction: 0.2,
+                ..CampaignConfig::default()
+            },
+            criticality_threshold: 0.5,
+            train_fraction: 0.8,
+            split_seed: 0x5117,
+            model: GcnConfig::default(),
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A reduced-cost preset for tests and smoke runs: fewer workloads,
+    /// shorter vectors, fewer estimation cycles and epochs.
+    pub fn fast() -> PipelineConfig {
+        PipelineConfig {
+            workloads: WorkloadConfig {
+                num_workloads: 8,
+                vectors_per_workload: 64,
+                ..Default::default()
+            },
+            signal_stats: SignalStatsConfig {
+                cycles: 128,
+                warmup: 8,
+                ..Default::default()
+            },
+            train: TrainConfig {
+                epochs: 80,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Errors from [`FusaPipeline::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Every node got the same label; no classifier can be trained.
+    /// Usually means the threshold or workload suite needs adjusting.
+    DegenerateLabels {
+        /// Number of critical nodes found.
+        critical: usize,
+        /// Total number of nodes.
+        total: usize,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::DegenerateLabels { critical, total } => write!(
+                f,
+                "degenerate labels: {critical}/{total} nodes critical; adjust threshold or workloads"
+            ),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+/// Everything the pipeline produced for one design.
+pub struct FusaAnalysis {
+    /// Module name of the analyzed design.
+    pub design_name: String,
+    /// The circuit graph.
+    pub graph: CircuitGraph,
+    /// The normalized adjacency `Â` (Eq. 2).
+    pub adjacency: CsrMatrix,
+    /// Raw (unstandardized) node features.
+    pub raw_features: FeatureMatrix,
+    /// Standardized node features fed to the models.
+    pub features: Matrix,
+    /// The fitted standardizer.
+    pub standardizer: Standardizer,
+    /// Ground-truth criticality scores and labels (Algorithm 1).
+    pub dataset: CriticalityDataset,
+    /// The 80/20 stratified node split.
+    pub split: Split,
+    /// The trained classifier.
+    pub classifier: crate::model::GcnClassifier,
+    /// Training trace.
+    pub history: TrainHistory,
+    /// Validation evaluation (accuracy, ROC, AUC, …).
+    pub evaluation: EvaluationReport,
+}
+
+impl fmt::Debug for FusaAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FusaAnalysis")
+            .field("design_name", &self.design_name)
+            .field("nodes", &self.graph.node_count())
+            .field("accuracy", &self.evaluation.accuracy)
+            .field("auc", &self.evaluation.auc)
+            .finish()
+    }
+}
+
+impl FusaAnalysis {
+    /// Ground-truth labels, one per node.
+    pub fn labels(&self) -> &[bool] {
+        self.dataset.labels()
+    }
+
+    /// Builds a GNN explainer over the trained classifier.
+    pub fn explainer(&self, config: ExplainerConfig) -> Explainer<'_> {
+        Explainer::new(&self.classifier, &self.graph, &self.features, config)
+    }
+
+    /// Trains the §3.4 regression variant against the Algorithm-1
+    /// criticality scores; returns the regressor and per-node predicted
+    /// scores.
+    pub fn train_regressor(&self, train: &TrainConfig) -> (GcnRegressor, Vec<f64>) {
+        let model_config = GcnConfig {
+            in_features: self.features.cols(),
+            ..self.classifier.config().clone()
+        };
+        let (model, _history, predictions) = train_regressor(
+            &self.adjacency,
+            &self.features,
+            self.dataset.scores(),
+            &self.split,
+            model_config,
+            train,
+        );
+        (model, predictions)
+    }
+
+    /// Conformity between regression scores and classifier predictions:
+    /// fraction of validation nodes where thresholding the regression
+    /// score agrees with the classifier's predicted class (§4.2.2
+    /// reports > 85%).
+    pub fn regression_conformity(&self, predicted_scores: &[f64]) -> f64 {
+        let threshold = self.dataset.threshold();
+        if self.split.validation.is_empty() {
+            return 0.0;
+        }
+        let agree = self
+            .split
+            .validation
+            .iter()
+            .filter(|&&i| {
+                (predicted_scores[i] >= threshold) == self.evaluation.predicted_labels[i]
+            })
+            .count();
+        agree as f64 / self.split.validation.len() as f64
+    }
+}
+
+/// The end-to-end pipeline (Figure 2 of the paper).
+///
+/// # Example
+///
+/// ```no_run
+/// use fusa_gcn::pipeline::{FusaPipeline, PipelineConfig};
+/// use fusa_netlist::designs::sdram_ctrl;
+///
+/// # fn main() -> Result<(), fusa_gcn::pipeline::PipelineError> {
+/// let analysis = FusaPipeline::new(PipelineConfig::default()).run(&sdram_ctrl())?;
+/// println!("{} critical nodes", analysis.dataset.critical_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FusaPipeline {
+    config: PipelineConfig,
+}
+
+impl FusaPipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> FusaPipeline {
+        FusaPipeline { config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the full flow on one design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::DegenerateLabels`] if the fault campaign
+    /// labels every node identically (no classification task exists).
+    pub fn run(&self, netlist: &Netlist) -> Result<FusaAnalysis, PipelineError> {
+        // 1. Graph generation (§3.1).
+        let graph = CircuitGraph::from_netlist(netlist);
+        let adjacency = normalized_adjacency(&graph);
+
+        // 2. Feature extraction (§3.1).
+        let stats = SignalStats::estimate(netlist, &self.config.signal_stats);
+        let raw_features = FeatureMatrix::extract(netlist, &stats);
+        let standardizer = Standardizer::fit(raw_features.matrix());
+        let features = standardizer.transform(raw_features.matrix());
+
+        // 3. Fault-injection ground truth (§3.2, Algorithm 1).
+        let faults = FaultList::all_gate_outputs(netlist);
+        let workloads = WorkloadSuite::generate(netlist, &self.config.workloads);
+        let report = FaultCampaign::new(self.config.campaign).run(netlist, &faults, &workloads);
+        let dataset = report.into_dataset(self.config.criticality_threshold);
+
+        let critical = dataset.critical_count();
+        let total = dataset.labels().len();
+        if critical == 0 || critical == total {
+            return Err(PipelineError::DegenerateLabels { critical, total });
+        }
+
+        // 4. Split and train (§3.3).
+        let split = Split::stratified(
+            dataset.labels(),
+            self.config.train_fraction,
+            self.config.split_seed,
+        );
+        let model_config = GcnConfig {
+            in_features: features.cols(),
+            ..self.config.model.clone()
+        };
+        let (classifier, history, evaluation) = train_classifier(
+            &adjacency,
+            &features,
+            dataset.labels(),
+            &split,
+            model_config,
+            &self.config.train,
+        );
+
+        Ok(FusaAnalysis {
+            design_name: netlist.name().to_string(),
+            graph,
+            adjacency,
+            raw_features,
+            features,
+            standardizer,
+            dataset,
+            split,
+            classifier,
+            history,
+            evaluation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusa_netlist::designs::or1200_icfsm;
+
+    fn fast_analysis() -> FusaAnalysis {
+        FusaPipeline::new(PipelineConfig::fast())
+            .run(&or1200_icfsm())
+            .expect("pipeline runs on icfsm")
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_shapes() {
+        let analysis = fast_analysis();
+        let n = analysis.graph.node_count();
+        assert_eq!(analysis.features.rows(), n);
+        assert_eq!(analysis.dataset.labels().len(), n);
+        assert_eq!(analysis.evaluation.predicted_labels.len(), n);
+        assert_eq!(analysis.split.len(), n);
+    }
+
+    #[test]
+    fn pipeline_learns_something() {
+        let analysis = fast_analysis();
+        // Much better than chance on a balanced-ish task.
+        assert!(
+            analysis.evaluation.accuracy > 0.6,
+            "accuracy {}",
+            analysis.evaluation.accuracy
+        );
+        assert!(analysis.evaluation.auc > 0.6, "auc {}", analysis.evaluation.auc);
+    }
+
+    #[test]
+    fn labels_are_mixed() {
+        let analysis = fast_analysis();
+        let critical = analysis.dataset.critical_count();
+        let total = analysis.dataset.labels().len();
+        assert!(critical > 0 && critical < total, "{critical}/{total}");
+    }
+
+    #[test]
+    fn regressor_conforms_with_classifier() {
+        let analysis = fast_analysis();
+        let (_regressor, scores) = analysis.train_regressor(&TrainConfig {
+            epochs: 80,
+            ..Default::default()
+        });
+        let conformity = analysis.regression_conformity(&scores);
+        assert!(conformity > 0.6, "conformity {conformity}");
+    }
+
+    #[test]
+    fn explainer_runs_on_pipeline_output() {
+        let analysis = fast_analysis();
+        let explainer = analysis.explainer(ExplainerConfig {
+            iterations: 10,
+            ..Default::default()
+        });
+        let node = analysis.split.validation[0];
+        let explanation = explainer.explain(node);
+        assert_eq!(explanation.feature_importance.len(), 5);
+    }
+
+    #[test]
+    fn debug_format_mentions_design() {
+        let analysis = fast_analysis();
+        let text = format!("{analysis:?}");
+        assert!(text.contains("or1200_icfsm"));
+    }
+}

@@ -1,0 +1,514 @@
+//! Training, evaluation and grid-search hyper-parameter optimization.
+
+use crate::model::{GcnClassifier, GcnConfig, GcnRegressor};
+use fusa_neuro::loss::{mse_loss, nll_loss};
+use fusa_neuro::metrics::{Confusion, RocCurve};
+use fusa_neuro::optim::Adam;
+use fusa_neuro::split::Split;
+use fusa_neuro::{CsrMatrix, Matrix};
+
+/// Training hyper-parameters (§3.3.3 / §4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Training epochs (full-graph gradient steps).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+    /// Keep the parameter snapshot with the best validation accuracy.
+    pub keep_best: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 300,
+            learning_rate: 0.02,
+            weight_decay: 5e-4,
+            keep_best: true,
+        }
+    }
+}
+
+/// Per-epoch training trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainHistory {
+    /// Training loss per epoch.
+    pub train_loss: Vec<f64>,
+    /// Validation accuracy per epoch (classifier) or negative validation
+    /// loss (regressor).
+    pub validation_metric: Vec<f64>,
+    /// Epoch index of the best validation metric.
+    pub best_epoch: usize,
+}
+
+/// Validation-set evaluation of a trained classifier.
+#[derive(Debug, Clone)]
+pub struct EvaluationReport {
+    /// Validation accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Area under the validation ROC curve.
+    pub auc: f64,
+    /// The validation ROC curve (for Figure 4).
+    pub roc: RocCurve,
+    /// Confusion counts on the validation set.
+    pub confusion: Confusion,
+    /// Predicted label per node (whole graph, not just validation).
+    pub predicted_labels: Vec<bool>,
+    /// Critical-class probability per node (whole graph).
+    pub critical_probability: Vec<f64>,
+}
+
+/// Trains a [`GcnClassifier`] with masked NLL loss on `split.train` and
+/// returns the trained model, its history and the validation evaluation.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != features.rows()` or the split references
+/// out-of-range nodes.
+pub fn train_classifier(
+    adj: &CsrMatrix,
+    features: &Matrix,
+    labels: &[bool],
+    split: &Split,
+    model_config: GcnConfig,
+    train_config: &TrainConfig,
+) -> (GcnClassifier, TrainHistory, EvaluationReport) {
+    assert_eq!(labels.len(), features.rows(), "label count mismatch");
+    let targets: Vec<usize> = labels.iter().map(|&l| usize::from(l)).collect();
+    let mut model = GcnClassifier::new(model_config);
+    let mut optimizer = Adam::with_weight_decay(train_config.learning_rate, train_config.weight_decay);
+    let mut history = TrainHistory::default();
+    let mut best: Option<(f64, GcnClassifier)> = None;
+
+    for _epoch in 0..train_config.epochs {
+        let log_probs = model.forward(adj, features, true);
+        let (loss, grad) = nll_loss(&log_probs, &targets, &split.train);
+        for p in model.params_mut() {
+            p.zero_grad();
+        }
+        model.backward(adj, &grad, true);
+        optimizer.step(&mut model.params_mut());
+
+        let val_accuracy = validation_accuracy(&model, adj, features, labels, &split.validation);
+        history.train_loss.push(loss);
+        history.validation_metric.push(val_accuracy);
+        if best.as_ref().map(|(b, _)| val_accuracy > *b).unwrap_or(true) {
+            history.best_epoch = history.validation_metric.len() - 1;
+            best = Some((val_accuracy, model.clone()));
+        }
+    }
+
+    let final_model = if train_config.keep_best {
+        best.map(|(_, m)| m).unwrap_or(model)
+    } else {
+        model
+    };
+    let evaluation = evaluate_classifier(&final_model, adj, features, labels, split);
+    (final_model, history, evaluation)
+}
+
+fn validation_accuracy(
+    model: &GcnClassifier,
+    adj: &CsrMatrix,
+    features: &Matrix,
+    labels: &[bool],
+    validation: &[usize],
+) -> f64 {
+    if validation.is_empty() {
+        return 0.0;
+    }
+    let predictions = model.predict(adj, features);
+    let correct = validation
+        .iter()
+        .filter(|&&i| (predictions[i] == 1) == labels[i])
+        .count();
+    correct as f64 / validation.len() as f64
+}
+
+/// Evaluates a trained classifier on the validation nodes of `split`.
+pub fn evaluate_classifier(
+    model: &GcnClassifier,
+    adj: &CsrMatrix,
+    features: &Matrix,
+    labels: &[bool],
+    split: &Split,
+) -> EvaluationReport {
+    let critical_probability = model.predict_critical_probability(adj, features);
+    let predicted_labels: Vec<bool> = critical_probability.iter().map(|&p| p >= 0.5).collect();
+
+    let val_predicted: Vec<bool> = split.validation.iter().map(|&i| predicted_labels[i]).collect();
+    let val_actual: Vec<bool> = split.validation.iter().map(|&i| labels[i]).collect();
+    let val_scores: Vec<f64> = split
+        .validation
+        .iter()
+        .map(|&i| critical_probability[i])
+        .collect();
+
+    let confusion = Confusion::from_predictions(&val_predicted, &val_actual);
+    let roc = RocCurve::compute(&val_scores, &val_actual);
+    EvaluationReport {
+        accuracy: confusion.accuracy(),
+        auc: roc.auc(),
+        roc,
+        confusion,
+        predicted_labels,
+        critical_probability,
+    }
+}
+
+/// Trains a [`GcnRegressor`] against continuous criticality scores with
+/// masked MSE. Returns the model, its history, and the predicted scores
+/// for every node.
+///
+/// # Panics
+///
+/// Panics if `scores.len() != features.rows()`.
+pub fn train_regressor(
+    adj: &CsrMatrix,
+    features: &Matrix,
+    scores: &[f64],
+    split: &Split,
+    model_config: GcnConfig,
+    train_config: &TrainConfig,
+) -> (GcnRegressor, TrainHistory, Vec<f64>) {
+    assert_eq!(scores.len(), features.rows(), "score count mismatch");
+    let mut model = GcnRegressor::new(model_config);
+    let mut optimizer = Adam::with_weight_decay(train_config.learning_rate, train_config.weight_decay);
+    let mut history = TrainHistory::default();
+    let mut best: Option<(f64, GcnRegressor)> = None;
+
+    for _epoch in 0..train_config.epochs {
+        let predictions = model.forward(adj, features, true);
+        let (loss, grad) = mse_loss(&predictions, scores, &split.train);
+        for p in model.params_mut() {
+            p.zero_grad();
+        }
+        model.backward(adj, &grad, true);
+        optimizer.step(&mut model.params_mut());
+
+        let val_predictions = model.forward_inference(adj, features);
+        let (val_loss, _) = mse_loss(&val_predictions, scores, &split.validation);
+        history.train_loss.push(loss);
+        history.validation_metric.push(-val_loss);
+        if best
+            .as_ref()
+            .map(|(b, _)| -val_loss > *b)
+            .unwrap_or(true)
+        {
+            history.best_epoch = history.validation_metric.len() - 1;
+            best = Some((-val_loss, model.clone()));
+        }
+    }
+
+    let final_model = if train_config.keep_best {
+        best.map(|(_, m)| m).unwrap_or(model)
+    } else {
+        model
+    };
+    let predictions = final_model.predict_scores(adj, features);
+    (final_model, history, predictions)
+}
+
+/// Grid-search hyper-parameter optimization (§3.3.2): sweeps layer
+/// counts, widths and dropout, training each candidate and ranking by
+/// validation accuracy.
+#[derive(Debug, Clone)]
+pub struct GridSearch {
+    /// Candidate hidden-layer stacks.
+    pub hidden_candidates: Vec<Vec<usize>>,
+    /// Candidate dropout probabilities.
+    pub dropout_candidates: Vec<f64>,
+    /// Candidate learning rates.
+    pub learning_rates: Vec<f64>,
+    /// Epochs per candidate (shorter than final training).
+    pub epochs: usize,
+    /// Seed for model initialization.
+    pub seed: u64,
+}
+
+impl Default for GridSearch {
+    fn default() -> Self {
+        GridSearch {
+            hidden_candidates: vec![vec![16], vec![16, 32], vec![16, 32, 64], vec![32, 64, 128]],
+            dropout_candidates: vec![0.1, 0.3, 0.5],
+            learning_rates: vec![0.01, 0.005],
+            epochs: 60,
+            seed: 0x9219,
+        }
+    }
+}
+
+/// One grid-search trial result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearchResult {
+    /// Hidden widths of the trial.
+    pub hidden: Vec<usize>,
+    /// Dropout of the trial.
+    pub dropout: f64,
+    /// Learning rate of the trial.
+    pub learning_rate: f64,
+    /// Best validation accuracy reached.
+    pub validation_accuracy: f64,
+}
+
+impl GridSearch {
+    /// Runs the sweep; returns all trial results sorted best-first.
+    pub fn run(
+        &self,
+        adj: &CsrMatrix,
+        features: &Matrix,
+        labels: &[bool],
+        split: &Split,
+    ) -> Vec<GridSearchResult> {
+        let mut results = Vec::new();
+        for hidden in &self.hidden_candidates {
+            for &dropout in &self.dropout_candidates {
+                for &learning_rate in &self.learning_rates {
+                    let model_config = GcnConfig {
+                        in_features: features.cols(),
+                        hidden: hidden.clone(),
+                        dropout,
+                        seed: self.seed,
+                    };
+                    let train_config = TrainConfig {
+                        epochs: self.epochs,
+                        learning_rate,
+                        ..Default::default()
+                    };
+                    let (_, history, _) = train_classifier(
+                        adj,
+                        features,
+                        labels,
+                        split,
+                        model_config,
+                        &train_config,
+                    );
+                    let best = history
+                        .validation_metric
+                        .iter()
+                        .cloned()
+                        .fold(0.0, f64::max);
+                    results.push(GridSearchResult {
+                        hidden: hidden.clone(),
+                        dropout,
+                        learning_rate,
+                        validation_accuracy: best,
+                    });
+                }
+            }
+        }
+        results.sort_by(|a, b| {
+            b.validation_accuracy
+                .partial_cmp(&a.validation_accuracy)
+                .expect("no NaN accuracies")
+        });
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusa_graph::{normalized_adjacency, CircuitGraph};
+    use fusa_neuro::metrics::accuracy;
+
+    /// A synthetic two-community graph task where the label depends on
+    /// the neighbourhood: nodes in a clique of "critical" nodes are
+    /// critical. Feature-only models cannot solve it; a GCN can.
+    fn community_task() -> (CsrMatrix, Matrix, Vec<bool>) {
+        // 2 communities of 20 nodes each; identical node features but
+        // distinct connectivity.
+        let n = 40;
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            triplets.push((i, i, 1.0));
+        }
+        let edge = |a: usize, b: usize, t: &mut Vec<(usize, usize, f64)>| {
+            t.push((a, b, 0.3));
+            t.push((b, a, 0.3));
+        };
+        for i in 0..20 {
+            for j in (i + 1)..20 {
+                if (i + j) % 5 == 0 {
+                    edge(i, j, &mut triplets);
+                }
+            }
+        }
+        for i in 20..40 {
+            for j in (i + 1)..40 {
+                if (i + j) % 3 == 0 {
+                    edge(i, j, &mut triplets);
+                }
+            }
+        }
+        let adj = CsrMatrix::from_triplets(n, n, &triplets);
+        // Feature: a noisy scalar that weakly indicates community.
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let noise = ((i * 2654435761) % 97) as f64 / 97.0 - 0.5;
+            let hint = if i < 20 { 0.2 } else { -0.2 };
+            rows.push(vec![hint + noise, 1.0]);
+        }
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&row_refs);
+        let labels: Vec<bool> = (0..n).map(|i| i < 20).collect();
+        (adj, x, labels)
+    }
+
+    fn tiny_train_config() -> TrainConfig {
+        TrainConfig {
+            epochs: 120,
+            learning_rate: 0.02,
+            weight_decay: 1e-4,
+            keep_best: true,
+        }
+    }
+
+    fn tiny_model_config() -> GcnConfig {
+        GcnConfig {
+            in_features: 2,
+            hidden: vec![8, 8],
+            dropout: 0.1,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn classifier_learns_community_structure() {
+        let (adj, x, labels) = community_task();
+        let split = Split::stratified(&labels, 0.7, 5);
+        let (_model, history, eval) = train_classifier(
+            &adj,
+            &x,
+            &labels,
+            &split,
+            tiny_model_config(),
+            &tiny_train_config(),
+        );
+        assert!(
+            eval.accuracy >= 0.8,
+            "GCN should solve the community task, got {}",
+            eval.accuracy
+        );
+        assert!(eval.auc >= 0.8, "AUC {}", eval.auc);
+        assert!(history.train_loss[0] > *history.train_loss.last().unwrap());
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let (adj, x, labels) = community_task();
+        let split = Split::stratified(&labels, 0.7, 5);
+        let (_, history, _) = train_classifier(
+            &adj,
+            &x,
+            &labels,
+            &split,
+            tiny_model_config(),
+            &tiny_train_config(),
+        );
+        let early: f64 = history.train_loss[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = history.train_loss[history.train_loss.len() - 10..]
+            .iter()
+            .sum::<f64>()
+            / 10.0;
+        assert!(late < early * 0.8, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn keep_best_returns_best_epoch_weights() {
+        let (adj, x, labels) = community_task();
+        let split = Split::stratified(&labels, 0.7, 5);
+        let (model, history, eval) = train_classifier(
+            &adj,
+            &x,
+            &labels,
+            &split,
+            tiny_model_config(),
+            &tiny_train_config(),
+        );
+        let best_metric = history.validation_metric[history.best_epoch];
+        // The returned model's evaluation matches the best epoch metric.
+        let val_preds: Vec<bool> = split
+            .validation
+            .iter()
+            .map(|&i| eval.predicted_labels[i])
+            .collect();
+        let val_actual: Vec<bool> = split.validation.iter().map(|&i| labels[i]).collect();
+        assert!((accuracy(&val_preds, &val_actual) - best_metric).abs() < 1e-9);
+        let _ = model;
+    }
+
+    #[test]
+    fn regressor_fits_continuous_scores() {
+        let (adj, x, labels) = community_task();
+        let scores: Vec<f64> = labels.iter().map(|&l| if l { 0.8 } else { 0.2 }).collect();
+        let split = Split::stratified(&labels, 0.7, 5);
+        let (_, _, predictions) = train_regressor(
+            &adj,
+            &x,
+            &scores,
+            &split,
+            tiny_model_config(),
+            &tiny_train_config(),
+        );
+        let mse: f64 = split
+            .validation
+            .iter()
+            .map(|&i| (predictions[i] - scores[i]).powi(2))
+            .sum::<f64>()
+            / split.validation.len() as f64;
+        assert!(mse < 0.05, "validation MSE {mse}");
+    }
+
+    #[test]
+    fn grid_search_ranks_candidates() {
+        let (adj, x, labels) = community_task();
+        let split = Split::stratified(&labels, 0.7, 5);
+        let grid = GridSearch {
+            hidden_candidates: vec![vec![4], vec![8, 8]],
+            dropout_candidates: vec![0.0, 0.3],
+            learning_rates: vec![0.02],
+            epochs: 40,
+            seed: 1,
+        };
+        let results = grid.run(&adj, &x, &labels, &split);
+        assert_eq!(results.len(), 4);
+        for pair in results.windows(2) {
+            assert!(pair[0].validation_accuracy >= pair[1].validation_accuracy);
+        }
+    }
+
+    #[test]
+    fn evaluation_on_real_design_graph_has_sane_shapes() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let adj = normalized_adjacency(&graph);
+        let n = graph.node_count();
+        // Fake labels: degree-based (a structure-derived rule the GCN can
+        // pick up quickly).
+        let labels: Vec<bool> = (0..n).map(|i| graph.degree(i) >= 4).collect();
+        let x = Matrix::filled(n, 2, 1.0);
+        let split = Split::stratified(&labels, 0.8, 2);
+        let (_, _, eval) = train_classifier(
+            &adj,
+            &x,
+            &labels,
+            &split,
+            GcnConfig {
+                in_features: 2,
+                hidden: vec![8],
+                dropout: 0.0,
+                seed: 7,
+            },
+            &TrainConfig {
+                epochs: 30,
+                ..tiny_train_config()
+            },
+        );
+        assert_eq!(eval.predicted_labels.len(), n);
+        assert_eq!(eval.critical_probability.len(), n);
+        assert!(eval.accuracy > 0.5);
+    }
+}

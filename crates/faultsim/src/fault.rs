@@ -1,0 +1,376 @@
+//! Fault model: stuck-at faults on gate outputs and input pins.
+
+use fusa_netlist::{GateId, GateKind, NetId, Netlist};
+use std::fmt;
+
+/// The stuck-at polarity of a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StuckAt {
+    /// Output permanently `0` (SA0).
+    Zero,
+    /// Output permanently `1` (SA1).
+    One,
+}
+
+impl StuckAt {
+    /// The forced Boolean value.
+    pub fn value(self) -> bool {
+        matches!(self, StuckAt::One)
+    }
+
+    /// The opposite polarity.
+    pub fn inverted(self) -> StuckAt {
+        match self {
+            StuckAt::Zero => StuckAt::One,
+            StuckAt::One => StuckAt::Zero,
+        }
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckAt::Zero => write!(f, "SA0"),
+            StuckAt::One => write!(f, "SA1"),
+        }
+    }
+}
+
+/// Where on the gate the fault sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The gate's output pin (affects every reader of the net).
+    Output,
+    /// One input pin (affects only this gate's view of the driving net).
+    InputPin(u8),
+}
+
+/// A single stuck-at fault at a gate site.
+///
+/// The paper injects faults at circuit *nodes* (gates in the netlist,
+/// §3.1); each node contributes an SA0 and an SA1 output fault.
+/// Input-pin faults extend the model to the full pin-level fault universe
+/// commercial fault simulators enumerate; [`FaultList::collapse`] removes
+/// the classically equivalent ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// The faulty gate (the "node").
+    pub gate: GateId,
+    /// The net observed at the fault site (the gate's output net for
+    /// output faults, the driving net for pin faults).
+    pub net: NetId,
+    /// Stuck-at polarity.
+    pub stuck_at: StuckAt,
+    /// Output pin or a specific input pin.
+    pub site: FaultSite,
+}
+
+impl Fault {
+    /// An output stuck-at fault at `gate`.
+    pub fn at_output(netlist: &Netlist, gate: GateId, stuck_at: StuckAt) -> Fault {
+        Fault {
+            gate,
+            net: netlist.gate(gate).output,
+            stuck_at,
+            site: FaultSite::Output,
+        }
+    }
+
+    /// An input-pin stuck-at fault at `gate` pin `pin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` is out of range for the gate's cell.
+    pub fn at_pin(netlist: &Netlist, gate: GateId, pin: u8, stuck_at: StuckAt) -> Fault {
+        let inputs = &netlist.gate(gate).inputs;
+        assert!((pin as usize) < inputs.len(), "pin out of range");
+        Fault {
+            gate,
+            net: inputs[pin as usize],
+            stuck_at,
+            site: FaultSite::InputPin(pin),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.site {
+            FaultSite::Output => write!(f, "{}@{}", self.stuck_at, self.gate),
+            FaultSite::InputPin(pin) => write!(f, "{}@{}.in{}", self.stuck_at, self.gate, pin),
+        }
+    }
+}
+
+/// An ordered collection of faults targeted by a campaign.
+///
+/// # Example
+///
+/// ```
+/// use fusa_faultsim::FaultList;
+/// use fusa_netlist::designs::or1200_icfsm;
+///
+/// let netlist = or1200_icfsm();
+/// let faults = FaultList::all_gate_outputs(&netlist);
+/// assert_eq!(faults.len(), 2 * netlist.gate_count());
+/// let full = FaultList::all_sites(&netlist);
+/// let collapsed = full.clone().collapse(&netlist);
+/// assert!(collapsed.len() < full.len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultList {
+    faults: Vec<Fault>,
+}
+
+impl FaultList {
+    /// The paper's fault universe: SA0 and SA1 on every gate output, in
+    /// gate order.
+    pub fn all_gate_outputs(netlist: &Netlist) -> FaultList {
+        let mut faults = Vec::with_capacity(netlist.gate_count() * 2);
+        for i in 0..netlist.gate_count() {
+            let gate = GateId(i as u32);
+            for stuck_at in [StuckAt::Zero, StuckAt::One] {
+                faults.push(Fault::at_output(netlist, gate, stuck_at));
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// The full pin-level universe: every output and every input pin,
+    /// both polarities.
+    pub fn all_sites(netlist: &Netlist) -> FaultList {
+        let mut faults = Vec::new();
+        for i in 0..netlist.gate_count() {
+            let gate = GateId(i as u32);
+            for stuck_at in [StuckAt::Zero, StuckAt::One] {
+                faults.push(Fault::at_output(netlist, gate, stuck_at));
+            }
+            for pin in 0..netlist.gate(gate).inputs.len() {
+                for stuck_at in [StuckAt::Zero, StuckAt::One] {
+                    faults.push(Fault::at_pin(netlist, gate, pin as u8, stuck_at));
+                }
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// Builds an output-fault list restricted to the given gates.
+    pub fn for_gates(netlist: &Netlist, gates: &[GateId]) -> FaultList {
+        let mut faults = Vec::with_capacity(gates.len() * 2);
+        for &g in gates {
+            for stuck_at in [StuckAt::Zero, StuckAt::One] {
+                faults.push(Fault::at_output(netlist, g, stuck_at));
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// Classic structural equivalence collapsing:
+    ///
+    /// * AND/NAND: an input SA0 is equivalent to the output SA0/SA1 —
+    ///   input SA0 faults are dropped;
+    /// * OR/NOR: an input SA1 is equivalent to the output SA1/SA0 —
+    ///   input SA1 faults are dropped;
+    /// * BUF/INV/DFF data pin: both input faults are equivalent to output
+    ///   faults — all input faults are dropped;
+    /// * trivially redundant faults on constant cells are dropped.
+    ///
+    /// Only cells with a single equivalence class per rule are collapsed;
+    /// complex cells (XOR, MUX, AOI/OAI) keep all pin faults.
+    pub fn collapse(mut self, netlist: &Netlist) -> FaultList {
+        self.faults.retain(|fault| {
+            let kind = netlist.gate(fault.gate).kind;
+            match fault.site {
+                FaultSite::Output => {
+                    // Stuck-at equal to a constant cell's value is
+                    // undetectable by construction.
+                    !(kind == GateKind::Tie0 && fault.stuck_at == StuckAt::Zero
+                        || kind == GateKind::Tie1 && fault.stuck_at == StuckAt::One)
+                }
+                FaultSite::InputPin(pin) => match kind {
+                    GateKind::And2 | GateKind::And3 | GateKind::And4 => {
+                        fault.stuck_at != StuckAt::Zero
+                    }
+                    GateKind::Nand2 | GateKind::Nand3 | GateKind::Nand4 => {
+                        fault.stuck_at != StuckAt::Zero
+                    }
+                    GateKind::Or2 | GateKind::Or3 | GateKind::Or4 => {
+                        fault.stuck_at != StuckAt::One
+                    }
+                    GateKind::Nor2 | GateKind::Nor3 | GateKind::Nor4 => {
+                        fault.stuck_at != StuckAt::One
+                    }
+                    GateKind::Buf | GateKind::Inv => false,
+                    // DFF data pin (pin 0) faults are equivalent to
+                    // output faults one cycle later.
+                    GateKind::Dff => pin != 0,
+                    _ => true,
+                },
+            }
+        });
+        self
+    }
+
+    /// Removes trivially redundant faults: a stuck-at equal to the value
+    /// of a constant (`TIE0`/`TIE1`) cell can never change behaviour.
+    pub fn prune_redundant(mut self, netlist: &Netlist) -> FaultList {
+        self.faults.retain(|fault| {
+            let kind = netlist.gate(fault.gate).kind;
+            !(kind == GateKind::Tie0 && fault.stuck_at == StuckAt::Zero
+                || kind == GateKind::Tie1 && fault.stuck_at == StuckAt::One)
+        });
+        self
+    }
+
+    /// The faults, in campaign order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` if there are no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterates over the faults.
+    pub fn iter(&self) -> std::slice::Iter<'_, Fault> {
+        self.faults.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultList {
+    type Item = &'a Fault;
+    type IntoIter = std::slice::Iter<'a, Fault>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.iter()
+    }
+}
+
+impl FromIterator<Fault> for FaultList {
+    fn from_iter<I: IntoIterator<Item = Fault>>(iter: I) -> Self {
+        FaultList {
+            faults: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusa_netlist::{GateKind, NetlistBuilder};
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.primary_input("a");
+        let one = b.gate(GateKind::Tie1, &[]);
+        let z = b.gate(GateKind::And2, &[a, one]);
+        b.primary_output("z", z);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn exhaustive_list_has_two_per_gate() {
+        let n = tiny();
+        let faults = FaultList::all_gate_outputs(&n);
+        assert_eq!(faults.len(), 4);
+        assert_eq!(faults.faults()[0].stuck_at, StuckAt::Zero);
+        assert_eq!(faults.faults()[1].stuck_at, StuckAt::One);
+    }
+
+    #[test]
+    fn all_sites_counts_pins() {
+        let n = tiny();
+        // TIE1: 2 output faults; AND2: 2 output + 4 pin faults.
+        assert_eq!(FaultList::all_sites(&n).len(), 8);
+    }
+
+    #[test]
+    fn prune_drops_redundant_tie_faults() {
+        let n = tiny();
+        let faults = FaultList::all_gate_outputs(&n).prune_redundant(&n);
+        assert_eq!(faults.len(), 3);
+        assert!(!faults
+            .iter()
+            .any(|f| f.gate == GateId(0) && f.stuck_at == StuckAt::One));
+    }
+
+    #[test]
+    fn collapse_drops_and_gate_input_sa0() {
+        let n = tiny();
+        let collapsed = FaultList::all_sites(&n).collapse(&n);
+        // AND2 input SA0 faults dropped (2), TIE1 SA1 dropped (1):
+        // 8 - 3 = 5.
+        assert_eq!(collapsed.len(), 5);
+        assert!(!collapsed.iter().any(|f| matches!(f.site, FaultSite::InputPin(_))
+            && f.stuck_at == StuckAt::Zero));
+    }
+
+    #[test]
+    fn collapse_drops_inverter_pin_faults_entirely() {
+        let mut b = NetlistBuilder::new("inv");
+        let a = b.primary_input("a");
+        let z = b.gate(GateKind::Inv, &[a]);
+        b.primary_output("z", z);
+        let n = b.finish().unwrap();
+        let collapsed = FaultList::all_sites(&n).collapse(&n);
+        assert_eq!(collapsed.len(), 2, "only the two output faults remain");
+    }
+
+    #[test]
+    fn complex_cells_keep_pin_faults() {
+        let mut b = NetlistBuilder::new("xor");
+        let a = b.primary_input("a");
+        let c = b.primary_input("b");
+        let z = b.gate(GateKind::Xor2, &[a, c]);
+        b.primary_output("z", z);
+        let n = b.finish().unwrap();
+        let collapsed = FaultList::all_sites(&n).collapse(&n);
+        assert_eq!(collapsed.len(), 6, "XOR collapses nothing");
+    }
+
+    #[test]
+    fn for_gates_restricts() {
+        let n = tiny();
+        let faults = FaultList::for_gates(&n, &[GateId(1)]);
+        assert_eq!(faults.len(), 2);
+        assert!(faults.iter().all(|f| f.gate == GateId(1)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(StuckAt::Zero.to_string(), "SA0");
+        assert_eq!(StuckAt::Zero.inverted(), StuckAt::One);
+        let n = tiny();
+        let faults = FaultList::all_sites(&n);
+        assert_eq!(faults.faults()[1].to_string(), "SA1@g0");
+        let pin_fault = faults
+            .iter()
+            .find(|f| matches!(f.site, FaultSite::InputPin(1)))
+            .unwrap();
+        assert!(pin_fault.to_string().contains(".in1"));
+    }
+
+    #[test]
+    fn pin_fault_records_driving_net() {
+        let n = tiny();
+        let and_gate = GateId(1);
+        let fault = Fault::at_pin(&n, and_gate, 0, StuckAt::Zero);
+        assert_eq!(fault.net, n.gate(and_gate).inputs[0]);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let n = tiny();
+        let faults: FaultList = FaultList::all_gate_outputs(&n)
+            .iter()
+            .copied()
+            .filter(|f| f.stuck_at == StuckAt::Zero)
+            .collect();
+        assert_eq!(faults.len(), 2);
+    }
+}

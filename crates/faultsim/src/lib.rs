@@ -1,0 +1,41 @@
+//! Stuck-at fault injection campaigns and criticality dataset generation.
+//!
+//! This crate is the reproduction's substitute for the commercial fault
+//! simulator used in the paper (Cadence Xcelium, §4.1): it enumerates
+//! stuck-at-0/1 faults on every gate output ([`FaultList`]), runs each
+//! workload against all faults using the 64-lane fault-parallel engine
+//! from [`fusa_logicsim::BitSim`] ([`FaultCampaign`]), classifies each
+//! (fault, workload) outcome as *Dangerous*, *Latent* or *Benign*
+//! ([`FaultOutcome`]), and finally aggregates per-node criticality scores
+//! and labels exactly as Algorithm 1 of the paper ([`CriticalityDataset`]).
+//!
+//! # Example
+//!
+//! ```
+//! use fusa_faultsim::{CampaignConfig, FaultCampaign, FaultList};
+//! use fusa_logicsim::{WorkloadConfig, WorkloadSuite};
+//! use fusa_netlist::designs::or1200_icfsm;
+//!
+//! let netlist = or1200_icfsm();
+//! let faults = FaultList::all_gate_outputs(&netlist);
+//! let workloads = WorkloadSuite::generate(
+//!     &netlist,
+//!     &WorkloadConfig { num_workloads: 2, vectors_per_workload: 32, ..Default::default() },
+//! );
+//! let report = FaultCampaign::new(CampaignConfig::default())
+//!     .run(&netlist, &faults, &workloads);
+//! let dataset = report.into_dataset(0.5);
+//! assert_eq!(dataset.scores().len(), netlist.gate_count());
+//! ```
+
+pub mod campaign;
+pub mod dataset;
+pub mod fault;
+pub mod report;
+pub mod seu;
+
+pub use campaign::{CampaignConfig, FaultCampaign};
+pub use dataset::CriticalityDataset;
+pub use fault::{Fault, FaultList, FaultSite, StuckAt};
+pub use report::{CampaignReport, FaultOutcome, WorkloadReport};
+pub use seu::{SeuCampaign, SeuConfig, SeuOutcome, SeuReport};

@@ -1,0 +1,221 @@
+//! Campaign reports: per-(fault, workload) outcome classification.
+
+use crate::dataset::CriticalityDataset;
+use crate::fault::FaultList;
+use fusa_netlist::Netlist;
+use std::fmt;
+
+/// Outcome of one fault under one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOutcome {
+    /// The fault changed at least one primary-output value — a functional
+    /// error (the paper's "Dangerous" label).
+    Dangerous,
+    /// No output diverged, but register state differs at the end of the
+    /// workload — the fault is latent and may surface later.
+    Latent,
+    /// The fault had no observable effect.
+    Benign,
+}
+
+impl fmt::Display for FaultOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultOutcome::Dangerous => "Dangerous",
+            FaultOutcome::Latent => "Latent",
+            FaultOutcome::Benign => "Benign",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Results of one workload: `outcomes[i]` classifies `faults[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadReport {
+    /// Name of the workload that was simulated.
+    pub workload_name: String,
+    /// Outcome per fault, aligned with the campaign's [`FaultList`].
+    pub outcomes: Vec<FaultOutcome>,
+    /// Cycle of first output divergence per fault (`None` if never).
+    pub first_divergence: Vec<Option<u32>>,
+}
+
+impl WorkloadReport {
+    /// Number of dangerous faults in this workload.
+    pub fn dangerous_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|&&o| o == FaultOutcome::Dangerous)
+            .count()
+    }
+
+    /// Fault coverage: fraction of faults classified dangerous.
+    pub fn coverage(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.dangerous_count() as f64 / self.outcomes.len() as f64
+    }
+}
+
+/// Aggregated results of a full campaign: every workload against every
+/// fault.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    pub(crate) faults: FaultList,
+    pub(crate) gate_count: usize,
+    pub(crate) workload_reports: Vec<WorkloadReport>,
+}
+
+impl CampaignReport {
+    /// Per-workload reports, in workload order.
+    pub fn workload_reports(&self) -> &[WorkloadReport] {
+        &self.workload_reports
+    }
+
+    /// The fault list the outcomes are aligned with.
+    pub fn faults(&self) -> &FaultList {
+        &self.faults
+    }
+
+    /// Number of workloads (`N` in Algorithm 1).
+    pub fn workload_count(&self) -> usize {
+        self.workload_reports.len()
+    }
+
+    /// Mean fault coverage across workloads.
+    pub fn mean_coverage(&self) -> f64 {
+        if self.workload_reports.is_empty() {
+            return 0.0;
+        }
+        self.workload_reports
+            .iter()
+            .map(WorkloadReport::coverage)
+            .sum::<f64>()
+            / self.workload_reports.len() as f64
+    }
+
+    /// Runs Algorithm 1: aggregates per-node criticality scores (fraction
+    /// of workloads in which a fault at the node was dangerous) and
+    /// thresholds them at `threshold` into critical / non-critical labels.
+    pub fn into_dataset(self, threshold: f64) -> CriticalityDataset {
+        CriticalityDataset::from_report(&self, threshold)
+    }
+
+    /// Renders a compact text summary (one line per workload).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign: {} faults x {} workloads",
+            self.faults.len(),
+            self.workload_count()
+        );
+        for report in &self.workload_reports {
+            let latent = report
+                .outcomes
+                .iter()
+                .filter(|&&o| o == FaultOutcome::Latent)
+                .count();
+            let _ = writeln!(
+                out,
+                "  {:<20} dangerous {:>5} ({:>5.1}%) latent {:>5}",
+                report.workload_name,
+                report.dangerous_count(),
+                report.coverage() * 100.0,
+                latent
+            );
+        }
+        out
+    }
+
+    /// Writes the report as CSV (`fault,workload,outcome,first_cycle`).
+    pub fn to_csv(&self, netlist: &Netlist) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("gate,fault,workload,outcome,first_divergence_cycle\n");
+        for report in &self.workload_reports {
+            for (fault, (outcome, first)) in self
+                .faults
+                .iter()
+                .zip(report.outcomes.iter().zip(&report.first_divergence))
+            {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{}",
+                    netlist.gate(fault.gate).name,
+                    fault.stuck_at,
+                    report.workload_name,
+                    outcome,
+                    first.map(|c| c.to_string()).unwrap_or_default()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Fault, FaultSite, StuckAt};
+    use fusa_netlist::{GateId, NetId};
+
+    fn fake_report() -> CampaignReport {
+        let faults: FaultList = vec![
+            Fault {
+                gate: GateId(0),
+                net: NetId(1),
+                stuck_at: StuckAt::Zero,
+                site: FaultSite::Output,
+            },
+            Fault {
+                gate: GateId(0),
+                net: NetId(1),
+                stuck_at: StuckAt::One,
+                site: FaultSite::Output,
+            },
+        ]
+        .into_iter()
+        .collect();
+        CampaignReport {
+            faults,
+            gate_count: 1,
+            workload_reports: vec![
+                WorkloadReport {
+                    workload_name: "w0".into(),
+                    outcomes: vec![FaultOutcome::Dangerous, FaultOutcome::Benign],
+                    first_divergence: vec![Some(3), None],
+                },
+                WorkloadReport {
+                    workload_name: "w1".into(),
+                    outcomes: vec![FaultOutcome::Latent, FaultOutcome::Dangerous],
+                    first_divergence: vec![None, Some(7)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn coverage_counts_dangerous_only() {
+        let r = fake_report();
+        assert_eq!(r.workload_reports()[0].dangerous_count(), 1);
+        assert!((r.workload_reports()[0].coverage() - 0.5).abs() < 1e-12);
+        assert!((r.mean_coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_workloads() {
+        let text = fake_report().summary();
+        assert!(text.contains("w0"));
+        assert!(text.contains("w1"));
+        assert!(text.contains("2 faults"));
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(FaultOutcome::Dangerous.to_string(), "Dangerous");
+        assert_eq!(FaultOutcome::Latent.to_string(), "Latent");
+        assert_eq!(FaultOutcome::Benign.to_string(), "Benign");
+    }
+}

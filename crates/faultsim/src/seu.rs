@@ -1,0 +1,265 @@
+//! Single-event-upset (transient bit-flip) campaigns.
+//!
+//! Stuck-at faults model permanent defects; E/E functional safety (and
+//! the paper's motivating scenarios — §1's runaway-acceleration example)
+//! equally cares about *transient* upsets: a particle strike flips one
+//! register bit once, and the question is whether the error is flushed,
+//! stays latent in state, or corrupts the outputs. This module injects
+//! one flip per flip-flop per injection cycle, 64 flops per pass, and
+//! aggregates per-flop SEU vulnerability scores analogous to
+//! Algorithm 1's criticality scores.
+
+use fusa_logicsim::{BitSim, Workload, WorkloadSuite};
+use fusa_netlist::{GateId, Netlist};
+
+/// Parameters of an [`SeuCampaign`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeuConfig {
+    /// Cycles (fractions of workload length) at which flips are
+    /// injected; each fraction is one injection experiment.
+    pub injection_points: [f64; 3],
+    /// Worker threads (`0` = one per CPU).
+    pub threads: usize,
+}
+
+impl Default for SeuConfig {
+    fn default() -> Self {
+        SeuConfig {
+            injection_points: [0.25, 0.5, 0.75],
+            threads: 0,
+        }
+    }
+}
+
+/// Outcome of one (flop, workload, injection point) experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeuOutcome {
+    /// The flipped bit reached a primary output.
+    Corrupted,
+    /// The flip never reached an output but state still differs at the
+    /// end of the workload.
+    Latent,
+    /// The flip was overwritten/flushed: state and outputs both match.
+    Masked,
+}
+
+/// Aggregated SEU vulnerability per flip-flop.
+#[derive(Debug, Clone)]
+pub struct SeuReport {
+    /// The flip-flops that were targeted, in campaign order.
+    pub flops: Vec<GateId>,
+    /// Fraction of experiments per flop whose flip corrupted an output.
+    pub corruption_rate: Vec<f64>,
+    /// Fraction of experiments per flop that ended latent.
+    pub latent_rate: Vec<f64>,
+    /// Total experiments per flop.
+    pub experiments: usize,
+}
+
+impl SeuReport {
+    /// The flops sorted most-vulnerable first as `(gate, rate)`.
+    pub fn ranking(&self) -> Vec<(GateId, f64)> {
+        let mut ranked: Vec<(GateId, f64)> = self
+            .flops
+            .iter()
+            .copied()
+            .zip(self.corruption_rate.iter().copied())
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN rates"));
+        ranked
+    }
+
+    /// Architectural-vulnerability-style mean over all flops.
+    pub fn mean_corruption_rate(&self) -> f64 {
+        if self.corruption_rate.is_empty() {
+            return 0.0;
+        }
+        self.corruption_rate.iter().sum::<f64>() / self.corruption_rate.len() as f64
+    }
+}
+
+/// Runs transient bit-flip campaigns over every flip-flop of a design.
+#[derive(Debug, Clone, Default)]
+pub struct SeuCampaign {
+    config: SeuConfig,
+}
+
+impl SeuCampaign {
+    /// Creates a campaign runner.
+    pub fn new(config: SeuConfig) -> SeuCampaign {
+        SeuCampaign { config }
+    }
+
+    /// Injects one flip per flop at each configured injection point of
+    /// each workload and aggregates vulnerability rates.
+    pub fn run(&self, netlist: &Netlist, workloads: &WorkloadSuite) -> SeuReport {
+        let flops = netlist.sequential_gates();
+        let mut corrupted = vec![0usize; flops.len()];
+        let mut latent = vec![0usize; flops.len()];
+        let mut experiments = 0usize;
+
+        for workload in workloads.workloads() {
+            for &fraction in &self.config.injection_points {
+                let inject_cycle =
+                    ((workload.len() as f64 * fraction) as usize).min(workload.len().saturating_sub(1));
+                experiments += 1;
+                run_injection(
+                    netlist,
+                    workload,
+                    &flops,
+                    inject_cycle,
+                    &mut corrupted,
+                    &mut latent,
+                );
+            }
+        }
+
+        let denom = experiments.max(1) as f64;
+        SeuReport {
+            flops,
+            corruption_rate: corrupted.iter().map(|&c| c as f64 / denom).collect(),
+            latent_rate: latent.iter().map(|&l| l as f64 / denom).collect(),
+            experiments,
+        }
+    }
+}
+
+/// One injection experiment: 64 flops flipped per pass at `inject_cycle`.
+fn run_injection(
+    netlist: &Netlist,
+    workload: &Workload,
+    flops: &[GateId],
+    inject_cycle: usize,
+    corrupted: &mut [usize],
+    latent: &mut [usize],
+) {
+    // Golden trace.
+    let mut golden = BitSim::new(netlist);
+    let output_count = netlist.primary_outputs().len();
+    let mut golden_trace = Vec::with_capacity(workload.len() * output_count);
+    for vector in &workload.vectors {
+        golden_trace.extend(golden.step_broadcast(vector));
+    }
+    let golden_state: Vec<u64> = netlist
+        .sequential_gates()
+        .iter()
+        .map(|&g| golden.flop_lanes(g))
+        .collect();
+
+    for (chunk_index, chunk) in flops.chunks(64).enumerate() {
+        let mut sim = BitSim::new(netlist);
+        let mut diverged: u64 = 0;
+        for (cycle, vector) in workload.vectors.iter().enumerate() {
+            if cycle == inject_cycle {
+                for (lane, &flop) in chunk.iter().enumerate() {
+                    sim.schedule_state_flip(flop, 1u64 << lane);
+                }
+            }
+            let outputs = sim.step_broadcast(vector);
+            if cycle > inject_cycle {
+                for (o, &lanes) in outputs.iter().enumerate() {
+                    diverged |= lanes ^ golden_trace[cycle * output_count + o];
+                }
+            }
+        }
+        let mut state_differs: u64 = 0;
+        for (s, &g) in netlist.sequential_gates().iter().enumerate() {
+            state_differs |= sim.flop_lanes(g) ^ golden_state[s];
+        }
+        for (lane, _) in chunk.iter().enumerate() {
+            let index = chunk_index * 64 + lane;
+            let mask = 1u64 << lane;
+            if diverged & mask != 0 {
+                corrupted[index] += 1;
+            } else if state_differs & mask != 0 {
+                latent[index] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusa_logicsim::WorkloadConfig;
+    use fusa_netlist::{GateKind, NetlistBuilder};
+
+    fn suite(netlist: &Netlist) -> WorkloadSuite {
+        WorkloadSuite::generate(
+            netlist,
+            &WorkloadConfig {
+                num_workloads: 3,
+                vectors_per_workload: 32,
+                reset_cycles: 0,
+                seed: 5,
+            },
+        )
+    }
+
+    #[test]
+    fn observable_flop_flip_corrupts_output() {
+        // A register that directly drives an output and feeds itself
+        // (hold): a flip persists and must be seen.
+        let mut b = NetlistBuilder::new("hold");
+        let q = b.net("q");
+        b.gate_driving("R", GateKind::Dff, &[q], q);
+        b.primary_output("q", q);
+        let netlist = b.finish().unwrap();
+        let report = SeuCampaign::default().run(&netlist, &suite(&netlist));
+        assert_eq!(report.flops.len(), 1);
+        assert_eq!(report.corruption_rate[0], 1.0);
+    }
+
+    #[test]
+    fn overwritten_flop_flip_is_masked() {
+        // A register reloaded from a primary input every cycle, feeding
+        // nothing else: the flip lives one cycle and never escapes...
+        // except through the output, so route it nowhere: make a second
+        // hidden register chain.
+        let mut b = NetlistBuilder::new("flush");
+        let a = b.primary_input("a");
+        let hidden = b.gate_named("HID", GateKind::Dff, &[a]);
+        let _hidden2 = b.gate_named("HID2", GateKind::Dff, &[hidden]);
+        let z = b.gate(GateKind::Buf, &[a]);
+        b.primary_output("z", z);
+        let netlist = b.finish().unwrap();
+        let report = SeuCampaign::default().run(&netlist, &suite(&netlist));
+        // Flips in HID are overwritten next cycle; flips in HID2
+        // likewise. Neither can corrupt the output.
+        assert!(report.corruption_rate.iter().all(|&r| r == 0.0));
+        // And since both reload every cycle, the end state matches.
+        assert!(report.latent_rate.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn ranking_orders_by_corruption() {
+        // One observable hold register, one flushed register.
+        let mut b = NetlistBuilder::new("mix");
+        let a = b.primary_input("a");
+        let q = b.net("q");
+        b.gate_driving("HOLD", GateKind::Dff, &[q], q);
+        let _flushed = b.gate_named("FLUSH", GateKind::Dff, &[a]);
+        b.primary_output("q", q);
+        let netlist = b.finish().unwrap();
+        let report = SeuCampaign::default().run(&netlist, &suite(&netlist));
+        let ranking = report.ranking();
+        assert_eq!(
+            netlist.gate(ranking[0].0).name,
+            "HOLD",
+            "hold register is most vulnerable"
+        );
+        assert!(ranking[0].1 > ranking[1].1);
+        assert!(report.mean_corruption_rate() > 0.0);
+    }
+
+    #[test]
+    fn experiments_count_workloads_times_points() {
+        let mut b = NetlistBuilder::new("one");
+        let a = b.primary_input("a");
+        let q = b.gate(GateKind::Dff, &[a]);
+        b.primary_output("q", q);
+        let netlist = b.finish().unwrap();
+        let report = SeuCampaign::default().run(&netlist, &suite(&netlist));
+        assert_eq!(report.experiments, 3 * 3);
+    }
+}

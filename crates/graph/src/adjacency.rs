@@ -1,0 +1,170 @@
+//! Symmetric adjacency normalization (Equation 2 of the paper).
+
+use crate::graph::CircuitGraph;
+use fusa_neuro::CsrMatrix;
+
+/// Builds the GCN propagation operator
+/// `Â = D̂^{-1/2} (A + I) D̂^{-1/2}`, where `A` is the (symmetric)
+/// adjacency of the circuit graph, `I` adds self-loops, and `D̂` is the
+/// degree matrix of `A + I`.
+///
+/// Every row of the result sums to at most 1 and the matrix is symmetric,
+/// so repeated propagation neither explodes nor collapses feature scales
+/// (§2.1).
+///
+/// # Example
+///
+/// ```
+/// use fusa_graph::{normalized_adjacency, CircuitGraph};
+/// use fusa_netlist::designs::or1200_icfsm;
+///
+/// let graph = CircuitGraph::from_netlist(&or1200_icfsm());
+/// let adj = normalized_adjacency(&graph);
+/// assert_eq!(adj.rows(), graph.node_count());
+/// // Isolated nodes still carry their self-loop.
+/// assert!(adj.nnz() >= graph.node_count());
+/// ```
+pub fn normalized_adjacency(graph: &CircuitGraph) -> CsrMatrix {
+    let n = graph.node_count();
+    // Degrees of A + I.
+    let degree: Vec<f64> = (0..n).map(|i| (graph.degree(i) + 1) as f64).collect();
+    let inv_sqrt: Vec<f64> = degree.iter().map(|&d| 1.0 / d.sqrt()).collect();
+
+    let mut triplets = Vec::with_capacity(n + 2 * graph.edge_count());
+    for i in 0..n {
+        triplets.push((i, i, inv_sqrt[i] * inv_sqrt[i]));
+    }
+    for &(a, b) in graph.edges() {
+        let w = inv_sqrt[a] * inv_sqrt[b];
+        triplets.push((a, b, w));
+        triplets.push((b, a, w));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Like [`normalized_adjacency`] but with per-edge weights (self-loops at
+/// weight 1), used by the explainer's soft edge mask. `edge_weights` is
+/// aligned with [`CircuitGraph::edges`].
+///
+/// The normalization degrees stay those of the *unweighted* graph so that
+/// masking an edge only removes its message, without re-scaling every
+/// other message — matching GNNExplainer's masked-adjacency formulation.
+///
+/// # Panics
+///
+/// Panics if `edge_weights.len() != graph.edge_count()`.
+pub fn masked_adjacency(graph: &CircuitGraph, edge_weights: &[f64]) -> CsrMatrix {
+    assert_eq!(
+        edge_weights.len(),
+        graph.edge_count(),
+        "one weight per undirected edge"
+    );
+    let n = graph.node_count();
+    let inv_sqrt: Vec<f64> = (0..n)
+        .map(|i| 1.0 / ((graph.degree(i) + 1) as f64).sqrt())
+        .collect();
+    let mut triplets = Vec::with_capacity(n + 2 * graph.edge_count());
+    for i in 0..n {
+        triplets.push((i, i, inv_sqrt[i] * inv_sqrt[i]));
+    }
+    for (&(a, b), &w) in graph.edges().iter().zip(edge_weights) {
+        let value = w * inv_sqrt[a] * inv_sqrt[b];
+        triplets.push((a, b, value));
+        triplets.push((b, a, value));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusa_netlist::{GateKind, NetlistBuilder};
+
+    fn chain3_graph() -> CircuitGraph {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::Inv, &[a]);
+        let y = b.gate(GateKind::Inv, &[x]);
+        let z = b.gate(GateKind::Inv, &[y]);
+        b.primary_output("z", z);
+        CircuitGraph::from_netlist(&b.finish().unwrap())
+    }
+
+    #[test]
+    fn normalization_is_symmetric() {
+        let adj = normalized_adjacency(&chain3_graph());
+        let dense = adj.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((dense.get(r, c) - dense.get(c, r)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn known_values_for_chain() {
+        // Degrees of A+I: node0=2, node1=3, node2=2.
+        let adj = normalized_adjacency(&chain3_graph());
+        assert!((adj.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((adj.get(1, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((adj.get(0, 1) - 1.0 / (2.0f64 * 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(adj.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn entries_are_positive_and_at_most_one() {
+        let netlist = fusa_netlist::designs::sdram_ctrl();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let adj = normalized_adjacency(&graph);
+        for r in 0..graph.node_count() {
+            let sum: f64 = adj.row_entries(r).map(|(_, v)| v).sum();
+            assert!(sum > 0.0, "row {r} has no mass");
+            for (c, v) in adj.row_entries(r) {
+                assert!(v > 0.0 && v <= 1.0 + 1e-12, "entry ({r},{c}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectral_norm_bounded_by_one() {
+        // The symmetric normalization with self-loops has largest
+        // eigenvalue ≤ 1, so repeated propagation never grows the L2
+        // norm of a vector.
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let graph = CircuitGraph::from_netlist(&netlist);
+        let adj = normalized_adjacency(&graph);
+        let n = graph.node_count();
+        let mut v = fusa_neuro::Matrix::filled(n, 1, 1.0);
+        let initial_norm = v.frobenius_norm();
+        for _ in 0..20 {
+            v = adj.matmul(&v);
+            assert!(
+                v.frobenius_norm() <= initial_norm + 1e-9,
+                "propagation grew the norm"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_mask_leaves_only_self_loops() {
+        let graph = chain3_graph();
+        let masked = masked_adjacency(&graph, &[0.0, 0.0]);
+        assert_eq!(masked.get(0, 1), 0.0);
+        assert!(masked.get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn full_mask_equals_normalized() {
+        let graph = chain3_graph();
+        let full = masked_adjacency(&graph, &[1.0, 1.0]);
+        let plain = normalized_adjacency(&graph);
+        assert_eq!(full.to_dense(), plain.to_dense());
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per undirected edge")]
+    fn wrong_mask_length_panics() {
+        let graph = chain3_graph();
+        let _ = masked_adjacency(&graph, &[1.0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! The undirected gate-connectivity graph.
+
+use fusa_netlist::{Driver, GateId, Netlist};
+use std::collections::HashSet;
+
+/// The circuit graph of §3.1: nodes are gates, and an undirected edge
+/// joins a gate driving a net with every gate reading that net.
+///
+/// Node ids coincide with [`GateId`] indices, so features, labels and
+/// predictions all share the same indexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitGraph {
+    node_count: usize,
+    /// Deduplicated undirected edges with `a < b`.
+    edges: Vec<(usize, usize)>,
+    /// Per-node adjacency lists (no self entries).
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl CircuitGraph {
+    /// Builds the graph from a validated netlist.
+    pub fn from_netlist(netlist: &Netlist) -> CircuitGraph {
+        let n = netlist.gate_count();
+        let mut edge_set: HashSet<(usize, usize)> = HashSet::new();
+        for (reader_index, gate) in netlist.gates().iter().enumerate() {
+            for &input in &gate.inputs {
+                if let Some(Driver::Gate(driver)) = netlist.net(input).driver {
+                    let a = driver.index();
+                    let b = reader_index;
+                    if a != b {
+                        edge_set.insert((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+        let mut edges: Vec<(usize, usize)> = edge_set.into_iter().collect();
+        edges.sort_unstable();
+        let mut neighbors = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            neighbors[a].push(b);
+            neighbors[b].push(a);
+        }
+        for list in &mut neighbors {
+            list.sort_unstable();
+        }
+        CircuitGraph {
+            node_count: n,
+            edges,
+            neighbors,
+        }
+    }
+
+    /// Number of nodes (gates).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of undirected edges (excluding self-loops).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The undirected edges, `a < b`, sorted.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbours of a node, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.node_count()`.
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.neighbors[node]
+    }
+
+    /// Graph degree of a node (distinct neighbouring gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= self.node_count()`.
+    pub fn degree(&self, node: usize) -> usize {
+        self.neighbors[node].len()
+    }
+
+    /// The [`GateId`] corresponding to a node index.
+    pub fn gate_id(&self, node: usize) -> GateId {
+        GateId(node as u32)
+    }
+
+    /// Nodes within `hops` of `center` (including `center`) — the
+    /// computation subgraph a `hops`-layer GCN actually sees for one
+    /// node's prediction, used by the explainer.
+    pub fn k_hop_neighborhood(&self, center: usize, hops: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.node_count];
+        let mut frontier = vec![center];
+        seen[center] = true;
+        for _ in 0..hops {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                for &nb in self.neighbors(node) {
+                    if !seen[nb] {
+                        seen[nb] = true;
+                        next.push(nb);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusa_netlist::{GateKind, NetlistBuilder};
+
+    fn chain3() -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::Inv, &[a]);
+        let y = b.gate(GateKind::Inv, &[x]);
+        let z = b.gate(GateKind::Inv, &[y]);
+        b.primary_output("z", z);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chain_topology() {
+        let g = CircuitGraph::from_netlist(&chain3());
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn pi_connections_are_not_edges() {
+        // Two gates both reading the same primary input share no edge.
+        let mut b = NetlistBuilder::new("t");
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::Inv, &[a]);
+        let y = b.gate(GateKind::Buf, &[a]);
+        b.primary_output("x", x);
+        b.primary_output("y", y);
+        let g = CircuitGraph::from_netlist(&b.finish().unwrap());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn parallel_pins_deduplicate() {
+        // A gate reading the same net twice produces one edge.
+        let mut b = NetlistBuilder::new("t");
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::Inv, &[a]);
+        let y = b.gate(GateKind::And2, &[x, x]);
+        b.primary_output("y", y);
+        let g = CircuitGraph::from_netlist(&b.finish().unwrap());
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_feedback_is_not_an_edge() {
+        // A flop feeding itself (through no combinational logic) would be
+        // a self-loop; those are added during normalization, not here.
+        let mut b = NetlistBuilder::new("t");
+        let q = b.net("q");
+        b.gate_driving("R", GateKind::Dff, &[q], q);
+        b.primary_output("q", q);
+        let g = CircuitGraph::from_netlist(&b.finish().unwrap());
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn k_hop_neighborhood_grows() {
+        let g = CircuitGraph::from_netlist(&chain3());
+        assert_eq!(g.k_hop_neighborhood(0, 0), vec![0]);
+        assert_eq!(g.k_hop_neighborhood(0, 1), vec![0, 1]);
+        assert_eq!(g.k_hop_neighborhood(0, 2), vec![0, 1, 2]);
+        assert_eq!(g.k_hop_neighborhood(1, 1), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn design_graph_is_connected_enough() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let g = CircuitGraph::from_netlist(&netlist);
+        assert_eq!(g.node_count(), netlist.gate_count());
+        // Mean degree in a gate-level netlist is comfortably above 1.
+        let mean: f64 =
+            (0..g.node_count()).map(|i| g.degree(i) as f64).sum::<f64>() / g.node_count() as f64;
+        assert!(mean > 1.5, "mean degree {mean}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Netlist-to-graph conversion and node feature extraction (§3.1).
+//!
+//! * [`CircuitGraph`] — the undirected gate-connectivity graph: one node
+//!   per gate, one edge per (driver gate, reader gate) wire;
+//! * [`normalized_adjacency`] — the GCN propagation operator
+//!   `Â = D^{-1/2}(A+I)D^{-1/2}` of Equation 2;
+//! * [`FeatureMatrix`] — the five node features of §3.1 (number of
+//!   connections, intrinsic state probability of 0 and of 1, transition
+//!   probability, Boolean inverting tag) plus a z-score
+//!   [`Standardizer`].
+//!
+//! # Example
+//!
+//! ```
+//! use fusa_graph::{CircuitGraph, FeatureMatrix, normalized_adjacency};
+//! use fusa_logicsim::{SignalStats, SignalStatsConfig};
+//! use fusa_netlist::designs::or1200_icfsm;
+//!
+//! let netlist = or1200_icfsm();
+//! let graph = CircuitGraph::from_netlist(&netlist);
+//! let adj = normalized_adjacency(&graph);
+//! let stats = SignalStats::estimate(&netlist, &SignalStatsConfig::default());
+//! let features = FeatureMatrix::extract(&netlist, &stats);
+//! assert_eq!(features.matrix().rows(), graph.node_count());
+//! assert_eq!(adj.rows(), graph.node_count());
+//! ```
+
+pub mod adjacency;
+pub mod features;
+pub mod graph;
+
+pub use adjacency::{masked_adjacency, normalized_adjacency};
+pub use features::{FeatureMatrix, Standardizer, FEATURE_COUNT, FEATURE_NAMES};
+pub use graph::CircuitGraph;

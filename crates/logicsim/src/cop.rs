@@ -1,0 +1,265 @@
+//! Analytic signal probability estimation (COP).
+//!
+//! The Controllability/Observability Program (COP) propagates signal
+//! probabilities algebraically through the levelized netlist assuming
+//! independent gate inputs: `P(AND) = ∏ P(inᵢ)`, `P(OR) = 1 − ∏(1 −
+//! P(inᵢ))`, and so on. It is exact on fanout-free (tree) circuits and
+//! an approximation under reconvergent fanout — the standard
+//! zero-simulation alternative to the Monte-Carlo estimator in
+//! [`crate::probability`]. Sequential feedback is handled by fixed-point
+//! iteration over register probabilities.
+
+use fusa_netlist::{Driver, GateId, GateKind, Levelizer, Netlist};
+
+/// Parameters for [`CopEstimate::analyze`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopConfig {
+    /// Probability that each primary input is `1`.
+    pub input_probability: f64,
+    /// Fixed-point iterations over register probabilities.
+    pub iterations: usize,
+}
+
+impl Default for CopConfig {
+    fn default() -> Self {
+        CopConfig {
+            input_probability: 0.5,
+            iterations: 24,
+        }
+    }
+}
+
+/// Analytically estimated per-gate signal probabilities.
+///
+/// # Example
+///
+/// ```
+/// use fusa_logicsim::cop::{CopConfig, CopEstimate};
+/// use fusa_netlist::{GateId, GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), fusa_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("and");
+/// let a = b.primary_input("a");
+/// let c = b.primary_input("b");
+/// let z = b.gate(GateKind::And2, &[a, c]);
+/// b.primary_output("z", z);
+/// let netlist = b.finish()?;
+/// let cop = CopEstimate::analyze(&netlist, &CopConfig::default());
+/// assert!((cop.probability_one(GateId(0)) - 0.25).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopEstimate {
+    p_one: Vec<f64>,
+}
+
+impl CopEstimate {
+    /// Runs the COP propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_probability` is outside `[0, 1]`.
+    pub fn analyze(netlist: &Netlist, config: &CopConfig) -> CopEstimate {
+        assert!(
+            (0.0..=1.0).contains(&config.input_probability),
+            "input_probability must be in [0, 1]"
+        );
+        let order = Levelizer::levelize(netlist);
+        let mut net_p = vec![0.5f64; netlist.net_count()];
+        // Register output probabilities, refined by fixed point.
+        let mut state_p = vec![0.5f64; netlist.gate_count()];
+
+        for _ in 0..config.iterations.max(1) {
+            for &net in netlist.primary_inputs() {
+                net_p[net.index()] = config.input_probability;
+            }
+            for gate_id in netlist.sequential_gates() {
+                let out = netlist.gate(gate_id).output;
+                net_p[out.index()] = state_p[gate_id.index()];
+            }
+            for &gate_id in order.order() {
+                let gate = netlist.gate(gate_id);
+                let inputs: Vec<f64> =
+                    gate.inputs.iter().map(|&n| net_p[n.index()]).collect();
+                net_p[gate.output.index()] = gate_probability(gate.kind, &inputs, 0.5);
+            }
+            // Next-state probabilities become register probabilities.
+            for gate_id in netlist.sequential_gates() {
+                let gate = netlist.gate(gate_id);
+                let inputs: Vec<f64> =
+                    gate.inputs.iter().map(|&n| net_p[n.index()]).collect();
+                state_p[gate_id.index()] =
+                    gate_probability(gate.kind, &inputs, state_p[gate_id.index()]);
+            }
+        }
+
+        let p_one = netlist
+            .gates()
+            .iter()
+            .map(|g| match netlist.net(g.output).driver {
+                Some(Driver::Gate(_)) | Some(Driver::PrimaryInput) | None => {
+                    net_p[g.output.index()]
+                }
+            })
+            .collect();
+        CopEstimate { p_one }
+    }
+
+    /// Analytic probability that the gate's output is `1`.
+    pub fn probability_one(&self, gate: GateId) -> f64 {
+        self.p_one[gate.index()]
+    }
+
+    /// Analytic probability that the gate's output is `0`.
+    pub fn probability_zero(&self, gate: GateId) -> f64 {
+        1.0 - self.p_one[gate.index()]
+    }
+
+    /// All probabilities, indexed by gate id.
+    pub fn p_one_slice(&self) -> &[f64] {
+        &self.p_one
+    }
+}
+
+/// Probability algebra under the input-independence assumption.
+fn gate_probability(kind: GateKind, p: &[f64], state: f64) -> f64 {
+    let and_all = |ps: &[f64]| ps.iter().product::<f64>();
+    let or_all = |ps: &[f64]| 1.0 - ps.iter().map(|&x| 1.0 - x).product::<f64>();
+    let xor2 = |a: f64, b: f64| a * (1.0 - b) + b * (1.0 - a);
+    match kind {
+        GateKind::Buf => p[0],
+        GateKind::Inv => 1.0 - p[0],
+        GateKind::And2 | GateKind::And3 | GateKind::And4 => and_all(p),
+        GateKind::Or2 | GateKind::Or3 | GateKind::Or4 => or_all(p),
+        GateKind::Nand2 | GateKind::Nand3 | GateKind::Nand4 => 1.0 - and_all(p),
+        GateKind::Nor2 | GateKind::Nor3 | GateKind::Nor4 => 1.0 - or_all(p),
+        GateKind::Xor2 => xor2(p[0], p[1]),
+        GateKind::Xnor2 => 1.0 - xor2(p[0], p[1]),
+        GateKind::Mux2 => p[0] * (1.0 - p[2]) + p[1] * p[2],
+        GateKind::Ao21 => 1.0 - (1.0 - p[0] * p[1]) * (1.0 - p[2]),
+        GateKind::Ao22 => 1.0 - (1.0 - p[0] * p[1]) * (1.0 - p[2] * p[3]),
+        GateKind::Aoi21 => (1.0 - p[0] * p[1]) * (1.0 - p[2]),
+        GateKind::Aoi22 => (1.0 - p[0] * p[1]) * (1.0 - p[2] * p[3]),
+        GateKind::Oai21 => 1.0 - or_all(&p[..2]) * p[2],
+        GateKind::Oai22 => 1.0 - or_all(&p[..2]) * or_all(&p[2..]),
+        GateKind::Tie0 => 0.0,
+        GateKind::Tie1 => 1.0,
+        GateKind::Dff => p[0],
+        GateKind::Dffr => p[0] * (1.0 - p[1]),
+        GateKind::Dffe => p[0] * p[1] + state * (1.0 - p[1]),
+        GateKind::Dffre => (p[0] * p[1] + state * (1.0 - p[1])) * (1.0 - p[2]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probability::{SignalStats, SignalStatsConfig};
+    use fusa_netlist::NetlistBuilder;
+
+    #[test]
+    fn exact_on_fanout_free_tree() {
+        // z = (a & b) | !(c ^ d): exact probabilities computable by hand.
+        let mut b = NetlistBuilder::new("tree");
+        let a = b.primary_input("a");
+        let bb = b.primary_input("b");
+        let c = b.primary_input("c");
+        let d = b.primary_input("d");
+        let and = b.gate(GateKind::And2, &[a, bb]); // P = 0.25
+        let xnor = b.gate(GateKind::Xnor2, &[c, d]); // P = 0.5
+        let z = b.gate(GateKind::Or2, &[and, xnor]); // P = 1-.75*.5 = .625
+        b.primary_output("z", z);
+        let netlist = b.finish().unwrap();
+        let cop = CopEstimate::analyze(&netlist, &CopConfig::default());
+        assert!((cop.probability_one(GateId(0)) - 0.25).abs() < 1e-12);
+        assert!((cop.probability_one(GateId(1)) - 0.5).abs() < 1e-12);
+        assert!((cop.probability_one(GateId(2)) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_monte_carlo_on_tree_circuits() {
+        let mut b = NetlistBuilder::new("tree2");
+        let a = b.primary_input("a");
+        let c = b.primary_input("b");
+        let d = b.primary_input("c");
+        let n1 = b.gate(GateKind::Nand2, &[a, c]);
+        let n2 = b.gate(GateKind::Nor2, &[n1, d]);
+        b.primary_output("z", n2);
+        let netlist = b.finish().unwrap();
+        let cop = CopEstimate::analyze(&netlist, &CopConfig::default());
+        let mc = SignalStats::estimate(
+            &netlist,
+            &SignalStatsConfig {
+                cycles: 400,
+                warmup: 8,
+                ..Default::default()
+            },
+        );
+        for i in 0..netlist.gate_count() {
+            let g = GateId(i as u32);
+            assert!(
+                (cop.probability_one(g) - mc.probability_one(g)).abs() < 0.02,
+                "gate {i}: cop {} vs mc {}",
+                cop.probability_one(g),
+                mc.probability_one(g)
+            );
+        }
+    }
+
+    #[test]
+    fn reconvergent_fanout_is_approximate_but_bounded() {
+        // z = a & !a is constant 0; COP (independence assumption) gives
+        // 0.25 — the canonical COP error. Verify we produce the known
+        // approximation, bounded in [0,1].
+        let mut b = NetlistBuilder::new("reconv");
+        let a = b.primary_input("a");
+        let na = b.gate(GateKind::Inv, &[a]);
+        let z = b.gate(GateKind::And2, &[a, na]);
+        b.primary_output("z", z);
+        let netlist = b.finish().unwrap();
+        let cop = CopEstimate::analyze(&netlist, &CopConfig::default());
+        assert!((cop.probability_one(GateId(1)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_fixed_point_converges() {
+        // q <= !q has stationary probability 0.5 regardless of start.
+        let mut b = NetlistBuilder::new("toggle");
+        let q = b.net("q");
+        let d = b.gate(GateKind::Inv, &[q]);
+        b.gate_driving("R", GateKind::Dff, &[d], q);
+        b.primary_output("q", q);
+        let netlist = b.finish().unwrap();
+        let cop = CopEstimate::analyze(&netlist, &CopConfig::default());
+        let reg = netlist.find_gate("R").unwrap();
+        assert!((cop.probability_one(reg) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn biased_inputs_shift_probabilities() {
+        let mut b = NetlistBuilder::new("buf");
+        let a = b.primary_input("a");
+        let z = b.gate(GateKind::Buf, &[a]);
+        b.primary_output("z", z);
+        let netlist = b.finish().unwrap();
+        let cop = CopEstimate::analyze(
+            &netlist,
+            &CopConfig {
+                input_probability: 0.9,
+                ..Default::default()
+            },
+        );
+        assert!((cop.probability_one(GateId(0)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval_on_designs() {
+        for design in fusa_netlist::designs::paper_designs() {
+            let cop = CopEstimate::analyze(&design, &CopConfig::default());
+            for &p in cop.p_one_slice() {
+                assert!((0.0..=1.0).contains(&p), "{}: {p}", design.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Gate evaluation kernels: scalar three-valued and 64-lane bit-parallel.
+
+use crate::value::Logic;
+use fusa_netlist::GateKind;
+
+/// Evaluates the combinational function of `kind` over three-valued inputs.
+///
+/// For sequential kinds this computes the *next state* given current state
+/// `q` (matching [`GateKind::eval_bool`] semantics) with pessimistic
+/// `X`-propagation.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != kind.num_inputs()`.
+pub fn eval_logic(kind: GateKind, inputs: &[Logic], q: Logic) -> Logic {
+    assert_eq!(
+        inputs.len(),
+        kind.num_inputs(),
+        "gate {kind:?} expects {} inputs, got {}",
+        kind.num_inputs(),
+        inputs.len()
+    );
+    let and_all = |xs: &[Logic]| xs.iter().copied().fold(Logic::One, |a, b| a & b);
+    let or_all = |xs: &[Logic]| xs.iter().copied().fold(Logic::Zero, |a, b| a | b);
+    match kind {
+        GateKind::Buf => inputs[0],
+        GateKind::Inv => !inputs[0],
+        GateKind::And2 | GateKind::And3 | GateKind::And4 => and_all(inputs),
+        GateKind::Or2 | GateKind::Or3 | GateKind::Or4 => or_all(inputs),
+        GateKind::Nand2 | GateKind::Nand3 | GateKind::Nand4 => !and_all(inputs),
+        GateKind::Nor2 | GateKind::Nor3 | GateKind::Nor4 => !or_all(inputs),
+        GateKind::Xor2 => inputs[0] ^ inputs[1],
+        GateKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+        GateKind::Mux2 => match inputs[2] {
+            Logic::Zero => inputs[0],
+            Logic::One => inputs[1],
+            Logic::X => {
+                // X-select still resolves when both data inputs agree.
+                if inputs[0] == inputs[1] {
+                    inputs[0]
+                } else {
+                    Logic::X
+                }
+            }
+        },
+        GateKind::Ao21 => (inputs[0] & inputs[1]) | inputs[2],
+        GateKind::Ao22 => (inputs[0] & inputs[1]) | (inputs[2] & inputs[3]),
+        GateKind::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+        GateKind::Aoi22 => !((inputs[0] & inputs[1]) | (inputs[2] & inputs[3])),
+        GateKind::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+        GateKind::Oai22 => !((inputs[0] | inputs[1]) & (inputs[2] | inputs[3])),
+        GateKind::Tie0 => Logic::Zero,
+        GateKind::Tie1 => Logic::One,
+        GateKind::Dff => inputs[0],
+        GateKind::Dffr => match inputs[1] {
+            Logic::One => Logic::Zero,
+            Logic::Zero => inputs[0],
+            Logic::X => {
+                if inputs[0] == Logic::Zero {
+                    Logic::Zero
+                } else {
+                    Logic::X
+                }
+            }
+        },
+        GateKind::Dffe => match inputs[1] {
+            Logic::One => inputs[0],
+            Logic::Zero => q,
+            Logic::X => {
+                if inputs[0] == q {
+                    q
+                } else {
+                    Logic::X
+                }
+            }
+        },
+        GateKind::Dffre => {
+            let after_reset = match inputs[2] {
+                Logic::One => return Logic::Zero,
+                Logic::Zero => None,
+                Logic::X => Some(()),
+            };
+            let loaded = match inputs[1] {
+                Logic::One => inputs[0],
+                Logic::Zero => q,
+                Logic::X => {
+                    if inputs[0] == q {
+                        q
+                    } else {
+                        Logic::X
+                    }
+                }
+            };
+            if after_reset.is_some() {
+                if loaded == Logic::Zero {
+                    Logic::Zero
+                } else {
+                    Logic::X
+                }
+            } else {
+                loaded
+            }
+        }
+    }
+}
+
+/// Evaluates `kind` over 64 parallel Boolean lanes packed into `u64`s.
+///
+/// Each bit position is an independent simulation lane. Sequential kinds
+/// compute the next state from the current state `q`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != kind.num_inputs()`.
+pub fn eval_u64(kind: GateKind, inputs: &[u64], q: u64) -> u64 {
+    debug_assert_eq!(inputs.len(), kind.num_inputs());
+    let and_all = |xs: &[u64]| xs.iter().copied().fold(u64::MAX, |a, b| a & b);
+    let or_all = |xs: &[u64]| xs.iter().copied().fold(0u64, |a, b| a | b);
+    match kind {
+        GateKind::Buf => inputs[0],
+        GateKind::Inv => !inputs[0],
+        GateKind::And2 | GateKind::And3 | GateKind::And4 => and_all(inputs),
+        GateKind::Or2 | GateKind::Or3 | GateKind::Or4 => or_all(inputs),
+        GateKind::Nand2 | GateKind::Nand3 | GateKind::Nand4 => !and_all(inputs),
+        GateKind::Nor2 | GateKind::Nor3 | GateKind::Nor4 => !or_all(inputs),
+        GateKind::Xor2 => inputs[0] ^ inputs[1],
+        GateKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+        GateKind::Mux2 => (inputs[1] & inputs[2]) | (inputs[0] & !inputs[2]),
+        GateKind::Ao21 => (inputs[0] & inputs[1]) | inputs[2],
+        GateKind::Ao22 => (inputs[0] & inputs[1]) | (inputs[2] & inputs[3]),
+        GateKind::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+        GateKind::Aoi22 => !((inputs[0] & inputs[1]) | (inputs[2] & inputs[3])),
+        GateKind::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+        GateKind::Oai22 => !((inputs[0] | inputs[1]) & (inputs[2] | inputs[3])),
+        GateKind::Tie0 => 0,
+        GateKind::Tie1 => u64::MAX,
+        GateKind::Dff => inputs[0],
+        GateKind::Dffr => inputs[0] & !inputs[1],
+        GateKind::Dffe => (inputs[0] & inputs[1]) | (q & !inputs[1]),
+        GateKind::Dffre => ((inputs[0] & inputs[1]) | (q & !inputs[1])) & !inputs[2],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusa_netlist::gate::ALL_GATE_KINDS;
+
+    /// Exhaustively check that `eval_logic` on defined values and
+    /// `eval_u64` both agree with `GateKind::eval_bool`.
+    #[test]
+    fn kernels_agree_with_boolean_reference() {
+        for kind in ALL_GATE_KINDS {
+            let n = kind.num_inputs();
+            for assignment in 0..(1u32 << n) {
+                for q in [false, true] {
+                    let bools: Vec<bool> = (0..n).map(|i| assignment & (1 << i) != 0).collect();
+                    let expected = kind.eval_bool(&bools, q);
+
+                    let logics: Vec<Logic> = bools.iter().map(|&b| Logic::from_bool(b)).collect();
+                    assert_eq!(
+                        eval_logic(kind, &logics, Logic::from_bool(q)),
+                        Logic::from_bool(expected),
+                        "{kind:?} scalar mismatch on {bools:?} q={q}"
+                    );
+
+                    let words: Vec<u64> =
+                        bools.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+                    let got = eval_u64(kind, &words, if q { u64::MAX } else { 0 });
+                    let want = if expected { u64::MAX } else { 0 };
+                    assert_eq!(got, want, "{kind:?} u64 mismatch on {bools:?} q={q}");
+                }
+            }
+        }
+    }
+
+    /// X-pessimism soundness: if the defined completion of an X-input
+    /// pattern can produce both 0 and 1, the scalar kernel must return X;
+    /// if all completions agree, it may return the agreed value or X, but
+    /// never the wrong defined value.
+    #[test]
+    fn x_propagation_is_sound() {
+        for kind in ALL_GATE_KINDS {
+            check_x_soundness(kind);
+        }
+    }
+
+    fn check_x_soundness(kind: GateKind) {
+        {
+            let n = kind.num_inputs();
+            // Each input takes one of three values: 0, 1, X.
+            let mut pattern = vec![0u8; n];
+            loop {
+                for q in [Logic::Zero, Logic::One] {
+                    let logics: Vec<Logic> = pattern
+                        .iter()
+                        .map(|&p| match p {
+                            0 => Logic::Zero,
+                            1 => Logic::One,
+                            _ => Logic::X,
+                        })
+                        .collect();
+                    let got = eval_logic(kind, &logics, q);
+
+                    // Enumerate all defined completions.
+                    let x_positions: Vec<usize> = pattern
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &p)| p == 2)
+                        .map(|(i, _)| i)
+                        .collect();
+                    let mut outcomes = std::collections::HashSet::new();
+                    for fill in 0..(1u32 << x_positions.len()) {
+                        let mut bools: Vec<bool> =
+                            logics.iter().map(|l| l.to_bool().unwrap_or(false)).collect();
+                        for (bit, &pos) in x_positions.iter().enumerate() {
+                            bools[pos] = fill & (1 << bit) != 0;
+                        }
+                        outcomes.insert(kind.eval_bool(&bools, q.to_bool().unwrap()));
+                    }
+                    if outcomes.len() == 2 {
+                        assert_eq!(got, Logic::X, "{kind:?} must be X on {logics:?}");
+                    } else if let Some(b) = got.to_bool() {
+                        assert!(
+                            outcomes.contains(&b),
+                            "{kind:?} returned wrong defined value on {logics:?}"
+                        );
+                    }
+                }
+                // Advance the ternary counter.
+                let mut i = 0;
+                loop {
+                    if i == n {
+                        return;
+                    }
+                    pattern[i] += 1;
+                    if pattern[i] <= 2 {
+                        break;
+                    }
+                    pattern[i] = 0;
+                    i += 1;
+                }
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u64_lanes_are_independent() {
+        // Lane 0 = (1,0), lane 1 = (1,1) for an AND2.
+        let a = 0b11;
+        let b = 0b10;
+        let z = eval_u64(GateKind::And2, &[a, b], 0);
+        assert_eq!(z & 0b11, 0b10);
+    }
+}

@@ -1,0 +1,395 @@
+//! Scalar three-valued cycle simulator.
+
+use crate::eval::eval_logic;
+use crate::value::Logic;
+use fusa_netlist::{Driver, GateId, Levelizer, LevelizedOrder, NetId, Netlist};
+
+/// A cycle-accurate, three-valued simulator over a validated [`Netlist`].
+///
+/// The clock is implicit: [`Simulator::clock`] advances every flip-flop by
+/// one rising edge. Nets can be *forced* to a constant — the mechanism the
+/// fault injector uses to model stuck-at faults.
+///
+/// # Example
+///
+/// ```
+/// use fusa_logicsim::{Logic, Simulator};
+/// use fusa_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), fusa_netlist::NetlistError> {
+/// // A toggle flip-flop: q <= !q.
+/// let mut b = NetlistBuilder::new("toggle");
+/// let q = b.net("q");
+/// let d = b.gate(GateKind::Inv, &[q]);
+/// b.gate_driving("REG", GateKind::Dff, &[d], q);
+/// b.primary_output("q", q);
+/// let netlist = b.finish()?;
+///
+/// let mut sim = Simulator::new(&netlist);
+/// sim.settle();
+/// assert_eq!(sim.output_values(), vec![Logic::Zero]);
+/// sim.clock();
+/// sim.settle();
+/// assert_eq!(sim.output_values(), vec![Logic::One]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: LevelizedOrder,
+    /// Current value of every net.
+    values: Vec<Logic>,
+    /// Internal state of every gate (meaningful for flip-flops only).
+    state: Vec<Logic>,
+    /// Primary-input drive values, in PI declaration order.
+    input_drive: Vec<Logic>,
+    /// Per-net forced value (stuck-at override), if any.
+    forces: Vec<Option<Logic>>,
+    /// Number of rising clock edges applied so far.
+    cycles: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with all flip-flops reset to `0` and all
+    /// primary inputs driving `0`.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let order = Levelizer::levelize(netlist);
+        Simulator {
+            netlist,
+            order,
+            values: vec![Logic::Zero; netlist.net_count()],
+            state: vec![Logic::Zero; netlist.gate_count()],
+            input_drive: vec![Logic::Zero; netlist.primary_inputs().len()],
+            forces: vec![None; netlist.net_count()],
+            cycles: 0,
+        }
+    }
+
+    /// Resets all flip-flop states and the cycle counter. `init` is the
+    /// power-on register value (`Logic::X` models unknown power-on state).
+    pub fn reset(&mut self, init: Logic) {
+        self.state.fill(init);
+        self.cycles = 0;
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Number of clock edges applied since construction or [`reset`].
+    ///
+    /// [`reset`]: Simulator::reset
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Drives the `index`-th primary input (declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_input(&mut self, index: usize, value: Logic) {
+        self.input_drive[index] = value;
+    }
+
+    /// Drives all primary inputs at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the PI count.
+    pub fn set_inputs(&mut self, values: &[Logic]) {
+        assert_eq!(
+            values.len(),
+            self.input_drive.len(),
+            "expected {} input values",
+            self.input_drive.len()
+        );
+        self.input_drive.copy_from_slice(values);
+    }
+
+    /// Drives the primary input with the given net name.
+    ///
+    /// Returns `false` if no primary input has that name.
+    pub fn set_input_named(&mut self, name: &str, value: Logic) -> bool {
+        let Some(pos) = self
+            .netlist
+            .primary_inputs()
+            .iter()
+            .position(|&n| self.netlist.net(n).name == name)
+        else {
+            return false;
+        };
+        self.input_drive[pos] = value;
+        true
+    }
+
+    /// Forces `net` to a constant value until [`release`] or
+    /// [`clear_forces`]. Models a stuck-at fault.
+    ///
+    /// [`release`]: Simulator::release
+    /// [`clear_forces`]: Simulator::clear_forces
+    pub fn force(&mut self, net: NetId, value: Logic) {
+        self.forces[net.index()] = Some(value);
+    }
+
+    /// Removes the force on `net`.
+    pub fn release(&mut self, net: NetId) {
+        self.forces[net.index()] = None;
+    }
+
+    /// Removes all forces.
+    pub fn clear_forces(&mut self) {
+        self.forces.fill(None);
+    }
+
+    fn write_net(&mut self, net: NetId, value: Logic) {
+        self.values[net.index()] = match self.forces[net.index()] {
+            Some(forced) => forced,
+            None => value,
+        };
+    }
+
+    /// Propagates input and register values through the combinational
+    /// logic until all nets are consistent (one levelized pass).
+    pub fn settle(&mut self) {
+        // Primary inputs.
+        for (i, &net) in self.netlist.primary_inputs().iter().enumerate() {
+            let v = self.input_drive[i];
+            self.write_net(net, v);
+        }
+        // Flip-flop outputs reflect stored state.
+        for gate_id in self.netlist.sequential_gates() {
+            let out = self.netlist.gate(gate_id).output;
+            let v = self.state[gate_id.index()];
+            self.write_net(out, v);
+        }
+        // Combinational gates in levelized order.
+        let order: Vec<GateId> = self.order.order().to_vec();
+        for gate_id in order {
+            let gate = self.netlist.gate(gate_id);
+            let inputs: Vec<Logic> = gate
+                .inputs
+                .iter()
+                .map(|&n| self.values[n.index()])
+                .collect();
+            let v = eval_logic(gate.kind, &inputs, Logic::X);
+            self.write_net(gate.output, v);
+        }
+    }
+
+    /// Applies one rising clock edge: every flip-flop captures its next
+    /// state as a function of the *current* settled net values.
+    ///
+    /// Call [`settle`] first so data inputs are up to date, and again
+    /// afterwards to propagate the new state.
+    ///
+    /// [`settle`]: Simulator::settle
+    pub fn clock(&mut self) {
+        let seq = self.netlist.sequential_gates();
+        let mut next = Vec::with_capacity(seq.len());
+        for &gate_id in &seq {
+            let gate = self.netlist.gate(gate_id);
+            let inputs: Vec<Logic> = gate
+                .inputs
+                .iter()
+                .map(|&n| self.values[n.index()])
+                .collect();
+            next.push(eval_logic(gate.kind, &inputs, self.state[gate_id.index()]));
+        }
+        for (&gate_id, v) in seq.iter().zip(next) {
+            self.state[gate_id.index()] = v;
+        }
+        self.cycles += 1;
+    }
+
+    /// Convenience: drive `inputs`, settle, sample outputs, then clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the PI count.
+    pub fn step(&mut self, inputs: &[Logic]) -> Vec<Logic> {
+        self.set_inputs(inputs);
+        self.settle();
+        let outputs = self.output_values();
+        self.clock();
+        outputs
+    }
+
+    /// The current value of a net.
+    pub fn net_value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Values of all primary outputs, in declaration order.
+    pub fn output_values(&self) -> Vec<Logic> {
+        self.netlist
+            .primary_outputs()
+            .iter()
+            .map(|(_, net)| self.values[net.index()])
+            .collect()
+    }
+
+    /// The stored state of a flip-flop gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range.
+    pub fn flop_state(&self, gate: GateId) -> Logic {
+        self.state[gate.index()]
+    }
+
+    /// `true` if any net currently carries `X`.
+    pub fn has_unknowns(&self) -> bool {
+        self.values.contains(&Logic::X)
+    }
+
+    /// Snapshot of every net value, indexed by [`NetId`].
+    pub fn net_values(&self) -> &[Logic] {
+        &self.values
+    }
+
+    /// Whether the net is driven by a primary input.
+    pub fn is_primary_input_net(&self, net: NetId) -> bool {
+        matches!(
+            self.netlist.net(net).driver,
+            Some(Driver::PrimaryInput)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusa_netlist::{GateKind, NetlistBuilder};
+
+    fn full_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.primary_input("a");
+        let c = b.primary_input("b");
+        let cin = b.primary_input("cin");
+        let p = b.gate(GateKind::Xor2, &[a, c]);
+        let sum = b.gate(GateKind::Xor2, &[p, cin]);
+        let g1 = b.gate(GateKind::And2, &[a, c]);
+        let g2 = b.gate(GateKind::And2, &[p, cin]);
+        let cout = b.gate(GateKind::Or2, &[g1, g2]);
+        b.primary_output("sum", sum);
+        b.primary_output("cout", cout);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let netlist = full_adder();
+        let mut sim = Simulator::new(&netlist);
+        for bits in 0..8u32 {
+            let inputs: Vec<Logic> = (0..3)
+                .map(|i| Logic::from_bool(bits & (1 << i) != 0))
+                .collect();
+            sim.set_inputs(&inputs);
+            sim.settle();
+            let total = (bits & 1) + ((bits >> 1) & 1) + ((bits >> 2) & 1);
+            let out = sim.output_values();
+            assert_eq!(out[0], Logic::from_bool(total & 1 == 1), "sum for {bits:03b}");
+            assert_eq!(out[1], Logic::from_bool(total >= 2), "cout for {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn force_overrides_driver() {
+        let netlist = full_adder();
+        let mut sim = Simulator::new(&netlist);
+        let sum_net = netlist.primary_outputs()[0].1;
+        sim.force(sum_net, Logic::One);
+        sim.set_inputs(&[Logic::Zero, Logic::Zero, Logic::Zero]);
+        sim.settle();
+        assert_eq!(sim.output_values()[0], Logic::One);
+        sim.release(sum_net);
+        sim.settle();
+        assert_eq!(sim.output_values()[0], Logic::Zero);
+    }
+
+    #[test]
+    fn counter_counts() {
+        // 2-bit counter from DFFs.
+        let mut b = NetlistBuilder::new("cnt");
+        let q0 = b.net("q0");
+        let q1 = b.net("q1");
+        let d0 = b.gate(GateKind::Inv, &[q0]);
+        let d1 = b.gate(GateKind::Xor2, &[q0, q1]);
+        b.gate_driving("R0", GateKind::Dff, &[d0], q0);
+        b.gate_driving("R1", GateKind::Dff, &[d1], q1);
+        b.primary_output("q0", q0);
+        b.primary_output("q1", q1);
+        let netlist = b.finish().unwrap();
+
+        let mut sim = Simulator::new(&netlist);
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            sim.settle();
+            let out = sim.output_values();
+            let value = (out[0] == Logic::One) as u8 | ((out[1] == Logic::One) as u8) << 1;
+            seen.push(value);
+            sim.clock();
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn x_power_on_state_propagates() {
+        let mut b = NetlistBuilder::new("xinit");
+        let a = b.primary_input("a");
+        let q = b.gate(GateKind::Dff, &[a]);
+        let z = b.gate(GateKind::Xor2, &[q, a]);
+        b.primary_output("z", z);
+        let netlist = b.finish().unwrap();
+        let mut sim = Simulator::new(&netlist);
+        sim.reset(Logic::X);
+        sim.set_inputs(&[Logic::One]);
+        sim.settle();
+        assert_eq!(sim.output_values()[0], Logic::X);
+        assert!(sim.has_unknowns());
+        // After one clock the register holds the driven input.
+        sim.clock();
+        sim.settle();
+        assert_eq!(sim.output_values()[0], Logic::Zero);
+    }
+
+    #[test]
+    fn step_returns_pre_edge_outputs() {
+        let mut b = NetlistBuilder::new("reg");
+        let a = b.primary_input("a");
+        let q = b.gate(GateKind::Dff, &[a]);
+        b.primary_output("q", q);
+        let netlist = b.finish().unwrap();
+        let mut sim = Simulator::new(&netlist);
+        let first = sim.step(&[Logic::One]);
+        assert_eq!(first, vec![Logic::Zero], "register not yet loaded");
+        let second = sim.step(&[Logic::Zero]);
+        assert_eq!(second, vec![Logic::One], "value latched last cycle");
+    }
+
+    #[test]
+    fn set_input_named_matches_position() {
+        let netlist = full_adder();
+        let mut sim = Simulator::new(&netlist);
+        assert!(sim.set_input_named("cin", Logic::One));
+        assert!(!sim.set_input_named("nonexistent", Logic::One));
+        sim.settle();
+        assert_eq!(sim.output_values()[0], Logic::One);
+    }
+
+    #[test]
+    fn cycle_counter_tracks_edges() {
+        let netlist = full_adder();
+        let mut sim = Simulator::new(&netlist);
+        assert_eq!(sim.cycles(), 0);
+        sim.settle();
+        sim.clock();
+        sim.clock();
+        assert_eq!(sim.cycles(), 2);
+        sim.reset(Logic::Zero);
+        assert_eq!(sim.cycles(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Three-valued logic.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A three-valued logic level: `0`, `1` or unknown (`X`).
+///
+/// The unknown value propagates pessimistically: an operation yields `X`
+/// unless a controlling input fixes the result (e.g. `0 & X = 0`).
+///
+/// # Example
+///
+/// ```
+/// use fusa_logicsim::Logic;
+///
+/// assert_eq!(Logic::Zero & Logic::X, Logic::Zero);
+/// assert_eq!(Logic::One & Logic::X, Logic::X);
+/// assert_eq!(!Logic::X, Logic::X);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    #[default]
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialized.
+    X,
+}
+
+impl Logic {
+    /// Converts a `bool` into `Zero`/`One`.
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for defined values, `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// `true` when the value is `0` or `1`.
+    pub fn is_defined(self) -> bool {
+        self != Logic::X
+    }
+
+    /// The display character: `0`, `1` or `x`.
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl BitAnd for Logic {
+    type Output = Logic;
+    fn bitand(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitOr for Logic {
+    type Output = Logic;
+    fn bitor(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitXor for Logic {
+    type Output = Logic;
+    fn bitxor(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+
+    #[test]
+    fn and_controlling_zero() {
+        for v in ALL {
+            assert_eq!(Logic::Zero & v, Logic::Zero);
+            assert_eq!(v & Logic::Zero, Logic::Zero);
+        }
+    }
+
+    #[test]
+    fn or_controlling_one() {
+        for v in ALL {
+            assert_eq!(Logic::One | v, Logic::One);
+            assert_eq!(v | Logic::One, Logic::One);
+        }
+    }
+
+    #[test]
+    fn xor_with_x_is_x() {
+        for v in ALL {
+            assert_eq!(v ^ Logic::X, Logic::X);
+        }
+        assert_eq!(Logic::One ^ Logic::One, Logic::Zero);
+        assert_eq!(Logic::One ^ Logic::Zero, Logic::One);
+    }
+
+    #[test]
+    fn not_involution_on_defined() {
+        assert_eq!(!!Logic::Zero, Logic::Zero);
+        assert_eq!(!!Logic::One, Logic::One);
+        assert_eq!(!Logic::X, Logic::X);
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Logic::from_bool(false).to_bool(), Some(false));
+        assert_eq!(Logic::X.to_bool(), None);
+    }
+
+    #[test]
+    fn and_is_commutative_and_associative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a & b, b & a);
+                assert_eq!(a | b, b | a);
+                for c in ALL {
+                    assert_eq!((a & b) & c, a & (b & c));
+                    assert_eq!((a | b) | c, a | (b | c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Logic::default(), Logic::Zero);
+    }
+
+    #[test]
+    fn display_chars() {
+        assert_eq!(Logic::Zero.to_string(), "0");
+        assert_eq!(Logic::One.to_string(), "1");
+        assert_eq!(Logic::X.to_string(), "x");
+    }
+}

@@ -1,0 +1,372 @@
+//! Workload (input stimulus) generation.
+//!
+//! The paper's fault-injection campaigns run "diverse workloads" against
+//! each design (§3.2.1) and derive per-node criticality as the fraction of
+//! workloads in which a fault becomes dangerous. Diversity is what makes
+//! that fraction informative: a suite of uniformly random workloads would
+//! detect almost every cone fault in almost every workload. This module
+//! therefore mixes activity profiles — uniform, low-activity, bursty,
+//! walking-ones, reset-pulsing — mirroring how application workloads
+//! exercise different subsets of a design.
+
+use fusa_netlist::Netlist;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// The stimulus style of one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Fresh uniform random vector every cycle.
+    UniformRandom,
+    /// Each input toggles with small probability per cycle (quiet design).
+    LowActivity,
+    /// Each input toggles with high probability per cycle.
+    HighActivity,
+    /// Alternating active bursts and all-idle gaps.
+    IdleBursts,
+    /// A single `1` walks across the inputs over a random background.
+    WalkingOnes,
+    /// Uniform random with periodic reset pulses (if a reset input
+    /// exists).
+    ResetPulses,
+    /// Only a random subset of inputs is driven; the rest are frozen at
+    /// random constants for the whole workload. Mimics an application
+    /// that exercises one functional slice of the design.
+    SubsetActive,
+    /// All inputs frozen at random constants except a small rotating
+    /// window — the narrowest slice, exposing rarely-exercised logic.
+    ConstantHold,
+}
+
+/// All workload kinds, in the rotation order used by [`WorkloadSuite`].
+///
+/// Narrow kinds (`SubsetActive`, `ConstantHold`) dominate the rotation
+/// (7 of 12): application workloads exercise functional slices, not the
+/// whole input space at once, and it is exactly this narrowness that
+/// spreads per-node criticality scores across `[0, 1]` instead of
+/// saturating them — each narrow workload only detects faults in the
+/// logic slice it exercises.
+pub const ALL_WORKLOAD_KINDS: [WorkloadKind; 12] = [
+    WorkloadKind::SubsetActive,
+    WorkloadKind::ConstantHold,
+    WorkloadKind::UniformRandom,
+    WorkloadKind::SubsetActive,
+    WorkloadKind::ConstantHold,
+    WorkloadKind::LowActivity,
+    WorkloadKind::SubsetActive,
+    WorkloadKind::ConstantHold,
+    WorkloadKind::IdleBursts,
+    WorkloadKind::SubsetActive,
+    WorkloadKind::WalkingOnes,
+    WorkloadKind::ResetPulses,
+];
+
+/// A named sequence of input vectors (one `bool` per primary input per
+/// cycle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Human-readable name, e.g. `uniform_random#3`.
+    pub name: String,
+    /// The generating style.
+    pub kind: WorkloadKind,
+    /// `vectors[cycle][pi_index]`.
+    pub vectors: Vec<Vec<bool>>,
+}
+
+impl Workload {
+    /// Number of cycles in the workload.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` if the workload has no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Fraction of bits that differ between consecutive vectors — a
+    /// quick activity measure.
+    pub fn activity(&self) -> f64 {
+        if self.vectors.len() < 2 || self.vectors[0].is_empty() {
+            return 0.0;
+        }
+        let mut toggles = 0usize;
+        let mut total = 0usize;
+        for pair in self.vectors.windows(2) {
+            for (a, b) in pair[0].iter().zip(&pair[1]) {
+                toggles += usize::from(a != b);
+                total += 1;
+            }
+        }
+        toggles as f64 / total as f64
+    }
+}
+
+/// Parameters for [`WorkloadSuite::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of workloads (the paper's `N` in Algorithm 1).
+    pub num_workloads: usize,
+    /// Cycles per workload.
+    pub vectors_per_workload: usize,
+    /// Cycles of reset asserted at the start of every workload (requires
+    /// a primary input named `rst`; ignored otherwise).
+    pub reset_cycles: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            num_workloads: 24,
+            vectors_per_workload: 256,
+            reset_cycles: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A reproducible collection of diverse workloads for one design.
+#[derive(Debug, Clone)]
+pub struct WorkloadSuite {
+    workloads: Vec<Workload>,
+}
+
+impl WorkloadSuite {
+    /// Generates `config.num_workloads` workloads for `netlist`, rotating
+    /// through [`ALL_WORKLOAD_KINDS`] with per-workload random parameters.
+    ///
+    /// If the design has a primary input named `rst`, every workload
+    /// asserts it for `config.reset_cycles` cycles and the `ResetPulses`
+    /// style additionally pulses it mid-run.
+    pub fn generate(netlist: &Netlist, config: &WorkloadConfig) -> WorkloadSuite {
+        let pi_count = netlist.primary_inputs().len();
+        let rst_index = netlist
+            .primary_inputs()
+            .iter()
+            .position(|&n| netlist.net(n).name == "rst");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut workloads = Vec::with_capacity(config.num_workloads);
+        for w in 0..config.num_workloads {
+            let kind = ALL_WORKLOAD_KINDS[w % ALL_WORKLOAD_KINDS.len()];
+            let seed = rng.gen::<u64>();
+            workloads.push(generate_one(
+                kind,
+                w,
+                pi_count,
+                rst_index,
+                config,
+                seed,
+            ));
+        }
+        WorkloadSuite { workloads }
+    }
+
+    /// The generated workloads.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Number of workloads (`N` in Algorithm 1).
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// `true` if the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+}
+
+impl std::ops::Index<usize> for WorkloadSuite {
+    type Output = Workload;
+    fn index(&self, index: usize) -> &Workload {
+        &self.workloads[index]
+    }
+}
+
+fn generate_one(
+    kind: WorkloadKind,
+    index: usize,
+    pi_count: usize,
+    rst_index: Option<usize>,
+    config: &WorkloadConfig,
+    seed: u64,
+) -> Workload {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let cycles = config.vectors_per_workload;
+    let mut vectors: Vec<Vec<bool>> = Vec::with_capacity(cycles);
+
+    let toggle_probability = match kind {
+        WorkloadKind::LowActivity => rng.gen_range(0.02..0.10),
+        WorkloadKind::HighActivity => rng.gen_range(0.35..0.50),
+        _ => 0.5,
+    };
+    let burst_len = rng.gen_range(8..32usize);
+    let idle_len = rng.gen_range(8..48usize);
+    let pulse_period = rng.gen_range(40..90usize);
+
+    // Narrow kinds freeze a random complement of inputs.
+    let active_fraction = match kind {
+        WorkloadKind::SubsetActive => rng.gen_range(0.15..0.45),
+        WorkloadKind::ConstantHold => rng.gen_range(0.02..0.12),
+        _ => 1.0,
+    };
+    let active: Vec<bool> = (0..pi_count)
+        .map(|_| rng.gen_bool(active_fraction))
+        .collect();
+    let frozen: Vec<bool> = (0..pi_count).map(|_| rng.gen()).collect();
+
+    let mut current: Vec<bool> = (0..pi_count).map(|_| rng.gen()).collect();
+    for cycle in 0..cycles {
+        let mut vector = match kind {
+            WorkloadKind::UniformRandom => (0..pi_count).map(|_| rng.gen()).collect(),
+            WorkloadKind::LowActivity | WorkloadKind::HighActivity => {
+                for bit in current.iter_mut() {
+                    if rng.gen_bool(toggle_probability) {
+                        *bit = !*bit;
+                    }
+                }
+                current.clone()
+            }
+            WorkloadKind::IdleBursts => {
+                let phase = cycle % (burst_len + idle_len);
+                if phase < burst_len {
+                    (0..pi_count).map(|_| rng.gen()).collect()
+                } else {
+                    vec![false; pi_count]
+                }
+            }
+            WorkloadKind::WalkingOnes => {
+                let mut v = vec![false; pi_count];
+                if pi_count > 0 {
+                    v[cycle % pi_count] = true;
+                    // Sparse random background keeps controls plausible.
+                    for bit in v.iter_mut() {
+                        if rng.gen_bool(0.05) {
+                            *bit = true;
+                        }
+                    }
+                }
+                v
+            }
+            WorkloadKind::ResetPulses => (0..pi_count).map(|_| rng.gen()).collect(),
+            WorkloadKind::SubsetActive | WorkloadKind::ConstantHold => (0..pi_count)
+                .map(|i| if active[i] { rng.gen() } else { frozen[i] })
+                .collect(),
+        };
+        if let Some(rst) = rst_index {
+            let in_initial_reset = cycle < config.reset_cycles;
+            let pulse = kind == WorkloadKind::ResetPulses && cycle % pulse_period == 0;
+            vector[rst] = in_initial_reset || pulse;
+        }
+        vectors.push(vector);
+    }
+
+    Workload {
+        name: format!("{}#{index}", kind_slug(kind)),
+        kind,
+        vectors,
+    }
+}
+
+fn kind_slug(kind: WorkloadKind) -> &'static str {
+    match kind {
+        WorkloadKind::UniformRandom => "uniform_random",
+        WorkloadKind::LowActivity => "low_activity",
+        WorkloadKind::HighActivity => "high_activity",
+        WorkloadKind::IdleBursts => "idle_bursts",
+        WorkloadKind::WalkingOnes => "walking_ones",
+        WorkloadKind::ResetPulses => "reset_pulses",
+        WorkloadKind::SubsetActive => "subset_active",
+        WorkloadKind::ConstantHold => "constant_hold",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusa_netlist::designs::or1200_icfsm;
+
+    fn suite() -> WorkloadSuite {
+        WorkloadSuite::generate(&or1200_icfsm(), &WorkloadConfig::default())
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let s = suite();
+        assert_eq!(s.len(), 24);
+        for w in s.workloads() {
+            assert_eq!(w.len(), 256);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = suite();
+        let b = suite();
+        assert_eq!(a.workloads()[5], b.workloads()[5]);
+    }
+
+    #[test]
+    fn seeds_differentiate_suites() {
+        let netlist = or1200_icfsm();
+        let a = WorkloadSuite::generate(
+            &netlist,
+            &WorkloadConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = WorkloadSuite::generate(
+            &netlist,
+            &WorkloadConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a.workloads()[0], b.workloads()[0]);
+    }
+
+    #[test]
+    fn reset_asserted_initially() {
+        let netlist = or1200_icfsm();
+        let rst = netlist
+            .primary_inputs()
+            .iter()
+            .position(|&n| netlist.net(n).name == "rst")
+            .expect("design has rst");
+        let s = suite();
+        for w in s.workloads() {
+            for cycle in 0..4 {
+                assert!(w.vectors[cycle][rst], "{} cycle {cycle}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn low_activity_is_quieter_than_uniform() {
+        let s = suite();
+        let uniform = s
+            .workloads()
+            .iter()
+            .find(|w| w.kind == WorkloadKind::UniformRandom)
+            .unwrap();
+        let quiet = s
+            .workloads()
+            .iter()
+            .find(|w| w.kind == WorkloadKind::LowActivity)
+            .unwrap();
+        assert!(quiet.activity() < uniform.activity() / 2.0);
+    }
+
+    #[test]
+    fn vector_width_matches_pi_count() {
+        let netlist = or1200_icfsm();
+        let s = suite();
+        for w in s.workloads() {
+            assert_eq!(w.vectors[0].len(), netlist.primary_inputs().len());
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Incremental netlist construction with validation at `finish()`.
+
+use crate::error::NetlistError;
+use crate::gate::{Gate, GateId, GateKind};
+use crate::netlist::{Driver, Net, NetId, Netlist};
+use std::collections::HashMap;
+
+/// Builds a [`Netlist`] incrementally, deferring validation to
+/// [`NetlistBuilder::finish`].
+///
+/// Nets spring into existence when first referenced; gate outputs allocate
+/// fresh anonymous nets unless connected explicitly via
+/// [`NetlistBuilder::gate_driving`].
+///
+/// # Example
+///
+/// ```
+/// use fusa_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), fusa_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("inverter_chain");
+/// let mut wire = b.primary_input("in");
+/// for _ in 0..4 {
+///     wire = b.gate(GateKind::Inv, &[wire]);
+/// }
+/// b.primary_output("out", wire);
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.gate_count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<(String, NetId)>,
+    net_names: HashMap<String, NetId>,
+    gate_names: HashMap<String, GateId>,
+    errors: Vec<NetlistError>,
+    anon_counter: u64,
+}
+
+impl NetlistBuilder {
+    /// Starts building a design with the given module name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            nets: Vec::new(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            net_names: HashMap::new(),
+            gate_names: HashMap::new(),
+            errors: Vec::new(),
+            anon_counter: 0,
+        }
+    }
+
+    /// Returns the id of the named net, creating an undriven net on first
+    /// reference.
+    pub fn net(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        if let Some(&id) = self.net_names.get(&name) {
+            return id;
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            name: name.clone(),
+            driver: None,
+        });
+        self.net_names.insert(name, id);
+        id
+    }
+
+    /// Allocates a fresh net with a generated name (`_n0`, `_n1`, …).
+    pub fn fresh_net(&mut self) -> NetId {
+        loop {
+            let candidate = format!("_n{}", self.anon_counter);
+            self.anon_counter += 1;
+            if !self.net_names.contains_key(&candidate) {
+                return self.net(candidate);
+            }
+        }
+    }
+
+    /// Declares a primary input driving the named net.
+    pub fn primary_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.net(name);
+        self.set_driver(id, Driver::PrimaryInput);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares the net as a primary output named `port`.
+    pub fn primary_output(&mut self, port: impl Into<String>, net: NetId) {
+        self.outputs.push((port.into(), net));
+    }
+
+    /// Instantiates a gate with an auto-generated instance name, driving a
+    /// fresh net. Returns the output net.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
+        let name = format!("U{}", self.gates.len());
+        self.gate_named(name, kind, inputs)
+    }
+
+    /// Instantiates a named gate driving a fresh net. Returns the output
+    /// net.
+    pub fn gate_named(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        inputs: &[NetId],
+    ) -> NetId {
+        let output = self.fresh_net();
+        self.gate_driving(name, kind, inputs, output);
+        output
+    }
+
+    /// Instantiates a named gate whose output pin drives an existing net.
+    pub fn gate_driving(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> GateId {
+        let name = name.into();
+        let id = GateId(self.gates.len() as u32);
+        if kind.num_inputs() != inputs.len() {
+            self.errors.push(NetlistError::ArityMismatch {
+                gate: name.clone(),
+                expected: kind.num_inputs(),
+                found: inputs.len(),
+            });
+        }
+        if self.gate_names.insert(name.clone(), id).is_some() {
+            self.errors.push(NetlistError::DuplicateName { name: name.clone() });
+        }
+        self.set_driver(output, Driver::Gate(id));
+        self.gates.push(Gate {
+            name,
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        id
+    }
+
+    fn set_driver(&mut self, net: NetId, driver: Driver) {
+        let slot = &mut self.nets[net.index()].driver;
+        if slot.is_some() {
+            self.errors.push(NetlistError::MultipleDrivers {
+                net: self.nets[net.index()].name.clone(),
+            });
+        } else {
+            *slot = Some(driver);
+        }
+    }
+
+    /// Number of gates added so far.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Validates and freezes the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first recorded construction error, or a validation error
+    /// for undriven nets, missing outputs, or combinational loops.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        if let Some(err) = self.errors.into_iter().next() {
+            return Err(err);
+        }
+        if self.outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        for net in &self.nets {
+            if net.driver.is_none() {
+                return Err(NetlistError::UndrivenNet {
+                    net: net.name.clone(),
+                });
+            }
+        }
+
+        // Build fanout map.
+        let mut net_fanout: Vec<Vec<GateId>> = vec![Vec::new(); self.nets.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            for &input in &gate.inputs {
+                net_fanout[input.index()].push(GateId(i as u32));
+            }
+        }
+        let mut is_output = vec![false; self.nets.len()];
+        for (_, net) in &self.outputs {
+            is_output[net.index()] = true;
+        }
+
+        let netlist = Netlist {
+            name: self.name,
+            nets: self.nets,
+            gates: self.gates,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            net_fanout,
+            is_output,
+        };
+
+        // Combinational-loop check via Kahn's algorithm over combinational
+        // gates only; flip-flop outputs act as sources.
+        detect_combinational_loop(&netlist)?;
+        Ok(netlist)
+    }
+}
+
+fn detect_combinational_loop(netlist: &Netlist) -> Result<(), NetlistError> {
+    let n = netlist.gate_count();
+    let mut indegree = vec![0usize; n];
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if gate.kind.is_sequential() {
+            continue;
+        }
+        let fanin = netlist.fanin_of_gate(GateId(i as u32));
+        indegree[i] = fanin
+            .iter()
+            .filter(|g| !netlist.gate(**g).kind.is_sequential())
+            .count();
+    }
+    let mut queue: Vec<usize> = (0..n)
+        .filter(|&i| !netlist.gates()[i].kind.is_sequential() && indegree[i] == 0)
+        .collect();
+    let mut visited = queue.len();
+    while let Some(i) = queue.pop() {
+        for &succ in netlist.fanout_of_gate(GateId(i as u32)) {
+            if netlist.gate(succ).kind.is_sequential() {
+                continue;
+            }
+            indegree[succ.index()] -= 1;
+            if indegree[succ.index()] == 0 {
+                queue.push(succ.index());
+                visited += 1;
+            }
+        }
+    }
+    let comb_total = netlist
+        .gates()
+        .iter()
+        .filter(|g| !g.kind.is_sequential())
+        .count();
+    if visited != comb_total {
+        let culprit = (0..n)
+            .find(|&i| !netlist.gates()[i].kind.is_sequential() && indegree[i] > 0)
+            .expect("some combinational gate has nonzero indegree");
+        return Err(NetlistError::CombinationalLoop {
+            gate: netlist.gates()[culprit].name.clone(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.primary_input("a");
+        let shared = b.net("shared");
+        b.gate_driving("U1", GateKind::Inv, &[a], shared);
+        b.gate_driving("U2", GateKind::Buf, &[a], shared);
+        b.primary_output("z", shared);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn undriven_net_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let floating = b.net("floating");
+        let z = b.gate(GateKind::Inv, &[floating]);
+        b.primary_output("z", z);
+        assert!(matches!(b.finish(), Err(NetlistError::UndrivenNet { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.primary_input("a");
+        let z = b.gate_named("U1", GateKind::And2, &[a]);
+        b.primary_output("z", z);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::ArityMismatch { expected: 2, found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_gate_name_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.primary_input("a");
+        let x = b.gate_named("U1", GateKind::Inv, &[a]);
+        let z = b.gate_named("U1", GateKind::Inv, &[x]);
+        b.primary_output("z", z);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn no_outputs_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.primary_input("a");
+        let _ = b.gate(GateKind::Inv, &[a]);
+        assert!(matches!(b.finish(), Err(NetlistError::NoOutputs)));
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        let mut b = NetlistBuilder::new("ringosc");
+        let loop_net = b.net("loopback");
+        let mid_net = b.net("mid");
+        b.gate_driving("U1", GateKind::Inv, &[loop_net], mid_net);
+        b.gate_driving("U2", GateKind::Inv, &[mid_net], loop_net);
+        b.primary_output("z", loop_net);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn flip_flop_breaks_cycle() {
+        // q -> inv -> d -> DFF -> q is a legal sequential loop.
+        let mut b = NetlistBuilder::new("toggle");
+        let q = b.net("q");
+        let d = b.gate_named("INV", GateKind::Inv, &[q]);
+        b.gate_driving("REG", GateKind::Dff, &[d], q);
+        b.primary_output("q", q);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn fresh_nets_do_not_collide_with_user_names() {
+        let mut b = NetlistBuilder::new("t");
+        let _user = b.net("_n0");
+        let fresh = b.fresh_net();
+        assert_ne!(b.net("_n0"), fresh);
+    }
+
+    #[test]
+    fn net_is_idempotent_by_name() {
+        let mut b = NetlistBuilder::new("t");
+        let first = b.net("x");
+        let second = b.net("x");
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,214 @@
+//! Synthetic OR1200 Instruction-Cache FSM (`or1200_ic_fsm`-style).
+//!
+//! The cache controller sequences tag lookup, line fill (burst from main
+//! memory), and invalidation. It produces all strobes towards the
+//! processor, the data array and main memory, with a tag comparator and a
+//! burst word counter — the same structure the paper's ICFSM module has.
+
+use crate::netlist::Netlist;
+use crate::synth::{Synth, Word};
+
+// FSM state encoding (3 bits).
+const ST_IDLE: u64 = 0b000;
+const ST_CFETCH: u64 = 0b001; // compare / single fetch
+const ST_LFETCH: u64 = 0b010; // line fill burst
+const ST_LWRITE: u64 = 0b011; // write fetched word into data array
+const ST_INVALIDATE: u64 = 0b100;
+const ST_WAITBUS: u64 = 0b101;
+
+/// Builds the OR1200 instruction-cache FSM benchmark design.
+///
+/// Interface:
+///
+/// * `rst` — synchronous reset;
+/// * `ic_en` — cache enable;
+/// * `icqmem_cycstb` — processor request strobe;
+/// * `tag[5:0]`, `tag_v` — tag-array read data and valid bit;
+/// * `addr_tag[5:0]` — tag field of the requested address;
+/// * `biudata_valid`, `biudata_error` — bus-interface-unit response;
+/// * `invalidate` — invalidation request;
+/// * outputs: `hitmiss_eval`, `tagram_we`, `dataram_we`, `biu_read`,
+///   `burst[1:0]`, `first_hit_ack`, `first_miss_ack`, `first_miss_err`,
+///   `tag_we`, `ic_busy`.
+pub fn or1200_icfsm() -> Netlist {
+    let mut s = Synth::new("or1200_icfsm");
+
+    let rst = s.input_bit("rst");
+    let ic_en = s.input_bit("ic_en");
+    let cycstb = s.input_bit("icqmem_cycstb");
+    let tag = s.input_word("tag", 6);
+    let tag_v = s.input_bit("tag_v");
+    let addr_tag = s.input_word("addr_tag", 6);
+    let biudata_valid = s.input_bit("biudata_valid");
+    let biudata_error = s.input_bit("biudata_error");
+    let invalidate = s.input_bit("invalidate");
+
+    let not_rst = s.not(rst);
+
+    // ---- state register -----------------------------------------------------
+    let state = s.reg_word("state", 3);
+    let st = s.decode(&state);
+    let in_idle = st[ST_IDLE as usize];
+    let in_cfetch = st[ST_CFETCH as usize];
+    let in_lfetch = st[ST_LFETCH as usize];
+    let in_lwrite = st[ST_LWRITE as usize];
+    let in_inval = st[ST_INVALIDATE as usize];
+    let in_waitbus = st[ST_WAITBUS as usize];
+
+    // ---- tag comparison -------------------------------------------------------
+    let tag_match = s.eq_word(&tag, &addr_tag);
+    let hit0 = s.and2(tag_match, tag_v);
+    let hit = s.and2(hit0, ic_en);
+    let miss = {
+        let nh = s.not(hit);
+        s.and2(nh, ic_en)
+    };
+
+    // ---- burst word counter (2 bits = 4-word lines) ----------------------------
+    let burst = s.reg_word("burst", 2);
+    let burst_last = s.reduce_and(burst.bits());
+    let (burst_inc, _) = s.inc(&burst);
+    let advance_burst = s.and2(in_lfetch, biudata_valid);
+    let burst_step = s.mux_word(advance_burst, &burst, &burst_inc);
+    let clear_burst = s.or2(rst, in_idle);
+    let zero2 = s.const_word(0, 2);
+    let burst_next = s.mux_word(clear_burst, &burst_step, &zero2);
+    s.connect_reg("burst", &burst, &burst_next, None, None);
+
+    // ---- hit/miss bookkeeping ---------------------------------------------------
+    // `first` flags mirror or1200_ic_fsm's hitmiss evaluation window.
+    let eval = s.reg_bit("hitmiss_eval_r");
+    let start_access = s.and2(in_idle, cycstb);
+    let one = s.one();
+    let eval_next0 = s.mux2(start_access, eval, one);
+    let leave_eval = s.or2(in_lfetch, in_lwrite);
+    let not_leave = s.not(leave_eval);
+    let eval_next1 = s.and2(eval_next0, not_leave);
+    let eval_next = s.and2(eval_next1, not_rst);
+    {
+        let q = Word(vec![eval]);
+        let d = Word(vec![eval_next]);
+        s.connect_reg("hitmiss_eval_r", &q, &d, None, None);
+    }
+
+    let first_hit_ack = {
+        let a = s.and2(in_cfetch, hit);
+        s.and2(a, eval)
+    };
+    let first_miss_ack = {
+        let a = s.and2(in_lfetch, biudata_valid);
+        let first_word = s.reduce_nor(burst.bits());
+        s.and2(a, first_word)
+    };
+    let first_miss_err = s.and2(in_lfetch, biudata_error);
+
+    // ---- next-state logic ---------------------------------------------------------
+    let s_idle = s.const_word(ST_IDLE, 3);
+    let s_cfetch = s.const_word(ST_CFETCH, 3);
+    let s_lfetch = s.const_word(ST_LFETCH, 3);
+    let s_lwrite = s.const_word(ST_LWRITE, 3);
+    let s_inval = s.const_word(ST_INVALIDATE, 3);
+    let s_waitbus = s.const_word(ST_WAITBUS, 3);
+
+    let mut next = state.clone();
+
+    // IDLE: invalidation beats a normal access.
+    let go_inval = s.and2(in_idle, invalidate);
+    next = s.mux_word(go_inval, &next, &s_inval);
+    let not_inval = s.not(invalidate);
+    let go_access0 = s.and2(in_idle, cycstb);
+    let go_access = s.and2(go_access0, not_inval);
+    // Cache disabled accesses bypass to WAITBUS.
+    let not_en = s.not(ic_en);
+    let bypass = s.and2(go_access, not_en);
+    let cached = s.and2(go_access, ic_en);
+    next = s.mux_word(cached, &next, &s_cfetch);
+    next = s.mux_word(bypass, &next, &s_waitbus);
+
+    // CFETCH: hit ends the access (back to IDLE unless the strobe holds),
+    // miss starts a line fill.
+    let cf_hit = s.and2(in_cfetch, hit);
+    let no_stb = s.not(cycstb);
+    let cf_hit_done = s.and2(cf_hit, no_stb);
+    next = s.mux_word(cf_hit_done, &next, &s_idle);
+    let cf_miss = s.and2(in_cfetch, miss);
+    next = s.mux_word(cf_miss, &next, &s_lfetch);
+
+    // LFETCH: each valid bus word goes to LWRITE; error aborts to IDLE.
+    let lf_word = s.and2(in_lfetch, biudata_valid);
+    next = s.mux_word(lf_word, &next, &s_lwrite);
+    let lf_err = s.and2(in_lfetch, biudata_error);
+    next = s.mux_word(lf_err, &next, &s_idle);
+
+    // LWRITE: last word of the burst finishes the fill, otherwise back to
+    // LFETCH for the next word.
+    let lw_more = {
+        let not_last = s.not(burst_last);
+        s.and2(in_lwrite, not_last)
+    };
+    next = s.mux_word(lw_more, &next, &s_lfetch);
+    let lw_done = s.and2(in_lwrite, burst_last);
+    next = s.mux_word(lw_done, &next, &s_idle);
+
+    // INVALIDATE and WAITBUS resolve in one transaction.
+    next = s.mux_word(in_inval, &next, &s_idle);
+    let wb_done0 = s.or2(biudata_valid, biudata_error);
+    let wb_done = s.and2(in_waitbus, wb_done0);
+    next = s.mux_word(wb_done, &next, &s_idle);
+
+    let next_final = s.mux_word(rst, &next, &s_idle);
+    s.connect_reg("state", &state, &next_final, None, None);
+
+    // ---- output strobes ---------------------------------------------------------
+    let hitmiss_eval = eval;
+    let tagram_we = {
+        let fill_we = s.and2(in_lwrite, burst_last);
+        s.or2(fill_we, in_inval)
+    };
+    let dataram_we = s.and2(in_lfetch, biudata_valid);
+    let biu_read = {
+        let a = s.or2(in_lfetch, in_waitbus);
+        s.and2(a, not_rst)
+    };
+    let busy0 = s.not(in_idle);
+    let ic_busy = s.and2(busy0, not_rst);
+    // Separate buffered copy of the write strobe for the tag array.
+    let tag_we = s.builder_mut().gate(crate::gate::GateKind::Buf, &[tagram_we]);
+
+    s.output_bit("hitmiss_eval", hitmiss_eval);
+    s.output_bit("tagram_we", tagram_we);
+    s.output_bit("dataram_we", dataram_we);
+    s.output_bit("biu_read", biu_read);
+    s.output_word("burst", &burst);
+    s.output_bit("first_hit_ack", first_hit_ack);
+    s.output_bit("first_miss_ack", first_miss_ack);
+    s.output_bit("first_miss_err", first_miss_err);
+    s.output_bit("tag_we", tag_we);
+    s.output_bit("ic_busy", ic_busy);
+
+    s.finish().expect("or1200_icfsm design is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn builds_and_validates() {
+        let n = or1200_icfsm();
+        assert_eq!(n.name(), "or1200_icfsm");
+        let stats = NetlistStats::of(&n);
+        assert!(stats.gate_count >= 120, "got {}", stats.gate_count);
+        assert!(stats.flip_flop_count >= 6, "got {}", stats.flip_flop_count);
+    }
+
+    #[test]
+    fn strobes_are_outputs() {
+        let n = or1200_icfsm();
+        let outs: Vec<&str> = n.primary_outputs().iter().map(|(p, _)| p.as_str()).collect();
+        for port in ["tagram_we", "dataram_we", "biu_read", "ic_busy"] {
+            assert!(outs.contains(&port), "missing {port}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Synthetic OR1200 Instruction Fetch (IF) unit.
+//!
+//! Modelled on `or1200_if.v`: the module receives instruction-bus responses,
+//! tracks the program counter, handles stalls/flushes by saving the
+//! incoming instruction, and forwards instruction + PC to decode. Datapaths
+//! are narrowed (16-bit PC, 16-bit instruction) to keep fault-injection
+//! campaigns tractable while preserving topology.
+
+use crate::netlist::Netlist;
+use crate::synth::{Synth, Word};
+
+/// Builds the OR1200 instruction-fetch benchmark design.
+///
+/// Interface:
+///
+/// * `rst` — synchronous reset;
+/// * `icpu_dat[15:0]`, `icpu_ack`, `icpu_err` — instruction bus response;
+/// * `stall`, `flush` — pipeline control;
+/// * `branch_taken`, `branch_target[15:0]` — redirect interface;
+/// * outputs: `if_insn[15:0]`, `if_pc[15:0]`, `if_valid`, `icpu_adr[15:0]`,
+///   `icpu_req`, `if_stall_out`.
+pub fn or1200_if() -> Netlist {
+    let mut s = Synth::new("or1200_if");
+
+    let rst = s.input_bit("rst");
+    let icpu_dat = s.input_word("icpu_dat", 16);
+    let icpu_parity = s.input_bit("icpu_parity");
+    let icpu_ack = s.input_bit("icpu_ack");
+    let icpu_err = s.input_bit("icpu_err");
+    let stall = s.input_bit("stall");
+    let flush = s.input_bit("flush");
+    let branch_taken = s.input_bit("branch_taken");
+    let branch_target = s.input_word("branch_target", 16);
+
+    let not_stall = s.not(stall);
+    let not_rst = s.not(rst);
+
+    // ---- program counter ---------------------------------------------------
+    let pc = s.reg_word("pc", 16);
+    let (pc_plus, _) = s.inc(&pc);
+    // Advance on acknowledged fetch while not stalled.
+    let advance = s.and2(icpu_ack, not_stall);
+    let pc_seq = s.mux_word(advance, &pc, &pc_plus);
+    let pc_redirect = s.mux_word(branch_taken, &pc_seq, &branch_target);
+    let zero16 = s.const_word(0x0100, 16); // reset vector
+    let pc_next = s.mux_word(rst, &pc_redirect, &zero16);
+    s.connect_reg("pc", &pc, &pc_next, None, None);
+
+    // ---- saved-instruction buffer (stall handling) ---------------------------
+    // When an ack arrives while the pipeline is stalled, the incoming
+    // instruction is parked in `saved` and replayed when the stall clears.
+    let saved_valid = s.reg_bit("saved_valid");
+    let saved_insn = s.reg_word("saved_insn", 16);
+
+    let ack_while_stalled = s.and2(icpu_ack, stall);
+    let save_now = ack_while_stalled;
+    let consumed = s.and2(saved_valid, not_stall);
+    let not_consumed = s.not(consumed);
+    let keep_saved = s.and2(saved_valid, not_consumed);
+    let saved_valid_next0 = s.or2(save_now, keep_saved);
+    let not_flush = s.not(flush);
+    let saved_valid_next1 = s.and2(saved_valid_next0, not_flush);
+    let saved_valid_next = s.and2(saved_valid_next1, not_rst);
+    {
+        let q = Word(vec![saved_valid]);
+        let d = Word(vec![saved_valid_next]);
+        s.connect_reg("saved_valid", &q, &d, None, None);
+    }
+    let saved_insn_next = s.mux_word(save_now, &saved_insn, &icpu_dat);
+    s.connect_reg("saved_insn", &saved_insn, &saved_insn_next, None, None);
+
+    // ---- instruction select: saved instruction wins over bus data ----------
+    let use_saved = s.and2(saved_valid, not_stall);
+    let insn_mux = s.mux_word(use_saved, &icpu_dat, &saved_insn);
+
+    // Bus-integrity check: even parity over the instruction word must
+    // match the bus parity bit (FuSa E/E systems protect instruction
+    // buses this way). A mismatch is treated like a bus error.
+    let computed_parity = s.reduce_xor(icpu_dat.bits());
+    let parity_error0 = s.xor2(computed_parity, icpu_parity);
+    let parity_error = s.and2(parity_error0, icpu_ack);
+    let bus_fault = s.or2(icpu_err, parity_error);
+
+    // Error or flush forces a NOP-like bubble (encoded as 0x1500 high bits).
+    let bubble = s.or2(bus_fault, flush);
+    let nop = s.const_word(0x1500, 16);
+    let insn_sel = s.mux_word(bubble, &insn_mux, &nop);
+
+    // ---- IF/ID pipeline registers -------------------------------------------
+    let if_insn = s.reg_word("if_insn", 16);
+    let latch_insn = {
+        let fresh = s.or2(icpu_ack, use_saved);
+        let gated = s.and2(fresh, not_stall);
+        s.or2(gated, bubble)
+    };
+    let insn_hold = s.mux_word(latch_insn, &if_insn, &insn_sel);
+    s.connect_reg("if_insn", &if_insn, &insn_hold, None, Some(rst));
+
+    let if_pc = s.reg_word("if_pc", 16);
+    let pc_hold = s.mux_word(latch_insn, &if_pc, &pc);
+    s.connect_reg("if_pc", &if_pc, &pc_hold, None, None);
+
+    // Valid bit for the decode stage.
+    let if_valid = s.reg_bit("if_valid");
+    let new_valid0 = s.or2(icpu_ack, use_saved);
+    let not_err = s.not(bus_fault);
+    let new_valid1 = s.and2(new_valid0, not_err);
+    let new_valid2 = s.and2(new_valid1, not_flush);
+    let valid_next0 = s.mux2(latch_insn, if_valid, new_valid2);
+    let valid_next = s.and2(valid_next0, not_rst);
+    {
+        let q = Word(vec![if_valid]);
+        let d = Word(vec![valid_next]);
+        s.connect_reg("if_valid", &q, &d, None, None);
+    }
+
+    // ---- fetch request generation -------------------------------------------
+    // Request whenever there is no parked instruction and no error.
+    let no_saved = s.not(saved_valid);
+    let req0 = s.and2(no_saved, not_err);
+    let icpu_req = s.and2(req0, not_rst);
+
+    // Fetch address: redirect immediately on branch.
+    let icpu_adr = s.mux_word(branch_taken, &pc, &branch_target);
+
+    // Stall propagation to earlier stages: fetch stalls when the bus does
+    // not answer and nothing is saved.
+    let no_ack = s.not(icpu_ack);
+    let starving = s.and2(no_ack, no_saved);
+    let if_stall_out = s.and2(starving, not_rst);
+
+    // ---- simple branch-history bit (adds FSM-ish feedback) -------------------
+    let hist = s.reg_word("bh", 2);
+    let taken_now = s.and2(branch_taken, icpu_ack);
+    let (hist_inc, _) = s.inc(&hist);
+    let all_ones = s.reduce_and(hist.bits());
+    let not_sat = s.not(all_ones);
+    let do_inc = s.and2(taken_now, not_sat);
+    let hist_next0 = s.mux_word(do_inc, &hist, &hist_inc);
+    let zero2 = s.const_word(0, 2);
+    let hist_next = s.mux_word(rst, &hist_next0, &zero2);
+    s.connect_reg("bh", &hist, &hist_next, None, None);
+    let predict_taken = hist.bit(1);
+
+    s.output_word("if_insn", &if_insn);
+    s.output_word("if_pc", &if_pc);
+    s.output_bit("if_valid", if_valid);
+    s.output_word("icpu_adr", &icpu_adr);
+    s.output_bit("icpu_req", icpu_req);
+    s.output_bit("if_stall_out", if_stall_out);
+    s.output_bit("predict_taken", predict_taken);
+
+    s.finish().expect("or1200_if design is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn builds_and_validates() {
+        let n = or1200_if();
+        assert_eq!(n.name(), "or1200_if");
+        let stats = NetlistStats::of(&n);
+        assert!(stats.gate_count >= 250, "got {}", stats.gate_count);
+        assert!(stats.flip_flop_count >= 50, "got {}", stats.flip_flop_count);
+    }
+
+    #[test]
+    fn pipeline_registers_present() {
+        let n = or1200_if();
+        assert!(n.find_net("if_insn[15]").is_some());
+        assert!(n.find_net("pc[0]").is_some());
+        assert!(n.find_gate("pc_reg_0").is_some());
+    }
+}

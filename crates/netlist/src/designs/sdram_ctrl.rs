@@ -1,0 +1,329 @@
+//! Synthetic SDRAM controller, architecturally modelled on the classic
+//! OpenCores `sdr_ctrl`-style designs: a main command FSM, a refresh
+//! interval counter, command/bank decode, address multiplexing and timing
+//! counters.
+
+use crate::netlist::Netlist;
+use crate::synth::{Synth, Word};
+
+// Main FSM state encoding (4 bits).
+const ST_INIT: u64 = 0x0;
+const ST_PRECHARGE: u64 = 0x1;
+const ST_AUTO_REFRESH: u64 = 0x2;
+const ST_LOAD_MODE: u64 = 0x3;
+const ST_IDLE: u64 = 0x4;
+const ST_ACTIVATE: u64 = 0x5;
+const ST_RCD: u64 = 0x6;
+const ST_READ: u64 = 0x7;
+const ST_WRITE: u64 = 0x8;
+const ST_CAS_LATENCY: u64 = 0x9;
+const ST_BURST: u64 = 0xA;
+const ST_WAIT_TRP: u64 = 0xB;
+
+/// Builds the SDRAM controller benchmark design.
+///
+/// Interface (all synchronous to the implicit clock):
+///
+/// * `rst` — synchronous reset;
+/// * `req`, `we` — host request strobe and write-enable;
+/// * `addr[12:0]` — host address (row/column multiplexed inside);
+/// * `wdata[7:0]` — host write data;
+/// * outputs: SDRAM command pins (`cs_n`, `ras_n`, `cas_n`, `we_n`),
+///   `ba[1:0]`, `sdram_addr[12:0]`, `dq_out[7:0]`, `ready`, `refresh_ack`.
+pub fn sdram_ctrl() -> Netlist {
+    let mut s = Synth::new("sdram_ctrl");
+
+    let rst = s.input_bit("rst");
+    let req = s.input_bit("req");
+    let we = s.input_bit("we");
+    let addr = s.input_word("addr", 13);
+    let wdata = s.input_word("wdata", 8);
+
+    // ---- state register and decode --------------------------------------
+    let state = s.reg_word("state", 4);
+    let st = s.decode(&state); // 16 one-hot lines, 12 used
+
+    let in_init = st[ST_INIT as usize];
+    let in_precharge = st[ST_PRECHARGE as usize];
+    let in_refresh = st[ST_AUTO_REFRESH as usize];
+    let in_load_mode = st[ST_LOAD_MODE as usize];
+    let in_idle = st[ST_IDLE as usize];
+    let in_activate = st[ST_ACTIVATE as usize];
+    let in_rcd = st[ST_RCD as usize];
+    let in_read = st[ST_READ as usize];
+    let in_write = st[ST_WRITE as usize];
+    let in_cas = st[ST_CAS_LATENCY as usize];
+    let in_burst = st[ST_BURST as usize];
+    let in_trp = st[ST_WAIT_TRP as usize];
+
+    // ---- refresh interval counter (10 bits) ------------------------------
+    let refresh_cnt = s.reg_word("refresh_cnt", 10);
+    let (refresh_next, _) = s.inc(&refresh_cnt);
+    // Refresh request when the counter tops out (all ones).
+    let refresh_due = s.reduce_and(refresh_cnt.bits());
+    // Counter clears when a refresh is granted.
+    let refresh_grant = s.and2(refresh_due, in_idle);
+    let clear_or_rst = s.or2(refresh_grant, rst);
+    let zero10 = s.const_word(0, 10);
+    let refresh_load = s.mux_word(clear_or_rst, &refresh_next, &zero10);
+    s.connect_reg("refresh_cnt", &refresh_cnt, &refresh_load, None, None);
+
+    // ---- init countdown (6 bits, counts down to 0 during ST_INIT) -------
+    let init_cnt = s.reg_word("init_cnt", 6);
+    let init_done = s.reduce_nor(init_cnt.bits());
+    // Decrement = add all-ones (two's complement -1).
+    let all_ones6 = s.const_word(0x3F, 6);
+    let zero_bit = s.zero();
+    let (init_dec, _) = s.add(&init_cnt, &all_ones6, zero_bit);
+    let hold_init = s.mux_word(in_init, &init_cnt, &init_dec);
+    let ones_on_rst = s.const_word(0x3F, 6);
+    let init_next = s.mux_word(rst, &hold_init, &ones_on_rst);
+    s.connect_reg("init_cnt", &init_cnt, &init_next, None, None);
+
+    // ---- timing counter (3 bits) for tRP/tRCD/CAS latency/burst ----------
+    let timer = s.reg_word("timer", 3);
+    let timer_zero = s.reduce_nor(timer.bits());
+    let all_ones3 = s.const_word(0b111, 3);
+    let (timer_dec, _) = s.add(&timer, &all_ones3, zero_bit);
+    // Timer reloads on state transitions that need a wait.
+    let entering_wait = {
+        let a = s.or2(in_activate, in_precharge);
+        let b = s.or2(in_refresh, in_cas);
+        s.or2(a, b)
+    };
+    let reload_value = s.const_word(0b011, 3);
+    let timer_hold = s.mux_word(timer_zero, &timer_dec, &timer);
+    let timer_next0 = s.mux_word(entering_wait, &timer_hold, &reload_value);
+    let zero3 = s.const_word(0, 3);
+    let timer_next = s.mux_word(rst, &timer_next0, &zero3);
+    s.connect_reg("timer", &timer, &timer_next, None, None);
+
+    // ---- burst counter (2 bits) ------------------------------------------
+    let burst_cnt = s.reg_word("burst_cnt", 2);
+    let burst_done = s.reduce_and(burst_cnt.bits());
+    let (burst_inc, _) = s.inc(&burst_cnt);
+    let burst_hold = s.mux_word(in_burst, &burst_cnt, &burst_inc);
+    let burst_clear = s.or2(rst, in_idle);
+    let zero2 = s.const_word(0, 2);
+    let burst_next = s.mux_word(burst_clear, &burst_hold, &zero2);
+    s.connect_reg("burst_cnt", &burst_cnt, &burst_next, None, None);
+
+    // ---- request latching -------------------------------------------------
+    let pending = s.reg_bit("pending");
+    let start = s.and2(req, in_idle);
+    let finishing = s.and2(in_burst, burst_done);
+    let not_finishing = s.not(finishing);
+    let keep_pending = s.and2(pending, not_finishing);
+    let pending_next0 = s.or2(start, keep_pending);
+    let not_rst = s.not(rst);
+    let pending_next = s.and2(pending_next0, not_rst);
+    {
+        let q = Word(vec![pending]);
+        let d = Word(vec![pending_next]);
+        s.connect_reg("pending", &q, &d, None, None);
+    }
+
+    let we_lat = s.reg_bit("we_lat");
+    let we_captured = s.mux2(start, we_lat, we);
+    {
+        let q = Word(vec![we_lat]);
+        let d = Word(vec![we_captured]);
+        s.connect_reg("we_lat", &q, &d, None, Some(rst));
+    }
+
+    // Latched row/column address and write data.
+    let addr_lat = s.reg_word("addr_lat", 13);
+    let addr_captured = s.mux_word(start, &addr_lat, &addr);
+    s.connect_reg("addr_lat", &addr_lat, &addr_captured, None, None);
+
+    let wdata_lat = s.reg_word("wdata_lat", 8);
+    let wdata_captured = s.mux_word(start, &wdata_lat, &wdata);
+    s.connect_reg("wdata_lat", &wdata_lat, &wdata_captured, None, None);
+
+    // Bank address derives from the two hot address bits.
+    let ba = s.reg_word("ba", 2);
+    let ba_src = Word(vec![addr.bit(11), addr.bit(12)]);
+    let ba_captured = s.mux_word(start, &ba, &ba_src);
+    s.connect_reg("ba", &ba, &ba_captured, None, Some(rst));
+
+    // ---- next-state logic --------------------------------------------------
+    // Encoded as a priority mux cascade over the current one-hot state.
+    let s_init = s.const_word(ST_INIT, 4);
+    let s_precharge = s.const_word(ST_PRECHARGE, 4);
+    let s_refresh = s.const_word(ST_AUTO_REFRESH, 4);
+    let s_load_mode = s.const_word(ST_LOAD_MODE, 4);
+    let s_idle = s.const_word(ST_IDLE, 4);
+    let s_activate = s.const_word(ST_ACTIVATE, 4);
+    let s_rcd = s.const_word(ST_RCD, 4);
+    let s_read = s.const_word(ST_READ, 4);
+    let s_write = s.const_word(ST_WRITE, 4);
+    let s_cas = s.const_word(ST_CAS_LATENCY, 4);
+    let s_burst = s.const_word(ST_BURST, 4);
+    let s_trp = s.const_word(ST_WAIT_TRP, 4);
+
+    // Default: stay put.
+    let mut next = state.clone();
+
+    // INIT -> PRECHARGE once the init counter expires.
+    let t = s.and2(in_init, init_done);
+    next = s.mux_word(t, &next, &s_precharge);
+
+    // PRECHARGE -> AUTO_REFRESH when timer expires.
+    let t = s.and2(in_precharge, timer_zero);
+    next = s.mux_word(t, &next, &s_refresh);
+
+    // AUTO_REFRESH -> LOAD_MODE (during init) or IDLE (during operation).
+    let refresh_exit = s.and2(in_refresh, timer_zero);
+    let t = s.and2(refresh_exit, init_done);
+    let after_refresh = s.mux_word(init_done, &s_load_mode, &s_idle);
+    next = s.mux_word(t, &next, &after_refresh);
+    // During init sequence (init not done yet) go to LOAD_MODE.
+    let not_init_done = s.not(init_done);
+    let t2 = s.and2(refresh_exit, not_init_done);
+    next = s.mux_word(t2, &next, &s_load_mode);
+
+    // LOAD_MODE -> IDLE.
+    next = s.mux_word(in_load_mode, &next, &s_idle);
+
+    // IDLE -> AUTO_REFRESH (priority) or ACTIVATE on request.
+    next = s.mux_word(refresh_grant, &next, &s_refresh);
+    let not_refresh = s.not(refresh_due);
+    let go_active0 = s.and2(in_idle, req);
+    let go_active = s.and2(go_active0, not_refresh);
+    next = s.mux_word(go_active, &next, &s_activate);
+
+    // ACTIVATE -> RCD wait; RCD -> READ or WRITE by latched we.
+    next = s.mux_word(in_activate, &next, &s_rcd);
+    let rcd_done = s.and2(in_rcd, timer_zero);
+    let rw_target = s.mux_word(we_lat, &s_read, &s_write);
+    next = s.mux_word(rcd_done, &next, &rw_target);
+
+    // READ -> CAS latency -> BURST; WRITE -> BURST directly.
+    next = s.mux_word(in_read, &next, &s_cas);
+    let cas_done = s.and2(in_cas, timer_zero);
+    next = s.mux_word(cas_done, &next, &s_burst);
+    next = s.mux_word(in_write, &next, &s_burst);
+
+    // BURST -> WAIT_TRP when the burst counter tops; WAIT_TRP -> IDLE.
+    next = s.mux_word(finishing, &next, &s_trp);
+    let trp_done = s.and2(in_trp, timer_zero);
+    next = s.mux_word(trp_done, &next, &s_idle);
+
+    // Synchronous reset to INIT.
+    let next_final = s.mux_word(rst, &next, &s_init);
+    s.connect_reg("state", &state, &next_final, None, None);
+
+    // ---- SDRAM command pin encode -----------------------------------------
+    // Command truth table (cs_n, ras_n, cas_n, we_n), active low.
+    let cmd_active = in_activate;
+    let cmd_read = s.and2(in_read, timer_zero);
+    let cmd_write = in_write;
+    let cmd_precharge = s.or2(in_precharge, in_trp);
+    let cmd_refresh = in_refresh;
+    let cmd_load_mode = in_load_mode;
+
+    let any_cmd = {
+        let a = s.or2(cmd_active, cmd_read);
+        let b = s.or2(cmd_write, cmd_precharge);
+        let c = s.or2(cmd_refresh, cmd_load_mode);
+        let ab = s.or2(a, b);
+        s.or2(ab, c)
+    };
+    let cs_n = s.not(any_cmd);
+
+    // ras_n low for ACTIVATE, PRECHARGE, REFRESH, LOAD_MODE.
+    let ras_active = {
+        let a = s.or2(cmd_active, cmd_precharge);
+        let b = s.or2(cmd_refresh, cmd_load_mode);
+        s.or2(a, b)
+    };
+    let ras_n = s.not(ras_active);
+
+    // cas_n low for READ, WRITE, REFRESH, LOAD_MODE.
+    let cas_active = {
+        let a = s.or2(cmd_read, cmd_write);
+        let b = s.or2(cmd_refresh, cmd_load_mode);
+        s.or2(a, b)
+    };
+    let cas_n = s.not(cas_active);
+
+    // we_n low for WRITE, PRECHARGE, LOAD_MODE.
+    let we_active = {
+        let a = s.or2(cmd_write, cmd_precharge);
+        s.or2(a, cmd_load_mode)
+    };
+    let we_n = s.not(we_active);
+
+    // ---- address mux: row during ACTIVATE, column during READ/WRITE -------
+    let col_phase = s.or2(in_read, in_write);
+    // Column address: low 9 bits of latched address, bit 10 = auto-precharge.
+    let mut col_bits = Vec::with_capacity(13);
+    for i in 0..13usize {
+        let bit = if i < 9 {
+            addr_lat.bit(i)
+        } else if i == 10 {
+            s.one()
+        } else {
+            s.zero()
+        };
+        col_bits.push(bit);
+    }
+    let col_addr = Word(col_bits);
+    let sdram_addr = s.mux_word(col_phase, &addr_lat, &col_addr);
+
+    // ---- data path: write data register drives dq_out during WRITE --------
+    let dq_gate = s.and2(cmd_write, pending);
+    let zero8 = s.const_word(0, 8);
+    let dq_out = s.mux_word(dq_gate, &zero8, &wdata_lat);
+
+    // Ready handshake back to the host.
+    let ready = s.and2(in_idle, not_refresh);
+    let refresh_ack = refresh_grant;
+
+    s.output_bit("cs_n", cs_n);
+    s.output_bit("ras_n", ras_n);
+    s.output_bit("cas_n", cas_n);
+    s.output_bit("we_n", we_n);
+    s.output_word("ba", &ba);
+    s.output_word("sdram_addr", &sdram_addr);
+    s.output_word("dq_out", &dq_out);
+    s.output_bit("ready", ready);
+    s.output_bit("refresh_ack", refresh_ack);
+
+    s.finish().expect("sdram_ctrl design is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn builds_and_validates() {
+        let n = sdram_ctrl();
+        assert_eq!(n.name(), "sdram_ctrl");
+        let stats = NetlistStats::of(&n);
+        assert!(stats.gate_count >= 400, "got {}", stats.gate_count);
+        assert!(stats.flip_flop_count >= 40, "got {}", stats.flip_flop_count);
+        assert!(stats.max_logic_depth >= 5);
+    }
+
+    #[test]
+    fn has_expected_interface() {
+        let n = sdram_ctrl();
+        assert!(n.find_net("rst").is_some());
+        assert!(n.find_net("addr[12]").is_some());
+        let outs: Vec<&str> = n.primary_outputs().iter().map(|(p, _)| p.as_str()).collect();
+        assert!(outs.contains(&"cs_n"));
+        assert!(outs.contains(&"ready"));
+        assert!(outs.contains(&"dq_out[7]"));
+    }
+
+    #[test]
+    fn cell_mix_is_diverse() {
+        let n = sdram_ctrl();
+        let hist = n.kind_histogram();
+        // Technology mapping should produce at least 8 distinct cell types.
+        assert!(hist.len() >= 8, "only {} cell kinds: {:?}", hist.len(), hist);
+    }
+}

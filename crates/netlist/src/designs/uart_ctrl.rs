@@ -1,0 +1,244 @@
+//! Synthetic UART controller — a fourth benchmark design beyond the
+//! paper's three, exercising a different archetype: two independent
+//! serial FSMs (transmit and receive) with baud-rate division and shift
+//! registers. UARTs are ubiquitous in automotive E/E diagnostics links,
+//! which makes the archetype a natural FuSa study.
+
+use crate::netlist::Netlist;
+use crate::synth::{Synth, Word};
+
+// TX FSM states (2 bits).
+const TX_IDLE: u64 = 0b00;
+const TX_START: u64 = 0b01;
+const TX_DATA: u64 = 0b10;
+const TX_STOP: u64 = 0b11;
+
+/// Builds the UART controller benchmark design.
+///
+/// Interface:
+///
+/// * `rst` — synchronous reset;
+/// * `tx_start`, `tx_data[7:0]` — transmit request;
+/// * `rx` — serial input line;
+/// * outputs: `tx` (serial out), `tx_busy`, `rx_data[7:0]`, `rx_valid`,
+///   `rx_frame_error`.
+pub fn uart_ctrl() -> Netlist {
+    let mut s = Synth::new("uart_ctrl");
+
+    let rst = s.input_bit("rst");
+    let tx_start = s.input_bit("tx_start");
+    let tx_data = s.input_word("tx_data", 8);
+    let rx = s.input_bit("rx");
+
+    let not_rst = s.not(rst);
+
+    // ---- baud-rate generator (4-bit divider, tick at wrap) -------------
+    let baud = s.reg_word("baud", 4);
+    let (baud_inc, _) = s.inc(&baud);
+    let tick = s.reduce_and(baud.bits());
+    let zero4 = s.const_word(0, 4);
+    let baud_wrap = s.mux_word(tick, &baud_inc, &zero4);
+    let baud_next = s.mux_word(rst, &baud_wrap, &zero4);
+    s.connect_reg("baud", &baud, &baud_next, None, None);
+
+    // ---- transmit FSM ----------------------------------------------------
+    let tx_state = s.reg_word("tx_state", 2);
+    let tx_st = s.decode(&tx_state);
+    let in_idle = tx_st[TX_IDLE as usize];
+    let in_start = tx_st[TX_START as usize];
+    let in_data = tx_st[TX_DATA as usize];
+    let in_stop = tx_st[TX_STOP as usize];
+
+    // Bit counter (3 bits) for the 8 data bits.
+    let tx_bit = s.reg_word("tx_bit", 3);
+    let tx_bit_last = s.reduce_and(tx_bit.bits());
+    let (tx_bit_inc, _) = s.inc(&tx_bit);
+    let advance_bit = s.and2(in_data, tick);
+    let tx_bit_step = s.mux_word(advance_bit, &tx_bit, &tx_bit_inc);
+    let clear_bits = s.or2(rst, in_idle);
+    let zero3 = s.const_word(0, 3);
+    let tx_bit_next = s.mux_word(clear_bits, &tx_bit_step, &zero3);
+    s.connect_reg("tx_bit", &tx_bit, &tx_bit_next, None, None);
+
+    // Transmit shift register loads on start, shifts right on tick.
+    let tx_shift = s.reg_word("tx_shift", 8);
+    let load = s.and2(in_idle, tx_start);
+    let mut shifted_bits = Vec::with_capacity(8);
+    for i in 0..8 {
+        let bit = if i < 7 { tx_shift.bit(i + 1) } else { s.zero() };
+        shifted_bits.push(bit);
+    }
+    let shifted = Word(shifted_bits);
+    let do_shift = s.and2(in_data, tick);
+    let held = s.mux_word(do_shift, &tx_shift, &shifted);
+    let tx_shift_next = s.mux_word(load, &held, &tx_data);
+    s.connect_reg("tx_shift", &tx_shift, &tx_shift_next, None, None);
+
+    // TX next-state logic.
+    let s_idle = s.const_word(TX_IDLE, 2);
+    let s_start = s.const_word(TX_START, 2);
+    let s_data = s.const_word(TX_DATA, 2);
+    let s_stop = s.const_word(TX_STOP, 2);
+    let mut tx_next = tx_state.clone();
+    tx_next = s.mux_word(load, &tx_next, &s_start);
+    let start_done = s.and2(in_start, tick);
+    tx_next = s.mux_word(start_done, &tx_next, &s_data);
+    let data_done = {
+        let t = s.and2(in_data, tick);
+        s.and2(t, tx_bit_last)
+    };
+    tx_next = s.mux_word(data_done, &tx_next, &s_stop);
+    let stop_done = s.and2(in_stop, tick);
+    tx_next = s.mux_word(stop_done, &tx_next, &s_idle);
+    let tx_next_final = s.mux_word(rst, &tx_next, &s_idle);
+    s.connect_reg("tx_state", &tx_state, &tx_next_final, None, None);
+
+    // Serial line: idle/stop high, start low, data from shifter LSB.
+    let line_data = tx_shift.bit(0);
+    let one = s.one();
+    let zero = s.zero();
+    let tx_line0 = s.mux2(in_start, one, zero);
+    let tx_line1 = s.mux2(in_data, tx_line0, line_data);
+    let tx = s.and2(tx_line1, not_rst);
+    let tx_busy = s.not(in_idle);
+
+    // ---- receive path ------------------------------------------------------
+    // 2-flop synchronizer on rx.
+    let rx_meta = s.reg_bit("rx_meta");
+    let rx_sync = s.reg_bit("rx_sync");
+    {
+        let q = Word(vec![rx_meta]);
+        let d = Word(vec![rx]);
+        s.connect_reg("rx_meta", &q, &d, None, None);
+        let q2 = Word(vec![rx_sync]);
+        let d2 = Word(vec![rx_meta]);
+        s.connect_reg("rx_sync", &q2, &d2, None, None);
+    }
+
+    // RX "receiving" flag plus bit counter; start on falling edge.
+    let receiving = s.reg_bit("receiving");
+    let not_sync = s.not(rx_sync);
+    let idle_rx = s.not(receiving);
+    let start_edge = s.and2(idle_rx, not_sync);
+
+    let rx_bit = s.reg_word("rx_bit", 4);
+    let rx_done = s.eq_const(&rx_bit, 9); // start + 8 data sampled
+    let (rx_bit_inc, _) = s.inc(&rx_bit);
+    let sample = s.and2(receiving, tick);
+    let rx_bit_step = s.mux_word(sample, &rx_bit, &rx_bit_inc);
+    let rx_clear = {
+        let a = s.or2(rst, rx_done);
+        s.or2(a, start_edge)
+    };
+    let zero4b = s.const_word(0, 4);
+    let rx_bit_next = s.mux_word(rx_clear, &rx_bit_step, &zero4b);
+    s.connect_reg("rx_bit", &rx_bit, &rx_bit_next, None, None);
+
+    let keep_receiving = {
+        let not_done = s.not(rx_done);
+        s.and2(receiving, not_done)
+    };
+    let receiving_next0 = s.or2(start_edge, keep_receiving);
+    let receiving_next = s.and2(receiving_next0, not_rst);
+    {
+        let q = Word(vec![receiving]);
+        let d = Word(vec![receiving_next]);
+        s.connect_reg("receiving", &q, &d, None, None);
+    }
+
+    // Receive shift register: sample rx_sync into MSB on each tick.
+    let rx_shift = s.reg_word("rx_shift", 8);
+    let mut rx_shift_bits = Vec::with_capacity(8);
+    for i in 0..8 {
+        let bit = if i < 7 { rx_shift.bit(i + 1) } else { rx_sync };
+        rx_shift_bits.push(bit);
+    }
+    let rx_shifted = Word(rx_shift_bits);
+    let rx_shift_next = s.mux_word(sample, &rx_shift, &rx_shifted);
+    s.connect_reg("rx_shift", &rx_shift, &rx_shift_next, None, None);
+
+    // Received byte latches when the 9th sample (last data bit) lands;
+    // the stop bit arrives one bit-time later, so its check waits for
+    // the next baud tick via the `rx_pending` flag.
+    let rx_data_reg = s.reg_word("rx_data_r", 8);
+    let frame_end = s.and2(receiving, rx_done);
+    let rx_data_next = s.mux_word(frame_end, &rx_data_reg, &rx_shift);
+    s.connect_reg("rx_data_r", &rx_data_reg, &rx_data_next, None, None);
+
+    let rx_pending = s.reg_bit("rx_pending");
+    let stop_check = s.and2(rx_pending, tick);
+    {
+        let not_check = s.not(stop_check);
+        let hold_pending = s.and2(rx_pending, not_check);
+        let pending_next0 = s.or2(frame_end, hold_pending);
+        let pending_next = s.and2(pending_next0, not_rst);
+        let q = Word(vec![rx_pending]);
+        let d = Word(vec![pending_next]);
+        s.connect_reg("rx_pending", &q, &d, None, None);
+    }
+
+    let rx_valid = s.reg_bit("rx_valid_r");
+    {
+        let valid_next0 = s.and2(stop_check, rx_sync);
+        let valid_next = s.and2(valid_next0, not_rst);
+        let q = Word(vec![rx_valid]);
+        let d = Word(vec![valid_next]);
+        s.connect_reg("rx_valid_r", &q, &d, None, None);
+    }
+    let frame_error = {
+        let bad_stop = s.not(rx_sync);
+        s.and2(stop_check, bad_stop)
+    };
+
+    s.output_bit("tx", tx);
+    s.output_bit("tx_busy", tx_busy);
+    s.output_word("rx_data", &rx_data_reg);
+    s.output_bit("rx_valid", rx_valid);
+    s.output_bit("rx_frame_error", frame_error);
+
+    s.finish().expect("uart_ctrl design is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn builds_and_validates() {
+        let n = uart_ctrl();
+        assert_eq!(n.name(), "uart_ctrl");
+        let stats = NetlistStats::of(&n);
+        assert!(stats.gate_count >= 200, "got {}", stats.gate_count);
+        assert!(stats.flip_flop_count >= 25, "got {}", stats.flip_flop_count);
+    }
+
+    #[test]
+    fn interface_ports_exist() {
+        let n = uart_ctrl();
+        let outs: Vec<&str> = n.primary_outputs().iter().map(|(p, _)| p.as_str()).collect();
+        for port in ["tx", "tx_busy", "rx_valid", "rx_frame_error", "rx_data[7]"] {
+            assert!(outs.contains(&port), "missing {port}");
+        }
+        assert!(n.find_net("tx_data[7]").is_some());
+    }
+
+    #[test]
+    fn tx_busy_is_driven_by_state_logic() {
+        // Behavioural checks live in the logicsim/faultsim integration
+        // tests (dependency direction); here assert the structural
+        // wiring: tx_busy must be gate-driven with real fanin.
+        let n = uart_ctrl();
+        let busy_net = n
+            .primary_outputs()
+            .iter()
+            .find(|(p, _)| p == "tx_busy")
+            .map(|(_, net)| *net)
+            .unwrap();
+        let driver = match n.net(busy_net).driver {
+            Some(crate::netlist::Driver::Gate(g)) => g,
+            _ => panic!("tx_busy driven by a gate"),
+        };
+        assert!(!n.fanin_of_gate(driver).is_empty());
+    }
+}

@@ -1,0 +1,489 @@
+//! The standard-cell gate library.
+//!
+//! Cell names follow the compact conventions used in classic ASIC libraries
+//! (and in Table 2 of the paper): `IV` (inverter), `ND2`…`ND4` (NAND),
+//! `NR2`…`NR4` (NOR), `AO21`/`AO22` (AND-OR), `AOI21`/`AOI22`
+//! (AND-OR-INVERT), `MUX2`, `DFF` variants, and so on.
+
+use crate::netlist::NetId;
+use std::fmt;
+
+/// Stable identifier of a gate instance within a [`crate::Netlist`].
+///
+/// `GateId`s index into [`crate::Netlist::gates`] and double as the graph
+/// node ids used by the downstream GCN pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub u32);
+
+impl GateId {
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The logic function of a gate instance.
+///
+/// Sequential cells (`Dff*`) latch their data input on the implicit rising
+/// clock edge handled by the simulator; combinational cells are pure
+/// Boolean functions of their inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Non-inverting buffer: `Z = A`.
+    Buf,
+    /// Inverter: `Z = !A`.
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 4-input AND.
+    And4,
+    /// 2-input OR.
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 4-input OR.
+    Or4,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 4-input NOR.
+    Nor4,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer: `Z = S ? B : A` with inputs `[A, B, S]`.
+    Mux2,
+    /// AND-OR 2-1: `Z = (A & B) | C` with inputs `[A, B, C]`.
+    Ao21,
+    /// AND-OR 2-2: `Z = (A & B) | (C & D)` with inputs `[A, B, C, D]`.
+    Ao22,
+    /// AND-OR-INVERT 2-1: `Z = !((A & B) | C)`.
+    Aoi21,
+    /// AND-OR-INVERT 2-2: `Z = !((A & B) | (C & D))`.
+    Aoi22,
+    /// OR-AND-INVERT 2-1: `Z = !((A | B) & C)`.
+    Oai21,
+    /// OR-AND-INVERT 2-2: `Z = !((A | B) & (C | D))`.
+    Oai22,
+    /// Constant logic 0 driver.
+    Tie0,
+    /// Constant logic 1 driver.
+    Tie1,
+    /// D flip-flop: input `[D]`, latches `D` at the clock edge.
+    Dff,
+    /// D flip-flop with synchronous active-high reset: inputs `[D, R]`;
+    /// when `R = 1` the register loads 0 instead of `D`.
+    Dffr,
+    /// D flip-flop with active-high enable: inputs `[D, E]`;
+    /// when `E = 0` the register holds its value.
+    Dffe,
+    /// D flip-flop with enable and synchronous reset: inputs `[D, E, R]`.
+    /// Reset dominates enable.
+    Dffre,
+}
+
+/// All gate kinds, in declaration order. Useful for exhaustive tests.
+pub const ALL_GATE_KINDS: [GateKind; 29] = [
+    GateKind::Buf,
+    GateKind::Inv,
+    GateKind::And2,
+    GateKind::And3,
+    GateKind::And4,
+    GateKind::Or2,
+    GateKind::Or3,
+    GateKind::Or4,
+    GateKind::Nand2,
+    GateKind::Nand3,
+    GateKind::Nand4,
+    GateKind::Nor2,
+    GateKind::Nor3,
+    GateKind::Nor4,
+    GateKind::Xor2,
+    GateKind::Xnor2,
+    GateKind::Mux2,
+    GateKind::Ao21,
+    GateKind::Ao22,
+    GateKind::Aoi21,
+    GateKind::Aoi22,
+    GateKind::Oai21,
+    GateKind::Oai22,
+    GateKind::Tie0,
+    GateKind::Tie1,
+    GateKind::Dff,
+    GateKind::Dffr,
+    GateKind::Dffe,
+    GateKind::Dffre,
+];
+
+impl GateKind {
+    /// Number of input pins the cell requires.
+    pub fn num_inputs(self) -> usize {
+        match self {
+            GateKind::Tie0 | GateKind::Tie1 => 0,
+            GateKind::Buf | GateKind::Inv | GateKind::Dff => 1,
+            GateKind::And2
+            | GateKind::Or2
+            | GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::Xor2
+            | GateKind::Xnor2
+            | GateKind::Dffr
+            | GateKind::Dffe => 2,
+            GateKind::And3
+            | GateKind::Or3
+            | GateKind::Nand3
+            | GateKind::Nor3
+            | GateKind::Mux2
+            | GateKind::Ao21
+            | GateKind::Aoi21
+            | GateKind::Oai21
+            | GateKind::Dffre => 3,
+            GateKind::And4
+            | GateKind::Or4
+            | GateKind::Nand4
+            | GateKind::Nor4
+            | GateKind::Ao22
+            | GateKind::Aoi22
+            | GateKind::Oai22 => 4,
+        }
+    }
+
+    /// `true` for cells whose output is a negation of the implemented
+    /// AND/OR/parity term — the "Boolean inverting tag" node feature
+    /// (§3.1.4 of the paper).
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Inv
+                | GateKind::Nand2
+                | GateKind::Nand3
+                | GateKind::Nand4
+                | GateKind::Nor2
+                | GateKind::Nor3
+                | GateKind::Nor4
+                | GateKind::Xnor2
+                | GateKind::Aoi21
+                | GateKind::Aoi22
+                | GateKind::Oai21
+                | GateKind::Oai22
+        )
+    }
+
+    /// `true` for clocked storage elements.
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            GateKind::Dff | GateKind::Dffr | GateKind::Dffe | GateKind::Dffre
+        )
+    }
+
+    /// `true` for constant drivers (`TIE0`/`TIE1`).
+    pub fn is_constant(self) -> bool {
+        matches!(self, GateKind::Tie0 | GateKind::Tie1)
+    }
+
+    /// Library cell name, as written in structural Verilog.
+    pub fn cell_name(self) -> &'static str {
+        match self {
+            GateKind::Buf => "BUF",
+            GateKind::Inv => "IV",
+            GateKind::And2 => "AN2",
+            GateKind::And3 => "AN3",
+            GateKind::And4 => "AN4",
+            GateKind::Or2 => "OR2",
+            GateKind::Or3 => "OR3",
+            GateKind::Or4 => "OR4",
+            GateKind::Nand2 => "ND2",
+            GateKind::Nand3 => "ND3",
+            GateKind::Nand4 => "ND4",
+            GateKind::Nor2 => "NR2",
+            GateKind::Nor3 => "NR3",
+            GateKind::Nor4 => "NR4",
+            GateKind::Xor2 => "EO2",
+            GateKind::Xnor2 => "EN2",
+            GateKind::Mux2 => "MUX2",
+            GateKind::Ao21 => "AO21",
+            GateKind::Ao22 => "AO22",
+            GateKind::Aoi21 => "AOI21",
+            GateKind::Aoi22 => "AOI22",
+            GateKind::Oai21 => "OAI21",
+            GateKind::Oai22 => "OAI22",
+            GateKind::Tie0 => "TIE0",
+            GateKind::Tie1 => "TIE1",
+            GateKind::Dff => "DFF",
+            GateKind::Dffr => "DFFR",
+            GateKind::Dffe => "DFFE",
+            GateKind::Dffre => "DFFRE",
+        }
+    }
+
+    /// Resolves a library cell name back to its [`GateKind`].
+    ///
+    /// Returns `None` for identifiers outside the library.
+    pub fn from_cell_name(name: &str) -> Option<GateKind> {
+        ALL_GATE_KINDS
+            .iter()
+            .copied()
+            .find(|kind| kind.cell_name() == name)
+    }
+
+    /// Names of the input pins, in the order the inputs are stored.
+    pub fn input_pin_names(self) -> &'static [&'static str] {
+        const ABCD: [&str; 4] = ["A", "B", "C", "D"];
+        match self {
+            GateKind::Tie0 | GateKind::Tie1 => &[],
+            GateKind::Dff => &["D"],
+            GateKind::Dffr => &["D", "R"],
+            GateKind::Dffe => &["D", "E"],
+            GateKind::Dffre => &["D", "E", "R"],
+            GateKind::Mux2 => &["A", "B", "S"],
+            _ => &ABCD[..self.num_inputs()],
+        }
+    }
+
+    /// Name of the output pin (`Q` for flops, `Z` otherwise).
+    pub fn output_pin_name(self) -> &'static str {
+        if self.is_sequential() {
+            "Q"
+        } else {
+            "Z"
+        }
+    }
+
+    /// Combinational Boolean function of the cell.
+    ///
+    /// For sequential cells this computes the *next-state* value from
+    /// `[D, (E), (R)]` inputs and the current state `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval_bool(self, inputs: &[bool], q: bool) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs(),
+            "gate {:?} expects {} inputs, got {}",
+            self,
+            self.num_inputs(),
+            inputs.len()
+        );
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Inv => !inputs[0],
+            GateKind::And2 | GateKind::And3 | GateKind::And4 => inputs.iter().all(|&x| x),
+            GateKind::Or2 | GateKind::Or3 | GateKind::Or4 => inputs.iter().any(|&x| x),
+            GateKind::Nand2 | GateKind::Nand3 | GateKind::Nand4 => !inputs.iter().all(|&x| x),
+            GateKind::Nor2 | GateKind::Nor3 | GateKind::Nor4 => !inputs.iter().any(|&x| x),
+            GateKind::Xor2 => inputs[0] ^ inputs[1],
+            GateKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            GateKind::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            GateKind::Ao21 => (inputs[0] && inputs[1]) || inputs[2],
+            GateKind::Ao22 => (inputs[0] && inputs[1]) || (inputs[2] && inputs[3]),
+            GateKind::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
+            GateKind::Aoi22 => !((inputs[0] && inputs[1]) || (inputs[2] && inputs[3])),
+            GateKind::Oai21 => !((inputs[0] || inputs[1]) && inputs[2]),
+            GateKind::Oai22 => !((inputs[0] || inputs[1]) && (inputs[2] || inputs[3])),
+            GateKind::Tie0 => false,
+            GateKind::Tie1 => true,
+            GateKind::Dff => inputs[0],
+            GateKind::Dffr => {
+                if inputs[1] {
+                    false
+                } else {
+                    inputs[0]
+                }
+            }
+            GateKind::Dffe => {
+                if inputs[1] {
+                    inputs[0]
+                } else {
+                    q
+                }
+            }
+            GateKind::Dffre => {
+                if inputs[2] {
+                    false
+                } else if inputs[1] {
+                    inputs[0]
+                } else {
+                    q
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.cell_name())
+    }
+}
+
+/// A gate instance: a cell of some [`GateKind`] with connected input nets
+/// and a single output net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Instance name, e.g. `U393` or `state_reg_0`.
+    pub name: String,
+    /// Logic function of the instance.
+    pub kind: GateKind,
+    /// Connected input nets, in pin order.
+    pub inputs: Vec<NetId>,
+    /// The net driven by this gate's output pin.
+    pub output: NetId,
+}
+
+impl Gate {
+    /// Total pin count: inputs plus the single output.
+    pub fn pin_count(&self) -> usize {
+        self.inputs.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_names_round_trip() {
+        for kind in ALL_GATE_KINDS {
+            assert_eq!(GateKind::from_cell_name(kind.cell_name()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn unknown_cell_name_is_none() {
+        assert_eq!(GateKind::from_cell_name("BOGUS9"), None);
+    }
+
+    #[test]
+    fn pin_name_counts_match_arity() {
+        for kind in ALL_GATE_KINDS {
+            assert_eq!(kind.input_pin_names().len(), kind.num_inputs());
+        }
+    }
+
+    #[test]
+    fn nand_is_inverted_and() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(
+                    GateKind::Nand2.eval_bool(&[a, b], false),
+                    !GateKind::And2.eval_bool(&[a, b], false)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nor_is_inverted_or() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(
+                    GateKind::Nor2.eval_bool(&[a, b], false),
+                    !GateKind::Or2.eval_bool(&[a, b], false)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xnor_is_inverted_xor() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(
+                    GateKind::Xnor2.eval_bool(&[a, b], false),
+                    !GateKind::Xor2.eval_bool(&[a, b], false)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects_b_when_high() {
+        assert!(GateKind::Mux2.eval_bool(&[false, true, true], false));
+        assert!(!GateKind::Mux2.eval_bool(&[false, true, false], false));
+    }
+
+    #[test]
+    fn aoi_cells_are_inverted_ao() {
+        for bits in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(
+                GateKind::Aoi22.eval_bool(&v, false),
+                !GateKind::Ao22.eval_bool(&v, false)
+            );
+            assert_eq!(
+                GateKind::Aoi21.eval_bool(&v[..3], false),
+                !GateKind::Ao21.eval_bool(&v[..3], false)
+            );
+        }
+    }
+
+    #[test]
+    fn oai21_truth_table() {
+        // Z = !((A|B) & C)
+        assert!(GateKind::Oai21.eval_bool(&[false, false, true], false));
+        assert!(!GateKind::Oai21.eval_bool(&[true, false, true], false));
+        assert!(GateKind::Oai21.eval_bool(&[true, true, false], false));
+    }
+
+    #[test]
+    fn ties_are_constant() {
+        assert!(!GateKind::Tie0.eval_bool(&[], false));
+        assert!(GateKind::Tie1.eval_bool(&[], true));
+    }
+
+    #[test]
+    fn dff_next_state_semantics() {
+        // Plain DFF follows D.
+        assert!(GateKind::Dff.eval_bool(&[true], false));
+        // Reset dominates.
+        assert!(!GateKind::Dffr.eval_bool(&[true, true], true));
+        assert!(GateKind::Dffr.eval_bool(&[true, false], false));
+        // Enable gates the load.
+        assert!(!GateKind::Dffe.eval_bool(&[true, false], false));
+        assert!(GateKind::Dffe.eval_bool(&[true, true], false));
+        // DFFRE: reset beats enable.
+        assert!(!GateKind::Dffre.eval_bool(&[true, true, true], true));
+        assert!(GateKind::Dffre.eval_bool(&[true, true, false], false));
+        assert!(GateKind::Dffre.eval_bool(&[false, false, false], true));
+    }
+
+    #[test]
+    fn inverting_tag_matches_de_morgan_pairs() {
+        assert!(GateKind::Nand2.is_inverting());
+        assert!(!GateKind::And2.is_inverting());
+        assert!(GateKind::Aoi22.is_inverting());
+        assert!(!GateKind::Ao22.is_inverting());
+        assert!(!GateKind::Mux2.is_inverting());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics() {
+        GateKind::And2.eval_bool(&[true], false);
+    }
+}

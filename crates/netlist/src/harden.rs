@@ -1,0 +1,240 @@
+//! Selective TMR hardening — the "fortification" the paper's analysis
+//! prioritizes (§1: criticality scores "enable prioritizing resources
+//! towards critical nodes").
+//!
+//! [`tmr_protect`] triplicates chosen gates and votes their outputs
+//! with a 2-of-3 majority, so any single fault inside a protected
+//! triplet is masked. Protected flip-flops vote on the feedback path,
+//! which also self-heals transient upsets. The hardened design is
+//! functionally identical to the original (asserted by tests and the
+//! `hardening` benchmark, which re-runs the fault campaign to show the
+//! criticality drop).
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::{GateId, GateKind};
+use crate::netlist::{Driver, NetId, Netlist};
+use std::collections::HashSet;
+
+/// Triplicates `gates` with majority voting on their outputs.
+///
+/// Every other gate, the primary inputs and the primary outputs are
+/// copied unchanged; a protected gate's fanout now reads the voter's
+/// output net, which keeps all original net names stable.
+///
+/// # Errors
+///
+/// Propagates validation errors from rebuilding the netlist (none are
+/// expected for a valid input).
+///
+/// # Example
+///
+/// ```
+/// use fusa_netlist::{designs, harden::tmr_protect, GateId};
+///
+/// # fn main() -> Result<(), fusa_netlist::NetlistError> {
+/// let original = designs::or1200_icfsm();
+/// let hardened = tmr_protect(&original, &[GateId(0), GateId(1)])?;
+/// // 2 gates became 3 copies + 2 voter cells each: +8 gates.
+/// assert_eq!(hardened.gate_count(), original.gate_count() + 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn tmr_protect(netlist: &Netlist, gates: &[GateId]) -> Result<Netlist, NetlistError> {
+    let protect: HashSet<GateId> = gates.iter().copied().collect();
+    let mut b = NetlistBuilder::new(format!("{}_tmr", netlist.name()));
+
+    // Recreate all nets by name so ids stay stable relative to lookups.
+    let net_of = |b: &mut NetlistBuilder, id: NetId| -> NetId {
+        b.net(netlist.net(id).name.clone())
+    };
+
+    for &input in netlist.primary_inputs() {
+        let name = netlist.net(input).name.clone();
+        b.primary_input(name);
+    }
+
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let id = GateId(i as u32);
+        let inputs: Vec<NetId> = gate.inputs.iter().map(|&n| net_of(&mut b, n)).collect();
+        let output = net_of(&mut b, gate.output);
+        if !protect.contains(&id) {
+            b.gate_driving(gate.name.clone(), gate.kind, &inputs, output);
+            continue;
+        }
+        // Three copies on fresh nets. Bit-select characters are folded
+        // out of the derived names so they stay parseable Verilog
+        // identifiers (`state[0]` -> `state_0_tmr_a`).
+        let base = flatten_name(&netlist.net(gate.output).name);
+        let mut copies = Vec::with_capacity(3);
+        for suffix in ["a", "b", "c"] {
+            let copy_out = b.net(format!("{base}_tmr_{suffix}"));
+            b.gate_driving(
+                format!("{}_tmr_{suffix}", gate.name),
+                gate.kind,
+                &inputs,
+                copy_out,
+            );
+            copies.push(copy_out);
+        }
+        // Majority vote: (a & b) | (c & (a | b)), driving the original
+        // output net so fanout is untouched. Explicit net names avoid
+        // colliding with the original design's anonymous nets.
+        let ab_or = b.net(format!("{base}_tmr_ab"));
+        b.gate_driving(
+            format!("{}_vote_or", gate.name),
+            GateKind::Or2,
+            &[copies[0], copies[1]],
+            ab_or,
+        );
+        b.gate_driving(
+            format!("{}_vote", gate.name),
+            GateKind::Ao22,
+            &[copies[0], copies[1], copies[2], ab_or],
+            output,
+        );
+    }
+
+    for (port, net) in netlist.primary_outputs() {
+        let id = b.net(netlist.net(*net).name.clone());
+        b.primary_output(port.clone(), id);
+    }
+    b.finish()
+}
+
+/// Folds bit-select brackets out of a net name so derived identifiers
+/// stay lexable (`state[0]` -> `state_0`).
+fn flatten_name(name: &str) -> String {
+    name.chars()
+        .filter(|&c| c != ']')
+        .map(|c| if c == '[' { '_' } else { c })
+        .collect()
+}
+
+/// Gates added per protected gate (3 copies + OR + voter replace 1).
+pub const TMR_GATE_OVERHEAD: usize = 4;
+
+/// Estimates the area overhead (gate-count ratio) of protecting
+/// `protected` gates in a design of `total` gates.
+pub fn tmr_overhead(total: usize, protected: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    (total + protected * TMR_GATE_OVERHEAD) as f64 / total as f64
+}
+
+/// Returns the ids of the voter gates in a hardened design, one per
+/// protected original gate (by the `_vote` naming convention).
+pub fn voter_gates(hardened: &Netlist) -> Vec<GateId> {
+    hardened
+        .gates()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.name.ends_with("_vote"))
+        .map(|(i, _)| GateId(i as u32))
+        .collect()
+}
+
+/// `true` if the net is driven by a TMR copy or voter (hardening
+/// infrastructure rather than original logic).
+pub fn is_tmr_infrastructure(hardened: &Netlist, gate: GateId) -> bool {
+    let name = &hardened.gate(gate).name;
+    name.ends_with("_tmr_a")
+        || name.ends_with("_tmr_b")
+        || name.ends_with("_tmr_c")
+        || name.ends_with("_vote")
+        || name.ends_with("_vote_or")
+}
+
+/// Maps hardened-design gates back to original-design gates by name
+/// (voters map to the gate they protect; copies map to their original).
+pub fn original_gate_name(hardened_name: &str) -> &str {
+    for suffix in ["_tmr_a", "_tmr_b", "_tmr_c", "_vote_or", "_vote"] {
+        if let Some(stripped) = hardened_name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    hardened_name
+}
+
+/// Convenience: the driver gate of a net, if any.
+pub fn driver_gate(netlist: &Netlist, net: NetId) -> Option<GateId> {
+    match netlist.net(net).driver {
+        Some(Driver::Gate(g)) => Some(g),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.primary_input("a");
+        let c = b.primary_input("b");
+        let x = b.gate_named("X", GateKind::Nand2, &[a, c]);
+        let q = b.gate_named("R", GateKind::Dff, &[x]);
+        let z = b.gate_named("Z", GateKind::Inv, &[q]);
+        b.primary_output("z", z);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn gate_count_overhead_is_four_per_protected_gate() {
+        let original = sample();
+        let target = original.find_gate("X").unwrap();
+        let hardened = tmr_protect(&original, &[target]).unwrap();
+        assert_eq!(
+            hardened.gate_count(),
+            original.gate_count() + TMR_GATE_OVERHEAD
+        );
+        assert!(hardened.find_gate("X_tmr_a").is_some());
+        assert!(hardened.find_gate("X_vote").is_some());
+        assert!((tmr_overhead(100, 10) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn protecting_nothing_is_structural_identity() {
+        let original = sample();
+        let hardened = tmr_protect(&original, &[]).unwrap();
+        assert_eq!(original.gate_count(), hardened.gate_count());
+        assert_eq!(original.kind_histogram(), hardened.kind_histogram());
+    }
+
+    #[test]
+    fn infrastructure_classification_and_name_mapping() {
+        let original = sample();
+        let target = original.find_gate("R").unwrap();
+        let hardened = tmr_protect(&original, &[target]).unwrap();
+        let voters = voter_gates(&hardened);
+        assert_eq!(voters.len(), 1);
+        assert!(is_tmr_infrastructure(&hardened, voters[0]));
+        let untouched = hardened.find_gate("X").unwrap();
+        assert!(!is_tmr_infrastructure(&hardened, untouched));
+        assert_eq!(original_gate_name("R_tmr_b"), "R");
+        assert_eq!(original_gate_name("R_vote"), "R");
+        assert_eq!(original_gate_name("X"), "X");
+    }
+
+    #[test]
+    fn hardened_designs_stay_verilog_parseable() {
+        // Protect a register whose output net carries a bit select.
+        let original = crate::designs::or1200_icfsm();
+        let target = original.find_gate("state_reg_0").unwrap();
+        let hardened = tmr_protect(&original, &[target]).unwrap();
+        let text = crate::writer::write_verilog(&hardened);
+        let reparsed = crate::parser::parse_verilog(&text)
+            .unwrap_or_else(|e| panic!("hardened netlist must reparse: {e}"));
+        assert_eq!(reparsed.gate_count(), hardened.gate_count());
+    }
+
+    #[test]
+    fn protected_flop_keeps_sequential_count_times_three() {
+        let original = sample();
+        let target = original.find_gate("R").unwrap();
+        let hardened = tmr_protect(&original, &[target]).unwrap();
+        assert_eq!(hardened.sequential_gates().len(), 3);
+    }
+}

@@ -1,0 +1,368 @@
+//! The validated netlist intermediate representation.
+
+use crate::gate::{Gate, GateId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stable identifier of a net (wire) within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The single source driving a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Driver {
+    /// The net is a primary input of the design.
+    PrimaryInput,
+    /// The net is driven by the output pin of a gate.
+    Gate(GateId),
+}
+
+/// A named wire in the design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Declared name (`n42`, `addr[3]`, …).
+    pub name: String,
+    /// The unique driver; validated netlists have `Some` for every net.
+    pub driver: Option<Driver>,
+}
+
+/// An immutable, validated gate-level netlist.
+///
+/// Invariants guaranteed by [`crate::NetlistBuilder::finish`]:
+///
+/// * every net has exactly one driver (a primary input or one gate output),
+/// * every gate's input count matches its cell arity,
+/// * the combinational subgraph is acyclic (flip-flops break cycles),
+/// * the design has at least one primary output,
+/// * fanout maps are consistent with gate input connections.
+///
+/// # Example
+///
+/// ```
+/// use fusa_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), fusa_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("half_adder");
+/// let a = b.primary_input("a");
+/// let c = b.primary_input("b");
+/// let sum = b.gate(GateKind::Xor2, &[a, c]);
+/// let carry = b.gate(GateKind::And2, &[a, c]);
+/// b.primary_output("sum", sum);
+/// b.primary_output("carry", carry);
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) outputs: Vec<(String, NetId)>,
+    /// For each net, the gates reading it (fanout destinations).
+    pub(crate) net_fanout: Vec<Vec<GateId>>,
+    /// Whether each net is a primary output.
+    pub(crate) is_output: Vec<bool>,
+}
+
+impl Netlist {
+    /// The design (module) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nets, indexed by [`NetId`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All gate instances, indexed by [`GateId`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate instance with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Primary input nets, in declaration order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as `(port name, net)` pairs, in declaration order.
+    pub fn primary_outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// Number of gate instances.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Gates that read the given net.
+    pub fn fanout_of_net(&self, net: NetId) -> &[GateId] {
+        &self.net_fanout[net.index()]
+    }
+
+    /// Gates reading the output net of `gate` — its structural fanout.
+    pub fn fanout_of_gate(&self, gate: GateId) -> &[GateId] {
+        self.fanout_of_net(self.gates[gate.index()].output)
+    }
+
+    /// Gate ids driving the inputs of `gate` — its structural fanin.
+    /// Primary-input-driven pins contribute nothing.
+    pub fn fanin_of_gate(&self, gate: GateId) -> Vec<GateId> {
+        self.gates[gate.index()]
+            .inputs
+            .iter()
+            .filter_map(|&net| match self.nets[net.index()].driver {
+                Some(Driver::Gate(g)) => Some(g),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total connection count of a gate: fanin pins plus fanout readers
+    /// plus 1 if the gate drives a primary output.
+    ///
+    /// This is the "Number of connections" node feature (§3.1.1).
+    pub fn connection_count(&self, gate: GateId) -> usize {
+        let g = &self.gates[gate.index()];
+        let output_bonus = usize::from(self.is_output[g.output.index()]);
+        g.inputs.len() + self.fanout_of_gate(gate).len() + output_bonus
+    }
+
+    /// `true` if the net is a primary output of the design.
+    pub fn is_primary_output(&self, net: NetId) -> bool {
+        self.is_output[net.index()]
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// Looks up a gate instance by name.
+    pub fn find_gate(&self, name: &str) -> Option<GateId> {
+        self.gates
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GateId(i as u32))
+    }
+
+    /// Ids of all sequential (flip-flop) gates.
+    pub fn sequential_gates(&self) -> Vec<GateId> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind.is_sequential())
+            .map(|(i, _)| GateId(i as u32))
+            .collect()
+    }
+
+    /// Ids of all combinational gates.
+    pub fn combinational_gates(&self) -> Vec<GateId> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.kind.is_sequential())
+            .map(|(i, _)| GateId(i as u32))
+            .collect()
+    }
+
+    /// Histogram of gate kinds, keyed by cell name.
+    pub fn kind_histogram(&self) -> HashMap<&'static str, usize> {
+        let mut histogram = HashMap::new();
+        for gate in &self.gates {
+            *histogram.entry(gate.kind.cell_name()).or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    /// Fraction of gates that are sequential.
+    pub fn sequential_fraction(&self) -> f64 {
+        if self.gates.is_empty() {
+            return 0.0;
+        }
+        let seq = self.gates.iter().filter(|g| g.kind.is_sequential()).count();
+        seq as f64 / self.gates.len() as f64
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates, {} nets, {} inputs, {} outputs",
+            self.name,
+            self.gate_count(),
+            self.net_count(),
+            self.inputs.len(),
+            self.outputs.len()
+        )
+    }
+}
+
+/// Convenience: iterate gate ids of a netlist.
+pub fn gate_ids(netlist: &Netlist) -> impl Iterator<Item = GateId> + '_ {
+    (0..netlist.gate_count() as u32).map(GateId)
+}
+
+/// Convenience: iterate net ids of a netlist.
+pub fn net_ids(netlist: &Netlist) -> impl Iterator<Item = NetId> + '_ {
+    (0..netlist.net_count() as u32).map(NetId)
+}
+
+/// Returns `true` if the gate is on the transitive fanin cone of any
+/// primary output (i.e. a fault on it could in principle be observed).
+pub fn in_output_cone(netlist: &Netlist, gate: GateId) -> bool {
+    // Reverse BFS from primary outputs over gate connectivity.
+    let mut on_cone = vec![false; netlist.gate_count()];
+    let mut stack: Vec<GateId> = Vec::new();
+    for (_, net) in netlist.primary_outputs() {
+        if let Some(Driver::Gate(g)) = netlist.net(*net).driver {
+            if !on_cone[g.index()] {
+                on_cone[g.index()] = true;
+                stack.push(g);
+            }
+        }
+    }
+    while let Some(g) = stack.pop() {
+        if g == gate {
+            return true;
+        }
+        for pred in netlist.fanin_of_gate(g) {
+            if !on_cone[pred.index()] {
+                on_cone[pred.index()] = true;
+                stack.push(pred);
+            }
+        }
+    }
+    on_cone[gate.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::gate::GateKind;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.primary_input("a");
+        let bb = b.primary_input("b");
+        let x = b.gate_named("U1", GateKind::Nand2, &[a, bb]);
+        let y = b.gate_named("U2", GateKind::Inv, &[x]);
+        b.primary_output("y", y);
+        b.finish().expect("tiny netlist is valid")
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let n = tiny();
+        let text = n.to_string();
+        assert!(text.contains("2 gates"));
+        assert!(text.contains("tiny"));
+    }
+
+    #[test]
+    fn fanout_and_fanin_are_consistent() {
+        let n = tiny();
+        let u1 = n.find_gate("U1").unwrap();
+        let u2 = n.find_gate("U2").unwrap();
+        assert_eq!(n.fanout_of_gate(u1), &[u2]);
+        assert_eq!(n.fanin_of_gate(u2), vec![u1]);
+        assert!(n.fanin_of_gate(u1).is_empty());
+    }
+
+    #[test]
+    fn connection_count_includes_output_bonus() {
+        let n = tiny();
+        let u1 = n.find_gate("U1").unwrap();
+        let u2 = n.find_gate("U2").unwrap();
+        // U1: 2 fanin pins + 1 reader (U2), not a PO.
+        assert_eq!(n.connection_count(u1), 3);
+        // U2: 1 fanin pin + 0 readers + PO bonus.
+        assert_eq!(n.connection_count(u2), 2);
+    }
+
+    #[test]
+    fn find_net_and_gate_by_name() {
+        let n = tiny();
+        assert!(n.find_net("a").is_some());
+        assert!(n.find_net("nonexistent").is_none());
+        assert!(n.find_gate("U1").is_some());
+        assert!(n.find_gate("U99").is_none());
+    }
+
+    #[test]
+    fn output_cone_membership() {
+        let mut b = NetlistBuilder::new("cone");
+        let a = b.primary_input("a");
+        let live = b.gate_named("LIVE", GateKind::Inv, &[a]);
+        let _dead = b.gate_named("DEAD", GateKind::Inv, &[a]);
+        b.primary_output("z", live);
+        let n = b.finish().unwrap();
+        assert!(in_output_cone(&n, n.find_gate("LIVE").unwrap()));
+        assert!(!in_output_cone(&n, n.find_gate("DEAD").unwrap()));
+    }
+
+    #[test]
+    fn sequential_partition() {
+        let mut b = NetlistBuilder::new("seq");
+        let a = b.primary_input("a");
+        let q = b.gate(GateKind::Dff, &[a]);
+        let z = b.gate(GateKind::Inv, &[q]);
+        b.primary_output("z", z);
+        let n = b.finish().unwrap();
+        assert_eq!(n.sequential_gates().len(), 1);
+        assert_eq!(n.combinational_gates().len(), 1);
+        assert!((n.sequential_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kind_histogram_counts_cells() {
+        let n = tiny();
+        let h = n.kind_histogram();
+        assert_eq!(h.get("ND2"), Some(&1));
+        assert_eq!(h.get("IV"), Some(&1));
+    }
+}

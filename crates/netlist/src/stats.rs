@@ -1,0 +1,139 @@
+//! Summary statistics over a netlist, used in reports and EXPERIMENTS.md.
+
+use crate::netlist::Netlist;
+use crate::topo::Levelizer;
+use std::fmt;
+
+/// Aggregate structural statistics of a design.
+///
+/// # Example
+///
+/// ```
+/// use fusa_netlist::{designs, NetlistStats};
+///
+/// let stats = NetlistStats::of(&designs::or1200_icfsm());
+/// assert!(stats.flip_flop_count > 0);
+/// assert!(stats.max_logic_depth > 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Module name of the design.
+    pub name: String,
+    /// Total number of gate instances.
+    pub gate_count: usize,
+    /// Number of nets.
+    pub net_count: usize,
+    /// Number of primary inputs.
+    pub input_count: usize,
+    /// Number of primary outputs.
+    pub output_count: usize,
+    /// Number of sequential cells.
+    pub flip_flop_count: usize,
+    /// Deepest combinational path, in gate levels.
+    pub max_logic_depth: u32,
+    /// Mean connection count over all gates (fanin + fanout).
+    pub mean_connections: f64,
+    /// Largest fanout of any single gate.
+    pub max_fanout: usize,
+    /// Fraction of gates with the inverting tag set.
+    pub inverting_fraction: f64,
+    /// Number of combinational loops (always 0 for validated netlists).
+    pub combinational_loops: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a validated netlist.
+    pub fn of(netlist: &Netlist) -> NetlistStats {
+        let gate_count = netlist.gate_count();
+        let levelized = Levelizer::levelize(netlist);
+        let mut total_connections = 0usize;
+        let mut max_fanout = 0usize;
+        let mut inverting = 0usize;
+        let mut flip_flops = 0usize;
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            let id = crate::gate::GateId(i as u32);
+            total_connections += netlist.connection_count(id);
+            max_fanout = max_fanout.max(netlist.fanout_of_gate(id).len());
+            if gate.kind.is_inverting() {
+                inverting += 1;
+            }
+            if gate.kind.is_sequential() {
+                flip_flops += 1;
+            }
+        }
+        NetlistStats {
+            name: netlist.name().to_string(),
+            gate_count,
+            net_count: netlist.net_count(),
+            input_count: netlist.primary_inputs().len(),
+            output_count: netlist.primary_outputs().len(),
+            flip_flop_count: flip_flops,
+            max_logic_depth: levelized.max_level(),
+            mean_connections: if gate_count == 0 {
+                0.0
+            } else {
+                total_connections as f64 / gate_count as f64
+            },
+            max_fanout,
+            inverting_fraction: if gate_count == 0 {
+                0.0
+            } else {
+                inverting as f64 / gate_count as f64
+            },
+            combinational_loops: 0,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design {}", self.name)?;
+        writeln!(
+            f,
+            "  gates {} | nets {} | PI {} | PO {} | FF {}",
+            self.gate_count, self.net_count, self.input_count, self.output_count,
+            self.flip_flop_count
+        )?;
+        write!(
+            f,
+            "  depth {} | mean conn {:.2} | max fanout {} | inverting {:.1}%",
+            self.max_logic_depth,
+            self.mean_connections,
+            self.max_fanout,
+            self.inverting_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn stats_of_small_design() {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.primary_input("a");
+        let c = b.primary_input("b");
+        let x = b.gate(GateKind::Nand2, &[a, c]);
+        let q = b.gate(GateKind::Dff, &[x]);
+        b.primary_output("q", q);
+        let stats = NetlistStats::of(&b.finish().unwrap());
+        assert_eq!(stats.gate_count, 2);
+        assert_eq!(stats.flip_flop_count, 1);
+        assert_eq!(stats.input_count, 2);
+        assert_eq!(stats.output_count, 1);
+        assert!((stats.inverting_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_name() {
+        let mut b = NetlistBuilder::new("pretty");
+        let a = b.primary_input("a");
+        let z = b.gate(GateKind::Inv, &[a]);
+        b.primary_output("z", z);
+        let stats = NetlistStats::of(&b.finish().unwrap());
+        assert!(stats.to_string().contains("pretty"));
+    }
+}

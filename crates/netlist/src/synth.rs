@@ -1,0 +1,618 @@
+//! Word-level synthesis builder.
+//!
+//! [`Synth`] layers register-transfer-style operations (words, adders,
+//! muxes, comparators, registers, one-hot decoders) on top of
+//! [`NetlistBuilder`], lowering everything to the standard-cell library in
+//! [`crate::gate`]. It plays the role Synopsys Design Vision plays in the
+//! paper's flow: turning an RTL description into a gate-level netlist with
+//! realistic cell mix and topology.
+//!
+//! Lowering deliberately varies cell choices (e.g. AND sometimes becomes
+//! `ND2`+`IV`) so synthesized designs exhibit the cell diversity of real
+//! technology mapping, which in turn exercises the "Boolean inverting tag"
+//! node feature.
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+
+/// A little-endian bundle of nets representing a multi-bit value.
+///
+/// Bit 0 of the word is the least-significant bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word(pub Vec<NetId>);
+
+impl Word {
+    /// Width of the word in bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The net carrying bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> NetId {
+        self.0[i]
+    }
+
+    /// Borrows the underlying nets, LSB first.
+    pub fn bits(&self) -> &[NetId] {
+        &self.0
+    }
+
+    /// A sub-word of bits `lo..hi` (exclusive `hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, hi: usize) -> Word {
+        Word(self.0[lo..hi].to_vec())
+    }
+}
+
+impl From<Vec<NetId>> for Word {
+    fn from(bits: Vec<NetId>) -> Self {
+        Word(bits)
+    }
+}
+
+/// Word-level synthesis front end producing gate-level netlists.
+///
+/// # Example
+///
+/// ```
+/// use fusa_netlist::Synth;
+///
+/// # fn main() -> Result<(), fusa_netlist::NetlistError> {
+/// let mut s = Synth::new("adder4");
+/// let a = s.input_word("a", 4);
+/// let b = s.input_word("b", 4);
+/// let zero = s.zero();
+/// let (sum, carry) = s.add(&a, &b, zero);
+/// s.output_word("sum", &sum);
+/// s.output_bit("carry", carry);
+/// let netlist = s.finish()?;
+/// assert!(netlist.gate_count() > 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Synth {
+    builder: NetlistBuilder,
+    zero: Option<NetId>,
+    one: Option<NetId>,
+    /// Round-robin seed that varies technology-mapping choices.
+    style: u64,
+}
+
+impl Synth {
+    /// Starts a new design.
+    pub fn new(name: impl Into<String>) -> Self {
+        Synth {
+            builder: NetlistBuilder::new(name),
+            zero: None,
+            one: None,
+            style: 0,
+        }
+    }
+
+    /// Access to the underlying gate-level builder for custom cells.
+    pub fn builder_mut(&mut self) -> &mut NetlistBuilder {
+        &mut self.builder
+    }
+
+    fn vary(&mut self) -> u64 {
+        self.style = self.style.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.style >> 33
+    }
+
+    /// The shared constant-0 net (a `TIE0` cell, created on first use).
+    pub fn zero(&mut self) -> NetId {
+        if let Some(z) = self.zero {
+            return z;
+        }
+        let z = self.builder.gate(GateKind::Tie0, &[]);
+        self.zero = Some(z);
+        z
+    }
+
+    /// The shared constant-1 net (a `TIE1` cell, created on first use).
+    pub fn one(&mut self) -> NetId {
+        if let Some(o) = self.one {
+            return o;
+        }
+        let o = self.builder.gate(GateKind::Tie1, &[]);
+        self.one = Some(o);
+        o
+    }
+
+    /// Declares a scalar primary input.
+    pub fn input_bit(&mut self, name: impl Into<String>) -> NetId {
+        self.builder.primary_input(name)
+    }
+
+    /// Declares a `width`-bit primary input, bits named `name[i]`.
+    pub fn input_word(&mut self, name: &str, width: usize) -> Word {
+        Word(
+            (0..width)
+                .map(|i| self.builder.primary_input(format!("{name}[{i}]")))
+                .collect(),
+        )
+    }
+
+    /// Declares a scalar primary output.
+    pub fn output_bit(&mut self, name: impl Into<String>, net: NetId) {
+        self.builder.primary_output(name, net);
+    }
+
+    /// Declares a `width`-bit primary output, ports named `name[i]`.
+    pub fn output_word(&mut self, name: &str, word: &Word) {
+        for (i, &bit) in word.bits().iter().enumerate() {
+            self.builder.primary_output(format!("{name}[{i}]"), bit);
+        }
+    }
+
+    /// A constant word of the given width.
+    pub fn const_word(&mut self, value: u64, width: usize) -> Word {
+        Word(
+            (0..width)
+                .map(|i| {
+                    if value & (1 << i) != 0 {
+                        self.one()
+                    } else {
+                        self.zero()
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    // ---- bit-level operators -------------------------------------------
+
+    /// Logical NOT.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.builder.gate(GateKind::Inv, &[a])
+    }
+
+    /// Logical AND; technology mapping alternates `AN2` with `ND2`+`IV`.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        if self.vary().is_multiple_of(3) {
+            self.builder.gate(GateKind::And2, &[a, b])
+        } else {
+            let n = self.builder.gate(GateKind::Nand2, &[a, b]);
+            self.builder.gate(GateKind::Inv, &[n])
+        }
+    }
+
+    /// Logical OR; technology mapping alternates `OR2` with `NR2`+`IV`.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        if self.vary().is_multiple_of(3) {
+            self.builder.gate(GateKind::Or2, &[a, b])
+        } else {
+            let n = self.builder.gate(GateKind::Nor2, &[a, b]);
+            self.builder.gate(GateKind::Inv, &[n])
+        }
+    }
+
+    /// Logical NAND.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.builder.gate(GateKind::Nand2, &[a, b])
+    }
+
+    /// Logical NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.builder.gate(GateKind::Nor2, &[a, b])
+    }
+
+    /// Logical XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.builder.gate(GateKind::Xor2, &[a, b])
+    }
+
+    /// Logical XNOR.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.builder.gate(GateKind::Xnor2, &[a, b])
+    }
+
+    /// 2:1 mux: `s ? b : a`. Mapping alternates `MUX2` with `AOI22`+`IV`.
+    pub fn mux2(&mut self, s: NetId, a: NetId, b: NetId) -> NetId {
+        if self.vary().is_multiple_of(2) {
+            self.builder.gate(GateKind::Mux2, &[a, b, s])
+        } else {
+            let ns = self.builder.gate(GateKind::Inv, &[s]);
+            let aoi = self.builder.gate(GateKind::Aoi22, &[a, ns, b, s]);
+            self.builder.gate(GateKind::Inv, &[aoi])
+        }
+    }
+
+    /// `(a & b) | c` via an `AO21` cell.
+    pub fn ao21(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.builder.gate(GateKind::Ao21, &[a, b, c])
+    }
+
+    /// `(a & b) | (c & d)` via an `AO22` cell.
+    pub fn ao22(&mut self, a: NetId, b: NetId, c: NetId, d: NetId) -> NetId {
+        self.builder.gate(GateKind::Ao22, &[a, b, c, d])
+    }
+
+    /// AND-reduce an arbitrary set of nets using 4/3/2-input gates.
+    pub fn reduce_and(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce(nets, GateKind::And4, GateKind::And3, GateKind::And2)
+    }
+
+    /// OR-reduce an arbitrary set of nets using 4/3/2-input gates.
+    pub fn reduce_or(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce(nets, GateKind::Or4, GateKind::Or3, GateKind::Or2)
+    }
+
+    /// NOR-reduce: `!(a | b | …)`, i.e. "all bits zero".
+    pub fn reduce_nor(&mut self, nets: &[NetId]) -> NetId {
+        let any = self.reduce_or(nets);
+        self.not(any)
+    }
+
+    /// XOR-reduce (parity) over a balanced tree of `EO2` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets` is empty.
+    pub fn reduce_xor(&mut self, nets: &[NetId]) -> NetId {
+        assert!(!nets.is_empty(), "cannot reduce an empty set of nets");
+        let mut layer: Vec<NetId> = nets.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len() / 2 + 1);
+            let mut chunk = layer.as_slice();
+            while !chunk.is_empty() {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                    chunk = &chunk[1..];
+                } else {
+                    next.push(self.xor2(chunk[0], chunk[1]));
+                    chunk = &chunk[2..];
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    fn reduce(&mut self, nets: &[NetId], g4: GateKind, g3: GateKind, g2: GateKind) -> NetId {
+        assert!(!nets.is_empty(), "cannot reduce an empty set of nets");
+        let mut layer: Vec<NetId> = nets.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len() / 2 + 1);
+            let mut chunk = layer.as_slice();
+            while !chunk.is_empty() {
+                match chunk.len() {
+                    1 => {
+                        next.push(chunk[0]);
+                        chunk = &chunk[1..];
+                    }
+                    2 => {
+                        next.push(self.builder.gate(g2, &chunk[..2]));
+                        chunk = &chunk[2..];
+                    }
+                    3 => {
+                        next.push(self.builder.gate(g3, &chunk[..3]));
+                        chunk = &chunk[3..];
+                    }
+                    _ => {
+                        next.push(self.builder.gate(g4, &chunk[..4]));
+                        chunk = &chunk[4..];
+                    }
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    // ---- word-level operators ------------------------------------------
+
+    /// Bitwise NOT over a word.
+    pub fn not_word(&mut self, a: &Word) -> Word {
+        Word(a.bits().iter().map(|&bit| self.not(bit)).collect())
+    }
+
+    /// Bitwise AND over equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn and_word(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        Word(
+            a.bits()
+                .iter()
+                .zip(b.bits())
+                .map(|(&x, &y)| self.and2(x, y))
+                .collect(),
+        )
+    }
+
+    /// Bitwise OR over equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn or_word(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        Word(
+            a.bits()
+                .iter()
+                .zip(b.bits())
+                .map(|(&x, &y)| self.or2(x, y))
+                .collect(),
+        )
+    }
+
+    /// Bitwise XOR over equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn xor_word(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        Word(
+            a.bits()
+                .iter()
+                .zip(b.bits())
+                .map(|(&x, &y)| self.xor2(x, y))
+                .collect(),
+        )
+    }
+
+    /// Word-level 2:1 mux: `s ? b : a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn mux_word(&mut self, s: NetId, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        Word(
+            a.bits()
+                .iter()
+                .zip(b.bits())
+                .map(|(&x, &y)| self.mux2(s, x, y))
+                .collect(),
+        )
+    }
+
+    /// Ripple-carry addition. Returns `(sum, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn add(&mut self, a: &Word, b: &Word, carry_in: NetId) -> (Word, NetId) {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        let mut carry = carry_in;
+        let mut sum = Vec::with_capacity(a.width());
+        for (&x, &y) in a.bits().iter().zip(b.bits()) {
+            let p = self.xor2(x, y);
+            sum.push(self.xor2(p, carry));
+            // carry_out = (x & y) | (p & carry), a textbook AO22.
+            carry = self.ao22(x, y, p, carry);
+        }
+        (Word(sum), carry)
+    }
+
+    /// Increment-by-one. Returns `(value + 1, overflow)`.
+    pub fn inc(&mut self, a: &Word) -> (Word, NetId) {
+        let mut carry = self.one();
+        let mut sum = Vec::with_capacity(a.width());
+        for &x in a.bits() {
+            sum.push(self.xor2(x, carry));
+            carry = self.and2(x, carry);
+        }
+        (Word(sum), carry)
+    }
+
+    /// Equality comparator between two words: XNOR per bit, AND-reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn eq_word(&mut self, a: &Word, b: &Word) -> NetId {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        let bits: Vec<NetId> = a
+            .bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| self.xnor2(x, y))
+            .collect();
+        self.reduce_and(&bits)
+    }
+
+    /// Equality against a constant: matches set bits directly and clear
+    /// bits through inverters, AND-reduced.
+    pub fn eq_const(&mut self, a: &Word, value: u64) -> NetId {
+        let bits: Vec<NetId> = a
+            .bits()
+            .iter()
+            .enumerate()
+            .map(|(i, &bit)| {
+                if value & (1 << i) != 0 {
+                    bit
+                } else {
+                    self.not(bit)
+                }
+            })
+            .collect();
+        self.reduce_and(&bits)
+    }
+
+    /// Full one-hot decode of a word: returns `2^width` select lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 8` (256 lines), a sanity bound for test designs.
+    pub fn decode(&mut self, a: &Word) -> Vec<NetId> {
+        assert!(a.width() <= 8, "decoder wider than 8 bits is unrealistic here");
+        (0..(1u64 << a.width()))
+            .map(|v| self.eq_const(a, v))
+            .collect()
+    }
+
+    // ---- registers -------------------------------------------------------
+
+    /// Declares a register output word whose driver is connected later via
+    /// [`Synth::connect_reg`]. This two-phase flow supports feedback
+    /// (state machines, counters).
+    pub fn reg_word(&mut self, name: &str, width: usize) -> Word {
+        Word(
+            (0..width)
+                .map(|i| self.builder.net(format!("{name}[{i}]")))
+                .collect(),
+        )
+    }
+
+    /// Declares a scalar register output for later connection.
+    pub fn reg_bit(&mut self, name: &str) -> NetId {
+        self.builder.net(name)
+    }
+
+    /// Connects register data inputs to previously declared outputs.
+    ///
+    /// `enable`/`reset` select the flip-flop flavour (`DFF`, `DFFE`,
+    /// `DFFR`, `DFFRE`). Reset is synchronous, active-high, clears to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` and `q` widths differ.
+    pub fn connect_reg(
+        &mut self,
+        name: &str,
+        q: &Word,
+        d: &Word,
+        enable: Option<NetId>,
+        reset: Option<NetId>,
+    ) {
+        assert_eq!(q.width(), d.width(), "register width mismatch");
+        for (i, (&qb, &db)) in q.bits().iter().zip(d.bits()).enumerate() {
+            let inst = format!("{name}_reg_{i}");
+            match (enable, reset) {
+                (None, None) => {
+                    self.builder.gate_driving(inst, GateKind::Dff, &[db], qb);
+                }
+                (Some(en), None) => {
+                    self.builder.gate_driving(inst, GateKind::Dffe, &[db, en], qb);
+                }
+                (None, Some(rst)) => {
+                    self.builder.gate_driving(inst, GateKind::Dffr, &[db, rst], qb);
+                }
+                (Some(en), Some(rst)) => {
+                    self.builder
+                        .gate_driving(inst, GateKind::Dffre, &[db, en, rst], qb);
+                }
+            }
+        }
+    }
+
+    /// One-step convenience: builds a register named `name` with next-state
+    /// `d`, returning the (already connected) output word. Only usable when
+    /// the next state does not depend on the register's own output.
+    pub fn register(&mut self, name: &str, d: &Word, enable: Option<NetId>, reset: Option<NetId>) -> Word {
+        let q = self.reg_word(&format!("{name}_q"), d.width());
+        self.connect_reg(name, &q, d, enable, reset);
+        q
+    }
+
+    /// Validates and freezes the synthesized design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NetlistError`] from validation (undriven register
+    /// outputs are the most common synthesis mistake).
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        self.builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_structure() {
+        let mut s = Synth::new("add2");
+        let a = s.input_word("a", 2);
+        let b = s.input_word("b", 2);
+        let zero = s.zero();
+        let (sum, carry) = s.add(&a, &b, zero);
+        s.output_word("s", &sum);
+        s.output_bit("co", carry);
+        let n = s.finish().unwrap();
+        assert_eq!(n.primary_inputs().len(), 4);
+        assert_eq!(n.primary_outputs().len(), 3);
+    }
+
+    #[test]
+    fn decoder_is_exhaustive() {
+        let mut s = Synth::new("dec2");
+        let a = s.input_word("a", 2);
+        let lines = s.decode(&a);
+        assert_eq!(lines.len(), 4);
+        for (i, &line) in lines.iter().enumerate() {
+            s.output_bit(format!("y{i}"), line);
+        }
+        assert!(s.finish().is_ok());
+    }
+
+    #[test]
+    fn register_feedback_counter_builds() {
+        let mut s = Synth::new("cnt2");
+        let rst = s.input_bit("rst");
+        let q = s.reg_word("count", 2);
+        let (next, _) = s.inc(&q);
+        s.connect_reg("count", &q, &next, None, Some(rst));
+        s.output_word("count", &q);
+        let n = s.finish().unwrap();
+        assert_eq!(n.sequential_gates().len(), 2);
+    }
+
+    #[test]
+    fn eq_const_width_one() {
+        let mut s = Synth::new("eqc");
+        let a = s.input_word("a", 3);
+        let hit = s.eq_const(&a, 0b101);
+        s.output_bit("hit", hit);
+        assert!(s.finish().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_widths_panic() {
+        let mut s = Synth::new("bad");
+        let a = s.input_word("a", 2);
+        let b = s.input_word("b", 3);
+        let _ = s.xor_word(&a, &b);
+    }
+
+    #[test]
+    fn shared_constants_are_reused() {
+        let mut s = Synth::new("c");
+        let z1 = s.zero();
+        let z2 = s.zero();
+        assert_eq!(z1, z2);
+        let w = s.const_word(0b10, 2);
+        s.output_word("w", &w);
+        let n = s.finish().unwrap();
+        let hist = n.kind_histogram();
+        assert_eq!(hist.get("TIE0").copied().unwrap_or(0), 1);
+        assert_eq!(hist.get("TIE1").copied().unwrap_or(0), 1);
+    }
+
+    #[test]
+    fn reduce_handles_all_small_sizes() {
+        for width in 1..=9usize {
+            let mut s = Synth::new(format!("red{width}"));
+            let a = s.input_word("a", width);
+            let all = s.reduce_and(a.bits());
+            s.output_bit("z", all);
+            assert!(s.finish().is_ok(), "width {width}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Topological ordering and levelization of the combinational subgraph.
+
+use crate::gate::GateId;
+use crate::netlist::{Driver, Netlist};
+
+/// A levelized evaluation order for the combinational gates of a design.
+///
+/// Level 0 gates depend only on primary inputs, flip-flop outputs and
+/// constants; level `k` gates depend on at least one level `k-1` gate.
+/// Evaluating gates level by level (or in [`LevelizedOrder::order`]) always
+/// observes up-to-date input values, which is what both the cycle-accurate
+/// simulator and the signal-probability estimator rely on.
+#[derive(Debug, Clone)]
+pub struct LevelizedOrder {
+    /// Combinational gates in a valid topological order.
+    order: Vec<GateId>,
+    /// Level of every gate (sequential gates get level 0).
+    levels: Vec<u32>,
+    /// Maximum combinational depth.
+    max_level: u32,
+}
+
+impl LevelizedOrder {
+    /// Combinational gates in dependency order.
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Logic level of the given gate (0 for flip-flops).
+    pub fn level(&self, gate: GateId) -> u32 {
+        self.levels[gate.index()]
+    }
+
+    /// Deepest combinational level in the design.
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Levels of all gates, indexed by gate id.
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+}
+
+/// Computes [`LevelizedOrder`]s for netlists.
+///
+/// # Example
+///
+/// ```
+/// use fusa_netlist::{GateKind, Levelizer, NetlistBuilder};
+///
+/// # fn main() -> Result<(), fusa_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("chain");
+/// let a = b.primary_input("a");
+/// let x = b.gate(GateKind::Inv, &[a]);
+/// let y = b.gate(GateKind::Inv, &[x]);
+/// b.primary_output("y", y);
+/// let netlist = b.finish()?;
+/// let order = Levelizer::levelize(&netlist);
+/// assert_eq!(order.max_level(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Levelizer;
+
+impl Levelizer {
+    /// Levelizes the combinational gates of `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop — validated
+    /// netlists never do.
+    pub fn levelize(netlist: &Netlist) -> LevelizedOrder {
+        let n = netlist.gate_count();
+        let mut levels = vec![0u32; n];
+        let mut indegree = vec![0usize; n];
+        let gates = netlist.gates();
+
+        for (i, gate) in gates.iter().enumerate() {
+            if gate.kind.is_sequential() {
+                continue;
+            }
+            indegree[i] = gate
+                .inputs
+                .iter()
+                .filter(|&&net| {
+                    matches!(
+                        netlist.net(net).driver,
+                        Some(Driver::Gate(g)) if !netlist.gate(g).kind.is_sequential()
+                    )
+                })
+                .count();
+        }
+
+        let mut queue: std::collections::VecDeque<usize> = (0..n)
+            .filter(|&i| !gates[i].kind.is_sequential() && indegree[i] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut max_level = 0u32;
+
+        while let Some(i) = queue.pop_front() {
+            order.push(GateId(i as u32));
+            max_level = max_level.max(levels[i]);
+            for &succ in netlist.fanout_of_gate(GateId(i as u32)) {
+                let s = succ.index();
+                if gates[s].kind.is_sequential() {
+                    continue;
+                }
+                levels[s] = levels[s].max(levels[i] + 1);
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+
+        let comb_total = gates.iter().filter(|g| !g.kind.is_sequential()).count();
+        assert_eq!(
+            order.len(),
+            comb_total,
+            "netlist contains a combinational loop; validate before levelizing"
+        );
+
+        LevelizedOrder {
+            order,
+            levels,
+            max_level,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn order_respects_dependencies() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.primary_input("a");
+        let c = b.primary_input("b");
+        let x = b.gate_named("X", GateKind::And2, &[a, c]);
+        let y = b.gate_named("Y", GateKind::Inv, &[x]);
+        let z = b.gate_named("Z", GateKind::Or2, &[y, a]);
+        b.primary_output("z", z);
+        let netlist = b.finish().unwrap();
+        let lev = Levelizer::levelize(&netlist);
+
+        let pos = |name: &str| {
+            let id = netlist.find_gate(name).unwrap();
+            lev.order().iter().position(|&g| g == id).unwrap()
+        };
+        assert!(pos("X") < pos("Y"));
+        assert!(pos("Y") < pos("Z"));
+        assert_eq!(lev.max_level(), 2);
+    }
+
+    #[test]
+    fn flop_outputs_are_sources() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.primary_input("a");
+        let q = b.gate_named("REG", GateKind::Dff, &[a]);
+        let z = b.gate_named("INV", GateKind::Inv, &[q]);
+        b.primary_output("z", z);
+        let netlist = b.finish().unwrap();
+        let lev = Levelizer::levelize(&netlist);
+        // Only the inverter is combinational; it sits at level 0.
+        assert_eq!(lev.order().len(), 1);
+        assert_eq!(lev.level(netlist.find_gate("INV").unwrap()), 0);
+    }
+
+    #[test]
+    fn diamond_reconvergence_levels() {
+        let mut b = NetlistBuilder::new("diamond");
+        let a = b.primary_input("a");
+        let top = b.gate_named("T", GateKind::Inv, &[a]);
+        let bottom = b.gate_named("B", GateKind::Buf, &[a]);
+        let join = b.gate_named("J", GateKind::And2, &[top, bottom]);
+        b.primary_output("z", join);
+        let netlist = b.finish().unwrap();
+        let lev = Levelizer::levelize(&netlist);
+        assert_eq!(lev.level(netlist.find_gate("T").unwrap()), 0);
+        assert_eq!(lev.level(netlist.find_gate("B").unwrap()), 0);
+        assert_eq!(lev.level(netlist.find_gate("J").unwrap()), 1);
+    }
+
+    #[test]
+    fn empty_combinational_part() {
+        let mut b = NetlistBuilder::new("regonly");
+        let a = b.primary_input("a");
+        let q = b.gate(GateKind::Dff, &[a]);
+        b.primary_output("q", q);
+        let netlist = b.finish().unwrap();
+        let lev = Levelizer::levelize(&netlist);
+        assert!(lev.order().is_empty());
+        assert_eq!(lev.max_level(), 0);
+    }
+}

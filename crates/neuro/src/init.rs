@@ -1,0 +1,70 @@
+//! Weight initialization schemes.
+
+use crate::matrix::Matrix;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Glorot/Xavier uniform initialization: samples each weight from
+/// `U(-limit, limit)` with `limit = sqrt(6 / (fan_in + fan_out))` — the
+/// scheme PyTorch uses for GCN layers.
+///
+/// # Example
+///
+/// ```
+/// use fusa_neuro::init::glorot_uniform;
+///
+/// let w = glorot_uniform(16, 32, 42);
+/// assert_eq!(w.shape(), (16, 32));
+/// let limit = (6.0f64 / 48.0).sqrt();
+/// assert!(w.as_slice().iter().all(|&x| x.abs() <= limit));
+/// ```
+pub fn glorot_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
+    Matrix::from_vec(fan_in, fan_out, data)
+}
+
+/// Scaled normal initialization: `N(0, scale²)`.
+pub fn normal(rows: usize, cols: usize, scale: f64, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| {
+            // Box-Muller transform.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            scale * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_respects_limit() {
+        let w = glorot_uniform(10, 20, 7);
+        let limit = (6.0 / 30.0f64).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn glorot_is_deterministic_per_seed() {
+        assert_eq!(glorot_uniform(4, 4, 1), glorot_uniform(4, 4, 1));
+        assert_ne!(glorot_uniform(4, 4, 1), glorot_uniform(4, 4, 2));
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let w = normal(100, 100, 1.0, 3);
+        let n = w.as_slice().len() as f64;
+        let mean: f64 = w.as_slice().iter().sum::<f64>() / n;
+        let var: f64 = w.as_slice().iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,491 @@
+//! Evaluation metrics: accuracy, confusion counts, ROC/AUC, correlation.
+
+/// Confusion counts for binary classification (class 1 = positive, i.e.
+/// "Critical" in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Correct positive predictions.
+    pub true_positive: usize,
+    /// Incorrect positive predictions.
+    pub false_positive: usize,
+    /// Correct negative predictions.
+    pub true_negative: usize,
+    /// Incorrect negative predictions.
+    pub false_negative: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Confusion {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => c.true_positive += 1,
+                (true, false) => c.false_positive += 1,
+                (false, false) => c.true_negative += 1,
+                (false, true) => c.false_negative += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.true_positive + self.false_positive + self.true_negative + self.false_negative
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positive + self.true_negative) as f64 / self.total() as f64
+    }
+
+    /// True positive rate (recall): TP / (TP + FN).
+    pub fn true_positive_rate(&self) -> f64 {
+        let denom = self.true_positive + self.false_negative;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positive as f64 / denom as f64
+    }
+
+    /// False positive rate: FP / (FP + TN).
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.false_positive + self.true_negative;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.false_positive as f64 / denom as f64
+    }
+
+    /// Precision: TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positive + self.false_positive;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positive as f64 / denom as f64
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.true_positive_rate();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Fraction of positions where `predicted[i] == actual[i]`.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn accuracy(predicted: &[bool], actual: &[bool]) -> f64 {
+    Confusion::from_predictions(predicted, actual).accuracy()
+}
+
+/// One point on a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Classifier score threshold that produces this point.
+    pub threshold: f64,
+    /// False positive rate at the threshold.
+    pub false_positive_rate: f64,
+    /// True positive rate at the threshold.
+    pub true_positive_rate: f64,
+}
+
+/// A receiver operating characteristic curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    /// Points ordered by increasing false positive rate, anchored at
+    /// `(0,0)` and `(1,1)`.
+    pub points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Computes the ROC curve for real-valued positive-class `scores`
+    /// against binary labels by sweeping every distinct score as a
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or empty input.
+    pub fn compute(scores: &[f64], labels: &[bool]) -> RocCurve {
+        assert_eq!(scores.len(), labels.len(), "length mismatch");
+        assert!(!scores.is_empty(), "cannot build ROC from no samples");
+        let positives = labels.iter().filter(|&&l| l).count();
+        let negatives = labels.len() - positives;
+
+        // Sort by descending score; sweep thresholds.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN scores"));
+
+        let mut points = vec![RocPoint {
+            threshold: f64::INFINITY,
+            false_positive_rate: 0.0,
+            true_positive_rate: 0.0,
+        }];
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0;
+        while i < order.len() {
+            let threshold = scores[order[i]];
+            // Consume all samples tied at this score.
+            while i < order.len() && scores[order[i]] == threshold {
+                if labels[order[i]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                threshold,
+                false_positive_rate: if negatives == 0 {
+                    0.0
+                } else {
+                    fp as f64 / negatives as f64
+                },
+                true_positive_rate: if positives == 0 {
+                    0.0
+                } else {
+                    tp as f64 / positives as f64
+                },
+            });
+        }
+        RocCurve { points }
+    }
+
+    /// Area under the curve via trapezoidal integration.
+    pub fn auc(&self) -> f64 {
+        let mut area = 0.0;
+        for pair in self.points.windows(2) {
+            let dx = pair[1].false_positive_rate - pair[0].false_positive_rate;
+            let avg_y = (pair[1].true_positive_rate + pair[0].true_positive_rate) / 2.0;
+            area += dx * avg_y;
+        }
+        area
+    }
+
+    /// Renders the curve as CSV (`threshold,fpr,tpr`).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("threshold,fpr,tpr\n");
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:.6},{:.6},{:.6}",
+                p.threshold, p.false_positive_rate, p.true_positive_rate
+            );
+        }
+        out
+    }
+}
+
+/// Convenience: AUC of `RocCurve::compute(scores, labels)`.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
+    RocCurve::compute(scores, labels).auc()
+}
+
+/// Pearson linear correlation coefficient.
+///
+/// Returns 0 for degenerate (constant) inputs.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(!x.is_empty(), "empty input");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman rank correlation (Pearson over average ranks; ties share the
+/// mean rank).
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    pearson(&ranks(x), &ranks(y))
+}
+
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN"));
+    let mut ranks = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let c = Confusion::from_predictions(
+            &[true, true, false, false],
+            &[true, false, false, true],
+        );
+        assert_eq!(c.true_positive, 1);
+        assert_eq!(c.false_positive, 1);
+        assert_eq!(c.true_negative, 1);
+        assert_eq!(c.false_negative, 1);
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.true_positive_rate(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    fn perfect_classifier_auc_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_classifier_auc_is_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(auc(&scores, &labels) < 1e-12);
+    }
+
+    #[test]
+    fn random_classifier_auc_near_half() {
+        // Deterministic interleaving: scores strictly alternate labels.
+        let scores: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let a = auc(&scores, &labels);
+        assert!((a - 0.5).abs() < 0.02, "auc {a}");
+    }
+
+    #[test]
+    fn tied_scores_form_single_point() {
+        let scores = [0.5, 0.5, 0.5];
+        let labels = [true, false, true];
+        let roc = RocCurve::compute(&scores, &labels);
+        // Anchor + one swept point.
+        assert_eq!(roc.points.len(), 2);
+        assert!((roc.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_endpoints_are_anchored() {
+        let roc = RocCurve::compute(&[0.3, 0.7], &[false, true]);
+        let first = roc.points.first().unwrap();
+        let last = roc.points.last().unwrap();
+        assert_eq!(
+            (first.false_positive_rate, first.true_positive_rate),
+            (0.0, 0.0)
+        );
+        assert_eq!(
+            (last.false_positive_rate, last.true_positive_rate),
+            (1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn pearson_of_linear_relation_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 8.0, 27.0, 64.0]; // cubic, but monotone
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_csv_has_header() {
+        let roc = RocCurve::compute(&[0.2, 0.8], &[false, true]);
+        let csv = roc.to_csv();
+        assert!(csv.starts_with("threshold,fpr,tpr"));
+        assert_eq!(csv.lines().count(), 1 + roc.points.len());
+    }
+}
+
+/// One point on a precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Score threshold producing this point.
+    pub threshold: f64,
+    /// Recall (true positive rate) at the threshold.
+    pub recall: f64,
+    /// Precision at the threshold.
+    pub precision: f64,
+}
+
+/// A precision-recall curve with its average precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrCurve {
+    /// Points ordered by increasing recall.
+    pub points: Vec<PrPoint>,
+}
+
+impl PrCurve {
+    /// Computes the PR curve by sweeping every distinct score as a
+    /// threshold (ties grouped), anchored at recall 0 / precision 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch, empty input, or no positive labels.
+    pub fn compute(scores: &[f64], labels: &[bool]) -> PrCurve {
+        assert_eq!(scores.len(), labels.len(), "length mismatch");
+        assert!(!scores.is_empty(), "cannot build PR curve from no samples");
+        let positives = labels.iter().filter(|&&l| l).count();
+        assert!(positives > 0, "PR curve needs at least one positive");
+
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN scores"));
+
+        let mut points = vec![PrPoint {
+            threshold: f64::INFINITY,
+            recall: 0.0,
+            precision: 1.0,
+        }];
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0;
+        while i < order.len() {
+            let threshold = scores[order[i]];
+            while i < order.len() && scores[order[i]] == threshold {
+                if labels[order[i]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(PrPoint {
+                threshold,
+                recall: tp as f64 / positives as f64,
+                precision: tp as f64 / (tp + fp) as f64,
+            });
+        }
+        PrCurve { points }
+    }
+
+    /// Average precision: the step-wise area under the PR curve
+    /// (`Σ (R_k − R_{k−1}) · P_k`, the scikit-learn definition).
+    pub fn average_precision(&self) -> f64 {
+        let mut area = 0.0;
+        for pair in self.points.windows(2) {
+            area += (pair[1].recall - pair[0].recall) * pair[1].precision;
+        }
+        area
+    }
+}
+
+/// Convenience: average precision of `PrCurve::compute(scores, labels)`.
+///
+/// # Panics
+///
+/// Same conditions as [`PrCurve::compute`].
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
+    PrCurve::compute(scores, labels).average_precision()
+}
+
+#[cfg(test)]
+mod pr_tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_low_ap() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        let ap = average_precision(&scores, &labels);
+        assert!(ap < 0.5, "ap {ap}");
+    }
+
+    #[test]
+    fn ap_equals_positive_rate_for_constant_scores() {
+        // All samples tie: one PR point at recall 1, precision = base rate.
+        let scores = [0.5; 8];
+        let labels = [true, false, true, false, false, false, true, false];
+        let ap = average_precision(&scores, &labels);
+        assert!((ap - 3.0 / 8.0).abs() < 1e-12, "ap {ap}");
+    }
+
+    #[test]
+    fn recall_is_monotone_along_the_curve() {
+        let scores = [0.9, 0.7, 0.7, 0.4, 0.2, 0.1];
+        let labels = [true, false, true, true, false, true];
+        let curve = PrCurve::compute(&scores, &labels);
+        for pair in curve.points.windows(2) {
+            assert!(pair[1].recall >= pair[0].recall);
+        }
+        assert!((curve.points.last().unwrap().recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive")]
+    fn all_negative_labels_panic() {
+        let _ = average_precision(&[0.5, 0.4], &[false, false]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Trainable parameters: a value matrix paired with its gradient.
+
+use crate::matrix::Matrix;
+
+/// A trainable parameter with an accumulated gradient of the same shape.
+///
+/// Layers accumulate into [`Param::grad`] during their backward pass;
+/// optimizers read the gradient and update [`Param::value`]; the training
+/// loop calls [`Param::zero_grad`] between steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient.
+    pub fn new(value: Matrix) -> Param {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Param { value, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.rows() * self.value.cols()
+    }
+
+    /// `true` for an empty (0-element) parameter.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accumulates `delta` into the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn accumulate_grad(&mut self, delta: &Matrix) {
+        assert_eq!(self.grad.shape(), delta.shape(), "gradient shape mismatch");
+        for (g, &d) in self.grad.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+            *g += d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Matrix::identity(2));
+        p.accumulate_grad(&Matrix::filled(2, 2, 1.0));
+        assert_eq!(p.grad.get(0, 0), 1.0);
+        p.zero_grad();
+        assert_eq!(p.grad.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut p = Param::new(Matrix::zeros(1, 2));
+        p.accumulate_grad(&Matrix::from_rows(&[&[1.0, 2.0]]));
+        p.accumulate_grad(&Matrix::from_rows(&[&[0.5, -1.0]]));
+        assert_eq!(p.grad.row(0), &[1.5, 1.0]);
+    }
+
+    #[test]
+    fn len_counts_scalars() {
+        let p = Param::new(Matrix::zeros(3, 4));
+        assert_eq!(p.len(), 12);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Seeded train/validation node splits.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A disjoint train/validation partition of node indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Node indices used for training.
+    pub train: Vec<usize>,
+    /// Node indices held out for validation.
+    pub validation: Vec<usize>,
+}
+
+impl Split {
+    /// Random split: `train_fraction` of `n` nodes train, the rest
+    /// validate (the paper's 80/20, §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not in `(0, 1)` or `n == 0`.
+    pub fn random(n: usize, train_fraction: f64, seed: u64) -> Split {
+        assert!(n > 0, "cannot split zero nodes");
+        assert!(
+            (0.0..1.0).contains(&train_fraction) && train_fraction > 0.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let cut = ((n as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, n - 1);
+        Split {
+            train: indices[..cut].to_vec(),
+            validation: indices[cut..].to_vec(),
+        }
+    }
+
+    /// Stratified split: preserves the positive/negative label ratio in
+    /// both partitions. Falls back to a plain random split within each
+    /// class.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Split::random`], or if
+    /// `labels.len() != n` is implied (labels define `n`).
+    pub fn stratified(labels: &[bool], train_fraction: f64, seed: u64) -> Split {
+        assert!(!labels.is_empty(), "cannot split zero nodes");
+        assert!(
+            (0.0..1.0).contains(&train_fraction) && train_fraction > 0.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut train = Vec::new();
+        let mut validation = Vec::new();
+        for class in [false, true] {
+            let mut members: Vec<usize> = labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == class)
+                .map(|(i, _)| i)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            members.shuffle(&mut rng);
+            let cut = (((members.len()) as f64) * train_fraction).round() as usize;
+            let cut = cut.clamp(
+                usize::from(members.len() > 1),
+                members.len() - usize::from(members.len() > 1),
+            );
+            train.extend_from_slice(&members[..cut]);
+            validation.extend_from_slice(&members[cut..]);
+        }
+        train.sort_unstable();
+        validation.sort_unstable();
+        Split { train, validation }
+    }
+
+    /// Total number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.validation.len()
+    }
+
+    /// `true` when both partitions are empty.
+    pub fn is_empty(&self) -> bool {
+        self.train.is_empty() && self.validation.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_split_is_disjoint_and_complete() {
+        let split = Split::random(100, 0.8, 7);
+        assert_eq!(split.train.len(), 80);
+        assert_eq!(split.validation.len(), 20);
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.validation)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_split_is_seeded() {
+        assert_eq!(Split::random(50, 0.8, 1), Split::random(50, 0.8, 1));
+        assert_ne!(Split::random(50, 0.8, 1), Split::random(50, 0.8, 2));
+    }
+
+    #[test]
+    fn stratified_preserves_class_balance() {
+        // 30 positives, 70 negatives.
+        let labels: Vec<bool> = (0..100).map(|i| i < 30).collect();
+        let split = Split::stratified(&labels, 0.8, 3);
+        let train_pos = split.train.iter().filter(|&&i| labels[i]).count();
+        let val_pos = split.validation.iter().filter(|&&i| labels[i]).count();
+        assert_eq!(train_pos, 24);
+        assert_eq!(val_pos, 6);
+        assert_eq!(split.len(), 100);
+    }
+
+    #[test]
+    fn stratified_keeps_rare_class_in_both_partitions() {
+        let mut labels = vec![false; 50];
+        labels[0] = true;
+        labels[1] = true;
+        let split = Split::stratified(&labels, 0.8, 9);
+        let train_pos = split.train.iter().filter(|&&i| labels[i]).count();
+        let val_pos = split.validation.iter().filter(|&&i| labels[i]).count();
+        assert!(train_pos >= 1, "train keeps at least one positive");
+        assert!(val_pos >= 1, "validation keeps at least one positive");
+    }
+
+    #[test]
+    fn tiny_split_never_empties_a_partition() {
+        let split = Split::random(2, 0.8, 4);
+        assert_eq!(split.train.len(), 1);
+        assert_eq!(split.validation.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn bad_fraction_panics() {
+        let _ = Split::random(10, 1.5, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Debugging a fault with waveforms: simulate the OR1200 ICFSM golden
+//! and with a stuck-at fault injected, dump both as VCD files (open in
+//! GTKWave/Surfer), and report where they diverge.
+//!
+//! ```sh
+//! cargo run --release --example fault_waveforms
+//! ```
+
+use fusa::logicsim::{Logic, Simulator, VcdRecorder, WorkloadConfig, WorkloadSuite};
+use fusa::netlist::designs::or1200_icfsm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = or1200_icfsm();
+
+    // Pick the fault: the FSM state register bit 0, stuck at 1.
+    let victim = design
+        .find_gate("state_reg_0")
+        .expect("state register exists");
+    let victim_net = design.gate(victim).output;
+    println!(
+        "injecting SA1 at {} (net {})",
+        design.gate(victim).name,
+        design.net(victim_net).name
+    );
+
+    let workload = &WorkloadSuite::generate(
+        &design,
+        &WorkloadConfig {
+            num_workloads: 1,
+            vectors_per_workload: 64,
+            ..Default::default()
+        },
+    )[0];
+
+    let mut golden = Simulator::new(&design);
+    let mut faulty = Simulator::new(&design);
+    faulty.force(victim_net, Logic::One);
+
+    let mut golden_vcd = VcdRecorder::all_nets(&design);
+    let mut faulty_vcd = VcdRecorder::all_nets(&design);
+    let mut first_divergence = None;
+
+    for (cycle, vector) in workload.vectors.iter().enumerate() {
+        let logic: Vec<Logic> = vector.iter().map(|&b| Logic::from_bool(b)).collect();
+        golden.set_inputs(&logic);
+        faulty.set_inputs(&logic);
+        golden.settle();
+        faulty.settle();
+        golden_vcd.sample(&golden);
+        faulty_vcd.sample(&faulty);
+        if first_divergence.is_none() && golden.output_values() != faulty.output_values() {
+            first_divergence = Some(cycle);
+        }
+        golden.clock();
+        faulty.clock();
+    }
+
+    match first_divergence {
+        Some(cycle) => println!("outputs first diverge at cycle {cycle}"),
+        None => println!("fault never reached an output in this workload"),
+    }
+
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/golden.vcd", golden_vcd.render())?;
+    std::fs::write("results/faulty.vcd", faulty_vcd.render())?;
+    println!("wrote results/golden.vcd and results/faulty.vcd ({} cycles)", golden_vcd.len());
+    Ok(())
+}

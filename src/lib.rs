@@ -1,0 +1,38 @@
+//! Umbrella crate for the DAC'24 fault-criticality reproduction.
+//!
+//! Re-exports every subsystem so examples and downstream users can depend
+//! on a single crate:
+//!
+//! * [`netlist`] — gate library, netlist IR, parser/writer, synthesis
+//!   builder and the three benchmark designs;
+//! * [`logicsim`] — scalar and bit-parallel simulators, workloads,
+//!   signal probability;
+//! * [`faultsim`] — stuck-at fault-injection campaigns and Algorithm-1
+//!   dataset generation;
+//! * [`graph`] — netlist-to-graph conversion and node feature extraction;
+//! * [`neuro`] — tensors, autograd, layers, optimizers and metrics;
+//! * [`gcn`] — the paper's GCN classifier/regressor, trainer, explainer
+//!   and the end-to-end [`gcn::pipeline`];
+//! * [`baselines`] — MLP/LoR/RFC/SVM/EBM comparators.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use fusa::gcn::pipeline::{FusaPipeline, PipelineConfig};
+//! use fusa::netlist::designs::or1200_icfsm;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = or1200_icfsm();
+//! let report = FusaPipeline::new(PipelineConfig::default()).run(&design)?;
+//! println!("GCN validation accuracy: {:.1}%", report.evaluation.accuracy * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use fusa_baselines as baselines;
+pub use fusa_faultsim as faultsim;
+pub use fusa_gcn as gcn;
+pub use fusa_graph as graph;
+pub use fusa_logicsim as logicsim;
+pub use fusa_netlist as netlist;
+pub use fusa_neuro as neuro;

@@ -1,0 +1,259 @@
+//! `fusa` — command-line fault criticality analysis.
+//!
+//! ```text
+//! fusa designs                          list built-in benchmark designs
+//! fusa stats <design>                   netlist statistics
+//! fusa analyze <design> [--fast] [--report FILE] [--csv FILE] [--save-model FILE]
+//! fusa faults <design> [--fast] [--csv FILE]     raw fault-injection campaign
+//! fusa explain <design> <gate> [--fast]          why is this node critical?
+//! fusa seu <design> [--fast]                     transient bit-flip vulnerability
+//! fusa harden <design> [--budget 0.1] [--fast] [--out FILE.v]
+//! ```
+//!
+//! `<design>` is a built-in name (`sdram_ctrl`, `or1200_if`,
+//! `or1200_icfsm`, `uart_ctrl`) or a path to a structural-Verilog file.
+
+use fusa::faultsim::{FaultCampaign, FaultList, SeuCampaign, SeuConfig};
+use fusa::gcn::pipeline::{FusaPipeline, PipelineConfig};
+use fusa::gcn::report::{render_csv_report, render_text_report, ReportOptions};
+use fusa::gcn::ExplainerConfig;
+use fusa::logicsim::WorkloadSuite;
+use fusa::netlist::{designs, parser::parse_verilog, Netlist, NetlistStats};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  fusa designs
+  fusa stats   <design>
+  fusa analyze <design> [--fast] [--report FILE] [--csv FILE] [--save-model FILE]
+  fusa faults  <design> [--fast] [--csv FILE]
+  fusa explain <design> <gate-name> [--fast]
+  fusa seu     <design> [--fast]
+  fusa harden  <design> [--budget FRACTION] [--fast] [--out FILE.v]
+
+<design>: sdram_ctrl | or1200_if | or1200_icfsm | uart_ctrl | path/to/netlist.v";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "designs" => {
+            for design in designs::all_designs() {
+                println!("{design}");
+            }
+            Ok(())
+        }
+        "stats" => {
+            let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+            println!("{}", NetlistStats::of(&netlist));
+            Ok(())
+        }
+        "analyze" => cmd_analyze(args),
+        "faults" => cmd_faults(args),
+        "explain" => cmd_explain(args),
+        "seu" => cmd_seu(args),
+        "harden" => cmd_harden(args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_design(name: &str) -> Result<Netlist, String> {
+    match name {
+        "sdram_ctrl" => Ok(designs::sdram_ctrl()),
+        "or1200_if" => Ok(designs::or1200_if()),
+        "or1200_icfsm" => Ok(designs::or1200_icfsm()),
+        "uart_ctrl" => Ok(designs::uart_ctrl()),
+        path => {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            parse_verilog(&source).map_err(|e| format!("cannot parse `{path}`: {e}"))
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn pipeline_config(args: &[String]) -> PipelineConfig {
+    if args.iter().any(|a| a == "--fast") {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::default()
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+    let config = pipeline_config(args);
+    let analysis = FusaPipeline::new(config)
+        .run(&netlist)
+        .map_err(|e| e.to_string())?;
+
+    let text = render_text_report(&analysis, &netlist, &ReportOptions::default());
+    println!("{text}");
+
+    if let Some(path) = flag_value(args, "--report") {
+        std::fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("report written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--csv") {
+        std::fs::write(path, render_csv_report(&analysis, &netlist))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("per-node CSV written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--save-model") {
+        let file =
+            std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+        fusa::gcn::persist::save_classifier(&analysis.classifier, file)
+            .map_err(|e| e.to_string())?;
+        println!("trained model written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_faults(args: &[String]) -> Result<(), String> {
+    let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+    let config = pipeline_config(args);
+    let faults = FaultList::all_gate_outputs(&netlist);
+    let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
+    let report = FaultCampaign::new(config.campaign).run(&netlist, &faults, &workloads);
+    print!("{}", report.summary());
+    let dataset = report.into_dataset(config.criticality_threshold);
+    println!(
+        "\nAlgorithm 1: {} / {} nodes critical at th={}",
+        dataset.critical_count(),
+        dataset.labels().len(),
+        dataset.threshold()
+    );
+    if let Some(path) = flag_value(args, "--csv") {
+        std::fs::write(path, dataset.to_csv(&netlist))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("criticality CSV written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+    let gate_name = args.get(2).ok_or("missing gate name")?;
+    let gate = netlist
+        .find_gate(gate_name)
+        .ok_or_else(|| format!("no gate named `{gate_name}`"))?;
+    let config = pipeline_config(args);
+    let analysis = FusaPipeline::new(config)
+        .run(&netlist)
+        .map_err(|e| e.to_string())?;
+    let explainer = analysis.explainer(ExplainerConfig::default());
+    let explanation = explainer.explain(gate.index());
+    println!(
+        "{gate_name}: predicted {} (P(critical) = {:.3}, ground truth score {:.2})",
+        if explanation.predicted_class == 1 { "CRITICAL" } else { "non-critical" },
+        analysis.evaluation.critical_probability[gate.index()],
+        analysis.dataset.scores()[gate.index()],
+    );
+    println!("\nfeature importance:");
+    for (feature, score) in explanation.ranked_features() {
+        println!("  {feature:<36} {score:.2}");
+    }
+    println!("\nmost influential wires:");
+    for (a, b, weight) in explanation.edge_importance.iter().take(8) {
+        println!(
+            "  {} -- {}  (mask {weight:.2})",
+            netlist.gates()[*a].name,
+            netlist.gates()[*b].name,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_harden(args: &[String]) -> Result<(), String> {
+    use fusa::netlist::harden::{tmr_overhead, tmr_protect};
+    use fusa::netlist::GateId;
+
+    let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+    let budget: f64 = flag_value(args, "--budget")
+        .map(|v| v.parse().map_err(|_| "bad --budget value".to_string()))
+        .transpose()?
+        .unwrap_or(0.1);
+    if !(0.0..=1.0).contains(&budget) {
+        return Err("--budget must be in [0, 1]".into());
+    }
+    let config = pipeline_config(args);
+    let analysis = FusaPipeline::new(config)
+        .run(&netlist)
+        .map_err(|e| e.to_string())?;
+
+    let count = ((netlist.gate_count() as f64) * budget) as usize;
+    let mut ranked: Vec<(usize, f64)> = analysis
+        .evaluation
+        .critical_probability
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    let selection: Vec<GateId> = ranked
+        .iter()
+        .take(count)
+        .map(|&(i, _)| GateId(i as u32))
+        .collect();
+
+    let hardened = tmr_protect(&netlist, &selection).map_err(|e| e.to_string())?;
+    println!(
+        "protected {} gates ({}% budget): {} -> {} gates ({:.2}x area)",
+        selection.len(),
+        (budget * 100.0).round(),
+        netlist.gate_count(),
+        hardened.gate_count(),
+        tmr_overhead(netlist.gate_count(), selection.len()),
+    );
+    for &gate in selection.iter().take(10) {
+        println!(
+            "  {:<24} P(critical) = {:.3}",
+            netlist.gate(gate).name,
+            analysis.evaluation.critical_probability[gate.index()],
+        );
+    }
+    if selection.len() > 10 {
+        println!("  ... and {} more", selection.len() - 10);
+    }
+    if let Some(path) = flag_value(args, "--out") {
+        std::fs::write(path, fusa::netlist::writer::write_verilog(&hardened))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("hardened netlist written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_seu(args: &[String]) -> Result<(), String> {
+    let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+    let config = pipeline_config(args);
+    let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
+    let report = SeuCampaign::new(SeuConfig::default()).run(&netlist, &workloads);
+    println!(
+        "{}: {} flip-flops, mean SEU corruption rate {:.3}",
+        netlist.name(),
+        report.flops.len(),
+        report.mean_corruption_rate(),
+    );
+    println!("\nmost vulnerable registers:");
+    for (gate, rate) in report.ranking().into_iter().take(15) {
+        println!("  {:<28} {rate:.2}", netlist.gate(gate).name);
+    }
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests of the `fusa` command-line binary.
+
+use std::process::Command;
+
+fn fusa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fusa"))
+}
+
+#[test]
+fn designs_lists_all_builtins() {
+    let output = fusa().arg("designs").output().expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for name in ["sdram_ctrl", "or1200_if", "or1200_icfsm", "uart_ctrl"] {
+        assert!(stdout.contains(name), "missing {name} in {stdout}");
+    }
+}
+
+#[test]
+fn stats_works_on_builtin_and_verilog_file() {
+    let output = fusa().args(["stats", "or1200_icfsm"]).output().unwrap();
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("design or1200_icfsm"));
+
+    // Round-trip through a Verilog file on disk.
+    let netlist = fusa::netlist::designs::or1200_icfsm();
+    let dir = std::env::temp_dir().join("fusa_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("icfsm.v");
+    std::fs::write(&path, fusa::netlist::writer::write_verilog(&netlist)).unwrap();
+    let output = fusa().args(["stats", path.to_str().unwrap()]).output().unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    assert!(String::from_utf8_lossy(&output.stdout).contains("gates 187"));
+}
+
+#[test]
+fn analyze_fast_produces_report_and_artifacts() {
+    let dir = std::env::temp_dir().join("fusa_cli_analyze");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("report.txt");
+    let csv = dir.join("nodes.csv");
+    let model = dir.join("model.txt");
+    let output = fusa()
+        .args([
+            "analyze",
+            "or1200_icfsm",
+            "--fast",
+            "--report",
+            report.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+            "--save-model",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("validation accuracy"));
+
+    let report_text = std::fs::read_to_string(&report).unwrap();
+    assert!(report_text.contains("Fault criticality report"));
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.starts_with("node,predicted_critical"));
+    // The saved model loads back.
+    let file = std::fs::File::open(&model).unwrap();
+    let restored = fusa::gcn::persist::load_classifier(file).expect("model loads");
+    assert_eq!(restored.config().in_features, fusa::graph::FEATURE_COUNT);
+}
+
+#[test]
+fn faults_summarizes_campaign() {
+    let output = fusa()
+        .args(["faults", "or1200_icfsm", "--fast"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("campaign:"));
+    assert!(stdout.contains("Algorithm 1:"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let output = fusa().arg("frobnicate").output().unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("usage:"));
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn missing_design_file_reports_cleanly() {
+    let output = fusa()
+        .args(["stats", "/nonexistent/path.v"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("cannot read"));
+}
