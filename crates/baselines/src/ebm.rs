@@ -37,8 +37,7 @@ impl ShapeFunction {
             return 0;
         }
         let normalized = (value - self.minimum) / (self.maximum - self.minimum);
-        ((normalized * self.contributions.len() as f64) as usize)
-            .min(self.contributions.len() - 1)
+        ((normalized * self.contributions.len() as f64) as usize).min(self.contributions.len() - 1)
     }
 
     fn evaluate(&self, value: f64) -> f64 {
@@ -151,7 +150,8 @@ impl Classifier for ExplainableBoosting {
                 let mut deltas = vec![0.0; self.bins];
                 for b in 0..self.bins {
                     if bin_count[b] > 0 {
-                        deltas[b] = self.learning_rate * bin_residual[b] / bin_count[b] as f64 * 4.0;
+                        deltas[b] =
+                            self.learning_rate * bin_residual[b] / bin_count[b] as f64 * 4.0;
                     }
                 }
                 for (d, delta) in self.shapes[c].contributions.iter_mut().zip(&deltas) {
@@ -166,7 +166,9 @@ impl Classifier for ExplainableBoosting {
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         assert!(!self.shapes.is_empty(), "model is trained");
-        (0..x.rows()).map(|i| sigmoid(self.logit(x.row(i)))).collect()
+        (0..x.rows())
+            .map(|i| sigmoid(self.logit(x.row(i))))
+            .collect()
     }
 }
 
@@ -189,7 +191,10 @@ mod tests {
         let (x, labels) = testutil::xor_task(500, 52);
         let mut model = ExplainableBoosting::default();
         let accuracy = testutil::train_accuracy(&mut model, &x, &labels);
-        assert!(accuracy < 0.75, "EBM without pairs should fail XOR, got {accuracy}");
+        assert!(
+            accuracy < 0.75,
+            "EBM without pairs should fail XOR, got {accuracy}"
+        );
     }
 
     #[test]

@@ -86,96 +86,88 @@ fn gini(positive: usize, total: usize) -> f64 {
     2.0 * p * (1.0 - p)
 }
 
-fn build_tree(
-    x: &Matrix,
-    labels: &[bool],
-    samples: &[usize],
-    depth: usize,
+/// Shared, immutable inputs of one tree induction, so the recursion
+/// only threads the per-node state (samples, depth, RNG).
+struct TreeBuilder<'a> {
+    x: &'a Matrix,
+    labels: &'a [bool],
     max_depth: usize,
     min_samples_split: usize,
     features_per_split: usize,
-    rng: &mut ChaCha8Rng,
-) -> TreeNode {
-    let positives = samples.iter().filter(|&&i| labels[i]).count();
-    let probability = positives as f64 / samples.len().max(1) as f64;
-    if depth >= max_depth
-        || samples.len() < min_samples_split
-        || positives == 0
-        || positives == samples.len()
-    {
-        return TreeNode::Leaf { probability };
-    }
+}
 
-    // Candidate features for this split.
-    let mut feature_pool: Vec<usize> = (0..x.cols()).collect();
-    feature_pool.shuffle(rng);
-    feature_pool.truncate(features_per_split.max(1));
+impl TreeBuilder<'_> {
+    fn build(&self, samples: &[usize], depth: usize, rng: &mut ChaCha8Rng) -> TreeNode {
+        let TreeBuilder {
+            x,
+            labels,
+            max_depth,
+            min_samples_split,
+            features_per_split,
+        } = *self;
+        let positives = samples.iter().filter(|&&i| labels[i]).count();
+        let probability = positives as f64 / samples.len().max(1) as f64;
+        if depth >= max_depth
+            || samples.len() < min_samples_split
+            || positives == 0
+            || positives == samples.len()
+        {
+            return TreeNode::Leaf { probability };
+        }
 
-    let parent_impurity = gini(positives, samples.len());
-    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
-    for &feature in &feature_pool {
-        // Sort samples by the feature and scan split points.
-        let mut values: Vec<(f64, bool)> = samples
-            .iter()
-            .map(|&i| (x.get(i, feature), labels[i]))
-            .collect();
-        values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
-        let total = values.len();
-        let total_pos = positives;
-        let mut left_pos = 0usize;
-        for k in 1..total {
-            if values[k - 1].1 {
-                left_pos += 1;
-            }
-            if values[k].0 == values[k - 1].0 {
-                continue;
-            }
-            let left_n = k;
-            let right_n = total - k;
-            let right_pos = total_pos - left_pos;
-            let weighted = (left_n as f64 * gini(left_pos, left_n)
-                + right_n as f64 * gini(right_pos, right_n))
-                / total as f64;
-            let gain = parent_impurity - weighted;
-            let threshold = (values[k - 1].0 + values[k].0) / 2.0;
-            if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-12) {
-                best = Some((gain, feature, threshold));
+        // Candidate features for this split.
+        let mut feature_pool: Vec<usize> = (0..x.cols()).collect();
+        feature_pool.shuffle(rng);
+        feature_pool.truncate(features_per_split.max(1));
+
+        let parent_impurity = gini(positives, samples.len());
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for &feature in &feature_pool {
+            // Sort samples by the feature and scan split points.
+            let mut values: Vec<(f64, bool)> = samples
+                .iter()
+                .map(|&i| (x.get(i, feature), labels[i]))
+                .collect();
+            values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
+            let total = values.len();
+            let total_pos = positives;
+            let mut left_pos = 0usize;
+            for k in 1..total {
+                if values[k - 1].1 {
+                    left_pos += 1;
+                }
+                if values[k].0 == values[k - 1].0 {
+                    continue;
+                }
+                let left_n = k;
+                let right_n = total - k;
+                let right_pos = total_pos - left_pos;
+                let weighted = (left_n as f64 * gini(left_pos, left_n)
+                    + right_n as f64 * gini(right_pos, right_n))
+                    / total as f64;
+                let gain = parent_impurity - weighted;
+                let threshold = (values[k - 1].0 + values[k].0) / 2.0;
+                if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-12) {
+                    best = Some((gain, feature, threshold));
+                }
             }
         }
-    }
 
-    let Some((_, feature, threshold)) = best else {
-        return TreeNode::Leaf { probability };
-    };
-    let (left_samples, right_samples): (Vec<usize>, Vec<usize>) = samples
-        .iter()
-        .partition(|&&i| x.get(i, feature) <= threshold);
-    if left_samples.is_empty() || right_samples.is_empty() {
-        return TreeNode::Leaf { probability };
-    }
-    TreeNode::Split {
-        feature,
-        threshold,
-        left: Box::new(build_tree(
-            x,
-            labels,
-            &left_samples,
-            depth + 1,
-            max_depth,
-            min_samples_split,
-            features_per_split,
-            rng,
-        )),
-        right: Box::new(build_tree(
-            x,
-            labels,
-            &right_samples,
-            depth + 1,
-            max_depth,
-            min_samples_split,
-            features_per_split,
-            rng,
-        )),
+        let Some((_, feature, threshold)) = best else {
+            return TreeNode::Leaf { probability };
+        };
+        let (left_samples, right_samples): (Vec<usize>, Vec<usize>) = samples
+            .iter()
+            .partition(|&&i| x.get(i, feature) <= threshold);
+        if left_samples.is_empty() || right_samples.is_empty() {
+            return TreeNode::Leaf { probability };
+        }
+        TreeNode::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(&left_samples, depth + 1, rng)),
+            right: Box::new(self.build(&right_samples, depth + 1, rng)),
+        }
     }
 }
 
@@ -194,16 +186,14 @@ impl Classifier for RandomForest {
                 let bootstrap: Vec<usize> = (0..train_indices.len())
                     .map(|_| train_indices[rng.gen_range(0..train_indices.len())])
                     .collect();
-                build_tree(
+                TreeBuilder {
                     x,
                     labels,
-                    &bootstrap,
-                    0,
-                    self.max_depth,
-                    self.min_samples_split,
+                    max_depth: self.max_depth,
+                    min_samples_split: self.min_samples_split,
                     features_per_split,
-                    &mut rng,
-                )
+                }
+                .build(&bootstrap, 0, &mut rng)
             })
             .collect();
     }
@@ -237,7 +227,10 @@ mod tests {
         let (x, labels) = testutil::xor_task(400, 32);
         let mut model = RandomForest::new(3);
         let accuracy = testutil::train_accuracy(&mut model, &x, &labels);
-        assert!(accuracy > 0.9, "forest should carve out XOR, got {accuracy}");
+        assert!(
+            accuracy > 0.9,
+            "forest should carve out XOR, got {accuracy}"
+        );
     }
 
     #[test]

@@ -118,11 +118,7 @@ pub(crate) mod testutil {
         (Matrix::from_rows(&refs), labels)
     }
 
-    pub fn train_accuracy(
-        model: &mut dyn crate::Classifier,
-        x: &Matrix,
-        labels: &[bool],
-    ) -> f64 {
+    pub fn train_accuracy(model: &mut dyn crate::Classifier, x: &Matrix, labels: &[bool]) -> f64 {
         let all: Vec<usize> = (0..x.rows()).collect();
         model.fit(x, labels, &all);
         let predictions = model.predict(x);
@@ -142,8 +138,7 @@ mod tests {
     #[test]
     fn all_baselines_have_distinct_names() {
         let models = all_baselines(1);
-        let names: std::collections::HashSet<&str> =
-            models.iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<&str> = models.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 5);
     }
 

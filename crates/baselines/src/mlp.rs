@@ -56,7 +56,10 @@ impl Classifier for Mlp {
         // Gather the training submatrix.
         let rows: Vec<&[f64]> = train_indices.iter().map(|&i| x.row(i)).collect();
         let train_x = Matrix::from_rows(&rows);
-        let train_y: Vec<f64> = train_indices.iter().map(|&i| f64::from(labels[i])).collect();
+        let train_y: Vec<f64> = train_indices
+            .iter()
+            .map(|&i| f64::from(labels[i]))
+            .collect();
 
         let mut l1 = Dense::new(x.cols(), self.hidden.0, self.seed);
         let mut r1 = Relu::new();
@@ -73,8 +76,8 @@ impl Classifier for Mlp {
 
             // BCE through the logistic link: ∂L/∂logit = σ(z) - y.
             let mut grad = Matrix::zeros(out.rows(), 1);
-            for r in 0..out.rows() {
-                grad.set(r, 0, (sigmoid(out.get(r, 0)) - train_y[r]) / m);
+            for (r, &y) in train_y.iter().enumerate().take(out.rows()) {
+                grad.set(r, 0, (sigmoid(out.get(r, 0)) - y) / m);
             }
 
             for p in l1

@@ -92,7 +92,9 @@ impl Classifier for LinearSvm {
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         assert!(!self.weights.is_empty(), "model is trained");
-        (0..x.rows()).map(|i| sigmoid(self.margin(x.row(i)))).collect()
+        (0..x.rows())
+            .map(|i| sigmoid(self.margin(x.row(i))))
+            .collect()
     }
 }
 
@@ -127,9 +129,9 @@ mod tests {
         let mut neg_margin = 0.0;
         let mut pos_count = 0;
         let mut neg_count = 0;
-        for i in 0..x.rows() {
+        for (i, &label) in labels.iter().enumerate().take(x.rows()) {
             let m = model.margin(x.row(i));
-            if labels[i] {
+            if label {
                 pos_margin += m;
                 pos_count += 1;
             } else {

@@ -1,7 +1,8 @@
 //! Criterion performance benches covering every substrate:
 //! netlist construction, levelization, scalar and bit-parallel
 //! simulation, fault campaigns, graph normalization, GCN training and
-//! inference, and explainer iterations.
+//! inference, explainer iterations, and the static-analysis lint
+//! passes.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use fusa_faultsim::{CampaignConfig, FaultCampaign, FaultList};
@@ -115,7 +116,9 @@ fn gcn_inputs() -> (fusa_neuro::CsrMatrix, fusa_neuro::Matrix, Vec<bool>) {
         },
     );
     let features = FeatureMatrix::extract(&netlist, &stats).into_matrix();
-    let labels: Vec<bool> = (0..graph.node_count()).map(|i| graph.degree(i) >= 4).collect();
+    let labels: Vec<bool> = (0..graph.node_count())
+        .map(|i| graph.degree(i) >= 4)
+        .collect();
     (adj, features, labels)
 }
 
@@ -173,6 +176,16 @@ fn bench_gcn(c: &mut Criterion) {
     });
 }
 
+fn bench_lint(c: &mut Criterion) {
+    let netlist = sdram_ctrl();
+    c.bench_function("lint/all_passes_sdram_ctrl", |b| {
+        b.iter(|| black_box(fusa_lint::lint_netlist(&netlist)))
+    });
+    c.bench_function("lint/untestable_sites_sdram_ctrl", |b| {
+        b.iter(|| black_box(fusa_lint::untestable_stuck_at_sites(&netlist)))
+    });
+}
+
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
@@ -187,6 +200,6 @@ fn bench_pipeline(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_netlist, bench_simulation, bench_fault_campaign, bench_graph, bench_gcn, bench_pipeline
+    targets = bench_netlist, bench_simulation, bench_fault_campaign, bench_graph, bench_gcn, bench_lint, bench_pipeline
 }
 criterion_main!(benches);

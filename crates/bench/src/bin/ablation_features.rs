@@ -27,7 +27,7 @@ fn main() {
             full_accuracy * 100.0
         );
 
-        for dropped in 0..FEATURE_COUNT {
+        for (dropped, &feature_name) in FEATURE_NAMES.iter().enumerate().take(FEATURE_COUNT) {
             // Rebuild the feature matrix without column `dropped`.
             let source = &analysis.features;
             let mut rows: Vec<Vec<f64>> = Vec::with_capacity(source.rows());
@@ -59,7 +59,7 @@ fn main() {
             let delta = evaluation.accuracy - full_accuracy;
             println!(
                 "  - {:<36} {:.2}% ({:+.2}%)",
-                FEATURE_NAMES[dropped],
+                feature_name,
                 evaluation.accuracy * 100.0,
                 delta * 100.0
             );
@@ -67,7 +67,7 @@ fn main() {
                 csv,
                 "{},{},{:.4},{:.4}",
                 netlist.name(),
-                FEATURE_NAMES[dropped],
+                feature_name,
                 evaluation.accuracy,
                 delta
             );

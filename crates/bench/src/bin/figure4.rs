@@ -37,13 +37,14 @@ fn main() {
                 );
             }
         }
-        let gcn_best = run
-            .baselines
-            .iter()
-            .all(|b| run.gcn_auc() >= b.auc - 1e-9);
+        let gcn_best = run.baselines.iter().all(|b| run.gcn_auc() >= b.auc - 1e-9);
         println!(
             "  GCN has the highest AUC: {}\n",
-            if gcn_best { "yes" } else { "NO (shape deviation)" }
+            if gcn_best {
+                "yes"
+            } else {
+                "NO (shape deviation)"
+            }
         );
         save_results(&format!("figure4{panel}_roc_{}.csv", netlist.name()), &csv);
     }

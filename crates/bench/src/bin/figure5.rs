@@ -28,10 +28,7 @@ fn main() {
 }
 
 /// Figure 5(a): feature importance for one randomly selected SDRAM node.
-fn figure5a(
-    config: &fusa_gcn::pipeline::PipelineConfig,
-    explainer_config: &ExplainerConfig,
-) {
+fn figure5a(config: &fusa_gcn::pipeline::PipelineConfig, explainer_config: &ExplainerConfig) {
     let netlist = fusa_netlist::designs::sdram_ctrl();
     let run = run_design(&netlist, config);
     let explainer = run.analysis.explainer(explainer_config.clone());
@@ -84,7 +81,11 @@ fn figure5b(
             .take(per_design_nodes)
             .collect();
         let global = explainer.global_importance(&nodes);
-        println!("  --- {} ({} nodes explained) ---", netlist.name(), nodes.len());
+        println!(
+            "  --- {} ({} nodes explained) ---",
+            netlist.name(),
+            nodes.len()
+        );
         for (feature, (&rank, &score)) in FEATURE_NAMES
             .iter()
             .zip(global.mean_ranks.iter().zip(&global.mean_scores))

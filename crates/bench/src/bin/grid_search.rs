@@ -34,7 +34,10 @@ fn main() {
     );
 
     let mut csv = String::from("hidden,dropout,learning_rate,validation_accuracy\n");
-    println!("{:<18} {:>8} {:>6} {:>10}", "hidden", "dropout", "lr", "val acc");
+    println!(
+        "{:<18} {:>8} {:>6} {:>10}",
+        "hidden", "dropout", "lr", "val acc"
+    );
     for result in &results {
         println!(
             "{:<18} {:>8.2} {:>6.3} {:>9.2}%",

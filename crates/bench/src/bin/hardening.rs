@@ -56,13 +56,15 @@ fn main() {
         let mut rng = ChaCha8Rng::seed_from_u64(0x44D);
         let mut all: Vec<usize> = (0..netlist.gate_count()).collect();
         all.shuffle(&mut rng);
-        let random_selection: Vec<GateId> =
-            all.into_iter().take(budget).map(|i| GateId(i as u32)).collect();
+        let random_selection: Vec<GateId> = all
+            .into_iter()
+            .take(budget)
+            .map(|i| GateId(i as u32))
+            .collect();
 
         let baseline = gate_defect_vulnerability(&netlist, &config, None);
         let gcn_hardened = gate_defect_vulnerability(&netlist, &config, Some(&gcn_selection));
-        let random_hardened =
-            gate_defect_vulnerability(&netlist, &config, Some(&random_selection));
+        let random_hardened = gate_defect_vulnerability(&netlist, &config, Some(&random_selection));
         let overhead = tmr_overhead(netlist.gate_count(), budget);
 
         println!(

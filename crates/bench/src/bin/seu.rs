@@ -30,11 +30,7 @@ fn main() {
             .run(&netlist, &faults, &workloads)
             .into_dataset(config.criticality_threshold);
 
-        let stuckat: Vec<f64> = seu_report
-            .flops
-            .iter()
-            .map(|&g| dataset.score(g))
-            .collect();
+        let stuckat: Vec<f64> = seu_report.flops.iter().map(|&g| dataset.score(g)).collect();
         let r = pearson(&seu_report.corruption_rate, &stuckat);
         let rho = spearman(&seu_report.corruption_rate, &stuckat);
         println!(

@@ -12,7 +12,9 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let nodes_per_design = 4usize;
 
-    println!("Table 2. Critical node classification with feature importance and criticality scores.\n");
+    println!(
+        "Table 2. Critical node classification with feature importance and criticality scores.\n"
+    );
     println!(
         "{:<14} {:<16} {:<14} {:>6} {:>6} {:>6} {:>6} {:>6}  {:>6}",
         "Design", "Node", "Class", "conn", "P(0)", "P(1)", "trans", "inv", "score"

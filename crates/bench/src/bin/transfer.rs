@@ -43,8 +43,7 @@ fn main() {
                 .classifier
                 .predict_critical_probability(&target.adjacency, &target.features);
             let predicted: Vec<bool> = probabilities.iter().map(|&p| p >= 0.5).collect();
-            let accuracy =
-                Confusion::from_predictions(&predicted, target.labels()).accuracy();
+            let accuracy = Confusion::from_predictions(&predicted, target.labels()).accuracy();
             let roc_auc = auc(&probabilities, target.labels());
             print!(" {:>13.1}%", accuracy * 100.0);
             let _ = writeln!(

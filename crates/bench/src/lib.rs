@@ -9,8 +9,8 @@
 
 use fusa_baselines::all_baselines;
 use fusa_gcn::pipeline::{FusaAnalysis, FusaPipeline, PipelineConfig};
-use fusa_neuro::metrics::{Confusion, RocCurve};
 use fusa_netlist::{designs, Netlist};
+use fusa_neuro::metrics::{Confusion, RocCurve};
 use std::path::Path;
 
 /// Result of one baseline classifier on one design.
@@ -143,8 +143,7 @@ pub fn run_baselines(analysis: &FusaAnalysis) -> Vec<BaselineResult> {
         .map(|mut model| {
             model.fit(&analysis.features, labels, &split.train);
             let probabilities = model.predict_proba(&analysis.features);
-            let val_scores: Vec<f64> =
-                split.validation.iter().map(|&i| probabilities[i]).collect();
+            let val_scores: Vec<f64> = split.validation.iter().map(|&i| probabilities[i]).collect();
             let val_predicted: Vec<bool> = val_scores.iter().map(|&p| p >= 0.5).collect();
             let val_actual: Vec<bool> = split.validation.iter().map(|&i| labels[i]).collect();
             let confusion = Confusion::from_predictions(&val_predicted, &val_actual);
@@ -204,7 +203,11 @@ mod tests {
         assert_eq!(run.baselines.len(), 5);
         assert!(run.gcn_accuracy() > 0.5);
         for baseline in &run.baselines {
-            assert!((0.0..=1.0).contains(&baseline.accuracy), "{}", baseline.name);
+            assert!(
+                (0.0..=1.0).contains(&baseline.accuracy),
+                "{}",
+                baseline.name
+            );
             assert!((0.0..=1.0).contains(&baseline.auc), "{}", baseline.name);
         }
     }

@@ -216,7 +216,9 @@ impl<'a> Explainer<'a> {
 
         // The explanation targets the model's own unmasked prediction.
         let baseline = masked_adjacency(self.graph, &vec![1.0; num_edges]);
-        let predicted_class = model.forward_inference(&baseline, self.features).argmax_rows()[node];
+        let predicted_class = model
+            .forward_inference(&baseline, self.features)
+            .argmax_rows()[node];
 
         let mut loss_trace = Vec::with_capacity(self.config.iterations);
         for _ in 0..self.config.iterations {
@@ -255,8 +257,7 @@ impl<'a> Explainer<'a> {
                 }
             }
             // Regularizers on the edge mask.
-            for e in 0..num_edges {
-                let s = edge_mask[e];
+            for (e, &s) in edge_mask.iter().enumerate().take(num_edges) {
                 let ds = s * (1.0 - s);
                 let mut g = edge_logits.grad.get(0, e);
                 g += self.config.edge_size_penalty * ds;
@@ -265,8 +266,7 @@ impl<'a> Explainer<'a> {
             }
 
             // Chain rule into the feature logits.
-            for c in 0..FEATURE_COUNT {
-                let s = feature_mask[c];
+            for (c, &s) in feature_mask.iter().enumerate().take(FEATURE_COUNT) {
                 let ds = s * (1.0 - s);
                 let mut g = 0.0;
                 for r in 0..grad_x.rows() {
@@ -298,8 +298,11 @@ impl<'a> Explainer<'a> {
 
         // Restrict reported edges to the node's computation subgraph.
         let hops = self.model.config().hidden.len() + 1;
-        let neighborhood: std::collections::HashSet<usize> =
-            self.graph.k_hop_neighborhood(node, hops).into_iter().collect();
+        let neighborhood: std::collections::HashSet<usize> = self
+            .graph
+            .k_hop_neighborhood(node, hops)
+            .into_iter()
+            .collect();
         let mut edge_importance: Vec<(usize, usize, f64)> = self
             .graph
             .edges()
@@ -435,7 +438,8 @@ mod tests {
         let explanation = explainer.explain(4);
         let top = explanation.ranked_features()[0];
         assert_eq!(
-            top.0, FEATURE_NAMES[2],
+            top.0,
+            FEATURE_NAMES[2],
             "decisive feature should rank first: {:?}",
             explanation.ranked_features()
         );
@@ -444,10 +448,15 @@ mod tests {
     #[test]
     fn feature_ranks_are_a_permutation() {
         let (graph, x, model) = single_feature_task();
-        let explainer = Explainer::new(&model, &graph, &x, ExplainerConfig {
-            iterations: 10,
-            ..Default::default()
-        });
+        let explainer = Explainer::new(
+            &model,
+            &graph,
+            &x,
+            ExplainerConfig {
+                iterations: 10,
+                ..Default::default()
+            },
+        );
         let explanation = explainer.explain(0);
         let mut ranks = explanation.feature_ranks();
         ranks.sort_unstable();
@@ -457,23 +466,32 @@ mod tests {
     #[test]
     fn importance_scores_average_to_one() {
         let (graph, x, model) = single_feature_task();
-        let explainer = Explainer::new(&model, &graph, &x, ExplainerConfig {
-            iterations: 20,
-            ..Default::default()
-        });
+        let explainer = Explainer::new(
+            &model,
+            &graph,
+            &x,
+            ExplainerConfig {
+                iterations: 20,
+                ..Default::default()
+            },
+        );
         let explanation = explainer.explain(2);
-        let mean: f64 =
-            explanation.feature_importance.iter().sum::<f64>() / FEATURE_COUNT as f64;
+        let mean: f64 = explanation.feature_importance.iter().sum::<f64>() / FEATURE_COUNT as f64;
         assert!((mean - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn prediction_loss_decreases_or_stays_low() {
         let (graph, x, model) = single_feature_task();
-        let explainer = Explainer::new(&model, &graph, &x, ExplainerConfig {
-            iterations: 60,
-            ..Default::default()
-        });
+        let explainer = Explainer::new(
+            &model,
+            &graph,
+            &x,
+            ExplainerConfig {
+                iterations: 60,
+                ..Default::default()
+            },
+        );
         let explanation = explainer.explain(6);
         let first = explanation.loss_trace[0];
         let last = *explanation.loss_trace.last().unwrap();
@@ -485,10 +503,15 @@ mod tests {
     #[test]
     fn edge_importance_is_restricted_to_neighborhood() {
         let (graph, x, model) = single_feature_task();
-        let explainer = Explainer::new(&model, &graph, &x, ExplainerConfig {
-            iterations: 5,
-            ..Default::default()
-        });
+        let explainer = Explainer::new(
+            &model,
+            &graph,
+            &x,
+            ExplainerConfig {
+                iterations: 5,
+                ..Default::default()
+            },
+        );
         let node = 10;
         let explanation = explainer.explain(node);
         let hops = model.config().hidden.len() + 1;
@@ -502,10 +525,15 @@ mod tests {
     #[test]
     fn global_importance_aggregates_ranks() {
         let (graph, x, model) = single_feature_task();
-        let explainer = Explainer::new(&model, &graph, &x, ExplainerConfig {
-            iterations: 40,
-            ..Default::default()
-        });
+        let explainer = Explainer::new(
+            &model,
+            &graph,
+            &x,
+            ExplainerConfig {
+                iterations: 40,
+                ..Default::default()
+            },
+        );
         let global = explainer.global_importance(&[0, 3, 7, 12]);
         assert_eq!(global.nodes_explained, 4);
         // Ranks are averages of 1..=5.

@@ -53,7 +53,12 @@ impl GcnConfig {
                 width.to_string(),
                 "-".into(),
             ));
-            rows.push(("Rectified Linear Unit".into(), "-".into(), "-".into(), "-".into()));
+            rows.push((
+                "Rectified Linear Unit".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ));
             if i == self.dropout_position() && self.dropout > 0.0 {
                 rows.push((
                     "Dropout Layer".into(),
@@ -79,9 +84,21 @@ impl GcnConfig {
             ));
         }
         let mut out = String::new();
-        let _ = writeln!(out, "{:<5} {:<28} {:>6} {:>6} {:>8}", "Layer", "Type", "In", "Out", "Values");
+        let _ = writeln!(
+            out,
+            "{:<5} {:<28} {:>6} {:>6} {:>8}",
+            "Layer", "Type", "In", "Out", "Values"
+        );
         for (i, (ty, input, output, values)) in rows.iter().enumerate() {
-            let _ = writeln!(out, "{:<5} {:<28} {:>6} {:>6} {:>8}", i + 1, ty, input, output, values);
+            let _ = writeln!(
+                out,
+                "{:<5} {:<28} {:>6} {:>6} {:>8}",
+                i + 1,
+                ty,
+                input,
+                output,
+                values
+            );
         }
         out
     }
@@ -196,10 +213,7 @@ impl GcnTrunk {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.convs
-            .iter_mut()
-            .flat_map(|c| c.params_mut())
-            .collect()
+        self.convs.iter_mut().flat_map(|c| c.params_mut()).collect()
     }
 
     fn parameter_count(&self) -> usize {

@@ -91,7 +91,12 @@ pub fn save_classifier<W: Write>(model: &GcnClassifier, mut writer: W) -> Result
     // mutable borrow that params_mut() requires.
     let mut clone = model.clone();
     for param in clone.params_mut() {
-        writeln!(writer, "param {} {}", param.value.rows(), param.value.cols())?;
+        writeln!(
+            writer,
+            "param {} {}",
+            param.value.rows(),
+            param.value.cols()
+        )?;
         for r in 0..param.value.rows() {
             let row: Vec<String> = param
                 .value
@@ -210,11 +215,8 @@ mod tests {
     }
 
     fn predictions(model: &GcnClassifier) -> Vec<f64> {
-        let adj = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 0.3), (1, 0, 0.3)],
-        );
+        let adj =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 0.3), (1, 0, 0.3)]);
         let x = Matrix::from_rows(&[&[1.0, -0.5, 0.2], &[0.3, 0.9, -1.0]]);
         model.predict_critical_probability(&adj, &x)
     }

@@ -3,7 +3,9 @@
 
 use crate::explain::{Explainer, ExplainerConfig};
 use crate::model::{GcnConfig, GcnRegressor};
-use crate::train::{train_classifier, train_regressor, EvaluationReport, TrainConfig, TrainHistory};
+use crate::train::{
+    train_classifier, train_regressor, EvaluationReport, TrainConfig, TrainHistory,
+};
 use fusa_faultsim::{CampaignConfig, CriticalityDataset, FaultCampaign, FaultList};
 use fusa_graph::{normalized_adjacency, CircuitGraph, FeatureMatrix, Standardizer};
 use fusa_logicsim::{SignalStats, SignalStatsConfig, WorkloadConfig, WorkloadSuite};
@@ -28,6 +30,11 @@ pub struct PipelineConfig {
     pub train_fraction: f64,
     /// Seed of the stratified split.
     pub split_seed: u64,
+    /// Drop statically untestable fault sites (constant or unobservable
+    /// gates, found by `fusa-lint`) from the campaign fault list before
+    /// simulation. The excluded gates keep criticality score 0 — the
+    /// same label simulating them would produce — at zero cost.
+    pub exclude_untestable_faults: bool,
     /// GCN architecture (`in_features` is set from the feature matrix).
     pub model: GcnConfig,
     /// Training hyper-parameters.
@@ -49,6 +56,7 @@ impl Default for PipelineConfig {
             criticality_threshold: 0.5,
             train_fraction: 0.8,
             split_seed: 0x5117,
+            exclude_untestable_faults: true,
             model: GcnConfig::default(),
             train: TrainConfig::default(),
         }
@@ -129,6 +137,9 @@ pub struct FusaAnalysis {
     pub history: TrainHistory,
     /// Validation evaluation (accuracy, ROC, AUC, …).
     pub evaluation: EvaluationReport,
+    /// Number of statically untestable fault sites excluded from the
+    /// campaign (0 when exclusion is disabled).
+    pub excluded_fault_sites: usize,
 }
 
 impl fmt::Debug for FusaAnalysis {
@@ -185,9 +196,7 @@ impl FusaAnalysis {
             .split
             .validation
             .iter()
-            .filter(|&&i| {
-                (predicted_scores[i] >= threshold) == self.evaluation.predicted_labels[i]
-            })
+            .filter(|&&i| (predicted_scores[i] >= threshold) == self.evaluation.predicted_labels[i])
             .count();
         agree as f64 / self.split.validation.len() as f64
     }
@@ -241,7 +250,19 @@ impl FusaPipeline {
         let features = standardizer.transform(raw_features.matrix());
 
         // 3. Fault-injection ground truth (§3.2, Algorithm 1).
-        let faults = FaultList::all_gate_outputs(netlist);
+        // Statically untestable sites (constant or unobservable gates)
+        // are dropped up front: no workload can expose them, so their
+        // gates score 0 either way and the campaign shrinks for free.
+        let full_faults = FaultList::all_gate_outputs(netlist);
+        let (faults, excluded_fault_sites) = if self.config.exclude_untestable_faults {
+            let untestable = fusa_lint::untestable_stuck_at_sites(netlist);
+            let total = full_faults.len();
+            let kept = full_faults.exclude_untestable(&untestable);
+            let excluded = total - kept.len();
+            (kept, excluded)
+        } else {
+            (full_faults, 0)
+        };
         let workloads = WorkloadSuite::generate(netlist, &self.config.workloads);
         let report = FaultCampaign::new(self.config.campaign).run(netlist, &faults, &workloads);
         let dataset = report.into_dataset(self.config.criticality_threshold);
@@ -283,6 +304,7 @@ impl FusaPipeline {
             classifier,
             history,
             evaluation,
+            excluded_fault_sites,
         })
     }
 }
@@ -317,7 +339,35 @@ mod tests {
             "accuracy {}",
             analysis.evaluation.accuracy
         );
-        assert!(analysis.evaluation.auc > 0.6, "auc {}", analysis.evaluation.auc);
+        assert!(
+            analysis.evaluation.auc > 0.6,
+            "auc {}",
+            analysis.evaluation.auc
+        );
+    }
+
+    #[test]
+    fn untestable_sites_are_excluded_by_default() {
+        let analysis = fast_analysis();
+        assert!(
+            analysis.excluded_fault_sites > 0,
+            "icfsm has unobservable logic; some sites must be excluded"
+        );
+        assert!(analysis.excluded_fault_sites < 2 * analysis.graph.node_count());
+        // Gates with excluded faults still get labels (score 0).
+        assert_eq!(analysis.dataset.labels().len(), analysis.graph.node_count());
+    }
+
+    #[test]
+    fn exclusion_can_be_disabled() {
+        let config = PipelineConfig {
+            exclude_untestable_faults: false,
+            ..PipelineConfig::fast()
+        };
+        let analysis = FusaPipeline::new(config)
+            .run(&or1200_icfsm())
+            .expect("pipeline runs without exclusion");
+        assert_eq!(analysis.excluded_fault_sites, 0);
     }
 
     #[test]

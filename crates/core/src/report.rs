@@ -51,7 +51,11 @@ pub fn render_text_report(
     let evaluation = &analysis.evaluation;
     let confusion = &evaluation.confusion;
 
-    let _ = writeln!(out, "=== Fault criticality report: {} ===", analysis.design_name);
+    let _ = writeln!(
+        out,
+        "=== Fault criticality report: {} ===",
+        analysis.design_name
+    );
     let _ = writeln!(
         out,
         "nodes {} | edges {} | critical {} ({:.1}%) | workloads {}",
@@ -67,6 +71,13 @@ pub fn render_text_report(
         analysis.split.train.len(),
         analysis.split.validation.len(),
     );
+    if analysis.excluded_fault_sites > 0 {
+        let _ = writeln!(
+            out,
+            "fault list: {} statically untestable site(s) excluded by lint",
+            analysis.excluded_fault_sites,
+        );
+    }
     let _ = writeln!(
         out,
         "\nvalidation accuracy {:.2}% | AUC {:.3} | precision {:.3} | recall {:.3} | F1 {:.3}",
@@ -105,7 +116,11 @@ pub fn render_text_report(
             netlist.gates()[node].name,
             probability,
             analysis.dataset.scores()[node],
-            if analysis.split.validation.contains(&node) { "yes" } else { "" },
+            if analysis.split.validation.contains(&node) {
+                "yes"
+            } else {
+                ""
+            },
         );
     }
 
@@ -143,7 +158,11 @@ pub fn render_csv_report(analysis: &FusaAnalysis, netlist: &fusa_netlist::Netlis
             analysis.evaluation.critical_probability[i],
             analysis.dataset.scores()[i],
             u8::from(analysis.dataset.labels()[i]),
-            if in_validation.contains(&i) { "validation" } else { "train" },
+            if in_validation.contains(&i) {
+                "validation"
+            } else {
+                "train"
+            },
         );
     }
     out

@@ -142,7 +142,9 @@ impl SgcClassifier {
     pub fn predict_critical_probability(&self, adj: &CsrMatrix, features: &Matrix) -> Vec<f64> {
         let propagated = Self::propagate(adj, features, self.config.hops);
         let log_probs = log_softmax_rows(&self.linear.forward_inference(&propagated));
-        (0..log_probs.rows()).map(|r| log_probs.get(r, 1).exp()).collect()
+        (0..log_probs.rows())
+            .map(|r| log_probs.get(r, 1).exp())
+            .collect()
     }
 
     /// Per-node hard predictions (class 1 = critical).
@@ -200,10 +202,16 @@ mod tests {
     fn sgc_solves_structure_task_that_k0_cannot() {
         let (adj, x, labels) = community_inputs();
         let split = Split::stratified(&labels, 0.5, 3);
-        let with_hops = SgcClassifier::train(&adj, &x, &labels, &split, &SgcConfig {
-            hops: 2,
-            ..Default::default()
-        });
+        let with_hops = SgcClassifier::train(
+            &adj,
+            &x,
+            &labels,
+            &split,
+            &SgcConfig {
+                hops: 2,
+                ..Default::default()
+            },
+        );
         let predictions = with_hops.predict(&adj, &x);
         let accuracy = predictions
             .iter()
@@ -213,10 +221,16 @@ mod tests {
             / labels.len() as f64;
         assert!(accuracy >= 0.9, "K=2 accuracy {accuracy}");
 
-        let without_hops = SgcClassifier::train(&adj, &x, &labels, &split, &SgcConfig {
-            hops: 0,
-            ..Default::default()
-        });
+        let without_hops = SgcClassifier::train(
+            &adj,
+            &x,
+            &labels,
+            &split,
+            &SgcConfig {
+                hops: 0,
+                ..Default::default()
+            },
+        );
         let predictions = without_hops.predict(&adj, &x);
         let accuracy0 = predictions
             .iter()

@@ -78,7 +78,8 @@ pub fn train_classifier(
     assert_eq!(labels.len(), features.rows(), "label count mismatch");
     let targets: Vec<usize> = labels.iter().map(|&l| usize::from(l)).collect();
     let mut model = GcnClassifier::new(model_config);
-    let mut optimizer = Adam::with_weight_decay(train_config.learning_rate, train_config.weight_decay);
+    let mut optimizer =
+        Adam::with_weight_decay(train_config.learning_rate, train_config.weight_decay);
     let mut history = TrainHistory::default();
     let mut best: Option<(f64, GcnClassifier)> = None;
 
@@ -94,7 +95,11 @@ pub fn train_classifier(
         let val_accuracy = validation_accuracy(&model, adj, features, labels, &split.validation);
         history.train_loss.push(loss);
         history.validation_metric.push(val_accuracy);
-        if best.as_ref().map(|(b, _)| val_accuracy > *b).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|(b, _)| val_accuracy > *b)
+            .unwrap_or(true)
+        {
             history.best_epoch = history.validation_metric.len() - 1;
             best = Some((val_accuracy, model.clone()));
         }
@@ -138,7 +143,11 @@ pub fn evaluate_classifier(
     let critical_probability = model.predict_critical_probability(adj, features);
     let predicted_labels: Vec<bool> = critical_probability.iter().map(|&p| p >= 0.5).collect();
 
-    let val_predicted: Vec<bool> = split.validation.iter().map(|&i| predicted_labels[i]).collect();
+    let val_predicted: Vec<bool> = split
+        .validation
+        .iter()
+        .map(|&i| predicted_labels[i])
+        .collect();
     let val_actual: Vec<bool> = split.validation.iter().map(|&i| labels[i]).collect();
     let val_scores: Vec<f64> = split
         .validation
@@ -175,7 +184,8 @@ pub fn train_regressor(
 ) -> (GcnRegressor, TrainHistory, Vec<f64>) {
     assert_eq!(scores.len(), features.rows(), "score count mismatch");
     let mut model = GcnRegressor::new(model_config);
-    let mut optimizer = Adam::with_weight_decay(train_config.learning_rate, train_config.weight_decay);
+    let mut optimizer =
+        Adam::with_weight_decay(train_config.learning_rate, train_config.weight_decay);
     let mut history = TrainHistory::default();
     let mut best: Option<(f64, GcnRegressor)> = None;
 
@@ -192,11 +202,7 @@ pub fn train_regressor(
         let (val_loss, _) = mse_loss(&val_predictions, scores, &split.validation);
         history.train_loss.push(loss);
         history.validation_metric.push(-val_loss);
-        if best
-            .as_ref()
-            .map(|(b, _)| -val_loss > *b)
-            .unwrap_or(true)
-        {
+        if best.as_ref().map(|(b, _)| -val_loss > *b).unwrap_or(true) {
             history.best_epoch = history.validation_metric.len() - 1;
             best = Some((-val_loss, model.clone()));
         }
@@ -277,14 +283,8 @@ impl GridSearch {
                         learning_rate,
                         ..Default::default()
                     };
-                    let (_, history, _) = train_classifier(
-                        adj,
-                        features,
-                        labels,
-                        split,
-                        model_config,
-                        &train_config,
-                    );
+                    let (_, history, _) =
+                        train_classifier(adj, features, labels, split, model_config, &train_config);
                     let best = history
                         .validation_metric
                         .iter()

@@ -117,9 +117,8 @@ fn run_workload(
     config: &CampaignConfig,
 ) -> WorkloadReport {
     let classify_latent = config.classify_latent;
-    let min_divergent_cycles = ((config.min_divergence_fraction * workload.len() as f64).ceil()
-        as u32)
-        .max(1);
+    let min_divergent_cycles =
+        ((config.min_divergence_fraction * workload.len() as f64).ceil() as u32).max(1);
     let fault_slice = faults.faults();
     let mut outcomes = vec![FaultOutcome::Benign; fault_slice.len()];
     let mut first_divergence: Vec<Option<u32>> = vec![None; fault_slice.len()];
@@ -350,15 +349,14 @@ mod tests {
     #[test]
     fn more_than_64_faults_chunks_correctly() {
         // 40 gates -> 80 faults spanning two chunks.
-        let netlist = fusa_netlist::designs::random_netlist(
-            &fusa_netlist::designs::RandomNetlistConfig {
+        let netlist =
+            fusa_netlist::designs::random_netlist(&fusa_netlist::designs::RandomNetlistConfig {
                 num_gates: 40,
                 num_inputs: 6,
                 sequential_fraction: 0.1,
                 num_outputs: 6,
                 seed: 5,
-            },
-        );
+            });
         let faults = FaultList::all_gate_outputs(&netlist);
         assert!(faults.len() > 64);
         let workloads = tiny_suite(&netlist, 2, 24);
@@ -386,7 +384,10 @@ mod tests {
         } else {
             report.workload_reports()[0].outcomes[target_index]
         };
-        assert_eq!(report.workload_reports()[0].outcomes[target_index], expected);
+        assert_eq!(
+            report.workload_reports()[0].outcomes[target_index],
+            expected
+        );
         if diverged {
             assert_eq!(
                 report.workload_reports()[0].outcomes[target_index],

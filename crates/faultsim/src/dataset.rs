@@ -49,10 +49,7 @@ impl CriticalityDataset {
         }
 
         // NodeCritic[key] /= N; label = score >= th (lines 11-17).
-        let scores: Vec<f64> = node_critic
-            .iter()
-            .map(|&c| c as f64 / n as f64)
-            .collect();
+        let scores: Vec<f64> = node_critic.iter().map(|&c| c as f64 / n as f64).collect();
         let labels: Vec<bool> = scores.iter().map(|&s| s >= threshold).collect();
         CriticalityDataset {
             scores,

@@ -194,9 +194,7 @@ impl FaultList {
                     GateKind::Nand2 | GateKind::Nand3 | GateKind::Nand4 => {
                         fault.stuck_at != StuckAt::Zero
                     }
-                    GateKind::Or2 | GateKind::Or3 | GateKind::Or4 => {
-                        fault.stuck_at != StuckAt::One
-                    }
+                    GateKind::Or2 | GateKind::Or3 | GateKind::Or4 => fault.stuck_at != StuckAt::One,
                     GateKind::Nor2 | GateKind::Nor3 | GateKind::Nor4 => {
                         fault.stuck_at != StuckAt::One
                     }
@@ -218,6 +216,36 @@ impl FaultList {
             let kind = netlist.gate(fault.gate).kind;
             !(kind == GateKind::Tie0 && fault.stuck_at == StuckAt::Zero
                 || kind == GateKind::Tie1 && fault.stuck_at == StuckAt::One)
+        });
+        self
+    }
+
+    /// Keeps only the faults satisfying `keep`, preserving order.
+    pub fn retain(&mut self, keep: impl FnMut(&Fault) -> bool) {
+        self.faults.retain(keep);
+    }
+
+    /// Drops faults at statically untestable sites, as reported by the
+    /// lint framework's `(gate, stuck value)` pairs: constant gates at
+    /// their constant polarity, unobservable gates at both.
+    ///
+    /// Output faults are dropped when their exact `(gate, value)` pair
+    /// is listed. Input-pin faults are dropped only when *both*
+    /// polarities of the gate are listed (the gate is unobservable, so
+    /// no fault inside it can ever be seen); a pin fault on a
+    /// constant-output gate can still flip the output — forcing the
+    /// tie-driven pin of `NAND2(a, TIE0)` to 1 turns the constant 1
+    /// into `!a` — so those are kept.
+    pub fn exclude_untestable(mut self, sites: &[(GateId, bool)]) -> FaultList {
+        let listed: std::collections::HashSet<(GateId, bool)> = sites.iter().copied().collect();
+        self.faults.retain(|f| {
+            if listed.contains(&(f.gate, false)) && listed.contains(&(f.gate, true)) {
+                return false;
+            }
+            match f.site {
+                FaultSite::Output => !listed.contains(&(f.gate, f.stuck_at.value())),
+                FaultSite::InputPin(_) => true,
+            }
         });
         self
     }
@@ -306,8 +334,9 @@ mod tests {
         // AND2 input SA0 faults dropped (2), TIE1 SA1 dropped (1):
         // 8 - 3 = 5.
         assert_eq!(collapsed.len(), 5);
-        assert!(!collapsed.iter().any(|f| matches!(f.site, FaultSite::InputPin(_))
-            && f.stuck_at == StuckAt::Zero));
+        assert!(!collapsed
+            .iter()
+            .any(|f| matches!(f.site, FaultSite::InputPin(_)) && f.stuck_at == StuckAt::Zero));
     }
 
     #[test]
@@ -361,6 +390,52 @@ mod tests {
         let and_gate = GateId(1);
         let fault = Fault::at_pin(&n, and_gate, 0, StuckAt::Zero);
         assert_eq!(fault.net, n.gate(and_gate).inputs[0]);
+    }
+
+    #[test]
+    fn retain_filters_in_place() {
+        let n = tiny();
+        let mut faults = FaultList::all_gate_outputs(&n);
+        faults.retain(|f| f.stuck_at == StuckAt::One);
+        assert_eq!(faults.len(), 2);
+        assert!(faults.iter().all(|f| f.stuck_at == StuckAt::One));
+    }
+
+    #[test]
+    fn exclude_untestable_drops_listed_output_faults() {
+        let n = tiny();
+        let and_gate = GateId(1);
+        // The AND output is claimed constant 1: SA1 untestable.
+        let faults = FaultList::all_gate_outputs(&n).exclude_untestable(&[(and_gate, true)]);
+        assert_eq!(faults.len(), 3);
+        assert!(!faults
+            .iter()
+            .any(|f| f.gate == and_gate && f.stuck_at == StuckAt::One));
+        assert!(faults
+            .iter()
+            .any(|f| f.gate == and_gate && f.stuck_at == StuckAt::Zero));
+    }
+
+    #[test]
+    fn exclude_untestable_keeps_pin_faults_of_constant_gates() {
+        let n = tiny();
+        let and_gate = GateId(1);
+        let faults = FaultList::all_sites(&n).exclude_untestable(&[(and_gate, true)]);
+        // Only the AND output SA1 goes; all 4 pin faults stay.
+        assert_eq!(faults.len(), 7);
+        assert!(faults
+            .iter()
+            .any(|f| f.gate == and_gate && matches!(f.site, FaultSite::InputPin(_))));
+    }
+
+    #[test]
+    fn exclude_untestable_drops_everything_on_unobservable_gates() {
+        let n = tiny();
+        let and_gate = GateId(1);
+        let faults =
+            FaultList::all_sites(&n).exclude_untestable(&[(and_gate, false), (and_gate, true)]);
+        assert!(faults.iter().all(|f| f.gate != and_gate));
+        assert_eq!(faults.len(), 2, "the tie cell's output faults remain");
     }
 
     #[test]

@@ -100,8 +100,8 @@ impl SeuCampaign {
 
         for workload in workloads.workloads() {
             for &fraction in &self.config.injection_points {
-                let inject_cycle =
-                    ((workload.len() as f64 * fraction) as usize).min(workload.len().saturating_sub(1));
+                let inject_cycle = ((workload.len() as f64 * fraction) as usize)
+                    .min(workload.len().saturating_sub(1));
                 experiments += 1;
                 run_injection(
                     netlist,

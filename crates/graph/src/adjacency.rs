@@ -31,8 +31,8 @@ pub fn normalized_adjacency(graph: &CircuitGraph) -> CsrMatrix {
     let inv_sqrt: Vec<f64> = degree.iter().map(|&d| 1.0 / d.sqrt()).collect();
 
     let mut triplets = Vec::with_capacity(n + 2 * graph.edge_count());
-    for i in 0..n {
-        triplets.push((i, i, inv_sqrt[i] * inv_sqrt[i]));
+    for (i, &inv) in inv_sqrt.iter().enumerate() {
+        triplets.push((i, i, inv * inv));
     }
     for &(a, b) in graph.edges() {
         let w = inv_sqrt[a] * inv_sqrt[b];
@@ -64,8 +64,8 @@ pub fn masked_adjacency(graph: &CircuitGraph, edge_weights: &[f64]) -> CsrMatrix
         .map(|i| 1.0 / ((graph.degree(i) + 1) as f64).sqrt())
         .collect();
     let mut triplets = Vec::with_capacity(n + 2 * graph.edge_count());
-    for i in 0..n {
-        triplets.push((i, i, inv_sqrt[i] * inv_sqrt[i]));
+    for (i, &inv) in inv_sqrt.iter().enumerate() {
+        triplets.push((i, i, inv * inv));
     }
     for (&(a, b), &w) in graph.edges().iter().zip(edge_weights) {
         let value = w * inv_sqrt[a] * inv_sqrt[b];

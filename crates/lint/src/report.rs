@@ -1,0 +1,350 @@
+//! Findings, severities and the machine-readable lint report.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// Ordering matters: `Info < Warning < Error`, so severity thresholds
+/// can be compared directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintSeverity {
+    /// Expected or informational; no action required.
+    Info,
+    /// Suspicious structure worth reviewing.
+    Warning,
+    /// A defect; the design should not ship as-is.
+    Error,
+}
+
+impl LintSeverity {
+    /// Lowercase name used in reports (`info`, `warning`, `error`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintSeverity::Info => "info",
+            LintSeverity::Warning => "warning",
+            LintSeverity::Error => "error",
+        }
+    }
+
+    /// Parses a severity name (case-insensitive; plural accepted, so
+    /// `--deny warnings` works as CI users expect).
+    pub fn parse(text: &str) -> Option<LintSeverity> {
+        match text.to_ascii_lowercase().as_str() {
+            "info" | "infos" => Some(LintSeverity::Info),
+            "warning" | "warnings" | "warn" => Some(LintSeverity::Warning),
+            "error" | "errors" => Some(LintSeverity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LintSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One diagnostic produced by a lint pass.
+///
+/// Source locations are structural: the gate instance and/or net the
+/// finding anchors to, by name, so reports stay meaningful after the
+/// netlist object is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Name of the pass that produced the finding.
+    pub pass: &'static str,
+    /// Stable diagnostic code (`L0xx`), one per finding type.
+    pub code: &'static str,
+    /// Severity of this instance.
+    pub severity: LintSeverity,
+    /// Human-readable description.
+    pub message: String,
+    /// Gate instance the finding is attached to, if any.
+    pub gate: Option<String>,
+    /// Net the finding is attached to, if any.
+    pub net: Option<String>,
+}
+
+impl LintFinding {
+    /// `"gate U42"` / `"net ack"` / `"gate U42 (net ack)"` / `"design"`.
+    pub fn location(&self) -> String {
+        match (&self.gate, &self.net) {
+            (Some(g), Some(n)) => format!("gate {g} (net {n})"),
+            (Some(g), None) => format!("gate {g}"),
+            (None, Some(n)) => format!("net {n}"),
+            (None, None) => "design".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}/{}] {}: {}",
+            self.severity,
+            self.pass,
+            self.code,
+            self.location(),
+            self.message
+        )
+    }
+}
+
+/// The result of running lint passes over one design.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Module name of the linted design.
+    pub design: String,
+    /// All findings, in pass order.
+    pub findings: Vec<LintFinding>,
+    /// Names of the passes that ran (whether or not they found anything).
+    pub passes_run: Vec<&'static str>,
+}
+
+impl LintReport {
+    /// An empty report for the named design.
+    pub fn new(design: impl Into<String>) -> LintReport {
+        LintReport {
+            design: design.into(),
+            findings: Vec::new(),
+            passes_run: Vec::new(),
+        }
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count_at(&self, severity: LintSeverity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// Number of `error` findings.
+    pub fn error_count(&self) -> usize {
+        self.count_at(LintSeverity::Error)
+    }
+
+    /// Number of `warning` findings.
+    pub fn warning_count(&self) -> usize {
+        self.count_at(LintSeverity::Warning)
+    }
+
+    /// `true` if any finding is at or above `severity`.
+    pub fn has_at_least(&self, severity: LintSeverity) -> bool {
+        self.findings.iter().any(|f| f.severity >= severity)
+    }
+
+    /// Findings produced by the named pass.
+    pub fn findings_for_pass(&self, pass: &str) -> Vec<&LintFinding> {
+        self.findings.iter().filter(|f| f.pass == pass).collect()
+    }
+
+    /// Human-readable report: summary line, then findings grouped by
+    /// severity (errors first).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "lint {}: {} passes, {} findings ({} errors, {} warnings, {} info)\n",
+            self.design,
+            self.passes_run.len(),
+            self.findings.len(),
+            self.error_count(),
+            self.warning_count(),
+            self.count_at(LintSeverity::Info),
+        ));
+        for severity in [
+            LintSeverity::Error,
+            LintSeverity::Warning,
+            LintSeverity::Info,
+        ] {
+            let group: Vec<&LintFinding> = self
+                .findings
+                .iter()
+                .filter(|f| f.severity == severity)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("\n{} ({}):\n", severity, group.len()));
+            for finding in group {
+                out.push_str(&format!(
+                    "  [{}/{}] {}: {}\n",
+                    finding.pass,
+                    finding.code,
+                    finding.location(),
+                    finding.message
+                ));
+            }
+        }
+        out
+    }
+
+    /// CSV rendering with a header row; fields are quoted and escaped.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("design,pass,code,severity,gate,net,message\n");
+        for finding in &self.findings {
+            let row = [
+                self.design.as_str(),
+                finding.pass,
+                finding.code,
+                finding.severity.as_str(),
+                finding.gate.as_deref().unwrap_or(""),
+                finding.net.as_deref().unwrap_or(""),
+                finding.message.as_str(),
+            ];
+            let escaped: Vec<String> = row.iter().map(|f| csv_field(f)).collect();
+            out.push_str(&escaped.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON rendering (one object with a `findings` array).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"design\": {},\n", json_string(&self.design)));
+        out.push_str(&format!(
+            "  \"passes_run\": [{}],\n",
+            self.passes_run
+                .iter()
+                .map(|p| json_string(p))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("  \"errors\": {},\n", self.error_count()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warning_count()));
+        out.push_str("  \"findings\": [\n");
+        let body: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "    {{\"pass\": {}, \"code\": {}, \"severity\": {}, \
+                     \"gate\": {}, \"net\": {}, \"message\": {}}}",
+                    json_string(f.pass),
+                    json_string(f.code),
+                    json_string(f.severity.as_str()),
+                    f.gate.as_deref().map_or("null".to_string(), json_string),
+                    f.net.as_deref().map_or("null".to_string(), json_string),
+                    json_string(&f.message),
+                )
+            })
+            .collect();
+        out.push_str(&body.join(",\n"));
+        if !body.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> LintReport {
+        let mut report = LintReport::new("demo");
+        report.passes_run = vec!["const-gate", "dead-gate"];
+        report.findings.push(LintFinding {
+            pass: "const-gate",
+            code: "L002",
+            severity: LintSeverity::Warning,
+            message: "output is constant 0".to_string(),
+            gate: Some("U1".to_string()),
+            net: Some("n,et\"x".to_string()),
+        });
+        report.findings.push(LintFinding {
+            pass: "dead-gate",
+            code: "L004",
+            severity: LintSeverity::Error,
+            message: "unreachable".to_string(),
+            gate: Some("U2".to_string()),
+            net: None,
+        });
+        report
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(LintSeverity::Info < LintSeverity::Warning);
+        assert!(LintSeverity::Warning < LintSeverity::Error);
+        assert_eq!(LintSeverity::parse("WARN"), Some(LintSeverity::Warning));
+        assert_eq!(LintSeverity::parse("bogus"), None);
+    }
+
+    #[test]
+    fn counts_and_threshold() {
+        let report = sample_report();
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.has_at_least(LintSeverity::Warning));
+        assert!(report.has_at_least(LintSeverity::Error));
+        assert_eq!(report.findings_for_pass("dead-gate").len(), 1);
+    }
+
+    #[test]
+    fn text_groups_by_severity() {
+        let text = sample_report().render_text();
+        let error_pos = text.find("error (1):").unwrap();
+        let warning_pos = text.find("warning (1):").unwrap();
+        assert!(error_pos < warning_pos, "errors render first:\n{text}");
+        assert!(text.contains("gate U1 (net n,et\"x)"));
+    }
+
+    #[test]
+    fn csv_escapes_fields() {
+        let csv = sample_report().render_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "design,pass,code,severity,gate,net,message"
+        );
+        assert!(csv.contains("\"n,et\"\"x\""), "{csv}");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let json = sample_report().render_json();
+        assert!(json.contains("\"design\": \"demo\""));
+        assert!(json.contains("\"n,et\\\"x\""));
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"net\": null"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let report = LintReport::new("empty");
+        assert!(report.render_text().contains("0 findings"));
+        assert!(report.render_json().contains("\"findings\": [\n  ]"));
+        assert_eq!(report.render_csv().lines().count(), 1);
+    }
+}

@@ -1,7 +1,7 @@
 //! 64-lane bit-parallel Boolean simulator.
 
 use crate::eval::eval_u64;
-use fusa_netlist::{GateId, Levelizer, LevelizedOrder, NetId, Netlist};
+use fusa_netlist::{GateId, LevelizedOrder, Levelizer, NetId, Netlist};
 
 /// A bit-parallel simulator: every net carries a `u64` whose 64 bit
 /// positions are independent simulation lanes.
@@ -160,10 +160,7 @@ impl<'a> BitSim<'a> {
             "pin {pin} out of range for {}-input gate",
             arity
         );
-        let entry = self
-            .pin_masks
-            .entry((gate.0, pin))
-            .or_insert((u64::MAX, 0));
+        let entry = self.pin_masks.entry((gate.0, pin)).or_insert((u64::MAX, 0));
         if stuck_high {
             entry.1 |= lane_mask;
         } else {
@@ -363,8 +360,7 @@ mod tests {
 
         for _cycle in 0..20 {
             let vector: Vec<bool> = (0..pi_count).map(|_| rng.gen()).collect();
-            let logic_vector: Vec<Logic> =
-                vector.iter().map(|&b| Logic::from_bool(b)).collect();
+            let logic_vector: Vec<Logic> = vector.iter().map(|&b| Logic::from_bool(b)).collect();
             let scalar_out = scalar.step(&logic_vector);
             let parallel_out = parallel.step_broadcast(&vector);
             for (s, p) in scalar_out.iter().zip(&parallel_out) {

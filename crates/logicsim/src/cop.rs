@@ -80,15 +80,13 @@ impl CopEstimate {
             }
             for &gate_id in order.order() {
                 let gate = netlist.gate(gate_id);
-                let inputs: Vec<f64> =
-                    gate.inputs.iter().map(|&n| net_p[n.index()]).collect();
+                let inputs: Vec<f64> = gate.inputs.iter().map(|&n| net_p[n.index()]).collect();
                 net_p[gate.output.index()] = gate_probability(gate.kind, &inputs, 0.5);
             }
             // Next-state probabilities become register probabilities.
             for gate_id in netlist.sequential_gates() {
                 let gate = netlist.gate(gate_id);
-                let inputs: Vec<f64> =
-                    gate.inputs.iter().map(|&n| net_p[n.index()]).collect();
+                let inputs: Vec<f64> = gate.inputs.iter().map(|&n| net_p[n.index()]).collect();
                 state_p[gate_id.index()] =
                     gate_probability(gate.kind, &inputs, state_p[gate_id.index()]);
             }

@@ -164,8 +164,10 @@ mod tests {
                         "{kind:?} scalar mismatch on {bools:?} q={q}"
                     );
 
-                    let words: Vec<u64> =
-                        bools.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+                    let words: Vec<u64> = bools
+                        .iter()
+                        .map(|&b| if b { u64::MAX } else { 0 })
+                        .collect();
                     let got = eval_u64(kind, &words, if q { u64::MAX } else { 0 });
                     let want = if expected { u64::MAX } else { 0 };
                     assert_eq!(got, want, "{kind:?} u64 mismatch on {bools:?} q={q}");
@@ -211,8 +213,10 @@ mod tests {
                         .collect();
                     let mut outcomes = std::collections::HashSet::new();
                     for fill in 0..(1u32 << x_positions.len()) {
-                        let mut bools: Vec<bool> =
-                            logics.iter().map(|l| l.to_bool().unwrap_or(false)).collect();
+                        let mut bools: Vec<bool> = logics
+                            .iter()
+                            .map(|l| l.to_bool().unwrap_or(false))
+                            .collect();
                         for (bit, &pos) in x_positions.iter().enumerate() {
                             bools[pos] = fill & (1 << bit) != 0;
                         }

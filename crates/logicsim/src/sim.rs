@@ -2,7 +2,7 @@
 
 use crate::eval::eval_logic;
 use crate::value::Logic;
-use fusa_netlist::{Driver, GateId, Levelizer, LevelizedOrder, NetId, Netlist};
+use fusa_netlist::{Driver, GateId, LevelizedOrder, Levelizer, NetId, Netlist};
 
 /// A cycle-accurate, three-valued simulator over a validated [`Netlist`].
 ///
@@ -252,10 +252,7 @@ impl<'a> Simulator<'a> {
 
     /// Whether the net is driven by a primary input.
     pub fn is_primary_input_net(&self, net: NetId) -> bool {
-        matches!(
-            self.netlist.net(net).driver,
-            Some(Driver::PrimaryInput)
-        )
+        matches!(self.netlist.net(net).driver, Some(Driver::PrimaryInput))
     }
 }
 
@@ -291,7 +288,11 @@ mod tests {
             sim.settle();
             let total = (bits & 1) + ((bits >> 1) & 1) + ((bits >> 2) & 1);
             let out = sim.output_values();
-            assert_eq!(out[0], Logic::from_bool(total & 1 == 1), "sum for {bits:03b}");
+            assert_eq!(
+                out[0],
+                Logic::from_bool(total & 1 == 1),
+                "sum for {bits:03b}"
+            );
             assert_eq!(out[1], Logic::from_bool(total >= 2), "cout for {bits:03b}");
         }
     }

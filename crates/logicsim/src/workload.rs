@@ -151,14 +151,7 @@ impl WorkloadSuite {
         for w in 0..config.num_workloads {
             let kind = ALL_WORKLOAD_KINDS[w % ALL_WORKLOAD_KINDS.len()];
             let seed = rng.gen::<u64>();
-            workloads.push(generate_one(
-                kind,
-                w,
-                pi_count,
-                rst_index,
-                config,
-                seed,
-            ));
+            workloads.push(generate_one(kind, w, pi_count, rst_index, config, seed));
         }
         WorkloadSuite { workloads }
     }

@@ -136,7 +136,8 @@ impl NetlistBuilder {
             });
         }
         if self.gate_names.insert(name.clone(), id).is_some() {
-            self.errors.push(NetlistError::DuplicateName { name: name.clone() });
+            self.errors
+                .push(NetlistError::DuplicateName { name: name.clone() });
         }
         self.set_driver(output, Driver::Gate(id));
         self.gates.push(Gate {
@@ -215,48 +216,13 @@ impl NetlistBuilder {
 }
 
 fn detect_combinational_loop(netlist: &Netlist) -> Result<(), NetlistError> {
-    let n = netlist.gate_count();
-    let mut indegree = vec![0usize; n];
-    for (i, gate) in netlist.gates().iter().enumerate() {
-        if gate.kind.is_sequential() {
-            continue;
-        }
-        let fanin = netlist.fanin_of_gate(GateId(i as u32));
-        indegree[i] = fanin
-            .iter()
-            .filter(|g| !netlist.gate(**g).kind.is_sequential())
-            .count();
+    let loops = crate::topo::combinational_loops(netlist);
+    match loops.first() {
+        Some(component) => Err(NetlistError::CombinationalLoop {
+            gate: netlist.gate(component[0]).name.clone(),
+        }),
+        None => Ok(()),
     }
-    let mut queue: Vec<usize> = (0..n)
-        .filter(|&i| !netlist.gates()[i].kind.is_sequential() && indegree[i] == 0)
-        .collect();
-    let mut visited = queue.len();
-    while let Some(i) = queue.pop() {
-        for &succ in netlist.fanout_of_gate(GateId(i as u32)) {
-            if netlist.gate(succ).kind.is_sequential() {
-                continue;
-            }
-            indegree[succ.index()] -= 1;
-            if indegree[succ.index()] == 0 {
-                queue.push(succ.index());
-                visited += 1;
-            }
-        }
-    }
-    let comb_total = netlist
-        .gates()
-        .iter()
-        .filter(|g| !g.kind.is_sequential())
-        .count();
-    if visited != comb_total {
-        let culprit = (0..n)
-            .find(|&i| !netlist.gates()[i].kind.is_sequential() && indegree[i] > 0)
-            .expect("some combinational gate has nonzero indegree");
-        return Err(NetlistError::CombinationalLoop {
-            gate: netlist.gates()[culprit].name.clone(),
-        });
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -294,7 +260,11 @@ mod tests {
         b.primary_output("z", z);
         assert!(matches!(
             b.finish(),
-            Err(NetlistError::ArityMismatch { expected: 2, found: 1, .. })
+            Err(NetlistError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            })
         ));
     }
 

@@ -45,7 +45,11 @@ mod tests {
         for design in paper_designs() {
             let stats = NetlistStats::of(&design);
             assert!(stats.gate_count > 100, "{} too small", stats.name);
-            assert!(stats.flip_flop_count > 4, "{} has too few flops", stats.name);
+            assert!(
+                stats.flip_flop_count > 4,
+                "{} has too few flops",
+                stats.name
+            );
             assert!(stats.output_count > 0, "{} has no outputs", stats.name);
         }
     }
@@ -53,8 +57,7 @@ mod tests {
     #[test]
     fn design_names_are_distinct() {
         let designs = paper_designs();
-        let names: std::collections::HashSet<&str> =
-            designs.iter().map(|d| d.name()).collect();
+        let names: std::collections::HashSet<&str> = designs.iter().map(|d| d.name()).collect();
         assert_eq!(names.len(), designs.len());
     }
 

@@ -173,7 +173,9 @@ pub fn or1200_icfsm() -> Netlist {
     let busy0 = s.not(in_idle);
     let ic_busy = s.and2(busy0, not_rst);
     // Separate buffered copy of the write strobe for the tag array.
-    let tag_we = s.builder_mut().gate(crate::gate::GateKind::Buf, &[tagram_we]);
+    let tag_we = s
+        .builder_mut()
+        .gate(crate::gate::GateKind::Buf, &[tagram_we]);
 
     s.output_bit("hitmiss_eval", hitmiss_eval);
     s.output_bit("tagram_we", tagram_we);
@@ -186,7 +188,8 @@ pub fn or1200_icfsm() -> Netlist {
     s.output_bit("tag_we", tag_we);
     s.output_bit("ic_busy", ic_busy);
 
-    s.finish().expect("or1200_icfsm design is valid by construction")
+    s.finish()
+        .expect("or1200_icfsm design is valid by construction")
 }
 
 #[cfg(test)]
@@ -206,7 +209,11 @@ mod tests {
     #[test]
     fn strobes_are_outputs() {
         let n = or1200_icfsm();
-        let outs: Vec<&str> = n.primary_outputs().iter().map(|(p, _)| p.as_str()).collect();
+        let outs: Vec<&str> = n
+            .primary_outputs()
+            .iter()
+            .map(|(p, _)| p.as_str())
+            .collect();
         for port in ["tagram_we", "dataram_we", "biu_read", "ic_busy"] {
             assert!(outs.contains(&port), "missing {port}");
         }

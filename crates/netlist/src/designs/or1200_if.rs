@@ -150,7 +150,8 @@ pub fn or1200_if() -> Netlist {
     s.output_bit("if_stall_out", if_stall_out);
     s.output_bit("predict_taken", predict_taken);
 
-    s.finish().expect("or1200_if design is valid by construction")
+    s.finish()
+        .expect("or1200_if design is valid by construction")
 }
 
 #[cfg(test)]

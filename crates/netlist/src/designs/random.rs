@@ -115,12 +115,7 @@ pub fn random_netlist(config: &RandomNetlistConfig) -> Netlist {
     // Tap outputs from the most recently created nets so deep logic is
     // observable.
     let num_outputs = config.num_outputs.max(1).min(available.len());
-    let tail: Vec<NetId> = available
-        .iter()
-        .rev()
-        .take(num_outputs)
-        .copied()
-        .collect();
+    let tail: Vec<NetId> = available.iter().rev().take(num_outputs).copied().collect();
     for (i, net) in tail.into_iter().enumerate() {
         b.primary_output(format!("out{i}"), net);
     }

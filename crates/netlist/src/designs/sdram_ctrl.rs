@@ -290,7 +290,8 @@ pub fn sdram_ctrl() -> Netlist {
     s.output_bit("ready", ready);
     s.output_bit("refresh_ack", refresh_ack);
 
-    s.finish().expect("sdram_ctrl design is valid by construction")
+    s.finish()
+        .expect("sdram_ctrl design is valid by construction")
 }
 
 #[cfg(test)]
@@ -313,7 +314,11 @@ mod tests {
         let n = sdram_ctrl();
         assert!(n.find_net("rst").is_some());
         assert!(n.find_net("addr[12]").is_some());
-        let outs: Vec<&str> = n.primary_outputs().iter().map(|(p, _)| p.as_str()).collect();
+        let outs: Vec<&str> = n
+            .primary_outputs()
+            .iter()
+            .map(|(p, _)| p.as_str())
+            .collect();
         assert!(outs.contains(&"cs_n"));
         assert!(outs.contains(&"ready"));
         assert!(outs.contains(&"dq_out[7]"));
@@ -324,6 +329,11 @@ mod tests {
         let n = sdram_ctrl();
         let hist = n.kind_histogram();
         // Technology mapping should produce at least 8 distinct cell types.
-        assert!(hist.len() >= 8, "only {} cell kinds: {:?}", hist.len(), hist);
+        assert!(
+            hist.len() >= 8,
+            "only {} cell kinds: {:?}",
+            hist.len(),
+            hist
+        );
     }
 }

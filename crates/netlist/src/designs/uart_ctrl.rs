@@ -196,7 +196,8 @@ pub fn uart_ctrl() -> Netlist {
     s.output_bit("rx_valid", rx_valid);
     s.output_bit("rx_frame_error", frame_error);
 
-    s.finish().expect("uart_ctrl design is valid by construction")
+    s.finish()
+        .expect("uart_ctrl design is valid by construction")
 }
 
 #[cfg(test)]
@@ -216,7 +217,11 @@ mod tests {
     #[test]
     fn interface_ports_exist() {
         let n = uart_ctrl();
-        let outs: Vec<&str> = n.primary_outputs().iter().map(|(p, _)| p.as_str()).collect();
+        let outs: Vec<&str> = n
+            .primary_outputs()
+            .iter()
+            .map(|(p, _)| p.as_str())
+            .collect();
         for port in ["tx", "tx_busy", "rx_valid", "rx_frame_error", "rx_data[7]"] {
             assert!(outs.contains(&port), "missing {port}");
         }

@@ -45,9 +45,8 @@ pub fn tmr_protect(netlist: &Netlist, gates: &[GateId]) -> Result<Netlist, Netli
     let mut b = NetlistBuilder::new(format!("{}_tmr", netlist.name()));
 
     // Recreate all nets by name so ids stay stable relative to lookups.
-    let net_of = |b: &mut NetlistBuilder, id: NetId| -> NetId {
-        b.net(netlist.net(id).name.clone())
-    };
+    let net_of =
+        |b: &mut NetlistBuilder, id: NetId| -> NetId { b.net(netlist.net(id).name.clone()) };
 
     for &input in netlist.primary_inputs() {
         let name = netlist.net(input).name.clone();

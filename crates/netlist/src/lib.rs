@@ -45,4 +45,4 @@ pub use gate::{Gate, GateId, GateKind};
 pub use netlist::{gate_ids, in_output_cone, net_ids, Driver, Net, NetId, Netlist};
 pub use stats::NetlistStats;
 pub use synth::{Synth, Word};
-pub use topo::{LevelizedOrder, Levelizer};
+pub use topo::{combinational_loops, LevelizedOrder, Levelizer};

@@ -249,9 +249,19 @@ impl Parser {
     }
 
     fn error_at(&self, message: impl Into<String>) -> NetlistError {
+        self.error_on(self.pos, message)
+    }
+
+    /// Like [`Self::error_at`] but for a failed `next()`: points at the
+    /// token just consumed instead of the one after it.
+    fn error_at_prev(&self, message: impl Into<String>) -> NetlistError {
+        self.error_on(self.pos.saturating_sub(1), message)
+    }
+
+    fn error_on(&self, pos: usize, message: impl Into<String>) -> NetlistError {
         let line = self
             .tokens
-            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .get(pos.min(self.tokens.len().saturating_sub(1)))
             .map(|(_, l)| *l)
             .unwrap_or(0);
         NetlistError::Parse {
@@ -275,14 +285,14 @@ impl Parser {
     fn expect_punct(&mut self, c: char) -> Result<(), NetlistError> {
         match self.next() {
             Some(Token::Punct(p)) if p == c => Ok(()),
-            other => Err(self.error_at(format!("expected `{c}`, found {other:?}"))),
+            other => Err(self.error_at_prev(format!("expected `{c}`, found {other:?}"))),
         }
     }
 
     fn expect_ident(&mut self) -> Result<String, NetlistError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(self.error_at(format!("expected identifier, found {other:?}"))),
+            other => Err(self.error_at_prev(format!("expected identifier, found {other:?}"))),
         }
     }
 
@@ -364,16 +374,18 @@ impl Parser {
                             builder.gate_driving(inst, GateKind::Buf, &[rhs_net], lhs_net);
                         }
                         Some(Token::Number(v)) => {
-                            let kind = if v == 0 { GateKind::Tie0 } else { GateKind::Tie1 };
+                            let kind = if v == 0 {
+                                GateKind::Tie0
+                            } else {
+                                GateKind::Tie1
+                            };
                             let inst = format!("ASSIGN{}", self.assign_counter);
                             self.assign_counter += 1;
                             builder.gate_driving(inst, kind, &[], lhs_net);
                             let slot = if v == 0 { &mut tie0 } else { &mut tie1 };
                             slot.get_or_insert(lhs_net);
                         }
-                        other => {
-                            return Err(self.error_at(format!("bad assign rhs: {other:?}")))
-                        }
+                        other => return Err(self.error_at(format!("bad assign rhs: {other:?}"))),
                     }
                     self.expect_punct(';')?;
                 }
@@ -476,10 +488,9 @@ impl Parser {
                     } else if let Some(idx) = pin_names.iter().position(|&p| p == pin) {
                         inputs[idx] = Some(net);
                     } else {
-                        return Err(self.error_at(format!(
-                            "cell {} has no pin `{pin}`",
-                            kind.cell_name()
-                        )));
+                        return Err(
+                            self.error_at(format!("cell {} has no pin `{pin}`", kind.cell_name()))
+                        );
                     }
                 }
                 Some(Token::Ident(_)) => {
@@ -502,14 +513,9 @@ impl Parser {
                 .ok_or_else(|| self.error_at("instance leaves an input pin unconnected"))?;
             Ok((gathered, output))
         } else {
-            // Positional: inputs in pin order, then the output.
-            if positional.len() != kind.num_inputs() + 1 {
-                return Err(self.error_at(format!(
-                    "positional instance of {} needs {} connections",
-                    kind.cell_name(),
-                    kind.num_inputs() + 1
-                )));
-            }
+            // Positional: inputs in pin order, then the output. The
+            // caller checks the input count so a miscounted instance
+            // surfaces as `ArityMismatch` with the instance name.
             let out = positional.pop();
             Ok((positional, out))
         }
@@ -582,7 +588,10 @@ endmodule
     #[test]
     fn unknown_pin_rejected() {
         let src = "module t (a, z);\n input a;\n output z;\n IV U1 (.X(a), .Z(z));\nendmodule";
-        assert!(matches!(parse_verilog(src), Err(NetlistError::Parse { .. })));
+        assert!(matches!(
+            parse_verilog(src),
+            Err(NetlistError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -605,5 +614,74 @@ endmodule
             Err(NetlistError::Parse { line, .. }) => assert!(line >= 2),
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn arity_mismatch_reports_expected_and_found() {
+        // ND2 fed three inputs via positional connections.
+        let src =
+            "module t (a, b, c, z);\n input a, b, c;\n output z;\n ND2 U1 (a, b, c, z);\nendmodule";
+        match parse_verilog(src) {
+            Err(NetlistError::ArityMismatch {
+                gate,
+                expected,
+                found,
+            }) => {
+                assert_eq!(gate, "U1");
+                assert_eq!(expected, 2);
+                assert_eq!(found, 3);
+            }
+            other => panic!("expected arity mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_cell_error_names_the_cell() {
+        let src = "module t (a, z);\n input a;\n output z;\n BOGUS3 U1 (.A(a), .Z(z));\nendmodule";
+        match parse_verilog(src) {
+            Err(NetlistError::UnknownCell { cell }) => assert_eq!(cell, "BOGUS3"),
+            other => panic!("expected unknown cell, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_instance_name_rejected() {
+        let src = "module t (a, z);\n input a;\n output z;\n wire n1;\n \
+                   IV U1 (.A(a), .Z(n1));\n IV U1 (.A(n1), .Z(z));\nendmodule";
+        match parse_verilog(src) {
+            Err(NetlistError::DuplicateName { name }) => assert_eq!(name, "U1"),
+            other => panic!("expected duplicate name, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn doubly_driven_net_rejected() {
+        let src = "module t (a, z);\n input a;\n output z;\n \
+                   IV U1 (.A(a), .Z(z));\n BUF U2 (.A(a), .Z(z));\nendmodule";
+        match parse_verilog(src) {
+            Err(NetlistError::MultipleDrivers { net }) => assert_eq!(net, "z"),
+            other => panic!("expected multiple drivers, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_statement_reports_line_number() {
+        // Line 4 holds a statement that is neither a declaration, an
+        // assign, nor a cell instantiation head followed by `(`.
+        let src =
+            "module t (a, z);\n input a;\n output z;\n IV U1 ;\n IV U2 (.A(a), .Z(z));\nendmodule";
+        match parse_verilog(src) {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_module_rejected() {
+        let src = "module t (a, z);\n input a;\n output z;\n IV U1 (.A(a), .Z(z));\n";
+        assert!(matches!(
+            parse_verilog(src),
+            Err(NetlistError::Parse { .. })
+        ));
     }
 }

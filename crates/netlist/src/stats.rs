@@ -1,7 +1,7 @@
 //! Summary statistics over a netlist, used in reports and EXPERIMENTS.md.
 
 use crate::netlist::Netlist;
-use crate::topo::Levelizer;
+use crate::topo::{combinational_loops, Levelizer};
 use std::fmt;
 
 /// Aggregate structural statistics of a design.
@@ -80,7 +80,7 @@ impl NetlistStats {
             } else {
                 inverting as f64 / gate_count as f64
             },
-            combinational_loops: 0,
+            combinational_loops: combinational_loops(netlist).len(),
         }
     }
 }
@@ -91,7 +91,10 @@ impl fmt::Display for NetlistStats {
         writeln!(
             f,
             "  gates {} | nets {} | PI {} | PO {} | FF {}",
-            self.gate_count, self.net_count, self.input_count, self.output_count,
+            self.gate_count,
+            self.net_count,
+            self.input_count,
+            self.output_count,
             self.flip_flop_count
         )?;
         write!(

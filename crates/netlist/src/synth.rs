@@ -450,7 +450,10 @@ impl Synth {
     ///
     /// Panics if `width > 8` (256 lines), a sanity bound for test designs.
     pub fn decode(&mut self, a: &Word) -> Vec<NetId> {
-        assert!(a.width() <= 8, "decoder wider than 8 bits is unrealistic here");
+        assert!(
+            a.width() <= 8,
+            "decoder wider than 8 bits is unrealistic here"
+        );
         (0..(1u64 << a.width()))
             .map(|v| self.eq_const(a, v))
             .collect()
@@ -498,10 +501,12 @@ impl Synth {
                     self.builder.gate_driving(inst, GateKind::Dff, &[db], qb);
                 }
                 (Some(en), None) => {
-                    self.builder.gate_driving(inst, GateKind::Dffe, &[db, en], qb);
+                    self.builder
+                        .gate_driving(inst, GateKind::Dffe, &[db, en], qb);
                 }
                 (None, Some(rst)) => {
-                    self.builder.gate_driving(inst, GateKind::Dffr, &[db, rst], qb);
+                    self.builder
+                        .gate_driving(inst, GateKind::Dffr, &[db, rst], qb);
                 }
                 (Some(en), Some(rst)) => {
                     self.builder
@@ -514,7 +519,13 @@ impl Synth {
     /// One-step convenience: builds a register named `name` with next-state
     /// `d`, returning the (already connected) output word. Only usable when
     /// the next state does not depend on the register's own output.
-    pub fn register(&mut self, name: &str, d: &Word, enable: Option<NetId>, reset: Option<NetId>) -> Word {
+    pub fn register(
+        &mut self,
+        name: &str,
+        d: &Word,
+        enable: Option<NetId>,
+        reset: Option<NetId>,
+    ) -> Word {
         let q = self.reg_word(&format!("{name}_q"), d.width());
         self.connect_reg(name, &q, d, enable, reset);
         q

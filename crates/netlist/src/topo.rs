@@ -130,6 +130,90 @@ impl Levelizer {
     }
 }
 
+/// Finds all combinational loops in a netlist, validated or not.
+///
+/// Returns the non-trivial strongly connected components (two or more
+/// gates, or a gate feeding itself) of the combinational gate graph,
+/// where flip-flop outputs break edges exactly as in levelization. A
+/// validated [`Netlist`] always yields an empty vector; the builder and
+/// the lint framework share this routine to diagnose pre-validation
+/// designs.
+///
+/// Components and their member gates come back in a deterministic order
+/// (sorted by gate id).
+pub fn combinational_loops(netlist: &Netlist) -> Vec<Vec<GateId>> {
+    let n = netlist.gate_count();
+    let gates = netlist.gates();
+    let is_comb = |i: usize| !gates[i].kind.is_sequential();
+
+    // Iterative Tarjan over combinational gates only.
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components: Vec<Vec<GateId>> = Vec::new();
+
+    // Explicit DFS frames: (gate, which fanout edge to try next).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in (0..n).filter(|&i| is_comb(i)) {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut edge)) = frames.last_mut() {
+            let fanout = netlist.fanout_of_gate(GateId(v as u32));
+            if *edge < fanout.len() {
+                let w = fanout[*edge].index();
+                *edge += 1;
+                if !is_comb(w) {
+                    continue;
+                }
+                if index[w] == UNVISITED {
+                    frames.push((w, 0));
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        component.push(GateId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let self_loop = component.len() == 1
+                        && netlist.fanout_of_gate(component[0]).contains(&component[0]);
+                    if component.len() > 1 || self_loop {
+                        component.sort_unstable_by_key(|g| g.index());
+                        components.push(component);
+                    }
+                }
+            }
+        }
+    }
+    components.sort_unstable_by_key(|c| c[0].index());
+    components
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +268,74 @@ mod tests {
         assert_eq!(lev.level(netlist.find_gate("T").unwrap()), 0);
         assert_eq!(lev.level(netlist.find_gate("B").unwrap()), 0);
         assert_eq!(lev.level(netlist.find_gate("J").unwrap()), 1);
+    }
+
+    /// Builds an UNVALIDATED netlist by hand: two inverters in a
+    /// combinational ring plus a buffer hanging off the ring.
+    fn looped_netlist() -> Netlist {
+        use crate::gate::Gate;
+        use crate::netlist::Net;
+        let net = |name: &str, driver| Net {
+            name: name.to_string(),
+            driver: Some(driver),
+        };
+        Netlist {
+            name: "ring".to_string(),
+            nets: vec![
+                net("a", Driver::Gate(GateId(1))), // U2 -> a
+                net("b", Driver::Gate(GateId(0))), // U1 -> b
+                net("z", Driver::Gate(GateId(2))), // U3 -> z
+            ],
+            gates: vec![
+                Gate {
+                    name: "U1".to_string(),
+                    kind: GateKind::Inv,
+                    inputs: vec![crate::NetId(0)],
+                    output: crate::NetId(1),
+                },
+                Gate {
+                    name: "U2".to_string(),
+                    kind: GateKind::Inv,
+                    inputs: vec![crate::NetId(1)],
+                    output: crate::NetId(0),
+                },
+                Gate {
+                    name: "U3".to_string(),
+                    kind: GateKind::Buf,
+                    inputs: vec![crate::NetId(0)],
+                    output: crate::NetId(2),
+                },
+            ],
+            inputs: vec![],
+            outputs: vec![("z".to_string(), crate::NetId(2))],
+            net_fanout: vec![vec![GateId(0), GateId(2)], vec![GateId(1)], vec![]],
+            is_output: vec![false, false, true],
+        }
+    }
+
+    #[test]
+    fn loops_found_in_unvalidated_ring() {
+        let loops = combinational_loops(&looped_netlist());
+        assert_eq!(loops, vec![vec![GateId(0), GateId(1)]]);
+    }
+
+    #[test]
+    fn validated_designs_have_no_loops() {
+        for netlist in crate::designs::all_designs() {
+            assert!(
+                combinational_loops(&netlist).is_empty(),
+                "{}",
+                netlist.name()
+            );
+        }
+    }
+
+    #[test]
+    fn flop_in_ring_breaks_loop() {
+        let mut ring = looped_netlist();
+        // Turning one ring gate sequential legalizes the cycle.
+        ring.gates[1].kind = GateKind::Dff;
+        assert!(combinational_loops(&ring).is_empty());
     }
 
     #[test]

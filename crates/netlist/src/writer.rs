@@ -29,11 +29,7 @@ use std::fmt::Write as _;
 pub fn write_verilog(netlist: &Netlist) -> String {
     // Choose an emitted name for every net. Output ports rename the nets
     // they expose (unless the net is a primary input or already claimed).
-    let mut names: Vec<String> = netlist
-        .nets()
-        .iter()
-        .map(|n| sanitize(&n.name))
-        .collect();
+    let mut names: Vec<String> = netlist.nets().iter().map(|n| sanitize(&n.name)).collect();
     let pi_set: std::collections::HashSet<NetId> =
         netlist.primary_inputs().iter().copied().collect();
     let mut claimed: HashMap<NetId, ()> = HashMap::new();
@@ -89,8 +85,7 @@ pub fn write_verilog(netlist: &Netlist) -> String {
         .map(|&n| names[n.index()].clone())
         .collect();
     declared.extend(netlist.primary_outputs().iter().map(|(p, _)| sanitize(p)));
-    for i in 0..netlist.net_count() {
-        let name = &names[i];
+    for name in names.iter().take(netlist.net_count()) {
         if declared.insert(name.clone()) {
             let _ = writeln!(out, "  wire {name};");
         }
@@ -225,7 +220,12 @@ mod tests {
     fn paper_designs_round_trip() {
         for design in crate::designs::paper_designs() {
             let reparsed = round_trip(&design);
-            assert_eq!(design.gate_count(), reparsed.gate_count(), "{}", design.name());
+            assert_eq!(
+                design.gate_count(),
+                reparsed.gate_count(),
+                "{}",
+                design.name()
+            );
             assert_eq!(design.kind_histogram(), reparsed.kind_histogram());
         }
     }

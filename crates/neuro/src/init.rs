@@ -63,7 +63,12 @@ mod tests {
         let w = normal(100, 100, 1.0, 3);
         let n = w.as_slice().len() as f64;
         let mean: f64 = w.as_slice().iter().sum::<f64>() / n;
-        let var: f64 = w.as_slice().iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = w
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

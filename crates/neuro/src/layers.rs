@@ -43,14 +43,17 @@ impl Dense {
 
     /// Forward pass, caching the input for backward.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let y = x.matmul(&self.weight.value).add_row_broadcast(self.bias.value.row(0));
+        let y = x
+            .matmul(&self.weight.value)
+            .add_row_broadcast(self.bias.value.row(0));
         self.cached_input = Some(x.clone());
         y
     }
 
     /// Forward pass without caching (inference).
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.weight.value).add_row_broadcast(self.bias.value.row(0))
+        x.matmul(&self.weight.value)
+            .add_row_broadcast(self.bias.value.row(0))
     }
 
     /// Backward pass: accumulates weight/bias gradients and returns
@@ -64,7 +67,8 @@ impl Dense {
             .cached_input
             .as_ref()
             .expect("Dense::backward requires a prior forward call");
-        self.weight.accumulate_grad(&x.transpose_matmul(grad_output));
+        self.weight
+            .accumulate_grad(&x.transpose_matmul(grad_output));
         let bias_grad = Matrix::from_vec(1, grad_output.cols(), grad_output.column_sums());
         self.bias.accumulate_grad(&bias_grad);
         grad_output.matmul_transpose(&self.weight.value)
@@ -399,9 +403,14 @@ mod tests {
         for r in 0..2 {
             for c in 0..2 {
                 let mut plus = layer.clone();
-                plus.weight.value.set(r, c, plus.weight.value.get(r, c) + eps);
+                plus.weight
+                    .value
+                    .set(r, c, plus.weight.value.get(r, c) + eps);
                 let mut minus = layer.clone();
-                minus.weight.value.set(r, c, minus.weight.value.get(r, c) - eps);
+                minus
+                    .weight
+                    .value
+                    .set(r, c, minus.weight.value.get(r, c) - eps);
                 let fp: f64 = plus.forward_inference(&x).as_slice().iter().sum();
                 let fm: f64 = minus.forward_inference(&x).as_slice().iter().sum();
                 numeric.set(r, c, (fp - fm) / (2.0 * eps));
@@ -426,7 +435,13 @@ mod tests {
         let adj = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 0.5), (0, 1, 0.5), (1, 0, 0.3), (2, 2, 1.0), (1, 2, 0.7)],
+            &[
+                (0, 0, 0.5),
+                (0, 1, 0.5),
+                (1, 0, 0.3),
+                (2, 2, 1.0),
+                (1, 2, 0.7),
+            ],
         );
         let mut layer = GraphConv::new(2, 2, 21);
         let x = Matrix::from_rows(&[&[1.0, 0.5], &[-0.2, 0.8], &[0.3, -0.4]]);

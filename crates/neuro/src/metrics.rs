@@ -264,10 +264,8 @@ mod tests {
 
     #[test]
     fn confusion_counts() {
-        let c = Confusion::from_predictions(
-            &[true, true, false, false],
-            &[true, false, false, true],
-        );
+        let c =
+            Confusion::from_predictions(&[true, true, false, false], &[true, false, false, true]);
         assert_eq!(c.true_positive, 1);
         assert_eq!(c.false_positive, 1);
         assert_eq!(c.true_negative, 1);

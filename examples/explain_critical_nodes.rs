@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "node {} ({}) predicted {}:",
             node,
             design.gates()[node].name,
-            if explanation.predicted_class == 1 { "CRITICAL" } else { "non-critical" },
+            if explanation.predicted_class == 1 {
+                "CRITICAL"
+            } else {
+                "non-critical"
+            },
         );
         for (feature, score) in explanation.ranked_features() {
             println!("    {feature:<36} importance {score:.2}");
@@ -52,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Global ranking over a sample of nodes (Figure 5(b)).
     let sample: Vec<usize> = analysis.split.validation.iter().copied().take(30).collect();
     let global = explainer.global_importance(&sample);
-    println!("global feature ranking over {} nodes (Eq. 3):", global.nodes_explained);
+    println!(
+        "global feature ranking over {} nodes (Eq. 3):",
+        global.nodes_explained
+    );
     for (feature, mean_rank) in global.ranking() {
         println!("    {feature:<36} average rank {mean_rank:.2}");
     }

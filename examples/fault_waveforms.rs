@@ -63,6 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all("results")?;
     std::fs::write("results/golden.vcd", golden_vcd.render())?;
     std::fs::write("results/faulty.vcd", faulty_vcd.render())?;
-    println!("wrote results/golden.vcd and results/faulty.vcd ({} cycles)", golden_vcd.len());
+    println!(
+        "wrote results/golden.vcd and results/faulty.vcd ({} cycles)",
+        golden_vcd.len()
+    );
     Ok(())
 }

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {:<20} P(critical) = {:.3}  (ground truth: {})",
             design.gates()[node].name,
             probability,
-            if analysis.labels()[node] { "critical" } else { "non-critical" },
+            if analysis.labels()[node] {
+                "critical"
+            } else {
+                "non-critical"
+            },
         );
     }
     Ok(())

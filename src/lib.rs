@@ -13,7 +13,9 @@
 //! * [`neuro`] — tensors, autograd, layers, optimizers and metrics;
 //! * [`gcn`] — the paper's GCN classifier/regressor, trainer, explainer
 //!   and the end-to-end [`gcn::pipeline`];
-//! * [`baselines`] — MLP/LoR/RFC/SVM/EBM comparators.
+//! * [`baselines`] — MLP/LoR/RFC/SVM/EBM comparators;
+//! * [`lint`] — pass-based netlist static analysis and untestable-fault
+//!   site detection feeding campaign sanitization.
 //!
 //! # Quickstart
 //!
@@ -33,6 +35,7 @@ pub use fusa_baselines as baselines;
 pub use fusa_faultsim as faultsim;
 pub use fusa_gcn as gcn;
 pub use fusa_graph as graph;
+pub use fusa_lint as lint;
 pub use fusa_logicsim as logicsim;
 pub use fusa_netlist as netlist;
 pub use fusa_neuro as neuro;

@@ -3,6 +3,7 @@
 //! ```text
 //! fusa designs                          list built-in benchmark designs
 //! fusa stats <design>                   netlist statistics
+//! fusa lint <design> [--json] [--csv] [--deny LEVEL]   static analysis
 //! fusa analyze <design> [--fast] [--report FILE] [--csv FILE] [--save-model FILE]
 //! fusa faults <design> [--fast] [--csv FILE]     raw fault-injection campaign
 //! fusa explain <design> <gate> [--fast]          why is this node critical?
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   fusa designs
   fusa stats   <design>
+  fusa lint    <design> [--json] [--csv] [--deny LEVEL]
   fusa analyze <design> [--fast] [--report FILE] [--csv FILE] [--save-model FILE]
   fusa faults  <design> [--fast] [--csv FILE]
   fusa explain <design> <gate-name> [--fast]
@@ -59,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{}", NetlistStats::of(&netlist));
             Ok(())
         }
+        "lint" => cmd_lint(args),
         "analyze" => cmd_analyze(args),
         "faults" => cmd_faults(args),
         "explain" => cmd_explain(args),
@@ -75,8 +78,8 @@ fn load_design(name: &str) -> Result<Netlist, String> {
         "or1200_icfsm" => Ok(designs::or1200_icfsm()),
         "uart_ctrl" => Ok(designs::uart_ctrl()),
         path => {
-            let source = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             parse_verilog(&source).map_err(|e| format!("cannot parse `{path}`: {e}"))
         }
     }
@@ -95,6 +98,35 @@ fn pipeline_config(args: &[String]) -> PipelineConfig {
     } else {
         PipelineConfig::default()
     }
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    use fusa::lint::{lint_netlist, LintSeverity};
+
+    let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+    let deny = match flag_value(args, "--deny") {
+        Some(level) => LintSeverity::parse(level)
+            .ok_or_else(|| format!("bad --deny level `{level}` (info|warnings|errors)"))?,
+        None => LintSeverity::Error,
+    };
+    let report = lint_netlist(&netlist);
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", report.render_json());
+    } else if args.iter().any(|a| a == "--csv") {
+        print!("{}", report.render_csv());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.has_at_least(deny) {
+        let denied = report
+            .findings
+            .iter()
+            .filter(|f| f.severity >= deny)
+            .count();
+        eprintln!("lint failed: {denied} finding(s) at or above `{deny}`");
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
@@ -162,7 +194,11 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let explanation = explainer.explain(gate.index());
     println!(
         "{gate_name}: predicted {} (P(critical) = {:.3}, ground truth score {:.2})",
-        if explanation.predicted_class == 1 { "CRITICAL" } else { "non-critical" },
+        if explanation.predicted_class == 1 {
+            "CRITICAL"
+        } else {
+            "non-critical"
+        },
         analysis.evaluation.critical_probability[gate.index()],
         analysis.dataset.scores()[gate.index()],
     );

@@ -28,7 +28,10 @@ fn stats_works_on_builtin_and_verilog_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("icfsm.v");
     std::fs::write(&path, fusa::netlist::writer::write_verilog(&netlist)).unwrap();
-    let output = fusa().args(["stats", path.to_str().unwrap()]).output().unwrap();
+    let output = fusa()
+        .args(["stats", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(output.status.success(), "{:?}", output);
     assert!(String::from_utf8_lossy(&output.stdout).contains("gates 187"));
 }
@@ -66,6 +69,75 @@ fn analyze_fast_produces_report_and_artifacts() {
     let file = std::fs::File::open(&model).unwrap();
     let restored = fusa::gcn::persist::load_classifier(file).expect("model loads");
     assert_eq!(restored.config().in_features, fusa::graph::FEATURE_COUNT);
+}
+
+#[test]
+fn lint_passes_builtin_at_default_severity() {
+    let output = fusa().args(["lint", "sdram_ctrl"]).output().unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("lint sdram_ctrl: 8 passes"), "{stdout}");
+    assert!(stdout.contains("0 errors"), "{stdout}");
+    assert!(stdout.contains("0 warnings"), "{stdout}");
+}
+
+#[test]
+fn lint_deny_info_fails_with_nonzero_exit() {
+    let output = fusa()
+        .args(["lint", "sdram_ctrl", "--deny", "info"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success(), "info findings must deny");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("lint failed:"), "{stderr}");
+}
+
+#[test]
+fn lint_deny_warnings_passes_on_clean_builtins() {
+    for design in ["sdram_ctrl", "or1200_if", "or1200_icfsm", "uart_ctrl"] {
+        let output = fusa()
+            .args(["lint", design, "--deny", "warnings"])
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "{design} not warning-clean: {output:?}"
+        );
+    }
+}
+
+#[test]
+fn lint_json_and_csv_render() {
+    let json = fusa()
+        .args(["lint", "or1200_icfsm", "--json"])
+        .output()
+        .unwrap();
+    assert!(json.status.success());
+    let body = String::from_utf8_lossy(&json.stdout);
+    assert!(body.trim_start().starts_with('{'), "{body}");
+    assert!(body.contains("\"design\": \"or1200_icfsm\""), "{body}");
+    assert!(body.contains("\"findings\": ["), "{body}");
+
+    let csv = fusa()
+        .args(["lint", "or1200_icfsm", "--csv"])
+        .output()
+        .unwrap();
+    assert!(csv.status.success());
+    let body = String::from_utf8_lossy(&csv.stdout);
+    assert!(
+        body.starts_with("design,pass,code,severity,gate,net,message"),
+        "{body}"
+    );
+}
+
+#[test]
+fn lint_rejects_bad_deny_level() {
+    let output = fusa()
+        .args(["lint", "sdram_ctrl", "--deny", "fatal"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("bad --deny level"));
 }
 
 #[test]

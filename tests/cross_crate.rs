@@ -15,7 +15,12 @@ fn all_designs_round_trip_through_verilog() {
         let text = write_verilog(&design);
         let reparsed = parse_verilog(&text)
             .unwrap_or_else(|e| panic!("{} failed to reparse: {e}", design.name()));
-        assert_eq!(design.gate_count(), reparsed.gate_count(), "{}", design.name());
+        assert_eq!(
+            design.gate_count(),
+            reparsed.gate_count(),
+            "{}",
+            design.name()
+        );
         assert_eq!(
             design.primary_inputs().len(),
             reparsed.primary_inputs().len()
@@ -57,7 +62,12 @@ fn scalar_and_bitparallel_agree_on_every_design() {
             let scalar_out = scalar.step(&logic);
             let parallel_out = parallel.step_broadcast(&vector);
             for (s, p) in scalar_out.iter().zip(&parallel_out) {
-                assert_eq!(s.to_bool(), Some(p & 1 != 0), "{} cycle {cycle}", design.name());
+                assert_eq!(
+                    s.to_bool(),
+                    Some(p & 1 != 0),
+                    "{} cycle {cycle}",
+                    design.name()
+                );
             }
         }
     }
@@ -327,7 +337,10 @@ mod uart_behaviour {
         set(&mut v, "tx_start", true);
         set_byte(&mut v, 0xA5);
         let outputs = sim.step_broadcast(&v);
-        assert!(!output_bit(&netlist, &outputs, "tx_busy"), "idle before load");
+        assert!(
+            !output_bit(&netlist, &outputs, "tx_busy"),
+            "idle before load"
+        );
 
         // Busy must assert and stay through the frame; sample the line
         // once per baud tick (value 15 -> sample next cycle).

@@ -21,7 +21,11 @@ fn gcn_classifies_critical_nodes_well_above_chance() {
         "accuracy {}",
         analysis.evaluation.accuracy
     );
-    assert!(analysis.evaluation.auc >= 0.55, "auc {}", analysis.evaluation.auc);
+    assert!(
+        analysis.evaluation.auc >= 0.55,
+        "auc {}",
+        analysis.evaluation.auc
+    );
 }
 
 #[test]
@@ -39,10 +43,13 @@ fn gcn_is_competitive_with_feature_only_baselines() {
             .iter()
             .map(|&i| probabilities[i] >= 0.5)
             .collect();
-        let val_actual: Vec<bool> =
-            analysis.split.validation.iter().map(|&i| labels[i]).collect();
-        let baseline_accuracy =
-            Confusion::from_predictions(&val_predicted, &val_actual).accuracy();
+        let val_actual: Vec<bool> = analysis
+            .split
+            .validation
+            .iter()
+            .map(|&i| labels[i])
+            .collect();
+        let baseline_accuracy = Confusion::from_predictions(&val_predicted, &val_actual).accuracy();
         assert!(
             analysis.evaluation.accuracy >= baseline_accuracy - 0.08,
             "{} at {baseline_accuracy} dominates GCN at {}",
@@ -79,7 +86,10 @@ fn explanations_cover_every_feature_and_respect_locality() {
     });
     let node = analysis.split.validation[1];
     let explanation = explainer.explain(node);
-    assert_eq!(explanation.feature_importance.len(), fusa::graph::FEATURE_COUNT);
+    assert_eq!(
+        explanation.feature_importance.len(),
+        fusa::graph::FEATURE_COUNT
+    );
     assert!(explanation
         .feature_mask
         .iter()
@@ -152,8 +162,7 @@ fn average_precision_beats_base_rate() {
         .iter()
         .map(|&i| analysis.labels()[i])
         .collect();
-    let base_rate =
-        val_labels.iter().filter(|&&l| l).count() as f64 / val_labels.len() as f64;
+    let base_rate = val_labels.iter().filter(|&&l| l).count() as f64 / val_labels.len() as f64;
     let ap = fusa::neuro::metrics::average_precision(&val_scores, &val_labels);
     assert!(ap > base_rate, "AP {ap} vs base rate {base_rate}");
 }

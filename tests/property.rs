@@ -9,15 +9,22 @@ use fusa::neuro::{CsrMatrix, Matrix};
 use proptest::prelude::*;
 
 fn netlist_config() -> impl Strategy<Value = RandomNetlistConfig> {
-    (2usize..10, 10usize..120, 0.0f64..0.4, 1usize..8, any::<u64>()).prop_map(
-        |(num_inputs, num_gates, sequential_fraction, num_outputs, seed)| RandomNetlistConfig {
-            num_inputs,
-            num_gates,
-            sequential_fraction,
-            num_outputs,
-            seed,
-        },
+    (
+        2usize..10,
+        10usize..120,
+        0.0f64..0.4,
+        1usize..8,
+        any::<u64>(),
     )
+        .prop_map(
+            |(num_inputs, num_gates, sequential_fraction, num_outputs, seed)| RandomNetlistConfig {
+                num_inputs,
+                num_gates,
+                sequential_fraction,
+                num_outputs,
+                seed,
+            },
+        )
 }
 
 proptest! {
@@ -198,6 +205,91 @@ proptest! {
     }
 }
 
+mod lint_properties {
+    use super::*;
+    use fusa::faultsim::FaultSite;
+    use fusa::lint::{lint_netlist, untestable_stuck_at_sites, LintSeverity};
+    use fusa::netlist::{GateKind, NetlistBuilder};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Builder validation already rejects loops and undriven nets,
+        /// so lint must never escalate a validated random netlist to
+        /// the Error level — errors are reserved for defects the
+        /// builder would have refused.
+        #[test]
+        fn validated_random_netlists_are_error_free(config in netlist_config()) {
+            let netlist = random_netlist(&config);
+            let report = lint_netlist(&netlist);
+            for finding in &report.findings {
+                prop_assert!(
+                    finding.severity < LintSeverity::Error,
+                    "unexpected lint error on validated netlist: {}",
+                    finding
+                );
+            }
+            prop_assert!(report.findings_for_pass("comb-loop").is_empty());
+        }
+
+        /// A gate whose only transitive drivers are tie cells can never
+        /// toggle under any workload; the dead-gate pass must flag every
+        /// gate of such an island no matter its shape.
+        #[test]
+        fn injected_dead_gate_is_always_flagged(
+            chain in 1usize..5,
+            use_tie1 in any::<bool>(),
+            use_buf in any::<bool>(),
+        ) {
+            let mut b = NetlistBuilder::new("dead_inject");
+            let a = b.primary_input("a");
+            let c = b.primary_input("b");
+            let live = b.gate(GateKind::Xor2, &[a, c]);
+            b.primary_output("y", live);
+            // Dead island: tie cell feeding a chain of one-input gates.
+            let tie = if use_tie1 { GateKind::Tie1 } else { GateKind::Tie0 };
+            let kind = if use_buf { GateKind::Buf } else { GateKind::Inv };
+            let mut net = b.gate(tie, &[]);
+            let mut last = String::new();
+            for i in 0..chain {
+                last = format!("DEAD{i}");
+                net = b.gate_named(&last, kind, &[net]);
+            }
+            let netlist = b.finish().expect("dead logic still validates");
+            let report = lint_netlist(&netlist);
+            let dead = report.findings_for_pass("dead-gate");
+            prop_assert!(
+                dead.iter().any(|f| f.gate.as_deref() == Some(last.as_str())),
+                "dead gate {} not flagged:\n{}",
+                last,
+                report.render_text()
+            );
+        }
+
+        /// Fault-list sanitization drops exactly the listed output
+        /// sites: every excluded site disappears, every other output
+        /// fault survives, and order is preserved.
+        #[test]
+        fn untestable_exclusion_is_exact(config in netlist_config()) {
+            let netlist = random_netlist(&config);
+            let sites = untestable_stuck_at_sites(&netlist);
+            for &(gate, _) in &sites {
+                prop_assert!(gate.index() < netlist.gate_count());
+            }
+            let full = FaultList::all_gate_outputs(&netlist);
+            let kept = full.clone().exclude_untestable(&sites);
+            let site_set: std::collections::HashSet<_> = sites.iter().copied().collect();
+            let mut expected = full.clone();
+            expected.retain(|f| {
+                !(f.site == FaultSite::Output
+                    && site_set.contains(&(f.gate, f.stuck_at.value())))
+            });
+            prop_assert_eq!(kept.faults(), expected.faults());
+            prop_assert_eq!(kept.len(), full.len() - site_set.len());
+        }
+    }
+}
+
 mod fault_equivalence {
     use super::*;
     use fusa::faultsim::{Fault, FaultSite, StuckAt};
@@ -257,10 +349,7 @@ mod fault_equivalence {
         }
         assert!(!pairs.is_empty(), "random netlist has collapsible gates");
 
-        let faults: FaultList = pairs
-            .iter()
-            .flat_map(|(a, b)| [*a, *b])
-            .collect();
+        let faults: FaultList = pairs.iter().flat_map(|(a, b)| [*a, *b]).collect();
         let report = FaultCampaign::new(CampaignConfig {
             threads: 1,
             ..Default::default()

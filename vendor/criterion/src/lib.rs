@@ -1,0 +1,203 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Benchmarks compile and run, timing each routine over a configurable
+//! number of samples and printing mean wall-clock time per iteration.
+//! There is no warm-up modelling, outlier analysis, or HTML report —
+//! just enough to keep `cargo bench` and `clippy --all-targets`
+//! working in a network-less environment.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; all
+/// variants behave identically here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Setup output about the size of the routine input.
+    PerIteration,
+}
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Drives the timed routine of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Mean time per sample, filled by `iter`/`iter_batched`.
+    pub(crate) elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() / self.samples as u32;
+    }
+
+    /// Times `routine` with a fresh `setup` output per sample; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total / self.samples as u32;
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Criterion {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("{id:<44} {:>12.3?}/iter", bencher.elapsed);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            samples: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = Some(samples.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.samples.unwrap_or(self.parent.samples),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("{}/{id:<40} {:>12.3?}/iter", self.name, bencher.elapsed);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0usize;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("t", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut setups = 0usize;
+        Criterion::default()
+            .sample_size(4)
+            .bench_function("t", |b| {
+                b.iter_batched(
+                    || {
+                        setups += 1;
+                    },
+                    |_| 1 + 1,
+                    BatchSize::SmallInput,
+                )
+            });
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut criterion = Criterion::default().sample_size(2);
+        let mut group = criterion.benchmark_group("g");
+        group
+            .sample_size(2)
+            .bench_function("inner", |b| b.iter(|| 42));
+        group.finish();
+    }
+}
