@@ -1,0 +1,67 @@
+//! Criterion bench for the fault-injection campaign hot path.
+//!
+//! Measures the accelerated campaign (cone restriction + early exit,
+//! the default) against the exhaustive full-netlist reference on the
+//! built-in designs. Both paths are bit-identical by construction (see
+//! `crates/faultsim/tests/cone_equivalence.rs`), so the delta here is
+//! pure throughput. `bench_campaign` (the companion `--bin`) turns the
+//! same measurement into `BENCH_campaign.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusa_faultsim::{CampaignConfig, FaultCampaign, FaultList};
+use fusa_logicsim::{WorkloadConfig, WorkloadSuite};
+use fusa_netlist::designs::{or1200_icfsm, uart_ctrl};
+use fusa_netlist::Netlist;
+use std::hint::black_box;
+
+fn workloads_for(netlist: &Netlist) -> WorkloadSuite {
+    WorkloadSuite::generate(
+        netlist,
+        &WorkloadConfig {
+            num_workloads: 2,
+            vectors_per_workload: 64,
+            ..Default::default()
+        },
+    )
+}
+
+fn accelerated() -> CampaignConfig {
+    CampaignConfig {
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+fn reference() -> CampaignConfig {
+    CampaignConfig {
+        threads: 1,
+        restrict_to_cone: false,
+        early_exit: false,
+        ..Default::default()
+    }
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    for netlist in [or1200_icfsm(), uart_ctrl()] {
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = workloads_for(&netlist);
+        group.bench_function(&format!("accelerated_{}", netlist.name()), |b| {
+            let campaign = FaultCampaign::new(accelerated());
+            b.iter(|| black_box(campaign.run(&netlist, &faults, &workloads)))
+        });
+        group.bench_function(&format!("full_netlist_{}", netlist.name()), |b| {
+            let campaign = FaultCampaign::new(reference());
+            b.iter(|| black_box(campaign.run(&netlist, &faults, &workloads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_campaign_throughput
+}
+criterion_main!(benches);

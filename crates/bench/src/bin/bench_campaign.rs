@@ -1,0 +1,173 @@
+//! Fault-campaign throughput measurement: accelerated hot path (cone
+//! restriction + early exit + zero-alloc stepping) vs the exhaustive
+//! full-netlist reference, per built-in design.
+//!
+//! Emits `BENCH_campaign.json` (hand-rolled JSON — the workspace
+//! carries no serde) with fault-cycles/sec for both paths plus the
+//! measured speedup, and cross-checks along the way that both paths
+//! return bit-identical outcomes and first-divergence cycles.
+//!
+//! Usage: `cargo run --release -p fusa-bench --bin bench_campaign
+//!         [-- --smoke] [-- --out FILE]`
+
+use fusa_faultsim::{CampaignConfig, CampaignReport, FaultCampaign, FaultList};
+use fusa_logicsim::{WorkloadConfig, WorkloadSuite};
+use fusa_netlist::{designs, Netlist};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Measurement {
+    seconds: f64,
+    fault_cycles: u64,
+    stepped_fault_cycles: u64,
+    gate_evals: u64,
+    gate_evals_full: u64,
+    report: CampaignReport,
+}
+
+impl Measurement {
+    fn fault_cycles_per_second(&self) -> f64 {
+        self.fault_cycles as f64 / self.seconds.max(1e-12)
+    }
+}
+
+fn measure(
+    netlist: &Netlist,
+    faults: &FaultList,
+    workloads: &WorkloadSuite,
+    config: CampaignConfig,
+) -> Measurement {
+    let campaign = FaultCampaign::new(config);
+    let started = Instant::now();
+    let report = campaign.run(netlist, faults, workloads);
+    let seconds = started.elapsed().as_secs_f64();
+    let stats = report.stats().clone();
+    Measurement {
+        seconds,
+        fault_cycles: stats.fault_cycles,
+        stepped_fault_cycles: stats.stepped_fault_cycles,
+        gate_evals: stats.gate_evals,
+        gate_evals_full: stats.gate_evals_full,
+        report,
+    }
+}
+
+/// Both paths must agree bit-for-bit — this is the same invariant the
+/// differential tests enforce, re-checked on the real designs.
+fn assert_identical(design: &str, a: &CampaignReport, b: &CampaignReport) {
+    let (wa, wb) = (a.workload_reports(), b.workload_reports());
+    assert_eq!(wa.len(), wb.len(), "{design}: workload count differs");
+    for (x, y) in wa.iter().zip(wb) {
+        assert_eq!(x.outcomes, y.outcomes, "{design}: outcomes differ");
+        assert_eq!(
+            x.first_divergence, y.first_divergence,
+            "{design}: first_divergence differs"
+        );
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_campaign.json")
+        .to_string();
+
+    let workload_config = if smoke {
+        WorkloadConfig {
+            num_workloads: 2,
+            vectors_per_workload: 48,
+            ..Default::default()
+        }
+    } else {
+        WorkloadConfig {
+            num_workloads: 4,
+            vectors_per_workload: 128,
+            ..Default::default()
+        }
+    };
+
+    let accelerated_config = CampaignConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let reference_config = CampaignConfig {
+        threads: 1,
+        restrict_to_cone: false,
+        early_exit: false,
+        ..Default::default()
+    };
+
+    println!("Fault-campaign throughput: accelerated vs full-netlist reference.\n");
+    println!(
+        "{:<14} {:>7} {:>14} {:>14} {:>9} {:>12}",
+        "design", "faults", "ref fc/s", "accel fc/s", "speedup", "evals saved"
+    );
+
+    let mut entries = String::new();
+    let mut first = true;
+    for netlist in designs::all_designs() {
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = WorkloadSuite::generate(&netlist, &workload_config);
+
+        let reference = measure(&netlist, &faults, &workloads, reference_config);
+        let accelerated = measure(&netlist, &faults, &workloads, accelerated_config);
+        assert_identical(netlist.name(), &reference.report, &accelerated.report);
+
+        let speedup = accelerated.fault_cycles_per_second() / reference.fault_cycles_per_second();
+        let evals_saved =
+            1.0 - accelerated.gate_evals as f64 / accelerated.gate_evals_full.max(1) as f64;
+        println!(
+            "{:<14} {:>7} {:>14.0} {:>14.0} {:>8.2}x {:>11.1}%",
+            netlist.name(),
+            faults.len(),
+            reference.fault_cycles_per_second(),
+            accelerated.fault_cycles_per_second(),
+            speedup,
+            evals_saved * 100.0,
+        );
+
+        if !first {
+            entries.push(',');
+        }
+        first = false;
+        let _ = write!(
+            entries,
+            "\n    {{\n      \"design\": \"{}\",\n      \"gates\": {},\n      \"faults\": {},\n      \"fault_cycles\": {},\n      \"reference\": {{\n        \"seconds\": {:.4},\n        \"fault_cycles_per_second\": {:.0},\n        \"stepped_fault_cycles\": {},\n        \"gate_evals\": {}\n      }},\n      \"accelerated\": {{\n        \"seconds\": {:.4},\n        \"fault_cycles_per_second\": {:.0},\n        \"stepped_fault_cycles\": {},\n        \"gate_evals\": {},\n        \"gate_evals_full\": {},\n        \"gate_evals_saved_fraction\": {:.4}\n      }},\n      \"speedup\": {:.2}\n    }}",
+            json_escape(netlist.name()),
+            netlist.gate_count(),
+            faults.len(),
+            accelerated.fault_cycles,
+            reference.seconds,
+            reference.fault_cycles_per_second(),
+            reference.stepped_fault_cycles,
+            reference.gate_evals,
+            accelerated.seconds,
+            accelerated.fault_cycles_per_second(),
+            accelerated.stepped_fault_cycles,
+            accelerated.gate_evals,
+            accelerated.gate_evals_full,
+            evals_saved,
+            speedup,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"campaign_throughput\",\n  \"unit\": \"fault_cycles_per_second\",\n  \"threads\": 1,\n  \"workloads\": {{\n    \"num_workloads\": {},\n    \"vectors_per_workload\": {}\n  }},\n  \"bit_identical_checked\": true,\n  \"designs\": [{}\n  ]\n}}\n",
+        workload_config.num_workloads, workload_config.vectors_per_workload, entries,
+    );
+
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\n[saved {out_path}]"),
+        Err(e) => eprintln!("\nwarning: cannot write {out_path}: {e}"),
+    }
+    println!("(both paths verified bit-identical on every design above)");
+}

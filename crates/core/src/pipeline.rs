@@ -6,7 +6,7 @@ use crate::model::{GcnConfig, GcnRegressor};
 use crate::train::{
     train_classifier, train_regressor, EvaluationReport, TrainConfig, TrainHistory,
 };
-use fusa_faultsim::{CampaignConfig, CriticalityDataset, FaultCampaign, FaultList};
+use fusa_faultsim::{CampaignConfig, CampaignStats, CriticalityDataset, FaultCampaign, FaultList};
 use fusa_graph::{normalized_adjacency, CircuitGraph, FeatureMatrix, Standardizer};
 use fusa_logicsim::{SignalStats, SignalStatsConfig, WorkloadConfig, WorkloadSuite};
 use fusa_netlist::Netlist;
@@ -140,6 +140,9 @@ pub struct FusaAnalysis {
     /// Number of statically untestable fault sites excluded from the
     /// campaign (0 when exclusion is disabled).
     pub excluded_fault_sites: usize,
+    /// Timing/throughput statistics of the fault-injection campaign —
+    /// the dominant cost of the pipeline.
+    pub campaign_stats: CampaignStats,
 }
 
 impl fmt::Debug for FusaAnalysis {
@@ -265,6 +268,7 @@ impl FusaPipeline {
         };
         let workloads = WorkloadSuite::generate(netlist, &self.config.workloads);
         let report = FaultCampaign::new(self.config.campaign).run(netlist, &faults, &workloads);
+        let campaign_stats = report.stats().clone();
         let dataset = report.into_dataset(self.config.criticality_threshold);
 
         let critical = dataset.critical_count();
@@ -305,6 +309,7 @@ impl FusaPipeline {
             history,
             evaluation,
             excluded_fault_sites,
+            campaign_stats,
         })
     }
 }
@@ -368,6 +373,19 @@ mod tests {
             .run(&or1200_icfsm())
             .expect("pipeline runs without exclusion");
         assert_eq!(analysis.excluded_fault_sites, 0);
+    }
+
+    #[test]
+    fn campaign_stats_are_populated() {
+        let analysis = fast_analysis();
+        let stats = &analysis.campaign_stats;
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.fault_cycles > 0);
+        assert!(stats.fault_cycles_per_second() > 0.0);
+        assert!(
+            stats.gate_evals < stats.gate_evals_full,
+            "cone restriction should save work on icfsm"
+        );
     }
 
     #[test]

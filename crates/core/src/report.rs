@@ -78,6 +78,17 @@ pub fn render_text_report(
             analysis.excluded_fault_sites,
         );
     }
+    let stats = &analysis.campaign_stats;
+    if stats.wall_seconds > 0.0 {
+        let _ = writeln!(
+            out,
+            "campaign: {:.0} fault-cycles/s ({:.2}s wall, {} threads, {:.1}% gate-evals saved)",
+            stats.fault_cycles_per_second(),
+            stats.wall_seconds,
+            stats.threads,
+            stats.gate_evals_saved_fraction() * 100.0,
+        );
+    }
     let _ = writeln!(
         out,
         "\nvalidation accuracy {:.2}% | AUC {:.3} | precision {:.3} | recall {:.3} | F1 {:.3}",
@@ -188,6 +199,7 @@ mod tests {
         let text = render_text_report(&analysis, &netlist, &ReportOptions::default());
         assert!(text.contains("Fault criticality report: or1200_icfsm"));
         assert!(text.contains("validation accuracy"));
+        assert!(text.contains("fault-cycles/s"));
         assert!(text.contains("confusion:"));
         assert!(text.contains("top predicted-critical nodes"));
         assert!(!text.contains("training trace"));

@@ -1,15 +1,35 @@
 //! Fault-parallel campaign execution.
+//!
+//! The hot path is organized around three classic fault-simulation
+//! accelerations, all bit-identical to a naive full-netlist run:
+//!
+//! * **cone restriction** — a stuck-at fault only perturbs its transitive
+//!   fanout cone, so each 64-fault chunk evaluates only the union cone of
+//!   its faults and seeds everything else from the golden trace;
+//! * **chunk-grained scheduling** — `(workload × fault-chunk)` units are
+//!   pulled from an atomic counter, with golden traces computed once per
+//!   workload and shared read-only through per-slot `OnceLock`s (workers
+//!   never contend on a lock to publish results);
+//! * **early exit** — once every lane of a chunk has diverged for
+//!   `min_divergent_cycles`, no later cycle can change any outcome and
+//!   the chunk stops stepping.
 
-use crate::fault::FaultList;
-use crate::report::{CampaignReport, FaultOutcome, WorkloadReport};
-use fusa_logicsim::{BitSim, Workload, WorkloadSuite};
-use fusa_netlist::Netlist;
+use crate::fault::{Fault, FaultList, FaultSite};
+use crate::report::{CampaignReport, CampaignStats, FaultOutcome, WorkloadReport};
+use fusa_logicsim::{ActiveCone, BitSim, Workload, WorkloadSuite};
+use fusa_netlist::{GateId, Netlist};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Faults simulated per bit-parallel pass (one per `u64` lane).
+const LANES: usize = 64;
 
 /// Parameters of a [`FaultCampaign`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignConfig {
-    /// Worker threads; workloads are distributed across them.
-    /// `0` means "one per available CPU".
+    /// Worker threads; `(workload × fault-chunk)` units are distributed
+    /// across them. `0` means "one per available CPU".
     pub threads: usize,
     /// Whether to compare register state at workload end to distinguish
     /// latent faults from benign ones (slightly more work per workload).
@@ -21,6 +41,14 @@ pub struct CampaignConfig {
     /// of the time") motivates a small nonzero rate: transient one-cycle
     /// glitches are below the functional-safety concern threshold.
     pub min_divergence_fraction: f64,
+    /// Evaluate each fault chunk only inside the union fanout cone of
+    /// its faults, seeding cone boundaries from the golden trace.
+    /// Bit-identical to a full-netlist run; disable only to benchmark
+    /// or cross-check the restriction itself.
+    pub restrict_to_cone: bool,
+    /// Stop stepping a chunk once every lane's outcome is decided.
+    /// Bit-identical; disable only to benchmark or cross-check.
+    pub early_exit: bool,
 }
 
 impl Default for CampaignConfig {
@@ -29,6 +57,8 @@ impl Default for CampaignConfig {
             threads: 0,
             classify_latent: true,
             min_divergence_fraction: 0.0,
+            restrict_to_cone: true,
+            early_exit: true,
         }
     }
 }
@@ -36,9 +66,11 @@ impl Default for CampaignConfig {
 /// Runs stuck-at campaigns: every fault in a [`FaultList`] against every
 /// workload of a [`WorkloadSuite`], 64 fault machines per simulation pass.
 ///
-/// For each workload the golden (fault-free) output trace is computed
-/// once; fault machines then run the same vectors with per-lane stuck-at
-/// forces and are compared lane-wise against the golden value each cycle.
+/// For each workload the golden (fault-free) trace is computed once and
+/// shared read-only; fault machines then run the same vectors with
+/// per-lane stuck-at forces and are compared lane-wise against the golden
+/// values each cycle. Results are deterministic and independent of
+/// `threads`, `restrict_to_cone` and `early_exit`.
 ///
 /// # Example
 ///
@@ -46,6 +78,72 @@ impl Default for CampaignConfig {
 #[derive(Debug, Clone, Default)]
 pub struct FaultCampaign {
     config: CampaignConfig,
+}
+
+/// Golden (fault-free) reference of one workload, shared read-only
+/// across that workload's chunk units.
+struct GoldenTrace {
+    /// Output lanes per cycle, cycle-major (`0` / `u64::MAX` per net in
+    /// a broadcast run).
+    outputs: Vec<u64>,
+    /// Bit-per-net snapshot of every settled cycle, cycle-major; empty
+    /// unless cone restriction is on.
+    packed_nets: Vec<u64>,
+    /// Words per cycle in `packed_nets`.
+    packed_words: usize,
+    /// Golden end-of-workload flop state, indexed by gate id; empty
+    /// unless `classify_latent` is on.
+    final_state_by_gate: Vec<u64>,
+}
+
+impl GoldenTrace {
+    fn compute(netlist: &Netlist, workload: &Workload, config: &CampaignConfig) -> GoldenTrace {
+        let mut golden = BitSim::new(netlist);
+        let output_count = netlist.primary_outputs().len();
+        let packed_words = golden.packed_net_words();
+        let mut outputs = Vec::with_capacity(workload.len() * output_count);
+        let mut packed_nets = if config.restrict_to_cone {
+            Vec::with_capacity(workload.len() * packed_words)
+        } else {
+            Vec::new()
+        };
+        let mut out_buf = vec![0u64; output_count];
+        for vector in &workload.vectors {
+            golden.set_vector_broadcast(vector);
+            golden.settle();
+            golden.output_lanes_into(&mut out_buf);
+            outputs.extend_from_slice(&out_buf);
+            if config.restrict_to_cone {
+                let at = packed_nets.len();
+                packed_nets.resize(at + packed_words, 0);
+                golden.snapshot_nets_packed(&mut packed_nets[at..]);
+            }
+            golden.clock();
+        }
+        let final_state_by_gate = if config.classify_latent {
+            let mut by_gate = vec![0u64; netlist.gate_count()];
+            for &g in golden.sequential_gates() {
+                by_gate[g.index()] = golden.flop_lanes(g);
+            }
+            by_gate
+        } else {
+            Vec::new()
+        };
+        GoldenTrace {
+            outputs,
+            packed_nets,
+            packed_words,
+            final_state_by_gate,
+        }
+    }
+}
+
+/// Result of one `(workload × chunk)` unit.
+struct UnitOutput {
+    outcomes: Vec<FaultOutcome>,
+    first_divergence: Vec<Option<u32>>,
+    stepped_fault_cycles: u64,
+    gate_evals: u64,
 }
 
 impl FaultCampaign {
@@ -61,116 +159,198 @@ impl FaultCampaign {
         faults: &FaultList,
         workloads: &WorkloadSuite,
     ) -> CampaignReport {
-        let threads = if self.config.threads == 0 {
+        let start = Instant::now();
+        let config = self.config;
+        let workload_list = workloads.workloads();
+        let fault_slice = faults.faults();
+        let chunk_count = fault_slice.len().div_ceil(LANES);
+        let unit_count = workload_list.len() * chunk_count;
+        let threads = if config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         } else {
-            self.config.threads
+            config.threads
         };
-        let items: Vec<&Workload> = workloads.workloads().iter().collect();
-        let config = self.config;
+        let workers = threads.clamp(1, unit_count.max(1));
 
-        let mut reports: Vec<Option<WorkloadReport>> = vec![None; items.len()];
-        if threads <= 1 || items.len() <= 1 {
-            for (slot, workload) in reports.iter_mut().zip(&items) {
-                *slot = Some(run_workload(netlist, faults, workload, &config));
+        let golden: Vec<OnceLock<GoldenTrace>> =
+            (0..workload_list.len()).map(|_| OnceLock::new()).collect();
+        let cones: Vec<OnceLock<ActiveCone>> = (0..chunk_count).map(|_| OnceLock::new()).collect();
+        let results: Vec<OnceLock<UnitOutput>> = (0..unit_count).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+
+        let mut busy = vec![0.0f64; workers];
+        let worker = |busy_slot: &mut f64| {
+            let mut sim = BitSim::new(netlist);
+            let mut out_buf = vec![0u64; netlist.primary_outputs().len()];
+            let mut roots: Vec<GateId> = Vec::with_capacity(LANES);
+            loop {
+                let unit = next.fetch_add(1, Ordering::Relaxed);
+                if unit >= unit_count {
+                    break;
+                }
+                let begun = Instant::now();
+                let w = unit / chunk_count;
+                let c = unit % chunk_count;
+                let workload = &workload_list[w];
+                let chunk = &fault_slice[c * LANES..fault_slice.len().min((c + 1) * LANES)];
+                let trace =
+                    golden[w].get_or_init(|| GoldenTrace::compute(netlist, workload, &config));
+                let cone = if config.restrict_to_cone {
+                    Some(cones[c].get_or_init(|| {
+                        roots.clear();
+                        roots.extend(chunk.iter().map(|f| f.gate));
+                        sim.active_cone(&roots)
+                    }))
+                } else {
+                    None
+                };
+                let output = run_unit(
+                    &mut sim,
+                    chunk,
+                    workload,
+                    trace,
+                    cone,
+                    &config,
+                    &mut out_buf,
+                );
+                let stored = results[unit].set(output);
+                debug_assert!(stored.is_ok(), "unit {unit} simulated once");
+                *busy_slot += begun.elapsed().as_secs_f64();
             }
+        };
+
+        if workers <= 1 {
+            worker(&mut busy[0]);
         } else {
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let results: std::sync::Mutex<Vec<(usize, WorkloadReport)>> =
-                std::sync::Mutex::new(Vec::with_capacity(items.len()));
+            let worker = &worker;
             std::thread::scope(|scope| {
-                for _ in 0..threads.min(items.len()) {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let report = run_workload(netlist, faults, items[i], &config);
-                        results.lock().expect("no poisoned lock").push((i, report));
-                    });
+                for slot in busy.iter_mut() {
+                    scope.spawn(move || worker(slot));
                 }
             });
-            for (i, report) in results.into_inner().expect("no poisoned lock") {
-                reports[i] = Some(report);
-            }
         }
+
+        // Assemble per-workload reports from the per-unit slots and fold
+        // the throughput accounting.
+        let mut stats = CampaignStats {
+            threads: workers,
+            units: unit_count,
+            ..CampaignStats::default()
+        };
+        let mut workload_reports = Vec::with_capacity(workload_list.len());
+        for (w, workload) in workload_list.iter().enumerate() {
+            let mut outcomes = vec![FaultOutcome::Benign; fault_slice.len()];
+            let mut first_divergence: Vec<Option<u32>> = vec![None; fault_slice.len()];
+            for c in 0..chunk_count {
+                let output = results[w * chunk_count + c]
+                    .get()
+                    .expect("every scheduled unit produced a result");
+                let base = c * LANES;
+                outcomes[base..base + output.outcomes.len()].copy_from_slice(&output.outcomes);
+                first_divergence[base..base + output.first_divergence.len()]
+                    .copy_from_slice(&output.first_divergence);
+                stats.fault_cycles += output.outcomes.len() as u64 * workload.len() as u64;
+                stats.stepped_fault_cycles += output.stepped_fault_cycles;
+                stats.gate_evals += output.gate_evals;
+            }
+            workload_reports.push(WorkloadReport {
+                workload_name: workload.name.clone(),
+                outcomes,
+                first_divergence,
+            });
+        }
+        // A full settle+clock evaluates every gate exactly once
+        // (combinational evals plus flop updates), so the per-cycle
+        // full-run cost is simply the gate count.
+        stats.gate_evals_full = netlist.gate_count() as u64
+            * chunk_count as u64
+            * workload_list.iter().map(|w| w.len() as u64).sum::<u64>();
+        stats.wall_seconds = start.elapsed().as_secs_f64();
+        stats.worker_busy_seconds = busy;
 
         CampaignReport {
             faults: faults.clone(),
             gate_count: netlist.gate_count(),
-            workload_reports: reports
-                .into_iter()
-                .map(|r| r.expect("every workload produced a report"))
-                .collect(),
+            workload_reports,
+            stats,
         }
     }
 }
 
-/// Simulates one workload against all faults (64 per pass) and classifies
-/// each outcome.
-fn run_workload(
-    netlist: &Netlist,
-    faults: &FaultList,
+/// Simulates one 64-fault chunk against one workload and classifies each
+/// lane's outcome.
+#[allow(clippy::too_many_arguments)]
+fn run_unit(
+    sim: &mut BitSim,
+    chunk: &[Fault],
     workload: &Workload,
+    trace: &GoldenTrace,
+    cone: Option<&ActiveCone>,
     config: &CampaignConfig,
-) -> WorkloadReport {
-    let classify_latent = config.classify_latent;
+    out_buf: &mut [u64],
+) -> UnitOutput {
+    let output_count = out_buf.len();
     let min_divergent_cycles =
         ((config.min_divergence_fraction * workload.len() as f64).ceil() as u32).max(1);
-    let fault_slice = faults.faults();
-    let mut outcomes = vec![FaultOutcome::Benign; fault_slice.len()];
-    let mut first_divergence: Vec<Option<u32>> = vec![None; fault_slice.len()];
+    let valid: u64 = if chunk.len() == LANES {
+        u64::MAX
+    } else {
+        (1u64 << chunk.len()) - 1
+    };
 
-    // Golden pass: record the fault-free output trace and final state.
-    let mut golden = BitSim::new(netlist);
-    let output_count = netlist.primary_outputs().len();
-    let mut golden_trace: Vec<u64> = Vec::with_capacity(workload.len() * output_count);
-    for vector in &workload.vectors {
-        let outputs = golden.step_broadcast(vector);
-        // All lanes identical in a broadcast run; store lane 0 as 0/!0.
-        golden_trace.extend(outputs.iter().copied());
-    }
-    let golden_state: Vec<u64> = netlist
-        .sequential_gates()
-        .iter()
-        .map(|&g| golden.flop_lanes(g))
-        .collect();
-
-    for (chunk_index, chunk) in fault_slice.chunks(64).enumerate() {
-        let base = chunk_index * 64;
-        let mut sim = BitSim::new(netlist);
-        for (lane, fault) in chunk.iter().enumerate() {
-            match fault.site {
-                crate::fault::FaultSite::Output => {
-                    sim.force_lanes(fault.net, fault.stuck_at.value(), 1u64 << lane);
-                }
-                crate::fault::FaultSite::InputPin(pin) => {
-                    sim.force_pin_lanes(fault.gate, pin, fault.stuck_at.value(), 1u64 << lane);
-                }
+    sim.reset();
+    sim.clear_forces();
+    for (lane, fault) in chunk.iter().enumerate() {
+        match fault.site {
+            FaultSite::Output => {
+                sim.force_lanes(fault.net, fault.stuck_at.value(), 1u64 << lane);
+            }
+            FaultSite::InputPin(pin) => {
+                sim.force_pin_lanes(fault.gate, pin, fault.stuck_at.value(), 1u64 << lane);
             }
         }
+    }
 
-        let mut diverged: u64 = 0;
-        let mut divergent_cycles = [0u32; 64];
-        for (cycle, vector) in workload.vectors.iter().enumerate() {
-            let outputs = sim.step_broadcast(vector);
-            let mut mismatch: u64 = 0;
-            for (o, &lanes) in outputs.iter().enumerate() {
-                mismatch |= lanes ^ golden_trace[cycle * output_count + o];
+    let full_evals = sim.full_evals_per_cycle();
+    let words = trace.packed_words;
+    let mut diverged: u64 = 0;
+    let mut satisfied: u64 = 0;
+    let mut divergent_cycles = [0u32; LANES];
+    let mut first_divergence: Vec<Option<u32>> = vec![None; chunk.len()];
+    let mut cycles_stepped = 0u64;
+    let mut gate_evals = 0u64;
+
+    for (cycle, vector) in workload.vectors.iter().enumerate() {
+        let mut mismatch: u64 = 0;
+        match cone {
+            Some(cone) => {
+                sim.seed_boundary_packed(cone, &trace.packed_nets[cycle * words..][..words]);
+                sim.settle_restricted(cone);
+                for &(slot, net) in cone.output_slots() {
+                    mismatch |= sim.net_lanes(net) ^ trace.outputs[cycle * output_count + slot];
+                }
+                sim.clock_restricted(cone);
+                gate_evals += cone.evals_per_cycle();
             }
-            if mismatch == 0 {
-                continue;
+            None => {
+                sim.step_broadcast_into(vector, out_buf);
+                for (o, &lanes) in out_buf.iter().enumerate() {
+                    mismatch |= lanes ^ trace.outputs[cycle * output_count + o];
+                }
+                gate_evals += full_evals;
             }
+        }
+        cycles_stepped += 1;
+        mismatch &= valid;
+        if mismatch != 0 {
             let newly = mismatch & !diverged;
             let mut remaining = newly;
             while remaining != 0 {
                 let lane = remaining.trailing_zeros() as usize;
                 remaining &= remaining - 1;
-                if base + lane < fault_slice.len() {
-                    first_divergence[base + lane] = Some(cycle as u32);
-                }
+                first_divergence[lane] = Some(cycle as u32);
             }
             diverged |= newly;
             let mut counting = mismatch;
@@ -178,35 +358,56 @@ fn run_workload(
                 let lane = counting.trailing_zeros() as usize;
                 counting &= counting - 1;
                 divergent_cycles[lane] += 1;
+                if divergent_cycles[lane] == min_divergent_cycles {
+                    satisfied |= 1u64 << lane;
+                }
             }
         }
-
-        let mut state_differs: u64 = 0;
-        if classify_latent {
-            for (s, &g) in netlist.sequential_gates().iter().enumerate() {
-                state_differs |= sim.flop_lanes(g) ^ golden_state[s];
-            }
-        }
-
-        for (lane, _) in chunk.iter().enumerate() {
-            let mask = 1u64 << lane;
-            outcomes[base + lane] = if divergent_cycles[lane] >= min_divergent_cycles {
-                FaultOutcome::Dangerous
-            } else if diverged & mask != 0 {
-                // Observable but below the divergence-rate threshold.
-                FaultOutcome::Latent
-            } else if classify_latent && state_differs & mask != 0 {
-                FaultOutcome::Latent
-            } else {
-                FaultOutcome::Benign
-            };
+        // Once every lane has reached the Dangerous threshold no later
+        // cycle can change any outcome or first_divergence, and the
+        // latent sweep is moot (Dangerous takes priority).
+        if config.early_exit && satisfied == valid {
+            break;
         }
     }
 
-    WorkloadReport {
-        workload_name: workload.name.clone(),
+    // Latent sweep over end-of-workload flop state. Skipped when every
+    // lane is already Dangerous; restricted to cone flops when a cone is
+    // active (non-cone flops are provably golden).
+    let mut state_differs: u64 = 0;
+    if config.classify_latent && satisfied != valid {
+        let flops = match cone {
+            Some(cone) => cone.seq_gates(),
+            None => sim.sequential_gates(),
+        };
+        // The sweep borrows `sim` immutably, so collect XORs in one pass.
+        let mut differs = 0u64;
+        for &g in flops {
+            differs |= sim.flop_lanes(g) ^ trace.final_state_by_gate[g.index()];
+        }
+        state_differs = differs & valid;
+    }
+
+    let mut outcomes = vec![FaultOutcome::Benign; chunk.len()];
+    for (lane, outcome) in outcomes.iter_mut().enumerate() {
+        let mask = 1u64 << lane;
+        *outcome = if divergent_cycles[lane] >= min_divergent_cycles {
+            FaultOutcome::Dangerous
+        } else if diverged & mask != 0 {
+            // Observable but below the divergence-rate threshold.
+            FaultOutcome::Latent
+        } else if config.classify_latent && state_differs & mask != 0 {
+            FaultOutcome::Latent
+        } else {
+            FaultOutcome::Benign
+        };
+    }
+
+    UnitOutput {
         outcomes,
         first_divergence,
+        stepped_fault_cycles: chunk.len() as u64 * cycles_stepped,
+        gate_evals,
     }
 }
 
@@ -343,7 +544,119 @@ mod tests {
             .zip(parallel.workload_reports())
         {
             assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.first_divergence, b.first_divergence);
         }
+    }
+
+    /// Every acceleration (cone restriction, early exit) and thread
+    /// count must produce the same outcomes and first-divergence cycles.
+    #[test]
+    fn accelerations_are_bit_identical() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_sites(&netlist);
+        let workloads = tiny_suite(&netlist, 2, 24);
+        let reference = FaultCampaign::new(CampaignConfig {
+            threads: 1,
+            restrict_to_cone: false,
+            early_exit: false,
+            ..Default::default()
+        })
+        .run(&netlist, &faults, &workloads);
+        for restrict_to_cone in [false, true] {
+            for early_exit in [false, true] {
+                for threads in [1, 4] {
+                    let candidate = FaultCampaign::new(CampaignConfig {
+                        threads,
+                        restrict_to_cone,
+                        early_exit,
+                        ..Default::default()
+                    })
+                    .run(&netlist, &faults, &workloads);
+                    for (a, b) in reference
+                        .workload_reports()
+                        .iter()
+                        .zip(candidate.workload_reports())
+                    {
+                        assert_eq!(
+                            a.outcomes, b.outcomes,
+                            "cone={restrict_to_cone} early={early_exit} threads={threads}"
+                        );
+                        assert_eq!(a.first_divergence, b.first_divergence);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Early exit must be invisible even with a nonzero Dangerous
+    /// threshold (the satisfied mask tracks the threshold, not just the
+    /// first divergence).
+    #[test]
+    fn early_exit_never_changes_outcomes_with_threshold() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = tiny_suite(&netlist, 2, 32);
+        for min_divergence_fraction in [0.05, 0.25, 0.9] {
+            let base = CampaignConfig {
+                threads: 1,
+                min_divergence_fraction,
+                ..Default::default()
+            };
+            let without = FaultCampaign::new(CampaignConfig {
+                early_exit: false,
+                ..base
+            })
+            .run(&netlist, &faults, &workloads);
+            let with = FaultCampaign::new(CampaignConfig {
+                early_exit: true,
+                ..base
+            })
+            .run(&netlist, &faults, &workloads);
+            for (a, b) in without
+                .workload_reports()
+                .iter()
+                .zip(with.workload_reports())
+            {
+                assert_eq!(a.outcomes, b.outcomes, "fraction {min_divergence_fraction}");
+                assert_eq!(a.first_divergence, b.first_divergence);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_cone_savings() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = tiny_suite(&netlist, 2, 24);
+        let report = FaultCampaign::new(CampaignConfig {
+            threads: 1,
+            early_exit: false,
+            ..Default::default()
+        })
+        .run(&netlist, &faults, &workloads);
+        let stats = report.stats();
+        assert!(stats.wall_seconds > 0.0);
+        assert_eq!(stats.threads, 1);
+        assert_eq!(
+            stats.units,
+            workloads.workloads().len() * faults.len().div_ceil(64)
+        );
+        assert_eq!(
+            stats.fault_cycles,
+            (faults.len() * 2 * 24) as u64,
+            "logical size: faults x workloads x cycles"
+        );
+        assert_eq!(
+            stats.stepped_fault_cycles, stats.fault_cycles,
+            "no early exit => every fault-cycle stepped"
+        );
+        assert!(
+            stats.gate_evals < stats.gate_evals_full,
+            "cone restriction must save gate evaluations on a real design"
+        );
+        assert!(stats.gate_evals_saved_fraction() > 0.0);
+        assert_eq!(stats.worker_busy_seconds.len(), 1);
+        assert!(stats.fault_cycles_per_second() > 0.0);
     }
 
     #[test]
@@ -427,5 +740,18 @@ mod tests {
             .iter()
             .any(|w| w.kind == WorkloadKind::SubsetActive));
         let _ = StuckAt::Zero;
+    }
+
+    #[test]
+    fn empty_fault_list_yields_empty_reports() {
+        let netlist = inverter_netlist();
+        let faults: FaultList = Vec::<Fault>::new().into_iter().collect();
+        let workloads = tiny_suite(&netlist, 2, 8);
+        let report = FaultCampaign::default().run(&netlist, &faults, &workloads);
+        assert_eq!(report.workload_reports().len(), 2);
+        for wr in report.workload_reports() {
+            assert!(wr.outcomes.is_empty());
+        }
+        assert_eq!(report.stats().fault_cycles, 0);
     }
 }

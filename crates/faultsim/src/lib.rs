@@ -37,5 +37,5 @@ pub mod seu;
 pub use campaign::{CampaignConfig, FaultCampaign};
 pub use dataset::CriticalityDataset;
 pub use fault::{Fault, FaultList, FaultSite, StuckAt};
-pub use report::{CampaignReport, FaultOutcome, WorkloadReport};
+pub use report::{CampaignReport, CampaignStats, FaultOutcome, WorkloadReport};
 pub use seu::{SeuCampaign, SeuConfig, SeuOutcome, SeuReport};

@@ -58,6 +58,62 @@ impl WorkloadReport {
     }
 }
 
+/// Timing and throughput statistics of one campaign run.
+///
+/// Stats are observability only: they never participate in outcome
+/// equality (differential tests compare [`WorkloadReport`]s directly).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignStats {
+    /// End-to-end wall time of [`crate::FaultCampaign::run`], seconds.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// `(workload × fault-chunk)` units scheduled.
+    pub units: usize,
+    /// Logical campaign size: Σ faults × workload cycles. Independent of
+    /// cone restriction and early exit, so `fault_cycles / wall_seconds`
+    /// is comparable across implementations.
+    pub fault_cycles: u64,
+    /// Fault-cycles actually stepped (early exit lowers this).
+    pub stepped_fault_cycles: u64,
+    /// Gate evaluations performed by fault machines (cone restriction
+    /// and early exit lower this).
+    pub gate_evals: u64,
+    /// Gate evaluations a full-netlist, no-early-exit run would cost.
+    pub gate_evals_full: u64,
+    /// Busy seconds per worker (length = `threads`).
+    pub worker_busy_seconds: Vec<f64>,
+}
+
+impl CampaignStats {
+    /// Campaign throughput: logical fault-cycles per wall second.
+    pub fn fault_cycles_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.fault_cycles as f64 / self.wall_seconds
+    }
+
+    /// Fraction of full-run gate evaluations avoided (cone restriction
+    /// plus early exit).
+    pub fn gate_evals_saved_fraction(&self) -> f64 {
+        if self.gate_evals_full == 0 {
+            return 0.0;
+        }
+        1.0 - self.gate_evals as f64 / self.gate_evals_full as f64
+    }
+
+    /// Mean worker busy-time divided by wall time, in `[0, 1]`.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.worker_busy_seconds.is_empty() || self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        let mean =
+            self.worker_busy_seconds.iter().sum::<f64>() / self.worker_busy_seconds.len() as f64;
+        (mean / self.wall_seconds).clamp(0.0, 1.0)
+    }
+}
+
 /// Aggregated results of a full campaign: every workload against every
 /// fault.
 #[derive(Debug, Clone)]
@@ -65,6 +121,7 @@ pub struct CampaignReport {
     pub(crate) faults: FaultList,
     pub(crate) gate_count: usize,
     pub(crate) workload_reports: Vec<WorkloadReport>,
+    pub(crate) stats: CampaignStats,
 }
 
 impl CampaignReport {
@@ -76,6 +133,11 @@ impl CampaignReport {
     /// The fault list the outcomes are aligned with.
     pub fn faults(&self) -> &FaultList {
         &self.faults
+    }
+
+    /// Timing and throughput statistics of the run.
+    pub fn stats(&self) -> &CampaignStats {
+        &self.stats
     }
 
     /// Number of workloads (`N` in Algorithm 1).
@@ -125,6 +187,18 @@ impl CampaignReport {
                 report.dangerous_count(),
                 report.coverage() * 100.0,
                 latent
+            );
+        }
+        if self.stats.wall_seconds > 0.0 {
+            let _ = writeln!(
+                out,
+                "  throughput: {:.0} fault-cycles/s ({:.3}s wall, {} threads, \
+                 {:.1}% gate-evals saved, {:.0}% utilization)",
+                self.stats.fault_cycles_per_second(),
+                self.stats.wall_seconds,
+                self.stats.threads,
+                self.stats.gate_evals_saved_fraction() * 100.0,
+                self.stats.mean_utilization() * 100.0
             );
         }
         out
@@ -193,6 +267,7 @@ mod tests {
                     first_divergence: vec![None, Some(7)],
                 },
             ],
+            stats: CampaignStats::default(),
         }
     }
 
@@ -210,6 +285,28 @@ mod tests {
         assert!(text.contains("w0"));
         assert!(text.contains("w1"));
         assert!(text.contains("2 faults"));
+    }
+
+    #[test]
+    fn stats_ratios_are_safe_and_sensible() {
+        let zero = CampaignStats::default();
+        assert_eq!(zero.fault_cycles_per_second(), 0.0);
+        assert_eq!(zero.gate_evals_saved_fraction(), 0.0);
+        assert_eq!(zero.mean_utilization(), 0.0);
+
+        let stats = CampaignStats {
+            wall_seconds: 2.0,
+            threads: 2,
+            units: 8,
+            fault_cycles: 1_000,
+            stepped_fault_cycles: 800,
+            gate_evals: 250,
+            gate_evals_full: 1_000,
+            worker_busy_seconds: vec![1.0, 3.0],
+        };
+        assert!((stats.fault_cycles_per_second() - 500.0).abs() < 1e-9);
+        assert!((stats.gate_evals_saved_fraction() - 0.75).abs() < 1e-9);
+        assert_eq!(stats.mean_utilization(), 1.0, "clamped to [0, 1]");
     }
 
     #[test]

@@ -136,18 +136,17 @@ fn run_injection(
     // Golden trace.
     let mut golden = BitSim::new(netlist);
     let output_count = netlist.primary_outputs().len();
+    let mut out_buf = vec![0u64; output_count];
     let mut golden_trace = Vec::with_capacity(workload.len() * output_count);
     for vector in &workload.vectors {
-        golden_trace.extend(golden.step_broadcast(vector));
+        golden.step_broadcast_into(vector, &mut out_buf);
+        golden_trace.extend_from_slice(&out_buf);
     }
-    let golden_state: Vec<u64> = netlist
-        .sequential_gates()
-        .iter()
-        .map(|&g| golden.flop_lanes(g))
-        .collect();
+    let golden_state: Vec<u64> = flops.iter().map(|&g| golden.flop_lanes(g)).collect();
 
+    let mut sim = BitSim::new(netlist);
     for (chunk_index, chunk) in flops.chunks(64).enumerate() {
-        let mut sim = BitSim::new(netlist);
+        sim.reset();
         let mut diverged: u64 = 0;
         for (cycle, vector) in workload.vectors.iter().enumerate() {
             if cycle == inject_cycle {
@@ -155,15 +154,15 @@ fn run_injection(
                     sim.schedule_state_flip(flop, 1u64 << lane);
                 }
             }
-            let outputs = sim.step_broadcast(vector);
+            sim.step_broadcast_into(vector, &mut out_buf);
             if cycle > inject_cycle {
-                for (o, &lanes) in outputs.iter().enumerate() {
+                for (o, &lanes) in out_buf.iter().enumerate() {
                     diverged |= lanes ^ golden_trace[cycle * output_count + o];
                 }
             }
         }
         let mut state_differs: u64 = 0;
-        for (s, &g) in netlist.sequential_gates().iter().enumerate() {
+        for (s, &g) in flops.iter().enumerate() {
             state_differs |= sim.flop_lanes(g) ^ golden_state[s];
         }
         for (lane, _) in chunk.iter().enumerate() {

@@ -1,0 +1,131 @@
+//! Differential tests: the accelerated campaign hot path (cone
+//! restriction, early exit, multi-threaded unit scheduling) must be
+//! bit-identical to the exhaustive full-netlist reference.
+//!
+//! The proptest generates random sequential netlists, injects every
+//! stuck-at site (gate outputs *and* input pins), and compares every
+//! `FaultOutcome` and every `first_divergence` cycle across the
+//! acceleration configurations. Any divergence is a correctness bug in
+//! the cone/boundary/early-exit machinery, not a tuning regression.
+
+use fusa_faultsim::{CampaignConfig, CampaignReport, FaultCampaign, FaultList};
+use fusa_logicsim::{WorkloadConfig, WorkloadSuite};
+use fusa_netlist::designs::{random_netlist, RandomNetlistConfig};
+use fusa_netlist::Netlist;
+use proptest::prelude::*;
+
+fn workloads_for(netlist: &Netlist, seed: u64) -> WorkloadSuite {
+    WorkloadSuite::generate(
+        netlist,
+        &WorkloadConfig {
+            num_workloads: 2,
+            vectors_per_workload: 24,
+            reset_cycles: 0,
+            seed,
+        },
+    )
+}
+
+fn run_with(
+    netlist: &Netlist,
+    faults: &FaultList,
+    workloads: &WorkloadSuite,
+    threads: usize,
+    restrict_to_cone: bool,
+    early_exit: bool,
+    classify_latent: bool,
+) -> CampaignReport {
+    FaultCampaign::new(CampaignConfig {
+        threads,
+        classify_latent,
+        min_divergence_fraction: 0.0,
+        restrict_to_cone,
+        early_exit,
+    })
+    .run(netlist, faults, workloads)
+}
+
+fn assert_reports_identical(context: &str, reference: &CampaignReport, candidate: &CampaignReport) {
+    let (a, b) = (reference.workload_reports(), candidate.workload_reports());
+    assert_eq!(a.len(), b.len(), "{context}: workload count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.workload_name, y.workload_name,
+            "{context}: workload order"
+        );
+        assert_eq!(
+            x.outcomes, y.outcomes,
+            "{context}: outcomes differ in workload {}",
+            x.workload_name
+        );
+        assert_eq!(
+            x.first_divergence, y.first_divergence,
+            "{context}: first_divergence differs in workload {}",
+            x.workload_name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// Cone-restricted simulation, early exit, and the threaded unit
+    /// queue are all bit-identical to the naive single-threaded
+    /// full-netlist campaign — on random netlists, over every stuck-at
+    /// site including input pins, with latent classification on or off.
+    #[test]
+    fn accelerated_campaign_is_bit_identical_on_random_netlists(
+        seed in 0u64..1u64 << 48,
+        num_gates in 40usize..120,
+        sequential_fraction in 0.05f64..0.4,
+        classify_latent in any::<bool>(),
+    ) {
+        let netlist = random_netlist(&RandomNetlistConfig {
+            num_inputs: 6,
+            num_gates,
+            sequential_fraction,
+            num_outputs: 5,
+            seed,
+        });
+        // Input-pin faults included: cones rooted at the faulty gate
+        // must cover pin-fault propagation too.
+        let faults = FaultList::all_sites(&netlist);
+        let workloads = workloads_for(&netlist, seed ^ 0x570C4);
+
+        let reference = run_with(&netlist, &faults, &workloads, 1, false, false, classify_latent);
+        for threads in [1usize, 4] {
+            for restrict_to_cone in [false, true] {
+                for early_exit in [false, true] {
+                    if threads == 1 && !restrict_to_cone && !early_exit {
+                        continue;
+                    }
+                    let candidate = run_with(
+                        &netlist, &faults, &workloads,
+                        threads, restrict_to_cone, early_exit, classify_latent,
+                    );
+                    assert_reports_identical(
+                        &format!(
+                            "threads={threads} cone={restrict_to_cone} early_exit={early_exit} latent={classify_latent}"
+                        ),
+                        &reference,
+                        &candidate,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The four built-in designs, checked once each (cheap config): the
+/// proptest covers the space, this pins the real designs CI actually
+/// ships.
+#[test]
+fn builtin_designs_cone_on_off_agree() {
+    for netlist in fusa_netlist::designs::all_designs() {
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = workloads_for(&netlist, 7);
+        let reference = run_with(&netlist, &faults, &workloads, 1, false, false, true);
+        let accelerated = run_with(&netlist, &faults, &workloads, 4, true, true, true);
+        assert_reports_identical(netlist.name(), &reference, &accelerated);
+    }
+}

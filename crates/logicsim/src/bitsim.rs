@@ -1,7 +1,14 @@
 //! 64-lane bit-parallel Boolean simulator.
 
 use crate::eval::eval_u64;
-use fusa_netlist::{GateId, LevelizedOrder, Levelizer, NetId, Netlist};
+use fusa_netlist::{fanout_cone, Driver, GateId, LevelizedOrder, Levelizer, NetId, Netlist};
+
+/// Maximum input-pin count of any cell in the gate library.
+const MAX_PINS: usize = 4;
+
+/// Sentinel in the per-gate pin-force index: no pin of this gate is
+/// forced.
+const NO_PIN_FORCE: u32 = u32::MAX;
 
 /// A bit-parallel simulator: every net carries a `u64` whose 64 bit
 /// positions are independent simulation lanes.
@@ -45,6 +52,8 @@ use fusa_netlist::{GateId, LevelizedOrder, Levelizer, NetId, Netlist};
 pub struct BitSim<'a> {
     netlist: &'a Netlist,
     order: LevelizedOrder,
+    /// Sequential gate ids, cached so settle/clock never allocate.
+    seq_gates: Vec<GateId>,
     values: Vec<u64>,
     state: Vec<u64>,
     input_drive: Vec<u64>,
@@ -53,10 +62,17 @@ pub struct BitSim<'a> {
     or_mask: Vec<u64>,
     /// Nets with non-trivial masks, for cheap clearing.
     forced_nets: Vec<NetId>,
-    /// Per-pin force masks, keyed by (gate, input pin index): models
+    /// Per-gate index into `pin_force_masks` (`NO_PIN_FORCE` when no pin
+    /// of the gate is forced). Fault-free and output-fault runs never
+    /// touch this; pin-fault runs pay one array index per gate instead
+    /// of a hash probe.
+    pin_force_slot: Vec<u32>,
+    /// `(and, or)` masks per input pin of every pin-forced gate: models
     /// faults on a single gate input without disturbing the driving
-    /// net's other readers. Empty in fault-free and output-fault runs.
-    pin_masks: std::collections::HashMap<(u32, u8), (u64, u64)>,
+    /// net's other readers.
+    pin_force_masks: Vec<[(u64, u64); MAX_PINS]>,
+    /// Gates with a pin force installed, for cheap clearing.
+    pin_forced_gates: Vec<GateId>,
     /// Per-gate state XOR masks applied at the next clock edge —
     /// single-event-upset (bit-flip) injection into flip-flops.
     state_flips: Vec<(GateId, u64)>,
@@ -70,13 +86,16 @@ impl<'a> BitSim<'a> {
         BitSim {
             netlist,
             order: Levelizer::levelize(netlist),
+            seq_gates: netlist.sequential_gates(),
             values: vec![0; netlist.net_count()],
             state: vec![0; netlist.gate_count()],
             input_drive: vec![0; netlist.primary_inputs().len()],
             and_mask: vec![u64::MAX; netlist.net_count()],
             or_mask: vec![0; netlist.net_count()],
             forced_nets: Vec::new(),
-            pin_masks: std::collections::HashMap::new(),
+            pin_force_slot: vec![NO_PIN_FORCE; netlist.gate_count()],
+            pin_force_masks: Vec::new(),
+            pin_forced_gates: Vec::new(),
             state_flips: Vec::new(),
             cycles: 0,
         }
@@ -85,6 +104,11 @@ impl<'a> BitSim<'a> {
     /// The netlist under simulation.
     pub fn netlist(&self) -> &Netlist {
         self.netlist
+    }
+
+    /// Sequential gate ids, cached at construction (no allocation).
+    pub fn sequential_gates(&self) -> &[GateId] {
+        &self.seq_gates
     }
 
     /// Resets register state and the cycle counter (forces stay).
@@ -160,7 +184,14 @@ impl<'a> BitSim<'a> {
             "pin {pin} out of range for {}-input gate",
             arity
         );
-        let entry = self.pin_masks.entry((gate.0, pin)).or_insert((u64::MAX, 0));
+        let mut slot = self.pin_force_slot[gate.index()];
+        if slot == NO_PIN_FORCE {
+            slot = self.pin_force_masks.len() as u32;
+            self.pin_force_masks.push([(u64::MAX, 0); MAX_PINS]);
+            self.pin_force_slot[gate.index()] = slot;
+            self.pin_forced_gates.push(gate);
+        }
+        let entry = &mut self.pin_force_masks[slot as usize][pin as usize];
         if stuck_high {
             entry.1 |= lane_mask;
         } else {
@@ -190,7 +221,10 @@ impl<'a> BitSim<'a> {
             self.and_mask[net.index()] = u64::MAX;
             self.or_mask[net.index()] = 0;
         }
-        self.pin_masks.clear();
+        for gate in self.pin_forced_gates.drain(..) {
+            self.pin_force_slot[gate.index()] = NO_PIN_FORCE;
+        }
+        self.pin_force_masks.clear();
         self.state_flips.clear();
     }
 
@@ -205,53 +239,75 @@ impl<'a> BitSim<'a> {
         for (i, &net) in self.netlist.primary_inputs().iter().enumerate() {
             self.values[net.index()] = self.masked(net, self.input_drive[i]);
         }
-        for gate_id in self.netlist.sequential_gates() {
-            let out = self.netlist.gate(gate_id).output;
-            self.values[out.index()] = self.masked(out, self.state[gate_id.index()]);
+        let has_pin_forces = !self.pin_forced_gates.is_empty();
+        for i in 0..self.seq_gates.len() {
+            self.publish_seq_output(self.seq_gates[i]);
         }
-        let mut input_buffer = [0u64; 4];
-        let has_pin_forces = !self.pin_masks.is_empty();
-        for &gate_id in self.order.order() {
-            let gate = self.netlist.gate(gate_id);
-            let n = gate.inputs.len();
-            for (slot, &net) in input_buffer.iter_mut().zip(&gate.inputs) {
-                *slot = self.values[net.index()];
-            }
-            if has_pin_forces {
-                self.apply_pin_masks(gate_id, &mut input_buffer[..n]);
-            }
-            let raw = eval_u64(gate.kind, &input_buffer[..n], 0);
-            self.values[gate.output.index()] = self.masked(gate.output, raw);
+        for i in 0..self.order.order().len() {
+            let gate_id = self.order.order()[i];
+            self.eval_comb_one(gate_id, has_pin_forces);
         }
+    }
+
+    /// Publishes a flip-flop's stored state onto its output net.
+    #[inline]
+    fn publish_seq_output(&mut self, gate_id: GateId) {
+        let out = self.netlist.gate(gate_id).output;
+        self.values[out.index()] = self.masked(out, self.state[gate_id.index()]);
+    }
+
+    /// Evaluates one combinational gate from its current input-net lanes.
+    #[inline]
+    fn eval_comb_one(&mut self, gate_id: GateId, has_pin_forces: bool) {
+        let mut input_buffer = [0u64; MAX_PINS];
+        let gate = self.netlist.gate(gate_id);
+        let n = gate.inputs.len();
+        for (slot, &net) in input_buffer.iter_mut().zip(&gate.inputs) {
+            *slot = self.values[net.index()];
+        }
+        if has_pin_forces {
+            self.apply_pin_masks(gate_id, &mut input_buffer[..n]);
+        }
+        let raw = eval_u64(gate.kind, &input_buffer[..n], 0);
+        self.values[gate.output.index()] = self.masked(gate.output, raw);
     }
 
     #[inline]
     fn apply_pin_masks(&self, gate_id: GateId, inputs: &mut [u64]) {
-        for (pin, value) in inputs.iter_mut().enumerate() {
-            if let Some(&(and, or)) = self.pin_masks.get(&(gate_id.0, pin as u8)) {
-                *value = (*value & and) | or;
-            }
+        let slot = self.pin_force_slot[gate_id.index()];
+        if slot == NO_PIN_FORCE {
+            return;
         }
+        let masks = &self.pin_force_masks[slot as usize];
+        for (pin, value) in inputs.iter_mut().enumerate() {
+            let (and, or) = masks[pin];
+            *value = (*value & and) | or;
+        }
+    }
+
+    #[inline]
+    fn clock_one(&mut self, gate_id: GateId, has_pin_forces: bool) {
+        let mut input_buffer = [0u64; MAX_PINS];
+        let gate = self.netlist.gate(gate_id);
+        let n = gate.inputs.len();
+        for (slot, &net) in input_buffer.iter_mut().zip(&gate.inputs) {
+            *slot = self.values[net.index()];
+        }
+        if has_pin_forces {
+            self.apply_pin_masks(gate_id, &mut input_buffer[..n]);
+        }
+        self.state[gate_id.index()] =
+            eval_u64(gate.kind, &input_buffer[..n], self.state[gate_id.index()]);
     }
 
     /// Applies one rising clock edge to every flip-flop.
     pub fn clock(&mut self) {
-        let mut input_buffer = [0u64; 4];
-        let has_pin_forces = !self.pin_masks.is_empty();
+        let has_pin_forces = !self.pin_forced_gates.is_empty();
         // Next states depend only on current settled values, so a single
         // pass (gather + commit per flop) is race-free because flop
         // *outputs* are not rewritten until the next settle().
-        for gate_id in self.netlist.sequential_gates() {
-            let gate = self.netlist.gate(gate_id);
-            let n = gate.inputs.len();
-            for (slot, &net) in input_buffer.iter_mut().zip(&gate.inputs) {
-                *slot = self.values[net.index()];
-            }
-            if has_pin_forces {
-                self.apply_pin_masks(gate_id, &mut input_buffer[..n]);
-            }
-            self.state[gate_id.index()] =
-                eval_u64(gate.kind, &input_buffer[..n], self.state[gate_id.index()]);
+        for i in 0..self.seq_gates.len() {
+            self.clock_one(self.seq_gates[i], has_pin_forces);
         }
         for (gate, lanes) in self.state_flips.drain(..) {
             self.state[gate.index()] ^= lanes;
@@ -265,11 +321,23 @@ impl<'a> BitSim<'a> {
     ///
     /// Panics if `vector.len()` differs from the PI count.
     pub fn step_broadcast(&mut self, vector: &[bool]) -> Vec<u64> {
+        let mut outputs = vec![0u64; self.netlist.primary_outputs().len()];
+        self.step_broadcast_into(vector, &mut outputs);
+        outputs
+    }
+
+    /// Allocation-free variant of [`BitSim::step_broadcast`]: broadcast
+    /// `vector`, settle, write output lanes into `out`, clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len()` differs from the PI count or `out.len()`
+    /// from the primary-output count.
+    pub fn step_broadcast_into(&mut self, vector: &[bool], out: &mut [u64]) {
         self.set_vector_broadcast(vector);
         self.settle();
-        let outputs = self.output_lanes();
+        self.output_lanes_into(out);
         self.clock();
-        outputs
     }
 
     /// The current lanes of a net.
@@ -286,6 +354,19 @@ impl<'a> BitSim<'a> {
             .collect()
     }
 
+    /// Writes the lanes of every primary output into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the primary-output count.
+    pub fn output_lanes_into(&self, out: &mut [u64]) {
+        let outputs = self.netlist.primary_outputs();
+        assert_eq!(out.len(), outputs.len());
+        for (slot, (_, net)) in out.iter_mut().zip(outputs) {
+            *slot = self.values[net.index()];
+        }
+    }
+
     /// Current register state of a sequential gate.
     ///
     /// # Panics
@@ -298,6 +379,186 @@ impl<'a> BitSim<'a> {
     /// Snapshot of all net lanes, indexed by [`NetId`].
     pub fn net_values(&self) -> &[u64] {
         &self.values
+    }
+
+    /// Number of `u64` words needed by [`BitSim::snapshot_nets_packed`].
+    pub fn packed_net_words(&self) -> usize {
+        self.netlist.net_count().div_ceil(64)
+    }
+
+    /// Packs lane 0 of every net into a bit-per-net snapshot.
+    ///
+    /// In a *broadcast* (golden) run every net's lanes are all-zeros or
+    /// all-ones, so lane 0 captures the machine exactly in 1/64th of the
+    /// memory. The result seeds cone boundaries via
+    /// [`BitSim::seed_boundary_packed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from [`BitSim::packed_net_words`].
+    pub fn snapshot_nets_packed(&self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.packed_net_words());
+        out.fill(0);
+        for (i, &lanes) in self.values.iter().enumerate() {
+            out[i >> 6] |= (lanes & 1) << (i & 63);
+        }
+    }
+
+    /// Gate evaluations one full settle+clock cycle costs (combinational
+    /// evals plus flop updates) — the denominator for cone-saving stats.
+    pub fn full_evals_per_cycle(&self) -> u64 {
+        (self.order.order().len() + self.seq_gates.len()) as u64
+    }
+
+    /// Precomputes the restricted evaluation schedule for the union
+    /// fanout cone of `roots` (the ≤64 fault sites of one chunk).
+    ///
+    /// The cone crosses flip-flops, so repeated
+    /// [`BitSim::settle_restricted`] / [`BitSim::clock_restricted`]
+    /// cycles reproduce multi-cycle fault propagation exactly.
+    pub fn active_cone(&self, roots: &[GateId]) -> ActiveCone {
+        let cone = fanout_cone(self.netlist, roots);
+        let comb_order: Vec<GateId> = self
+            .order
+            .order()
+            .iter()
+            .copied()
+            .filter(|&g| cone.contains(g))
+            .collect();
+        let seq_gates: Vec<GateId> = self
+            .seq_gates
+            .iter()
+            .copied()
+            .filter(|&g| cone.contains(g))
+            .collect();
+
+        // Boundary nets: inputs of cone gates driven from outside the
+        // cone (primary inputs or non-cone gates). Their faulty-machine
+        // values are by construction identical to the golden machine, so
+        // they are seeded from the golden snapshot each cycle.
+        let mut seen = vec![false; self.netlist.net_count()];
+        let mut boundary_nets = Vec::new();
+        for &g in comb_order.iter().chain(seq_gates.iter()) {
+            for &net in &self.netlist.gate(g).inputs {
+                if seen[net.index()] {
+                    continue;
+                }
+                let external = match self.netlist.net(net).driver {
+                    Some(Driver::Gate(d)) => !cone.contains(d),
+                    _ => true,
+                };
+                if external {
+                    seen[net.index()] = true;
+                    boundary_nets.push(net);
+                }
+            }
+        }
+
+        // Primary outputs a cone fault can reach; all others are
+        // provably golden and need no comparison.
+        let output_slots: Vec<(usize, NetId)> = self
+            .netlist
+            .primary_outputs()
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, &(_, net))| match self.netlist.net(net).driver {
+                Some(Driver::Gate(d)) if cone.contains(d) => Some((slot, net)),
+                _ => None,
+            })
+            .collect();
+
+        ActiveCone {
+            comb_order,
+            seq_gates,
+            boundary_nets,
+            output_slots,
+            size: cone.len(),
+        }
+    }
+
+    /// Seeds every cone boundary net from a packed golden snapshot taken
+    /// at the same point of the same cycle
+    /// ([`BitSim::snapshot_nets_packed`] after the golden settle).
+    pub fn seed_boundary_packed(&mut self, cone: &ActiveCone, packed: &[u64]) {
+        for &net in &cone.boundary_nets {
+            let i = net.index();
+            let bit = (packed[i >> 6] >> (i & 63)) & 1;
+            self.values[i] = 0u64.wrapping_sub(bit);
+        }
+    }
+
+    /// [`BitSim::settle`] restricted to the gates of `cone`: publishes
+    /// cone flop outputs and evaluates cone combinational gates in
+    /// levelized order. Boundary nets must already hold golden values
+    /// (see [`BitSim::seed_boundary_packed`]); non-cone nets are left
+    /// stale and must not be read.
+    pub fn settle_restricted(&mut self, cone: &ActiveCone) {
+        let has_pin_forces = !self.pin_forced_gates.is_empty();
+        for i in 0..cone.seq_gates.len() {
+            self.publish_seq_output(cone.seq_gates[i]);
+        }
+        for i in 0..cone.comb_order.len() {
+            self.eval_comb_one(cone.comb_order[i], has_pin_forces);
+        }
+    }
+
+    /// [`BitSim::clock`] restricted to the flip-flops of `cone`.
+    /// Non-cone flop state is left stale; it is provably identical to
+    /// the golden machine and must be read from there instead.
+    pub fn clock_restricted(&mut self, cone: &ActiveCone) {
+        let has_pin_forces = !self.pin_forced_gates.is_empty();
+        for i in 0..cone.seq_gates.len() {
+            self.clock_one(cone.seq_gates[i], has_pin_forces);
+        }
+        for (gate, lanes) in self.state_flips.drain(..) {
+            self.state[gate.index()] ^= lanes;
+        }
+        self.cycles += 1;
+    }
+}
+
+/// The precomputed evaluation schedule for one fault chunk's union
+/// fanout cone: which gates to evaluate (in levelized order), which nets
+/// form the golden boundary, and which primary outputs / flip-flops can
+/// diverge at all.
+///
+/// Built once per chunk by [`BitSim::active_cone`]; driving
+/// [`BitSim::settle_restricted`] with it is bit-identical to a full
+/// [`BitSim::settle`] on every net the cone can influence.
+#[derive(Debug, Clone)]
+pub struct ActiveCone {
+    /// Cone combinational gates, in global levelized order.
+    comb_order: Vec<GateId>,
+    /// Cone flip-flops.
+    seq_gates: Vec<GateId>,
+    /// Inputs of cone gates driven from outside the cone.
+    boundary_nets: Vec<NetId>,
+    /// `(primary-output index, net)` of outputs a cone fault can reach.
+    output_slots: Vec<(usize, NetId)>,
+    /// Total cone gate count (combinational + sequential).
+    size: usize,
+}
+
+impl ActiveCone {
+    /// Number of gates in the cone.
+    pub fn gate_count(&self) -> usize {
+        self.size
+    }
+
+    /// Flip-flops inside the cone — the only flops whose faulty state
+    /// can differ from golden (the latent-fault sweep domain).
+    pub fn seq_gates(&self) -> &[GateId] {
+        &self.seq_gates
+    }
+
+    /// `(slot, net)` for each primary output a cone fault can reach.
+    pub fn output_slots(&self) -> &[(usize, NetId)] {
+        &self.output_slots
+    }
+
+    /// Gate evaluations one restricted settle+clock cycle costs.
+    pub fn evals_per_cycle(&self) -> u64 {
+        (self.comb_order.len() + self.seq_gates.len()) as u64
     }
 }
 
@@ -408,6 +669,126 @@ mod tests {
         assert_eq!(sim.flop_lanes(netlist.sequential_gates()[0]), 0);
         // Force survives the reset.
         assert_eq!(sim.output_lanes()[0] & 1, 1);
+    }
+}
+
+#[cfg(test)]
+mod cone_tests {
+    use super::*;
+    use fusa_netlist::designs::{random_netlist, RandomNetlistConfig};
+    use fusa_netlist::gate_ids;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Drives a full fault machine and a cone-restricted fault machine
+    /// with the same stuck-at fault and asserts that every cone output
+    /// and cone flop matches cycle by cycle.
+    fn check_restricted_matches_full(netlist: &Netlist, root: GateId, stuck_high: bool) {
+        let pi_count = netlist.primary_inputs().len();
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC0DE);
+        let vectors: Vec<Vec<bool>> = (0..16)
+            .map(|_| (0..pi_count).map(|_| rng.gen()).collect())
+            .collect();
+        let fault_net = netlist.gate(root).output;
+
+        let mut golden = BitSim::new(netlist);
+        let mut full = BitSim::new(netlist);
+        let mut restricted = BitSim::new(netlist);
+        full.force_lanes(fault_net, stuck_high, u64::MAX);
+        restricted.force_lanes(fault_net, stuck_high, u64::MAX);
+        let cone = restricted.active_cone(&[root]);
+        let mut packed = vec![0u64; golden.packed_net_words()];
+
+        for vector in &vectors {
+            golden.set_vector_broadcast(vector);
+            golden.settle();
+            golden.snapshot_nets_packed(&mut packed);
+
+            full.set_vector_broadcast(vector);
+            full.settle();
+
+            restricted.seed_boundary_packed(&cone, &packed);
+            restricted.settle_restricted(&cone);
+
+            for &(slot, net) in cone.output_slots() {
+                assert_eq!(
+                    restricted.net_lanes(net),
+                    full.net_lanes(net),
+                    "output slot {slot} diverged between full and restricted"
+                );
+            }
+            // Outputs outside the cone never leave the golden trajectory.
+            for (slot, &(_, net)) in netlist.primary_outputs().iter().enumerate() {
+                if !cone.output_slots().iter().any(|&(s, _)| s == slot) {
+                    assert_eq!(full.net_lanes(net), golden.net_lanes(net));
+                }
+            }
+
+            golden.clock();
+            full.clock();
+            restricted.clock_restricted(&cone);
+
+            for &g in cone.seq_gates() {
+                assert_eq!(
+                    restricted.flop_lanes(g),
+                    full.flop_lanes(g),
+                    "cone flop state diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_cone_matches_full_on_random_designs() {
+        for seed in [3u64, 17, 91] {
+            let netlist = random_netlist(&RandomNetlistConfig {
+                num_gates: 120,
+                seed,
+                ..Default::default()
+            });
+            let ids: Vec<GateId> = gate_ids(&netlist).collect();
+            for &root in [ids[0], ids[ids.len() / 2], ids[ids.len() - 1]].iter() {
+                check_restricted_matches_full(&netlist, root, true);
+                check_restricted_matches_full(&netlist, root, false);
+            }
+        }
+    }
+
+    #[test]
+    fn cone_schedule_is_smaller_than_netlist_for_local_faults() {
+        let netlist = random_netlist(&RandomNetlistConfig {
+            num_gates: 300,
+            seed: 5,
+            ..Default::default()
+        });
+        let sim = BitSim::new(&netlist);
+        // At least one gate's cone must be a strict subset on a 300-gate
+        // design; the last-created gates have shallow fanout.
+        let smallest = gate_ids(&netlist)
+            .map(|g| sim.active_cone(&[g]).evals_per_cycle())
+            .min()
+            .unwrap();
+        assert!(smallest < sim.full_evals_per_cycle());
+    }
+
+    #[test]
+    fn packed_snapshot_round_trips_broadcast_values() {
+        let netlist = random_netlist(&RandomNetlistConfig {
+            num_gates: 90,
+            seed: 8,
+            ..Default::default()
+        });
+        let pi_count = netlist.primary_inputs().len();
+        let mut sim = BitSim::new(&netlist);
+        let vector: Vec<bool> = (0..pi_count).map(|i| i % 2 == 0).collect();
+        sim.set_vector_broadcast(&vector);
+        sim.settle();
+        let mut packed = vec![0u64; sim.packed_net_words()];
+        sim.snapshot_nets_packed(&mut packed);
+        for (i, &lanes) in sim.net_values().iter().enumerate() {
+            let bit = (packed[i >> 6] >> (i & 63)) & 1;
+            assert_eq!(0u64.wrapping_sub(bit), lanes, "net {i}");
+        }
     }
 }
 

@@ -100,6 +100,10 @@ impl SignalStats {
             }
         };
 
+        // Flat per-gate output-net indices so the per-cycle counting loop
+        // avoids a struct walk per gate.
+        let output_net: Vec<usize> = netlist.gates().iter().map(|g| g.output.index()).collect();
+
         for cycle in 0..config.cycles {
             for i in 0..pi_count {
                 let lanes = random_lanes(&mut rng);
@@ -107,9 +111,9 @@ impl SignalStats {
             }
             sim.settle();
             if cycle >= config.warmup {
+                let values = sim.net_values();
                 for g in 0..gate_count {
-                    let out = netlist.gates()[g].output;
-                    let lanes = sim.net_lanes(out);
+                    let lanes = values[output_net[g]];
                     ones[g] += lanes.count_ones() as u64;
                     if counted_cycles > 0 {
                         toggles[g] += (lanes ^ previous[g]).count_ones() as u64;

@@ -34,10 +34,15 @@ use fusa_netlist::{Driver, GateId, LevelizedOrder, Levelizer, NetId, Netlist};
 /// # Ok(())
 /// # }
 /// ```
+/// Maximum input-pin count of any cell in the gate library.
+const MAX_PINS: usize = 4;
+
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
     order: LevelizedOrder,
+    /// Sequential gate ids, cached so settle/clock never allocate.
+    seq_gates: Vec<GateId>,
     /// Current value of every net.
     values: Vec<Logic>,
     /// Internal state of every gate (meaningful for flip-flops only).
@@ -58,6 +63,7 @@ impl<'a> Simulator<'a> {
         Simulator {
             netlist,
             order,
+            seq_gates: netlist.sequential_gates(),
             values: vec![Logic::Zero; netlist.net_count()],
             state: vec![Logic::Zero; netlist.gate_count()],
             input_drive: vec![Logic::Zero; netlist.primary_inputs().len()],
@@ -160,21 +166,22 @@ impl<'a> Simulator<'a> {
             self.write_net(net, v);
         }
         // Flip-flop outputs reflect stored state.
-        for gate_id in self.netlist.sequential_gates() {
+        for i in 0..self.seq_gates.len() {
+            let gate_id = self.seq_gates[i];
             let out = self.netlist.gate(gate_id).output;
             let v = self.state[gate_id.index()];
             self.write_net(out, v);
         }
         // Combinational gates in levelized order.
-        let order: Vec<GateId> = self.order.order().to_vec();
-        for gate_id in order {
+        let mut input_buffer = [Logic::X; MAX_PINS];
+        for i in 0..self.order.order().len() {
+            let gate_id = self.order.order()[i];
             let gate = self.netlist.gate(gate_id);
-            let inputs: Vec<Logic> = gate
-                .inputs
-                .iter()
-                .map(|&n| self.values[n.index()])
-                .collect();
-            let v = eval_logic(gate.kind, &inputs, Logic::X);
+            let n = gate.inputs.len();
+            for (slot, &net) in input_buffer.iter_mut().zip(&gate.inputs) {
+                *slot = self.values[net.index()];
+            }
+            let v = eval_logic(gate.kind, &input_buffer[..n], Logic::X);
             self.write_net(gate.output, v);
         }
     }
@@ -187,19 +194,19 @@ impl<'a> Simulator<'a> {
     ///
     /// [`settle`]: Simulator::settle
     pub fn clock(&mut self) {
-        let seq = self.netlist.sequential_gates();
-        let mut next = Vec::with_capacity(seq.len());
-        for &gate_id in &seq {
+        // Next states depend only on current settled net values, so a
+        // single gather-and-commit pass per flop is race-free: flop
+        // *outputs* are not rewritten until the next settle().
+        let mut input_buffer = [Logic::X; MAX_PINS];
+        for i in 0..self.seq_gates.len() {
+            let gate_id = self.seq_gates[i];
             let gate = self.netlist.gate(gate_id);
-            let inputs: Vec<Logic> = gate
-                .inputs
-                .iter()
-                .map(|&n| self.values[n.index()])
-                .collect();
-            next.push(eval_logic(gate.kind, &inputs, self.state[gate_id.index()]));
-        }
-        for (&gate_id, v) in seq.iter().zip(next) {
-            self.state[gate_id.index()] = v;
+            let n = gate.inputs.len();
+            for (slot, &net) in input_buffer.iter_mut().zip(&gate.inputs) {
+                *slot = self.values[net.index()];
+            }
+            self.state[gate_id.index()] =
+                eval_logic(gate.kind, &input_buffer[..n], self.state[gate_id.index()]);
         }
         self.cycles += 1;
     }
@@ -210,11 +217,23 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `inputs.len()` differs from the PI count.
     pub fn step(&mut self, inputs: &[Logic]) -> Vec<Logic> {
+        let mut outputs = vec![Logic::X; self.netlist.primary_outputs().len()];
+        self.step_into(inputs, &mut outputs);
+        outputs
+    }
+
+    /// Allocation-free variant of [`Simulator::step`]: drive `inputs`,
+    /// settle, write outputs into `out`, clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the PI count or `out.len()`
+    /// from the primary-output count.
+    pub fn step_into(&mut self, inputs: &[Logic], out: &mut [Logic]) {
         self.set_inputs(inputs);
         self.settle();
-        let outputs = self.output_values();
+        self.output_values_into(out);
         self.clock();
-        outputs
     }
 
     /// The current value of a net.
@@ -229,6 +248,19 @@ impl<'a> Simulator<'a> {
             .iter()
             .map(|(_, net)| self.values[net.index()])
             .collect()
+    }
+
+    /// Writes the value of every primary output into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the primary-output count.
+    pub fn output_values_into(&self, out: &mut [Logic]) {
+        let outputs = self.netlist.primary_outputs();
+        assert_eq!(out.len(), outputs.len());
+        for (slot, (_, net)) in out.iter_mut().zip(outputs) {
+            *slot = self.values[net.index()];
+        }
     }
 
     /// The stored state of a flip-flop gate.

@@ -1,0 +1,178 @@
+//! Transitive fanout cones.
+//!
+//! A stuck-at fault at a gate can only perturb the gates reachable from
+//! it through net fanout — its *fanout cone*. Concurrent fault simulation
+//! exploits this: evaluating only the cone of the faults under simulation
+//! (seeding everything else from a golden trace) is bit-identical to a
+//! full-netlist run at a fraction of the gate evaluations.
+//!
+//! Cones are traversed through flip-flops as well as combinational gates:
+//! a fault effect latched into a register this cycle can propagate out of
+//! it on every later cycle, so the multi-cycle cone is the closure over
+//! *all* fanout edges.
+
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// The transitive fanout cone of a set of root gates.
+///
+/// # Example
+///
+/// ```
+/// use fusa_netlist::{fanout_cone, GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), fusa_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("chain");
+/// let a = b.primary_input("a");
+/// let x = b.gate_named("X", GateKind::Inv, &[a]);
+/// let y = b.gate_named("Y", GateKind::Inv, &[x]);
+/// let _z = b.gate_named("Z", GateKind::Inv, &[a]);
+/// b.primary_output("y", y);
+/// let netlist = b.finish()?;
+/// let cone = fanout_cone(&netlist, &[netlist.find_gate("X").unwrap()]);
+/// assert!(cone.contains(netlist.find_gate("X").unwrap()));
+/// assert!(cone.contains(netlist.find_gate("Y").unwrap()));
+/// assert!(!cone.contains(netlist.find_gate("Z").unwrap()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutCone {
+    /// `in_cone[gate]` is `true` for roots and everything downstream.
+    in_cone: Vec<bool>,
+    /// Number of gates in the cone.
+    size: usize,
+}
+
+impl FanoutCone {
+    /// `true` if `gate` is a root or transitively reads a root's output.
+    pub fn contains(&self, gate: GateId) -> bool {
+        self.in_cone[gate.index()]
+    }
+
+    /// Membership mask indexed by gate id.
+    pub fn mask(&self) -> &[bool] {
+        &self.in_cone
+    }
+
+    /// Number of gates in the cone.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// `true` if the cone is empty (no roots were given).
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Fraction of the netlist's gates inside the cone.
+    pub fn fraction_of(&self, netlist: &Netlist) -> f64 {
+        if netlist.gate_count() == 0 {
+            return 0.0;
+        }
+        self.size as f64 / netlist.gate_count() as f64
+    }
+}
+
+/// Computes the union transitive fanout cone of `roots` (BFS over
+/// [`Netlist::fanout_of_gate`], crossing flip-flop boundaries).
+///
+/// The roots themselves are always part of the cone. Duplicate roots are
+/// harmless.
+///
+/// # Panics
+///
+/// Panics if a root gate id is out of range for `netlist`.
+pub fn fanout_cone(netlist: &Netlist, roots: &[GateId]) -> FanoutCone {
+    let mut in_cone = vec![false; netlist.gate_count()];
+    let mut size = 0usize;
+    let mut queue: Vec<GateId> = Vec::with_capacity(roots.len());
+    for &root in roots {
+        if !in_cone[root.index()] {
+            in_cone[root.index()] = true;
+            size += 1;
+            queue.push(root);
+        }
+    }
+    while let Some(gate) = queue.pop() {
+        for &reader in netlist.fanout_of_gate(gate) {
+            if !in_cone[reader.index()] {
+                in_cone[reader.index()] = true;
+                size += 1;
+                queue.push(reader);
+            }
+        }
+    }
+    FanoutCone { in_cone, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::gate::GateKind;
+
+    /// a -> X -> REG -> Y -> out, plus a sibling S off `a` that the cone
+    /// of X must not include.
+    fn seq_chain() -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.primary_input("a");
+        let x = b.gate_named("X", GateKind::Buf, &[a]);
+        let q = b.gate_named("REG", GateKind::Dff, &[x]);
+        let y = b.gate_named("Y", GateKind::Inv, &[q]);
+        let s = b.gate_named("S", GateKind::Inv, &[a]);
+        b.primary_output("y", y);
+        b.primary_output("s", s);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cone_crosses_flip_flops() {
+        let n = seq_chain();
+        let cone = fanout_cone(&n, &[n.find_gate("X").unwrap()]);
+        for name in ["X", "REG", "Y"] {
+            assert!(cone.contains(n.find_gate(name).unwrap()), "{name}");
+        }
+        assert!(!cone.contains(n.find_gate("S").unwrap()));
+        assert_eq!(cone.len(), 3);
+    }
+
+    #[test]
+    fn union_of_roots() {
+        let n = seq_chain();
+        let roots = [n.find_gate("Y").unwrap(), n.find_gate("S").unwrap()];
+        let cone = fanout_cone(&n, &roots);
+        assert_eq!(cone.len(), 2);
+        assert!(!cone.contains(n.find_gate("X").unwrap()));
+    }
+
+    #[test]
+    fn empty_roots_empty_cone() {
+        let n = seq_chain();
+        let cone = fanout_cone(&n, &[]);
+        assert!(cone.is_empty());
+        assert_eq!(cone.fraction_of(&n), 0.0);
+    }
+
+    #[test]
+    fn feedback_loop_through_register_terminates() {
+        // q feeds an inverter that feeds q's register: the cone of the
+        // inverter is {INV, REG} and the BFS must not spin.
+        let mut b = NetlistBuilder::new("toggle");
+        let q = b.net("q");
+        let d = b.gate_named("INV", GateKind::Inv, &[q]);
+        b.gate_driving("REG", GateKind::Dff, &[d], q);
+        b.primary_output("q", q);
+        let n = b.finish().unwrap();
+        let cone = fanout_cone(&n, &[n.find_gate("INV").unwrap()]);
+        assert_eq!(cone.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_roots_counted_once() {
+        let n = seq_chain();
+        let x = n.find_gate("X").unwrap();
+        let cone = fanout_cone(&n, &[x, x]);
+        assert_eq!(cone.len(), 3);
+    }
+}

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod builder;
+pub mod cone;
 pub mod designs;
 pub mod error;
 pub mod gate;
@@ -40,6 +41,7 @@ pub mod topo;
 pub mod writer;
 
 pub use builder::NetlistBuilder;
+pub use cone::{fanout_cone, FanoutCone};
 pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind};
 pub use netlist::{gate_ids, in_output_cone, net_ids, Driver, Net, NetId, Netlist};

@@ -5,7 +5,7 @@
 //! fusa stats <design>                   netlist statistics
 //! fusa lint <design> [--json] [--csv] [--deny LEVEL]   static analysis
 //! fusa analyze <design> [--fast] [--report FILE] [--csv FILE] [--save-model FILE]
-//! fusa faults <design> [--fast] [--csv FILE]     raw fault-injection campaign
+//! fusa faults <design> [--fast] [--csv FILE] [--threads N] [--no-cone] [--no-early-exit]
 //! fusa explain <design> <gate> [--fast]          why is this node critical?
 //! fusa seu <design> [--fast]                     transient bit-flip vulnerability
 //! fusa harden <design> [--budget 0.1] [--fast] [--out FILE.v]
@@ -40,7 +40,7 @@ const USAGE: &str = "usage:
   fusa stats   <design>
   fusa lint    <design> [--json] [--csv] [--deny LEVEL]
   fusa analyze <design> [--fast] [--report FILE] [--csv FILE] [--save-model FILE]
-  fusa faults  <design> [--fast] [--csv FILE]
+  fusa faults  <design> [--fast] [--csv FILE] [--threads N] [--no-cone] [--no-early-exit]
   fusa explain <design> <gate-name> [--fast]
   fusa seu     <design> [--fast]
   fusa harden  <design> [--budget FRACTION] [--fast] [--out FILE.v]
@@ -93,11 +93,23 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 fn pipeline_config(args: &[String]) -> PipelineConfig {
-    if args.iter().any(|a| a == "--fast") {
+    let mut config = if args.iter().any(|a| a == "--fast") {
         PipelineConfig::fast()
     } else {
         PipelineConfig::default()
+    };
+    // Campaign accelerations are bit-identical to the naive path; these
+    // knobs exist for benchmarking and cross-checking.
+    if args.iter().any(|a| a == "--no-cone") {
+        config.campaign.restrict_to_cone = false;
     }
+    if args.iter().any(|a| a == "--no-early-exit") {
+        config.campaign.early_exit = false;
+    }
+    if let Some(threads) = flag_value(args, "--threads").and_then(|t| t.parse().ok()) {
+        config.campaign.threads = threads;
+    }
+    config
 }
 
 fn cmd_lint(args: &[String]) -> Result<(), String> {
