@@ -113,6 +113,7 @@ impl Classifier for ExplainableBoosting {
     }
 
     fn fit(&mut self, x: &Matrix, labels: &[bool], train_indices: &[usize]) {
+        let _span = fusa_obs::global().span_rooted("baselines/ebm");
         crate::check_fit_inputs(x, labels, train_indices);
         let cols = x.cols();
 

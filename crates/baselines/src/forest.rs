@@ -177,6 +177,7 @@ impl Classifier for RandomForest {
     }
 
     fn fit(&mut self, x: &Matrix, labels: &[bool], train_indices: &[usize]) {
+        let _span = fusa_obs::global().span_rooted("baselines/forest");
         crate::check_fit_inputs(x, labels, train_indices);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let features_per_split = (x.cols() as f64).sqrt().ceil() as usize;

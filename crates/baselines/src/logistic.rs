@@ -67,6 +67,7 @@ impl Classifier for LogisticRegression {
     }
 
     fn fit(&mut self, x: &Matrix, labels: &[bool], train_indices: &[usize]) {
+        let _span = fusa_obs::global().span_rooted("baselines/logistic");
         crate::check_fit_inputs(x, labels, train_indices);
         self.weights = vec![0.0; x.cols()];
         self.bias = 0.0;

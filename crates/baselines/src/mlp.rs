@@ -52,6 +52,7 @@ impl Classifier for Mlp {
     }
 
     fn fit(&mut self, x: &Matrix, labels: &[bool], train_indices: &[usize]) {
+        let _span = fusa_obs::global().span_rooted("baselines/mlp");
         crate::check_fit_inputs(x, labels, train_indices);
         // Gather the training submatrix.
         let rows: Vec<&[f64]> = train_indices.iter().map(|&i| x.row(i)).collect();

@@ -61,6 +61,7 @@ impl Classifier for LinearSvm {
     }
 
     fn fit(&mut self, x: &Matrix, labels: &[bool], train_indices: &[usize]) {
+        let _span = fusa_obs::global().span_rooted("baselines/svm");
         crate::check_fit_inputs(x, labels, train_indices);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         self.weights = vec![0.0; x.cols()];

@@ -3,9 +3,22 @@
 //! Every `--bin` in this crate reproduces one artifact of the paper's
 //! evaluation (see DESIGN.md §4 for the index). This library holds the
 //! common plumbing: the standard experiment configuration, a per-design
-//! runner that trains the GCN and all five baselines on identical
-//! splits, and small text-rendering helpers (ASCII bar charts, aligned
-//! tables, CSV dumps under `results/`).
+//! runner ([`run_design`]) that trains the GCN and all five baselines on
+//! identical splits, and small text-rendering helpers (ASCII bar charts,
+//! aligned tables, CSV dumps under `results/`). Key types: [`DesignRun`]
+//! (one design's GCN analysis plus [`BaselineResult`]s) and the
+//! [`standard_config`] / [`smoke_config`] presets.
+//!
+//! # Example
+//!
+//! ```
+//! // The smoke preset trades fidelity for speed; figure binaries use
+//! // standard_config() instead.
+//! let fast = fusa_bench::smoke_config();
+//! let full = fusa_bench::standard_config();
+//! assert!(fast.workloads.num_workloads < full.workloads.num_workloads);
+//! assert_eq!(fusa_bench::bar(0.5).len(), fusa_bench::bar(1.0).len());
+//! ```
 
 use fusa_baselines::all_baselines;
 use fusa_gcn::pipeline::{FusaAnalysis, FusaPipeline, PipelineConfig};

@@ -191,6 +191,10 @@ impl<'a> Explainer<'a> {
     /// Panics if `node >= graph.node_count()`.
     pub fn explain(&self, node: usize) -> Explanation {
         assert!(node < self.graph.node_count(), "node out of range");
+        let obs = fusa_obs::global();
+        let _span = obs.span("explain");
+        obs.add("explain.nodes", 1);
+        obs.add("explain.iterations", self.config.iterations as u64);
         let num_edges = self.graph.edge_count();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ node as u64);
 

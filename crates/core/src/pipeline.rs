@@ -242,31 +242,48 @@ impl FusaPipeline {
     /// Returns [`PipelineError::DegenerateLabels`] if the fault campaign
     /// labels every node identically (no classification task exists).
     pub fn run(&self, netlist: &Netlist) -> Result<FusaAnalysis, PipelineError> {
+        let obs = fusa_obs::global();
+
         // 1. Graph generation (§3.1).
-        let graph = CircuitGraph::from_netlist(netlist);
-        let adjacency = normalized_adjacency(&graph);
+        let (graph, adjacency) = {
+            let _span = obs.span("graph");
+            let graph = CircuitGraph::from_netlist(netlist);
+            let adjacency = normalized_adjacency(&graph);
+            (graph, adjacency)
+        };
 
         // 2. Feature extraction (§3.1).
-        let stats = SignalStats::estimate(netlist, &self.config.signal_stats);
-        let raw_features = FeatureMatrix::extract(netlist, &stats);
-        let standardizer = Standardizer::fit(raw_features.matrix());
-        let features = standardizer.transform(raw_features.matrix());
+        let (raw_features, standardizer, features) = {
+            let _span = obs.span("features");
+            let stats = SignalStats::estimate(netlist, &self.config.signal_stats);
+            let raw_features = FeatureMatrix::extract(netlist, &stats);
+            let standardizer = Standardizer::fit(raw_features.matrix());
+            let features = standardizer.transform(raw_features.matrix());
+            (raw_features, standardizer, features)
+        };
 
         // 3. Fault-injection ground truth (§3.2, Algorithm 1).
         // Statically untestable sites (constant or unobservable gates)
         // are dropped up front: no workload can expose them, so their
         // gates score 0 either way and the campaign shrinks for free.
-        let full_faults = FaultList::all_gate_outputs(netlist);
-        let (faults, excluded_fault_sites) = if self.config.exclude_untestable_faults {
-            let untestable = fusa_lint::untestable_stuck_at_sites(netlist);
-            let total = full_faults.len();
-            let kept = full_faults.exclude_untestable(&untestable);
-            let excluded = total - kept.len();
-            (kept, excluded)
-        } else {
-            (full_faults, 0)
+        let (faults, excluded_fault_sites) = {
+            let _span = obs.span("fault-list");
+            let full_faults = FaultList::all_gate_outputs(netlist);
+            if self.config.exclude_untestable_faults {
+                let untestable = fusa_lint::untestable_stuck_at_sites(netlist);
+                let total = full_faults.len();
+                let kept = full_faults.exclude_untestable(&untestable);
+                let excluded = total - kept.len();
+                (kept, excluded)
+            } else {
+                (full_faults, 0)
+            }
         };
+        obs.add("pipeline.faults", faults.len() as u64);
+        obs.add("pipeline.excluded_fault_sites", excluded_fault_sites as u64);
         let workloads = WorkloadSuite::generate(netlist, &self.config.workloads);
+        // FaultCampaign::run opens its own top-level "campaign" span so
+        // direct callers (`fusa faults`) get the same breakdown.
         let report = FaultCampaign::new(self.config.campaign).run(netlist, &faults, &workloads);
         let campaign_stats = report.stats().clone();
         let dataset = report.into_dataset(self.config.criticality_threshold);
@@ -287,14 +304,16 @@ impl FusaPipeline {
             in_features: features.cols(),
             ..self.config.model.clone()
         };
-        let (classifier, history, evaluation) = train_classifier(
-            &adjacency,
-            &features,
-            dataset.labels(),
-            &split,
-            model_config,
-            &self.config.train,
-        );
+        let (classifier, history, evaluation) = obs.time("train", || {
+            train_classifier(
+                &adjacency,
+                &features,
+                dataset.labels(),
+                &split,
+                model_config,
+                &self.config.train,
+            )
+        });
 
         Ok(FusaAnalysis {
             design_name: netlist.name().to_string(),

@@ -16,6 +16,10 @@ pub struct ReportOptions {
     pub top_nodes: usize,
     /// Include the per-epoch training trace.
     pub include_history: bool,
+    /// Include the campaign wall-time / throughput line. Disable when the
+    /// text feeds a reproducibility digest: every other line of the
+    /// report is deterministic for a seeded run, timing never is.
+    pub include_stats: bool,
 }
 
 impl Default for ReportOptions {
@@ -23,6 +27,7 @@ impl Default for ReportOptions {
         ReportOptions {
             top_nodes: 15,
             include_history: false,
+            include_stats: true,
         }
     }
 }
@@ -79,7 +84,7 @@ pub fn render_text_report(
         );
     }
     let stats = &analysis.campaign_stats;
-    if stats.wall_seconds > 0.0 {
+    if options.include_stats && stats.wall_seconds > 0.0 {
         let _ = writeln!(
             out,
             "campaign: {:.0} fault-cycles/s ({:.2}s wall, {} threads, {:.1}% gate-evals saved)",
@@ -214,6 +219,7 @@ mod tests {
             &ReportOptions {
                 include_history: true,
                 top_nodes: 3,
+                ..Default::default()
             },
         );
         assert!(text.contains("training trace"));

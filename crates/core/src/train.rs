@@ -76,6 +76,7 @@ pub fn train_classifier(
     train_config: &TrainConfig,
 ) -> (GcnClassifier, TrainHistory, EvaluationReport) {
     assert_eq!(labels.len(), features.rows(), "label count mismatch");
+    let obs = fusa_obs::global();
     let targets: Vec<usize> = labels.iter().map(|&l| usize::from(l)).collect();
     let mut model = GcnClassifier::new(model_config);
     let mut optimizer =
@@ -83,7 +84,8 @@ pub fn train_classifier(
     let mut history = TrainHistory::default();
     let mut best: Option<(f64, GcnClassifier)> = None;
 
-    for _epoch in 0..train_config.epochs {
+    for epoch in 0..train_config.epochs {
+        let epoch_started = std::time::Instant::now();
         let log_probs = model.forward(adj, features, true);
         let (loss, grad) = nll_loss(&log_probs, &targets, &split.train);
         for p in model.params_mut() {
@@ -103,6 +105,23 @@ pub fn train_classifier(
             history.best_epoch = history.validation_metric.len() - 1;
             best = Some((val_accuracy, model.clone()));
         }
+        obs.add("train.epochs", 1);
+        if obs.has_sink() {
+            use fusa_obs::EventField::{F64, U64};
+            obs.event(
+                "epoch",
+                &[
+                    ("epoch", U64(epoch as u64)),
+                    ("loss", F64(loss)),
+                    ("val_accuracy", F64(val_accuracy)),
+                    ("seconds", F64(epoch_started.elapsed().as_secs_f64())),
+                ],
+            );
+        }
+    }
+    obs.gauge_set("train.best_epoch", history.best_epoch as f64);
+    if let Some(&loss) = history.train_loss.last() {
+        obs.gauge_set("train.final_loss", loss);
     }
 
     let final_model = if train_config.keep_best {
@@ -183,13 +202,15 @@ pub fn train_regressor(
     train_config: &TrainConfig,
 ) -> (GcnRegressor, TrainHistory, Vec<f64>) {
     assert_eq!(scores.len(), features.rows(), "score count mismatch");
+    let obs = fusa_obs::global();
     let mut model = GcnRegressor::new(model_config);
     let mut optimizer =
         Adam::with_weight_decay(train_config.learning_rate, train_config.weight_decay);
     let mut history = TrainHistory::default();
     let mut best: Option<(f64, GcnRegressor)> = None;
 
-    for _epoch in 0..train_config.epochs {
+    for epoch in 0..train_config.epochs {
+        let epoch_started = std::time::Instant::now();
         let predictions = model.forward(adj, features, true);
         let (loss, grad) = mse_loss(&predictions, scores, &split.train);
         for p in model.params_mut() {
@@ -205,6 +226,19 @@ pub fn train_regressor(
         if best.as_ref().map(|(b, _)| -val_loss > *b).unwrap_or(true) {
             history.best_epoch = history.validation_metric.len() - 1;
             best = Some((-val_loss, model.clone()));
+        }
+        obs.add("train.regressor_epochs", 1);
+        if obs.has_sink() {
+            use fusa_obs::EventField::{F64, U64};
+            obs.event(
+                "epoch",
+                &[
+                    ("epoch", U64(epoch as u64)),
+                    ("loss", F64(loss)),
+                    ("val_loss", F64(val_loss)),
+                    ("seconds", F64(epoch_started.elapsed().as_secs_f64())),
+                ],
+            );
         }
     }
 

@@ -159,6 +159,8 @@ impl FaultCampaign {
         faults: &FaultList,
         workloads: &WorkloadSuite,
     ) -> CampaignReport {
+        let obs = fusa_obs::global();
+        let _span = obs.span("campaign");
         let start = Instant::now();
         let config = self.config;
         let workload_list = workloads.workloads();
@@ -195,26 +197,36 @@ impl FaultCampaign {
                 let c = unit % chunk_count;
                 let workload = &workload_list[w];
                 let chunk = &fault_slice[c * LANES..fault_slice.len().min((c + 1) * LANES)];
-                let trace =
-                    golden[w].get_or_init(|| GoldenTrace::compute(netlist, workload, &config));
+                // Rooted spans: workers run on fresh threads with empty
+                // span stacks, so fixed paths keep the breakdown
+                // identical across thread counts.
+                let trace = golden[w].get_or_init(|| {
+                    obs.time_rooted("campaign/golden", || {
+                        GoldenTrace::compute(netlist, workload, &config)
+                    })
+                });
                 let cone = if config.restrict_to_cone {
                     Some(cones[c].get_or_init(|| {
-                        roots.clear();
-                        roots.extend(chunk.iter().map(|f| f.gate));
-                        sim.active_cone(&roots)
+                        obs.time_rooted("campaign/cones", || {
+                            roots.clear();
+                            roots.extend(chunk.iter().map(|f| f.gate));
+                            sim.active_cone(&roots)
+                        })
                     }))
                 } else {
                     None
                 };
-                let output = run_unit(
-                    &mut sim,
-                    chunk,
-                    workload,
-                    trace,
-                    cone,
-                    &config,
-                    &mut out_buf,
-                );
+                let output = obs.time_rooted("campaign/units", || {
+                    run_unit(
+                        &mut sim,
+                        chunk,
+                        workload,
+                        trace,
+                        cone,
+                        &config,
+                        &mut out_buf,
+                    )
+                });
                 let stored = results[unit].set(output);
                 debug_assert!(stored.is_ok(), "unit {unit} simulated once");
                 *busy_slot += begun.elapsed().as_secs_f64();
@@ -269,6 +281,7 @@ impl FaultCampaign {
             * workload_list.iter().map(|w| w.len() as u64).sum::<u64>();
         stats.wall_seconds = start.elapsed().as_secs_f64();
         stats.worker_busy_seconds = busy;
+        stats.publish(obs);
 
         CampaignReport {
             faults: faults.clone(),

@@ -112,6 +112,44 @@ impl CampaignStats {
             self.worker_busy_seconds.iter().sum::<f64>() / self.worker_busy_seconds.len() as f64;
         (mean / self.wall_seconds).clamp(0.0, 1.0)
     }
+
+    /// Publishes the stats into `recorder` as `campaign.*` counters and
+    /// gauges, and emits one `campaign` trace event when a sink is
+    /// attached. Called by [`crate::FaultCampaign::run`] so run manifests
+    /// pick the numbers up without replumbing every caller.
+    pub fn publish(&self, recorder: &fusa_obs::Recorder) {
+        recorder.add("campaign.units", self.units as u64);
+        recorder.add("campaign.fault_cycles", self.fault_cycles);
+        recorder.add("campaign.stepped_fault_cycles", self.stepped_fault_cycles);
+        recorder.add("campaign.gate_evals", self.gate_evals);
+        recorder.add("campaign.gate_evals_full", self.gate_evals_full);
+        recorder.gauge_max("campaign.threads", self.threads as f64);
+        recorder.gauge_set(
+            "campaign.fault_cycles_per_second",
+            self.fault_cycles_per_second(),
+        );
+        recorder.gauge_set(
+            "campaign.gate_evals_saved_fraction",
+            self.gate_evals_saved_fraction(),
+        );
+        recorder.gauge_set("campaign.utilization", self.mean_utilization());
+        if recorder.has_sink() {
+            use fusa_obs::EventField::{F64, U64};
+            recorder.event(
+                "campaign",
+                &[
+                    ("fault_cycles", U64(self.fault_cycles)),
+                    ("stepped_fault_cycles", U64(self.stepped_fault_cycles)),
+                    ("gate_evals", U64(self.gate_evals)),
+                    ("gate_evals_full", U64(self.gate_evals_full)),
+                    ("units", U64(self.units as u64)),
+                    ("threads", U64(self.threads as u64)),
+                    ("wall_seconds", F64(self.wall_seconds)),
+                    ("utilization", F64(self.mean_utilization())),
+                ],
+            );
+        }
+    }
 }
 
 /// Aggregated results of a full campaign: every workload against every
@@ -164,8 +202,17 @@ impl CampaignReport {
         CriticalityDataset::from_report(&self, threshold)
     }
 
-    /// Renders a compact text summary (one line per workload).
+    /// Renders a compact text summary (one line per workload), including
+    /// the throughput line. See [`CampaignReport::summary_opts`].
     pub fn summary(&self) -> String {
+        self.summary_opts(true)
+    }
+
+    /// Renders the text summary, optionally omitting the wall-time /
+    /// throughput line. Pass `show_stats = false` when the text feeds a
+    /// reproducibility digest: outcome lines are deterministic for a
+    /// seeded campaign, timing never is.
+    pub fn summary_opts(&self, show_stats: bool) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(
@@ -189,7 +236,7 @@ impl CampaignReport {
                 latent
             );
         }
-        if self.stats.wall_seconds > 0.0 {
+        if show_stats && self.stats.wall_seconds > 0.0 {
             let _ = writeln!(
                 out,
                 "  throughput: {:.0} fault-cycles/s ({:.3}s wall, {} threads, \

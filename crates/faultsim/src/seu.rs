@@ -93,6 +93,8 @@ impl SeuCampaign {
     /// Injects one flip per flop at each configured injection point of
     /// each workload and aggregates vulnerability rates.
     pub fn run(&self, netlist: &Netlist, workloads: &WorkloadSuite) -> SeuReport {
+        let obs = fusa_obs::global();
+        let _span = obs.span("seu");
         let flops = netlist.sequential_gates();
         let mut corrupted = vec![0usize; flops.len()];
         let mut latent = vec![0usize; flops.len()];
@@ -113,6 +115,9 @@ impl SeuCampaign {
                 );
             }
         }
+
+        obs.add("seu.experiments", experiments as u64);
+        obs.add("seu.flips", (experiments * flops.len()) as u64);
 
         let denom = experiments.max(1) as f64;
         SeuReport {

@@ -25,6 +25,7 @@ use fusa_neuro::CsrMatrix;
 /// assert!(adj.nnz() >= graph.node_count());
 /// ```
 pub fn normalized_adjacency(graph: &CircuitGraph) -> CsrMatrix {
+    let _span = fusa_obs::global().span("normalize");
     let n = graph.node_count();
     // Degrees of A + I.
     let degree: Vec<f64> = (0..n).map(|i| (graph.degree(i) + 1) as f64).collect();

@@ -32,6 +32,7 @@ pub struct FeatureMatrix {
 impl FeatureMatrix {
     /// Extracts raw (unstandardized) features for every gate.
     pub fn extract(netlist: &Netlist, stats: &SignalStats) -> FeatureMatrix {
+        let _span = fusa_obs::global().span("extract");
         let n = netlist.gate_count();
         let mut matrix = Matrix::zeros(n, FEATURE_COUNT);
         for i in 0..n {

@@ -20,6 +20,7 @@ pub struct CircuitGraph {
 impl CircuitGraph {
     /// Builds the graph from a validated netlist.
     pub fn from_netlist(netlist: &Netlist) -> CircuitGraph {
+        let _span = fusa_obs::global().span("build");
         let n = netlist.gate_count();
         let mut edge_set: HashSet<(usize, usize)> = HashSet::new();
         for (reader_index, gate) in netlist.gates().iter().enumerate() {

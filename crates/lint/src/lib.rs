@@ -79,12 +79,15 @@ pub fn lint_netlist(netlist: &Netlist) -> LintReport {
 
 /// Runs the given passes over `netlist`.
 pub fn run_passes(netlist: &Netlist, passes: &[Box<dyn LintPass>]) -> LintReport {
+    let obs = fusa_obs::global();
+    let _span = obs.span("lint");
     let ctx = LintContext::new(netlist);
     let mut report = LintReport::new(netlist.name());
     for pass in passes {
         report.passes_run.push(pass.name());
-        pass.run(&ctx, &mut report);
+        obs.time(pass.name(), || pass.run(&ctx, &mut report));
     }
+    obs.add("lint.findings", report.findings.len() as u64);
     report
 }
 

@@ -68,6 +68,7 @@ impl SignalStats {
     /// Panics if `config.cycles <= config.warmup` or `input_density` is
     /// outside `[0, 1]`.
     pub fn estimate(netlist: &Netlist, config: &SignalStatsConfig) -> SignalStats {
+        let _span = fusa_obs::global().span("signal-stats");
         assert!(
             config.cycles > config.warmup,
             "need more cycles than warmup"

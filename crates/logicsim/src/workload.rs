@@ -141,6 +141,7 @@ impl WorkloadSuite {
     /// asserts it for `config.reset_cycles` cycles and the `ResetPulses`
     /// style additionally pulses it mid-run.
     pub fn generate(netlist: &Netlist, config: &WorkloadConfig) -> WorkloadSuite {
+        let _span = fusa_obs::global().span("workloads");
         let pi_count = netlist.primary_inputs().len();
         let rst_index = netlist
             .primary_inputs()

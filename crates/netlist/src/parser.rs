@@ -49,6 +49,7 @@ use crate::netlist::{NetId, Netlist};
 /// # }
 /// ```
 pub fn parse_verilog(source: &str) -> Result<Netlist, NetlistError> {
+    let _span = fusa_obs::global().span("parse");
     Parser::new(source).parse()
 }
 

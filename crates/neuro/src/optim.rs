@@ -77,6 +77,7 @@ impl Adam {
     /// Panics if the parameter list shrinks or a parameter changes size
     /// between steps.
     pub fn step(&mut self, params: &mut [&mut Param]) {
+        fusa_obs::global().add("optim.steps", 1);
         self.step_count += 1;
         if self.first_moment.len() < params.len() {
             for p in params.iter().skip(self.first_moment.len()) {
@@ -143,6 +144,7 @@ impl Sgd {
     ///
     /// Panics if a parameter changes size between steps.
     pub fn step(&mut self, params: &mut [&mut Param]) {
+        fusa_obs::global().add("optim.steps", 1);
         if self.velocity.len() < params.len() {
             for p in params.iter().skip(self.velocity.len()) {
                 self.velocity.push(vec![0.0; p.len()]);

@@ -1,0 +1,65 @@
+//! `fusa-obs`: zero-dependency observability for the fault-criticality
+//! stack.
+//!
+//! Every stage of the reproduction pipeline — netlist parsing, graph
+//! generation, fault campaigns, GCN training, baselines, explanation,
+//! lint — records into a thread-safe [`Recorder`]: hierarchical **span
+//! timers** (wall time per named stage, nested via a per-thread span
+//! stack), named **counters** and **gauges** (gate evaluations, epochs,
+//! peak RSS), and an optional **JSONL event sink** (`--trace-out` on the
+//! CLI) receiving one JSON object per line for spans, per-epoch training
+//! metrics and campaign summaries.
+//!
+//! At the end of a run the CLI folds a [`Recorder`] snapshot, the run
+//! configuration, RNG seeds and output digests into a [`RunManifest`] —
+//! written as `results/<run>/manifest.json` — so any reported number can
+//! be traced to the exact configuration, timing breakdown and content
+//! hashes that produced it. `fusa report <manifest.json>` renders it
+//! back into a human-readable breakdown ([`render_manifest_report`]).
+//!
+//! Instrumented library code records into the process-wide [`global`]
+//! recorder (analogous to the `log` crate's global logger); tests and
+//! embedders can also use private [`Recorder`] instances.
+//!
+//! # Example
+//!
+//! ```
+//! use fusa_obs::Recorder;
+//!
+//! let recorder = Recorder::new();
+//! {
+//!     let _outer = recorder.span("campaign");
+//!     let _inner = recorder.span("golden");
+//!     recorder.add("gate_evals", 1024);
+//! } // both spans record on drop, even during panics
+//! let snapshot = recorder.snapshot();
+//! assert_eq!(snapshot.counter("gate_evals"), 1024);
+//! assert!(snapshot.span_seconds("campaign/golden") >= 0.0);
+//! assert_eq!(snapshot.spans.len(), 2);
+//! ```
+
+mod digest;
+mod json;
+mod manifest;
+mod recorder;
+mod render;
+mod rss;
+
+pub use digest::{fnv1a64, fnv1a64_hex, Fnv64};
+pub use json::{Json, JsonError};
+pub use manifest::{ManifestError, RunManifest, StageTime, MANIFEST_SCHEMA};
+pub use recorder::{EventField, Recorder, Snapshot, SpanGuard, SpanStat};
+pub use render::render_manifest_report;
+pub use rss::peak_rss_bytes;
+
+use std::sync::OnceLock;
+
+/// The process-wide default recorder used by instrumented library code.
+///
+/// The CLI resets it at the start of each command, optionally attaches a
+/// JSONL sink (`--trace-out`), and snapshots it into the run manifest at
+/// the end.
+pub fn global() -> &'static Recorder {
+    static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL.get_or_init(Recorder::new)
+}

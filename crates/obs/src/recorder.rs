@@ -1,0 +1,492 @@
+//! The thread-safe metrics recorder: spans, counters, gauges, events.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Aggregate of one span path: how often it ran and for how long.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Number of completed spans recorded under this path.
+    pub count: u64,
+    /// Total wall seconds across all completions.
+    pub seconds: f64,
+}
+
+#[derive(Default)]
+struct State {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+/// A point-in-time copy of everything a [`Recorder`] has aggregated.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(path, stat)` pairs, sorted by path.
+    pub spans: Vec<(String, SpanStat)>,
+    /// `(name, value)` counter pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauge pairs, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl Snapshot {
+    /// Total seconds recorded under `path` (0 if absent).
+    pub fn span_seconds(&self, path: &str) -> f64 {
+        self.spans
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, s)| s.seconds)
+            .unwrap_or(0.0)
+    }
+
+    /// Value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Value of gauge `name` (`None` if absent).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// A value attached to a JSONL event field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventField<'a> {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Floating-point field (non-finite values render as `null`).
+    F64(f64),
+    /// String field (JSON-escaped on write).
+    Str(&'a str),
+}
+
+thread_local! {
+    /// Per-thread span stack: `(recorder id, span name)` frames. Keyed by
+    /// recorder id so a private test recorder and the global one can nest
+    /// on the same thread without contaminating each other's paths.
+    static SPAN_STACK: RefCell<Vec<(usize, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Thread-safe aggregation of hierarchical span timings, named counters
+/// and gauges, plus an optional line-per-event JSONL sink.
+///
+/// Span nesting is tracked per thread: a span opened while another span
+/// of the same recorder is open on the same thread records under the
+/// joined path `outer/inner`. Worker threads start their own stacks, so
+/// library code can parent its spans explicitly by using a `/` in the
+/// span name (e.g. `"campaign/golden"`).
+pub struct Recorder {
+    id: usize,
+    epoch: Instant,
+    state: Mutex<State>,
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
+    sink_attached: AtomicBool,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("id", &self.id)
+            .field("sink_attached", &self.has_sink())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// Creates an empty recorder with no sink attached.
+    pub fn new() -> Recorder {
+        static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+        Recorder {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            state: Mutex::new(State::default()),
+            sink: Mutex::new(None),
+            sink_attached: AtomicBool::new(false),
+        }
+    }
+
+    /// Opens a span named `name`; the returned guard records the elapsed
+    /// wall time under the hierarchical path on drop (including during a
+    /// panic unwind). Names may contain `/` to parent a span explicitly.
+    #[must_use = "a span records when its guard drops"]
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let depth = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push((self.id, name.to_string()));
+            stack.len()
+        });
+        SpanGuard {
+            recorder: self,
+            depth,
+            start: Instant::now(),
+        }
+    }
+
+    /// Times `f` under a span named `name`.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Opens a span that records under exactly `path`, ignoring the
+    /// thread's span stack. Worker-pool code uses this so a span gets the
+    /// same path whether the work runs on the calling thread (which may
+    /// have spans open) or on a spawned worker (which has none).
+    #[must_use = "a span records when its guard drops"]
+    pub fn span_rooted(&self, path: &str) -> RootedSpanGuard<'_> {
+        RootedSpanGuard {
+            recorder: self,
+            path: path.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Times `f` under a fixed-path span (see [`Recorder::span_rooted`]).
+    pub fn time_rooted<R>(&self, path: &str, f: impl FnOnce() -> R) -> R {
+        let _span = self.span_rooted(path);
+        f()
+    }
+
+    fn record_span(&self, path: &str, seconds: f64) {
+        {
+            let mut state = self.state.lock().expect("recorder state poisoned");
+            let stat = state.spans.entry(path.to_string()).or_default();
+            stat.count += 1;
+            stat.seconds += seconds;
+        }
+        if self.has_sink() {
+            self.event(
+                "span",
+                &[
+                    ("name", EventField::Str(path)),
+                    ("seconds", EventField::F64(seconds)),
+                ],
+            );
+        }
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut state = self.state.lock().expect("recorder state poisoned");
+        *state.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut state = self.state.lock().expect("recorder state poisoned");
+        state.gauges.insert(name.to_string(), value);
+    }
+
+    /// Raises gauge `name` to `value` if it is higher than the current
+    /// value (high-water-mark semantics).
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        let mut state = self.state.lock().expect("recorder state poisoned");
+        let slot = state.gauges.entry(name.to_string()).or_insert(f64::MIN);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Attaches a JSONL sink; subsequent spans and [`Recorder::event`]
+    /// calls append one JSON object per line to it.
+    pub fn attach_sink(&self, sink: Box<dyn Write + Send>) {
+        *self.sink.lock().expect("sink poisoned") = Some(sink);
+        self.sink_attached.store(true, Ordering::Release);
+    }
+
+    /// Flushes and detaches the sink, if any.
+    pub fn detach_sink(&self) {
+        self.sink_attached.store(false, Ordering::Release);
+        if let Some(mut sink) = self.sink.lock().expect("sink poisoned").take() {
+            let _ = sink.flush();
+        }
+    }
+
+    /// Whether a JSONL sink is currently attached. Cheap; instrumented
+    /// hot paths check this before formatting event payloads.
+    pub fn has_sink(&self) -> bool {
+        self.sink_attached.load(Ordering::Acquire)
+    }
+
+    /// Emits one JSONL event (`{"ts":…,"kind":…,"thread":…,fields…}`) to
+    /// the sink. A no-op when no sink is attached.
+    pub fn event(&self, kind: &str, fields: &[(&str, EventField<'_>)]) {
+        if !self.has_sink() {
+            return;
+        }
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "{{\"ts\":{:.6},\"kind\":{},\"thread\":{}",
+            self.epoch.elapsed().as_secs_f64(),
+            crate::json::escape(kind),
+            crate::json::escape(&format!("{:?}", std::thread::current().id())),
+        );
+        for (key, value) in fields {
+            let _ = write!(line, ",{}:", crate::json::escape(key));
+            match value {
+                EventField::U64(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                EventField::F64(v) if v.is_finite() => {
+                    let _ = write!(line, "{v}");
+                }
+                EventField::F64(_) => line.push_str("null"),
+                EventField::Str(v) => line.push_str(&crate::json::escape(v)),
+            }
+        }
+        line.push('}');
+        line.push('\n');
+        if let Some(sink) = self.sink.lock().expect("sink poisoned").as_mut() {
+            let _ = sink.write_all(line.as_bytes());
+        }
+    }
+
+    /// Copies the aggregated spans, counters and gauges.
+    pub fn snapshot(&self) -> Snapshot {
+        let state = self.state.lock().expect("recorder state poisoned");
+        Snapshot {
+            spans: state.spans.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            counters: state
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: state.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        }
+    }
+
+    /// Clears all aggregated metrics (the sink is left as-is). The CLI
+    /// calls this once at command start so manifests only cover one run.
+    pub fn reset(&self) {
+        *self.state.lock().expect("recorder state poisoned") = State::default();
+    }
+}
+
+/// RAII guard of one open span; records on drop (panic-safe).
+#[must_use = "a span records when its guard drops"]
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    /// Stack depth right after pushing this span's frame; used to unwind
+    /// the stack robustly even if inner guards leaked.
+    depth: usize,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let seconds = self.start.elapsed().as_secs_f64();
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack
+                .iter()
+                .take(self.depth)
+                .filter(|(id, _)| *id == self.recorder.id)
+                .map(|(_, name)| name.as_str())
+                .collect::<Vec<_>>()
+                .join("/");
+            stack.truncate(self.depth.saturating_sub(1));
+            path
+        });
+        self.recorder.record_span(&path, seconds);
+    }
+}
+
+/// RAII guard of one fixed-path span; records under its exact path on
+/// drop without consulting the per-thread span stack.
+#[must_use = "a span records when its guard drops"]
+pub struct RootedSpanGuard<'a> {
+    recorder: &'a Recorder,
+    path: String,
+    start: Instant,
+}
+
+impl Drop for RootedSpanGuard<'_> {
+    fn drop(&mut self) {
+        let seconds = self.start.elapsed().as_secs_f64();
+        self.recorder.record_span(&self.path, seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let r = Recorder::new();
+        {
+            let _a = r.span("outer");
+            {
+                let _b = r.span("inner");
+            }
+            let _c = r.span("inner");
+        }
+        let _d = r.span("outer");
+        drop(_d);
+        let snap = r.snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["outer", "outer/inner"]);
+        let outer = snap.spans.iter().find(|(p, _)| p == "outer").unwrap().1;
+        let inner = snap
+            .spans
+            .iter()
+            .find(|(p, _)| p == "outer/inner")
+            .unwrap()
+            .1;
+        assert_eq!(outer.count, 2);
+        assert_eq!(inner.count, 2);
+    }
+
+    #[test]
+    fn two_recorders_do_not_cross_contaminate_paths() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let _outer_a = a.span("a-outer");
+        {
+            let _outer_b = b.span("b-outer");
+            let _inner_a = a.span("a-inner");
+        }
+        drop(_outer_a);
+        let snap_a = a.snapshot();
+        let snap_b = b.snapshot();
+        assert!(snap_a.spans.iter().any(|(p, _)| p == "a-outer/a-inner"));
+        assert!(snap_a.spans.iter().all(|(p, _)| !p.contains("b-outer")));
+        assert!(snap_b.spans.iter().any(|(p, _)| p == "b-outer"));
+    }
+
+    #[test]
+    fn explicit_slash_names_parent_without_a_stack() {
+        let r = Recorder::new();
+        r.time("campaign/golden", || {});
+        let snap = r.snapshot();
+        assert_eq!(snap.spans[0].0, "campaign/golden");
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Recorder::new();
+        r.add("evals", 3);
+        r.add("evals", 4);
+        r.gauge_max("hwm", 2.0);
+        r.gauge_max("hwm", 9.0);
+        r.gauge_max("hwm", 5.0);
+        r.gauge_set("setpoint", 1.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("evals"), 7);
+        assert_eq!(snap.gauge("hwm"), Some(9.0));
+        assert_eq!(snap.gauge("setpoint"), Some(1.5));
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.gauge("absent"), None);
+    }
+
+    #[test]
+    fn panicking_span_still_records_and_unwinds_stack() {
+        let r = Recorder::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = r.span("doomed");
+            let _inner = r.span("inner");
+            panic!("boom");
+        }));
+        assert!(caught.is_err());
+        // Both spans recorded despite the panic…
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert!(snap.spans.iter().any(|(p, _)| p == "doomed"));
+        assert!(snap.spans.iter().any(|(p, _)| p == "doomed/inner"));
+        // …and the stack is clean: a new span is top-level again.
+        r.time("fresh", || {});
+        assert!(r.snapshot().spans.iter().any(|(p, _)| p == "fresh"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let r = Recorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        r.time("work", || r.add("ticks", 1));
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("ticks"), 400);
+        let work = snap.spans.iter().find(|(p, _)| p == "work").unwrap().1;
+        assert_eq!(work.count, 400);
+    }
+
+    #[test]
+    fn events_write_jsonl_to_sink() {
+        let r = Recorder::new();
+        assert!(!r.has_sink());
+        // Events without a sink are dropped silently.
+        r.event("ignored", &[]);
+        let buffer = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        r.attach_sink(Box::new(Shared(buffer.clone())));
+        assert!(r.has_sink());
+        r.event(
+            "epoch",
+            &[
+                ("epoch", EventField::U64(3)),
+                ("loss", EventField::F64(0.5)),
+                ("note", EventField::Str("a\"b")),
+                ("bad", EventField::F64(f64::NAN)),
+            ],
+        );
+        r.time("stage", || {});
+        r.detach_sink();
+        assert!(!r.has_sink());
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"epoch\""));
+        assert!(lines[0].contains("\"epoch\":3"));
+        assert!(lines[0].contains("\"loss\":0.5"));
+        assert!(lines[0].contains("\"note\":\"a\\\"b\""));
+        assert!(lines[0].contains("\"bad\":null"));
+        assert!(lines[1].contains("\"kind\":\"span\""));
+        assert!(lines[1].contains("\"name\":\"stage\""));
+        // Every line parses as a JSON object.
+        for line in lines {
+            assert!(crate::Json::parse(line).is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_aggregates() {
+        let r = Recorder::new();
+        r.add("n", 1);
+        r.time("s", || {});
+        r.reset();
+        assert_eq!(r.snapshot(), Snapshot::default());
+    }
+}

@@ -1,0 +1,186 @@
+//! Human-readable rendering of a [`RunManifest`] (`fusa report`).
+
+use crate::manifest::RunManifest;
+use std::fmt::Write as _;
+
+/// Renders a timing/metrics breakdown of one run manifest.
+///
+/// The output is deterministic for a given manifest (section order is
+/// fixed and maps keep their serialized order), which lets golden-file
+/// tests pin it down exactly.
+pub fn render_manifest_report(manifest: &RunManifest) -> String {
+    let mut out = String::with_capacity(2048);
+    let _ = writeln!(out, "=== fusa run manifest: {} ===", manifest.run_id);
+    let _ = writeln!(out, "design  {}", manifest.design);
+    let _ = writeln!(out, "command {}", manifest.command);
+    let _ = writeln!(
+        out,
+        "wall {:.3}s | threads {} | peak RSS {} | created @{}",
+        manifest.wall_seconds,
+        manifest.threads,
+        format_bytes(manifest.peak_rss_bytes),
+        manifest.created_unix,
+    );
+
+    if !manifest.stages.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nstages (top-level {:.3}s, {:.1}% of wall):",
+            manifest.top_level_stage_seconds(),
+            manifest.stage_coverage() * 100.0,
+        );
+        let name_width = manifest
+            .stages
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        for stage in &manifest.stages {
+            let fraction = if manifest.wall_seconds > 0.0 {
+                (stage.seconds / manifest.wall_seconds).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<name_width$} {:>10.3}s {:>6.1}%  x{:<5} {}",
+                stage.name,
+                stage.seconds,
+                fraction * 100.0,
+                stage.count,
+                bar(fraction, 24),
+            );
+        }
+    }
+
+    if !manifest.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        let width = key_width(manifest.counters.iter().map(|(k, _)| k.len()));
+        for (name, value) in &manifest.counters {
+            let _ = writeln!(out, "  {name:<width$} {value}");
+        }
+    }
+    if !manifest.gauges.is_empty() {
+        let _ = writeln!(out, "\ngauges:");
+        let width = key_width(manifest.gauges.iter().map(|(k, _)| k.len()));
+        for (name, value) in &manifest.gauges {
+            let _ = writeln!(out, "  {name:<width$} {value:.4}");
+        }
+    }
+    if !manifest.seeds.is_empty() {
+        let _ = writeln!(out, "\nseeds:");
+        let width = key_width(manifest.seeds.iter().map(|(k, _)| k.len()));
+        for (name, value) in &manifest.seeds {
+            let _ = writeln!(out, "  {name:<width$} {value:#x}");
+        }
+    }
+    if !manifest.config.is_empty() {
+        let _ = writeln!(out, "\nconfig:");
+        let width = key_width(manifest.config.iter().map(|(k, _)| k.len()));
+        for (name, value) in &manifest.config {
+            let _ = writeln!(out, "  {name:<width$} {value}");
+        }
+    }
+    if !manifest.digests.is_empty() {
+        let _ = writeln!(out, "\noutput digests:");
+        let width = key_width(manifest.digests.iter().map(|(k, _)| k.len()));
+        for (name, value) in &manifest.digests {
+            let _ = writeln!(out, "  {name:<width$} {value}");
+        }
+    }
+    out
+}
+
+fn key_width(lengths: impl Iterator<Item = usize>) -> usize {
+    lengths.max().unwrap_or(0).max(4)
+}
+
+fn format_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.2} GiB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 1 << 20 {
+        format!("{:.1} MiB", bytes as f64 / (1u64 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} KiB", bytes as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+fn bar(fraction: f64, width: usize) -> String {
+    let filled = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut out = String::with_capacity(width);
+    for i in 0..width {
+        out.push(if i < filled { '#' } else { '.' });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::StageTime;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let manifest = RunManifest {
+            run_id: "analyze-x".into(),
+            command: "fusa analyze x".into(),
+            design: "x".into(),
+            created_unix: 1,
+            wall_seconds: 2.0,
+            threads: 4,
+            peak_rss_bytes: 3 << 20,
+            config: vec![("k".into(), "v".into())],
+            seeds: vec![("split".into(), 0x5117)],
+            stages: vec![StageTime {
+                name: "campaign".into(),
+                seconds: 1.0,
+                count: 1,
+            }],
+            counters: vec![("c".into(), 9)],
+            gauges: vec![("g".into(), 0.5)],
+            digests: vec![("csv".into(), "fnv1a64:0123456789abcdef".into())],
+        };
+        let text = render_manifest_report(&manifest);
+        assert!(text.contains("=== fusa run manifest: analyze-x ==="));
+        assert!(text.contains("wall 2.000s | threads 4 | peak RSS 3.0 MiB"));
+        assert!(text.contains("stages (top-level 1.000s, 50.0% of wall):"));
+        assert!(text.contains("campaign"));
+        assert!(text.contains("counters:"));
+        assert!(text.contains("seeds:"));
+        assert!(text.contains("0x5117"));
+        assert!(text.contains("output digests:"));
+        assert!(text.contains("fnv1a64:0123456789abcdef"));
+    }
+
+    #[test]
+    fn empty_sections_are_omitted() {
+        let manifest = RunManifest {
+            run_id: "r".into(),
+            command: "c".into(),
+            design: "d".into(),
+            ..RunManifest::default()
+        };
+        let text = render_manifest_report(&manifest);
+        assert!(!text.contains("counters:"));
+        assert!(!text.contains("stages"));
+        assert!(!text.contains("digests"));
+    }
+
+    #[test]
+    fn byte_units_scale() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.0 KiB");
+        assert_eq!(format_bytes(3 << 20), "3.0 MiB");
+        assert_eq!(format_bytes(5 << 30), "5.00 GiB");
+    }
+
+    #[test]
+    fn bars_are_fixed_width() {
+        assert_eq!(bar(0.0, 10), "..........");
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(2.0, 10), "##########");
+    }
+}

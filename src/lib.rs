@@ -15,7 +15,9 @@
 //!   and the end-to-end [`gcn::pipeline`];
 //! * [`baselines`] — MLP/LoR/RFC/SVM/EBM comparators;
 //! * [`lint`] — pass-based netlist static analysis and untestable-fault
-//!   site detection feeding campaign sanitization.
+//!   site detection feeding campaign sanitization;
+//! * [`obs`] — spans, counters, trace events and run manifests (every
+//!   CLI run records provenance under `results/<run>/manifest.json`).
 //!
 //! # Quickstart
 //!
@@ -39,3 +41,4 @@ pub use fusa_lint as lint;
 pub use fusa_logicsim as logicsim;
 pub use fusa_netlist as netlist;
 pub use fusa_neuro as neuro;
+pub use fusa_obs as obs;

@@ -1,18 +1,18 @@
 //! `fusa` — command-line fault criticality analysis.
 //!
-//! ```text
-//! fusa designs                          list built-in benchmark designs
-//! fusa stats <design>                   netlist statistics
-//! fusa lint <design> [--json] [--csv] [--deny LEVEL]   static analysis
-//! fusa analyze <design> [--fast] [--report FILE] [--csv FILE] [--save-model FILE]
-//! fusa faults <design> [--fast] [--csv FILE] [--threads N] [--no-cone] [--no-early-exit]
-//! fusa explain <design> <gate> [--fast]          why is this node critical?
-//! fusa seu <design> [--fast]                     transient bit-flip vulnerability
-//! fusa harden <design> [--budget 0.1] [--fast] [--out FILE.v]
-//! ```
+//! The usage text is generated from [`COMMANDS`], the same table the
+//! argument validator reads, so help and parser cannot drift. Run
+//! `fusa` with no arguments to see it.
 //!
 //! `<design>` is a built-in name (`sdram_ctrl`, `or1200_if`,
 //! `or1200_icfsm`, `uart_ctrl`) or a path to a structural-Verilog file.
+//!
+//! Every pipeline command (`analyze`, `faults`, `explain`, `seu`,
+//! `harden`) records a run manifest — per-stage wall times, counters,
+//! seeds, peak RSS and output digests — under
+//! `results/<command>-<design>/manifest.json` (`--run-dir` overrides).
+//! `fusa report <manifest.json>` renders one; `--trace-out PATH`
+//! additionally streams JSONL trace events while the run executes.
 
 use fusa::faultsim::{FaultCampaign, FaultList, SeuCampaign, SeuConfig};
 use fusa::gcn::pipeline::{FusaPipeline, PipelineConfig};
@@ -20,7 +20,280 @@ use fusa::gcn::report::{render_csv_report, render_text_report, ReportOptions};
 use fusa::gcn::ExplainerConfig;
 use fusa::logicsim::WorkloadSuite;
 use fusa::netlist::{designs, parser::parse_verilog, Netlist, NetlistStats};
+use fusa::obs::{fnv1a64_hex, render_manifest_report, RunManifest};
+use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+/// One flag a command accepts.
+struct FlagSpec {
+    name: &'static str,
+    /// Value placeholder (`None` for boolean flags).
+    value: Option<&'static str>,
+    help: &'static str,
+}
+
+/// One CLI command: the single source of truth for the usage text and
+/// the flag validator.
+struct CommandSpec {
+    name: &'static str,
+    /// Positional-argument synopsis, e.g. `<design>`.
+    positionals: &'static str,
+    /// Exact number of required positional arguments.
+    positional_count: usize,
+    flags: &'static [FlagSpec],
+    /// Whether the shared run options (RUN_FLAGS) also apply.
+    run_options: bool,
+    help: &'static str,
+}
+
+/// Options shared by every pipeline command.
+const RUN_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--fast",
+        value: None,
+        help: "reduced-cost preset (fewer workloads, cycles, epochs)",
+    },
+    FlagSpec {
+        name: "--threads",
+        value: Some("N"),
+        help: "campaign worker threads (0 = one per CPU)",
+    },
+    FlagSpec {
+        name: "--no-cone",
+        value: None,
+        help: "disable cone-restricted fault simulation",
+    },
+    FlagSpec {
+        name: "--no-early-exit",
+        value: None,
+        help: "disable campaign early exit",
+    },
+    FlagSpec {
+        name: "--trace-out",
+        value: Some("PATH"),
+        help: "stream JSONL trace events (spans, epochs, campaign) to PATH",
+    },
+    FlagSpec {
+        name: "--run-dir",
+        value: Some("DIR"),
+        help: "manifest directory (default results/<command>-<design>)",
+    },
+    FlagSpec {
+        name: "--quiet-stats",
+        value: None,
+        help: "suppress the end-of-run manifest summary",
+    },
+];
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "designs",
+        positionals: "",
+        positional_count: 0,
+        flags: &[],
+        run_options: false,
+        help: "list built-in benchmark designs",
+    },
+    CommandSpec {
+        name: "stats",
+        positionals: "<design>",
+        positional_count: 1,
+        flags: &[],
+        run_options: false,
+        help: "netlist statistics",
+    },
+    CommandSpec {
+        name: "lint",
+        positionals: "<design>",
+        positional_count: 1,
+        flags: &[
+            FlagSpec {
+                name: "--json",
+                value: None,
+                help: "JSON findings",
+            },
+            FlagSpec {
+                name: "--csv",
+                value: None,
+                help: "CSV findings",
+            },
+            FlagSpec {
+                name: "--deny",
+                value: Some("LEVEL"),
+                help: "fail at level (info|warnings|errors)",
+            },
+        ],
+        run_options: false,
+        help: "static analysis",
+    },
+    CommandSpec {
+        name: "analyze",
+        positionals: "<design>",
+        positional_count: 1,
+        flags: &[
+            FlagSpec {
+                name: "--report",
+                value: Some("FILE"),
+                help: "write the text report",
+            },
+            FlagSpec {
+                name: "--csv",
+                value: Some("FILE"),
+                help: "write the per-node CSV",
+            },
+            FlagSpec {
+                name: "--save-model",
+                value: Some("FILE"),
+                help: "save the trained classifier",
+            },
+        ],
+        run_options: true,
+        help: "full pipeline: campaign, GCN training, report",
+    },
+    CommandSpec {
+        name: "faults",
+        positionals: "<design>",
+        positional_count: 1,
+        flags: &[FlagSpec {
+            name: "--csv",
+            value: Some("FILE"),
+            help: "write the criticality CSV",
+        }],
+        run_options: true,
+        help: "fault campaign + Algorithm 1 only",
+    },
+    CommandSpec {
+        name: "explain",
+        positionals: "<design> <gate-name>",
+        positional_count: 2,
+        flags: &[],
+        run_options: true,
+        help: "why is this node critical?",
+    },
+    CommandSpec {
+        name: "seu",
+        positionals: "<design>",
+        positional_count: 1,
+        flags: &[],
+        run_options: true,
+        help: "transient bit-flip vulnerability",
+    },
+    CommandSpec {
+        name: "harden",
+        positionals: "<design>",
+        positional_count: 1,
+        flags: &[
+            FlagSpec {
+                name: "--budget",
+                value: Some("FRACTION"),
+                help: "fraction of gates to protect (default 0.1)",
+            },
+            FlagSpec {
+                name: "--out",
+                value: Some("FILE.v"),
+                help: "write the hardened netlist",
+            },
+        ],
+        run_options: true,
+        help: "TMR-protect the most critical gates",
+    },
+    CommandSpec {
+        name: "report",
+        positionals: "<manifest.json>",
+        positional_count: 1,
+        flags: &[],
+        run_options: false,
+        help: "render a run manifest",
+    },
+];
+
+/// Renders the usage text from [`COMMANDS`].
+fn usage() -> String {
+    let mut lines: Vec<(String, &str)> = Vec::new();
+    for command in COMMANDS {
+        let mut synopsis = format!("fusa {}", command.name);
+        if !command.positionals.is_empty() {
+            let _ = write!(synopsis, " {}", command.positionals);
+        }
+        for flag in command.flags {
+            match flag.value {
+                Some(value) => {
+                    let _ = write!(synopsis, " [{} {value}]", flag.name);
+                }
+                None => {
+                    let _ = write!(synopsis, " [{}]", flag.name);
+                }
+            }
+        }
+        if command.run_options {
+            synopsis.push_str(" [run options]");
+        }
+        lines.push((synopsis, command.help));
+    }
+    let width = lines.iter().map(|(s, _)| s.len()).max().unwrap_or(0);
+
+    let mut out = String::from("usage:\n");
+    for (synopsis, help) in &lines {
+        let _ = writeln!(out, "  {synopsis:<width$}  {help}");
+    }
+    out.push_str("\nrun options (analyze, faults, explain, seu, harden):\n");
+    let flag_width = RUN_FLAGS
+        .iter()
+        .map(|f| f.name.len() + f.value.map_or(0, |v| v.len() + 1))
+        .max()
+        .unwrap_or(0);
+    for flag in RUN_FLAGS {
+        let name = match flag.value {
+            Some(value) => format!("{} {value}", flag.name),
+            None => flag.name.to_string(),
+        };
+        let _ = writeln!(out, "  {name:<flag_width$}  {}", flag.help);
+    }
+    out.push_str(
+        "\n<design>: sdram_ctrl | or1200_if | or1200_icfsm | uart_ctrl | path/to/netlist.v",
+    );
+    out
+}
+
+/// Validates `args` against the command's spec: every `--flag` must be
+/// declared (here or in the shared run options), value-taking flags must
+/// have a value, and the positional count must match.
+fn validate_args(spec: &CommandSpec, args: &[String]) -> Result<(), String> {
+    let find_flag = |name: &str| -> Option<&FlagSpec> {
+        spec.flags.iter().find(|f| f.name == name).or_else(|| {
+            spec.run_options
+                .then(|| RUN_FLAGS.iter().find(|f| f.name == name))
+                .flatten()
+        })
+    };
+    let mut positionals = 0usize;
+    let mut i = 1; // args[0] is the command itself
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(stripped) = arg.strip_prefix("--") {
+            let flag = find_flag(arg)
+                .ok_or_else(|| format!("unknown flag `--{stripped}` for `fusa {}`", spec.name))?;
+            if flag.value.is_some() {
+                i += 1;
+                if i >= args.len() {
+                    return Err(format!("flag `{}` needs a value", flag.name));
+                }
+            }
+        } else {
+            positionals += 1;
+        }
+        i += 1;
+    }
+    if positionals != spec.positional_count {
+        return Err(format!(
+            "`fusa {}` takes {} positional argument(s) ({}), got {}",
+            spec.name, spec.positional_count, spec.positionals, positionals
+        ));
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,27 +302,20 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!();
-            eprintln!("{USAGE}");
+            eprintln!("{}", usage());
             ExitCode::FAILURE
         }
     }
 }
 
-const USAGE: &str = "usage:
-  fusa designs
-  fusa stats   <design>
-  fusa lint    <design> [--json] [--csv] [--deny LEVEL]
-  fusa analyze <design> [--fast] [--report FILE] [--csv FILE] [--save-model FILE]
-  fusa faults  <design> [--fast] [--csv FILE] [--threads N] [--no-cone] [--no-early-exit]
-  fusa explain <design> <gate-name> [--fast]
-  fusa seu     <design> [--fast]
-  fusa harden  <design> [--budget FRACTION] [--fast] [--out FILE.v]
-
-<design>: sdram_ctrl | or1200_if | or1200_icfsm | uart_ctrl | path/to/netlist.v";
-
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;
-    match command.as_str() {
+    let spec = COMMANDS
+        .iter()
+        .find(|c| c.name == command.as_str())
+        .ok_or_else(|| format!("unknown command `{command}`"))?;
+    validate_args(spec, args)?;
+    match spec.name {
         "designs" => {
             for design in designs::all_designs() {
                 println!("{design}");
@@ -67,6 +333,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "explain" => cmd_explain(args),
         "seu" => cmd_seu(args),
         "harden" => cmd_harden(args),
+        "report" => cmd_report(args),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -112,6 +379,159 @@ fn pipeline_config(args: &[String]) -> PipelineConfig {
     config
 }
 
+/// One observed CLI run: resets the global recorder, optionally attaches
+/// the `--trace-out` sink, and on [`ObsSession::finish`] assembles and
+/// writes `<run-dir>/manifest.json`.
+struct ObsSession {
+    run_id: String,
+    command_line: String,
+    run_dir: PathBuf,
+    quiet: bool,
+    started: Instant,
+}
+
+impl ObsSession {
+    fn begin(command: &str, design_arg: &str, args: &[String]) -> Result<ObsSession, String> {
+        let obs = fusa::obs::global();
+        obs.reset();
+        if let Some(path) = flag_value(args, "--trace-out") {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+            obs.attach_sink(Box::new(std::io::BufWriter::new(file)));
+        }
+        // Design paths become slugs: `designs/foo.v` -> `foo`.
+        let design_slug: String = std::path::Path::new(design_arg)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(design_arg)
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let run_id = format!("{command}-{design_slug}");
+        let run_dir = match flag_value(args, "--run-dir") {
+            Some(dir) => PathBuf::from(dir),
+            None => PathBuf::from("results").join(&run_id),
+        };
+        Ok(ObsSession {
+            run_id,
+            command_line: format!("fusa {}", args.join(" ")),
+            run_dir,
+            quiet: args.iter().any(|a| a == "--quiet-stats"),
+            started: Instant::now(),
+        })
+    }
+
+    /// Writes the manifest and (unless `--quiet-stats`) a one-screen
+    /// summary. `design` is the parsed module name, not the CLI slug.
+    fn finish(
+        self,
+        design: &str,
+        config: Vec<(String, String)>,
+        seeds: Vec<(String, u64)>,
+        digests: Vec<(String, String)>,
+    ) -> Result<(), String> {
+        let obs = fusa::obs::global();
+        obs.detach_sink();
+        let snapshot = obs.snapshot();
+        let mut manifest = RunManifest::new(&self.run_id, &self.command_line, design);
+        manifest.wall_seconds = self.started.elapsed().as_secs_f64();
+        manifest.absorb_snapshot(&snapshot);
+        manifest.threads = manifest
+            .gauges
+            .iter()
+            .find(|(name, _)| name == "campaign.threads")
+            .map(|&(_, v)| v as usize)
+            .unwrap_or(0);
+        manifest.config = config;
+        manifest.seeds = seeds;
+        manifest.digests = digests;
+
+        std::fs::create_dir_all(&self.run_dir)
+            .map_err(|e| format!("cannot create `{}`: {e}", self.run_dir.display()))?;
+        let path = self.run_dir.join("manifest.json");
+        std::fs::write(&path, manifest.to_json())
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        if !self.quiet {
+            println!(
+                "\nrun manifest: {} (wall {:.2}s, stages cover {:.0}%; `fusa report {}` for the breakdown)",
+                path.display(),
+                manifest.wall_seconds,
+                manifest.stage_coverage() * 100.0,
+                path.display(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Manifest `config` entries: flattened key/value strings.
+type ConfigEntries = Vec<(String, String)>;
+/// Manifest `seeds` entries: named RNG seeds.
+type SeedEntries = Vec<(String, u64)>;
+
+/// Flattens the pipeline configuration into manifest `config` and
+/// `seeds` key/value pairs.
+fn manifest_config(config: &PipelineConfig) -> (ConfigEntries, SeedEntries) {
+    let kv = vec![
+        (
+            "workloads.num_workloads".to_string(),
+            config.workloads.num_workloads.to_string(),
+        ),
+        (
+            "workloads.vectors_per_workload".to_string(),
+            config.workloads.vectors_per_workload.to_string(),
+        ),
+        (
+            "signal_stats.cycles".to_string(),
+            config.signal_stats.cycles.to_string(),
+        ),
+        (
+            "campaign.min_divergence_fraction".to_string(),
+            config.campaign.min_divergence_fraction.to_string(),
+        ),
+        (
+            "campaign.restrict_to_cone".to_string(),
+            config.campaign.restrict_to_cone.to_string(),
+        ),
+        (
+            "campaign.early_exit".to_string(),
+            config.campaign.early_exit.to_string(),
+        ),
+        (
+            "criticality_threshold".to_string(),
+            config.criticality_threshold.to_string(),
+        ),
+        (
+            "train_fraction".to_string(),
+            config.train_fraction.to_string(),
+        ),
+        (
+            "exclude_untestable_faults".to_string(),
+            config.exclude_untestable_faults.to_string(),
+        ),
+        (
+            "model.hidden".to_string(),
+            format!("{:?}", config.model.hidden),
+        ),
+        (
+            "model.dropout".to_string(),
+            config.model.dropout.to_string(),
+        ),
+        ("train.epochs".to_string(), config.train.epochs.to_string()),
+        (
+            "train.learning_rate".to_string(),
+            config.train.learning_rate.to_string(),
+        ),
+    ];
+    let seeds = vec![
+        ("split".to_string(), config.split_seed),
+        ("workloads".to_string(), config.workloads.seed),
+        ("signal_stats".to_string(), config.signal_stats.seed),
+        ("model".to_string(), config.model.seed),
+    ];
+    (kv, seeds)
+}
+
 fn cmd_lint(args: &[String]) -> Result<(), String> {
     use fusa::lint::{lint_netlist, LintSeverity};
 
@@ -142,8 +562,11 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+    let design_arg = args.get(1).ok_or("missing design")?;
+    let session = ObsSession::begin("analyze", design_arg, args)?;
+    let netlist = load_design(design_arg)?;
     let config = pipeline_config(args);
+    let (config_kv, seeds) = manifest_config(&config);
     let analysis = FusaPipeline::new(config)
         .run(&netlist)
         .map_err(|e| e.to_string())?;
@@ -151,13 +574,31 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let text = render_text_report(&analysis, &netlist, &ReportOptions::default());
     println!("{text}");
 
+    // Digests cover only deterministic artifacts: the stats-free text
+    // report and the per-node CSV are identical across same-seed runs.
+    let stable_text = render_text_report(
+        &analysis,
+        &netlist,
+        &ReportOptions {
+            include_stats: false,
+            ..ReportOptions::default()
+        },
+    );
+    let csv = render_csv_report(&analysis, &netlist);
+    let digests = vec![
+        (
+            "report.txt".to_string(),
+            fnv1a64_hex(stable_text.as_bytes()),
+        ),
+        ("nodes.csv".to_string(), fnv1a64_hex(csv.as_bytes())),
+    ];
+
     if let Some(path) = flag_value(args, "--report") {
         std::fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("report written to {path}");
     }
     if let Some(path) = flag_value(args, "--csv") {
-        std::fs::write(path, render_csv_report(&analysis, &netlist))
-            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        std::fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("per-node CSV written to {path}");
     }
     if let Some(path) = flag_value(args, "--save-model") {
@@ -167,16 +608,20 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("trained model written to {path}");
     }
-    Ok(())
+    session.finish(netlist.name(), config_kv, seeds, digests)
 }
 
 fn cmd_faults(args: &[String]) -> Result<(), String> {
-    let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+    let design_arg = args.get(1).ok_or("missing design")?;
+    let session = ObsSession::begin("faults", design_arg, args)?;
+    let netlist = load_design(design_arg)?;
     let config = pipeline_config(args);
+    let (config_kv, seeds) = manifest_config(&config);
     let faults = FaultList::all_gate_outputs(&netlist);
     let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
     let report = FaultCampaign::new(config.campaign).run(&netlist, &faults, &workloads);
     print!("{}", report.summary());
+    let stable_summary = report.summary_opts(false);
     let dataset = report.into_dataset(config.criticality_threshold);
     println!(
         "\nAlgorithm 1: {} / {} nodes critical at th={}",
@@ -184,28 +629,38 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         dataset.labels().len(),
         dataset.threshold()
     );
+    let csv = dataset.to_csv(&netlist);
+    let digests = vec![
+        (
+            "summary.txt".to_string(),
+            fnv1a64_hex(stable_summary.as_bytes()),
+        ),
+        ("criticality.csv".to_string(), fnv1a64_hex(csv.as_bytes())),
+    ];
     if let Some(path) = flag_value(args, "--csv") {
-        std::fs::write(path, dataset.to_csv(&netlist))
-            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        std::fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("criticality CSV written to {path}");
     }
-    Ok(())
+    session.finish(netlist.name(), config_kv, seeds, digests)
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {
-    let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+    let design_arg = args.get(1).ok_or("missing design")?;
+    let session = ObsSession::begin("explain", design_arg, args)?;
+    let netlist = load_design(design_arg)?;
     let gate_name = args.get(2).ok_or("missing gate name")?;
     let gate = netlist
         .find_gate(gate_name)
         .ok_or_else(|| format!("no gate named `{gate_name}`"))?;
     let config = pipeline_config(args);
+    let (config_kv, seeds) = manifest_config(&config);
     let analysis = FusaPipeline::new(config)
         .run(&netlist)
         .map_err(|e| e.to_string())?;
     let explainer = analysis.explainer(ExplainerConfig::default());
     let explanation = explainer.explain(gate.index());
-    println!(
-        "{gate_name}: predicted {} (P(critical) = {:.3}, ground truth score {:.2})",
+    let mut text = format!(
+        "{gate_name}: predicted {} (P(critical) = {:.3}, ground truth score {:.2})\n",
         if explanation.predicted_class == 1 {
             "CRITICAL"
         } else {
@@ -214,26 +669,31 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         analysis.evaluation.critical_probability[gate.index()],
         analysis.dataset.scores()[gate.index()],
     );
-    println!("\nfeature importance:");
+    text.push_str("\nfeature importance:\n");
     for (feature, score) in explanation.ranked_features() {
-        println!("  {feature:<36} {score:.2}");
+        let _ = writeln!(text, "  {feature:<36} {score:.2}");
     }
-    println!("\nmost influential wires:");
+    text.push_str("\nmost influential wires:\n");
     for (a, b, weight) in explanation.edge_importance.iter().take(8) {
-        println!(
+        let _ = writeln!(
+            text,
             "  {} -- {}  (mask {weight:.2})",
             netlist.gates()[*a].name,
             netlist.gates()[*b].name,
         );
     }
-    Ok(())
+    print!("{text}");
+    let digests = vec![("explanation.txt".to_string(), fnv1a64_hex(text.as_bytes()))];
+    session.finish(netlist.name(), config_kv, seeds, digests)
 }
 
 fn cmd_harden(args: &[String]) -> Result<(), String> {
     use fusa::netlist::harden::{tmr_overhead, tmr_protect};
     use fusa::netlist::GateId;
 
-    let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+    let design_arg = args.get(1).ok_or("missing design")?;
+    let session = ObsSession::begin("harden", design_arg, args)?;
+    let netlist = load_design(design_arg)?;
     let budget: f64 = flag_value(args, "--budget")
         .map(|v| v.parse().map_err(|_| "bad --budget value".to_string()))
         .transpose()?
@@ -242,6 +702,7 @@ fn cmd_harden(args: &[String]) -> Result<(), String> {
         return Err("--budget must be in [0, 1]".into());
     }
     let config = pipeline_config(args);
+    let (config_kv, seeds) = manifest_config(&config);
     let analysis = FusaPipeline::new(config)
         .run(&netlist)
         .map_err(|e| e.to_string())?;
@@ -280,28 +741,46 @@ fn cmd_harden(args: &[String]) -> Result<(), String> {
     if selection.len() > 10 {
         println!("  ... and {} more", selection.len() - 10);
     }
+    let hardened_verilog = fusa::netlist::writer::write_verilog(&hardened);
+    let digests = vec![(
+        "hardened.v".to_string(),
+        fnv1a64_hex(hardened_verilog.as_bytes()),
+    )];
     if let Some(path) = flag_value(args, "--out") {
-        std::fs::write(path, fusa::netlist::writer::write_verilog(&hardened))
+        std::fs::write(path, &hardened_verilog)
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("hardened netlist written to {path}");
     }
-    Ok(())
+    session.finish(netlist.name(), config_kv, seeds, digests)
 }
 
 fn cmd_seu(args: &[String]) -> Result<(), String> {
-    let netlist = load_design(args.get(1).ok_or("missing design")?)?;
+    let design_arg = args.get(1).ok_or("missing design")?;
+    let session = ObsSession::begin("seu", design_arg, args)?;
+    let netlist = load_design(design_arg)?;
     let config = pipeline_config(args);
+    let (config_kv, seeds) = manifest_config(&config);
     let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
     let report = SeuCampaign::new(SeuConfig::default()).run(&netlist, &workloads);
-    println!(
-        "{}: {} flip-flops, mean SEU corruption rate {:.3}",
+    let mut text = format!(
+        "{}: {} flip-flops, mean SEU corruption rate {:.3}\n",
         netlist.name(),
         report.flops.len(),
         report.mean_corruption_rate(),
     );
-    println!("\nmost vulnerable registers:");
+    text.push_str("\nmost vulnerable registers:\n");
     for (gate, rate) in report.ranking().into_iter().take(15) {
-        println!("  {:<28} {rate:.2}", netlist.gate(gate).name);
+        let _ = writeln!(text, "  {:<28} {rate:.2}", netlist.gate(gate).name);
     }
+    print!("{text}");
+    let digests = vec![("seu.txt".to_string(), fnv1a64_hex(text.as_bytes()))];
+    session.finish(netlist.name(), config_kv, seeds, digests)
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("missing manifest path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let manifest = RunManifest::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
+    print!("{}", render_manifest_report(&manifest));
     Ok(())
 }

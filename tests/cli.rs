@@ -43,6 +43,7 @@ fn analyze_fast_produces_report_and_artifacts() {
     let report = dir.join("report.txt");
     let csv = dir.join("nodes.csv");
     let model = dir.join("model.txt");
+    let run_dir = dir.join("run");
     let output = fusa()
         .args([
             "analyze",
@@ -54,12 +55,15 @@ fn analyze_fast_produces_report_and_artifacts() {
             csv.to_str().unwrap(),
             "--save-model",
             model.to_str().unwrap(),
+            "--run-dir",
+            run_dir.to_str().unwrap(),
         ])
         .output()
         .unwrap();
     assert!(output.status.success(), "{:?}", output);
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("validation accuracy"));
+    assert!(stdout.contains("run manifest:"));
 
     let report_text = std::fs::read_to_string(&report).unwrap();
     assert!(report_text.contains("Fault criticality report"));
@@ -142,14 +146,219 @@ fn lint_rejects_bad_deny_level() {
 
 #[test]
 fn faults_summarizes_campaign() {
+    let dir = std::env::temp_dir().join("fusa_cli_faults");
+    let run_dir = dir.join("run");
     let output = fusa()
-        .args(["faults", "or1200_icfsm", "--fast"])
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("campaign:"));
     assert!(stdout.contains("Algorithm 1:"));
+}
+
+#[test]
+fn analyze_writes_parseable_manifest_with_stage_coverage() {
+    use fusa::obs::RunManifest;
+
+    let dir = std::env::temp_dir().join("fusa_cli_manifest");
+    let run_dir = dir.join("run");
+    let trace = dir.join("trace.jsonl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let output = fusa()
+        .args([
+            "analyze",
+            "or1200_icfsm",
+            "--fast",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+
+    let manifest_path = run_dir.join("manifest.json");
+    let manifest = RunManifest::parse(&std::fs::read_to_string(&manifest_path).unwrap())
+        .expect("manifest parses");
+    assert_eq!(manifest.design, "or1200_icfsm");
+    assert_eq!(manifest.run_id, "analyze-or1200_icfsm");
+    assert!(manifest.wall_seconds > 0.0);
+
+    // Acceptance: per-stage wall times sum to within 10% of the total.
+    assert!(
+        manifest.stage_coverage() >= 0.9,
+        "stage coverage {:.3} (top-level {:.3}s of {:.3}s)",
+        manifest.stage_coverage(),
+        manifest.top_level_stage_seconds(),
+        manifest.wall_seconds,
+    );
+    for name in [
+        "graph",
+        "features",
+        "fault-list",
+        "workloads",
+        "campaign",
+        "train",
+    ] {
+        assert!(
+            manifest.stages.iter().any(|s| s.name == name),
+            "stage `{name}` missing from {:?}",
+            manifest.stages.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
+    }
+    assert!(manifest
+        .counters
+        .iter()
+        .any(|(name, value)| name == "train.epochs" && *value > 0));
+    assert!(manifest.seeds.iter().any(|(name, _)| name == "split"));
+    assert_eq!(manifest.digests.len(), 2);
+    for (_, digest) in &manifest.digests {
+        assert!(digest.starts_with("fnv1a64:"), "{digest}");
+    }
+
+    // The trace is line-delimited JSON with span and epoch events.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.lines().count() > 10);
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in trace_text.lines() {
+        let event = fusa::obs::Json::parse(line).expect("trace line parses");
+        kinds.insert(
+            event
+                .get("kind")
+                .and_then(fusa::obs::Json::as_str)
+                .expect("event has kind")
+                .to_string(),
+        );
+    }
+    assert!(kinds.contains("span"), "{kinds:?}");
+    assert!(kinds.contains("epoch"), "{kinds:?}");
+    assert!(kinds.contains("campaign"), "{kinds:?}");
+}
+
+#[test]
+fn same_seed_runs_produce_identical_digests() {
+    use fusa::obs::RunManifest;
+
+    let dir = std::env::temp_dir().join("fusa_cli_determinism");
+    let manifests: Vec<RunManifest> = ["a", "b"]
+        .iter()
+        .map(|sub| {
+            let run_dir = dir.join(sub);
+            let output = fusa()
+                .args([
+                    "faults",
+                    "or1200_icfsm",
+                    "--fast",
+                    "--quiet-stats",
+                    "--run-dir",
+                    run_dir.to_str().unwrap(),
+                ])
+                .output()
+                .unwrap();
+            assert!(output.status.success(), "{:?}", output);
+            RunManifest::parse(&std::fs::read_to_string(run_dir.join("manifest.json")).unwrap())
+                .expect("manifest parses")
+        })
+        .collect();
+    assert!(!manifests[0].digests.is_empty());
+    assert_eq!(
+        manifests[0].digests, manifests[1].digests,
+        "same-seed runs must produce identical artifact digests"
+    );
+    assert_eq!(manifests[0].seeds, manifests[1].seeds);
+}
+
+#[test]
+fn quiet_stats_suppresses_manifest_summary() {
+    let run_dir = std::env::temp_dir().join("fusa_cli_quiet").join("run");
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--quiet-stats",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(!stdout.contains("run manifest:"), "{stdout}");
+    assert!(run_dir.join("manifest.json").exists());
+}
+
+#[test]
+fn report_renders_a_manifest() {
+    use fusa::obs::RunManifest;
+
+    let dir = std::env::temp_dir().join("fusa_cli_report");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("manifest.json");
+    let manifest = RunManifest::new("analyze-x", "fusa analyze x", "x");
+    std::fs::write(&path, manifest.to_json()).unwrap();
+
+    let output = fusa()
+        .args(["report", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("=== fusa run manifest: analyze-x ==="));
+
+    // Bad documents are rejected with a clean error.
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{}").unwrap();
+    let output = fusa()
+        .args(["report", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("not a run manifest"));
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let output = fusa()
+        .args(["analyze", "or1200_icfsm", "--frobnicate"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown flag `--frobnicate`"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    // Value-taking flags must have a value.
+    let output = fusa()
+        .args(["faults", "or1200_icfsm", "--threads"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("needs a value"));
+}
+
+#[test]
+fn usage_lists_every_command() {
+    let output = fusa().output().unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    for name in [
+        "designs", "stats", "lint", "analyze", "faults", "explain", "seu", "harden", "report",
+    ] {
+        assert!(stderr.contains(&format!("fusa {name}")), "missing {name}");
+    }
+    assert!(stderr.contains("--trace-out PATH"), "{stderr}");
+    assert!(stderr.contains("--run-dir DIR"), "{stderr}");
+    assert!(stderr.contains("--quiet-stats"), "{stderr}");
 }
 
 #[test]
