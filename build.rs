@@ -1,0 +1,36 @@
+//! Captures build/toolchain provenance as compile-time env vars for the
+//! run manifest's `build` section. Every probe is best-effort: a missing
+//! tool yields an empty string, which the CLI omits from the manifest.
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = Command::new(&rustc)
+        .arg("-V")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    println!("cargo:rustc-env=FUSA_RUSTC_VERSION={version}");
+    println!(
+        "cargo:rustc-env=FUSA_TARGET={}",
+        std::env::var("TARGET").unwrap_or_default()
+    );
+    println!(
+        "cargo:rustc-env=FUSA_OPT_LEVEL={}",
+        std::env::var("OPT_LEVEL").unwrap_or_default()
+    );
+    let commit = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    println!("cargo:rustc-env=FUSA_GIT_COMMIT={commit}");
+    println!("cargo:rerun-if-changed=.git/HEAD");
+}

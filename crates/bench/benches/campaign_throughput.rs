@@ -6,6 +6,16 @@
 //! `crates/faultsim/tests/cone_equivalence.rs`), so the delta here is
 //! pure throughput. `bench_campaign` (the companion `--bin`) turns the
 //! same measurement into `BENCH_campaign.json`.
+//!
+//! The `accelerated_*` variants double as the progress-overhead guard:
+//! they run with no trace sink and `--progress` off, the default in
+//! which `fusa_obs::Progress::start` returns a disabled handle (no
+//! heartbeat thread, every hot-loop hook a branch on `None`). The
+//! `traced_*` variants attach a null sink so the heartbeat thread and
+//! per-event serialization are included; comparing the two bounds the
+//! telemetry cost when tracing is enabled. Cross-run rot on the
+//! default path is caught by `fusa compare --append-bench` trajectories
+//! and the `./ci` compare gate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fusa_faultsim::{CampaignConfig, FaultCampaign, FaultList};
@@ -54,6 +64,12 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         group.bench_function(&format!("full_netlist_{}", netlist.name()), |b| {
             let campaign = FaultCampaign::new(reference());
             b.iter(|| black_box(campaign.run(&netlist, &faults, &workloads)))
+        });
+        group.bench_function(&format!("traced_{}", netlist.name()), |b| {
+            let campaign = FaultCampaign::new(accelerated());
+            fusa_obs::global().attach_sink(Box::new(std::io::sink()));
+            b.iter(|| black_box(campaign.run(&netlist, &faults, &workloads)));
+            fusa_obs::global().detach_sink();
         });
     }
     group.finish();

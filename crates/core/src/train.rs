@@ -83,6 +83,13 @@ pub fn train_classifier(
         Adam::with_weight_decay(train_config.learning_rate, train_config.weight_decay);
     let mut history = TrainHistory::default();
     let mut best: Option<(f64, GcnClassifier)> = None;
+    let progress = fusa_obs::Progress::start(
+        obs,
+        "train",
+        "epochs",
+        train_config.epochs as u64,
+        fusa_obs::ProgressConfig::default(),
+    );
 
     for epoch in 0..train_config.epochs {
         let epoch_started = std::time::Instant::now();
@@ -106,6 +113,10 @@ pub fn train_classifier(
             best = Some((val_accuracy, model.clone()));
         }
         obs.add("train.epochs", 1);
+        obs.observe("train.epoch_seconds", epoch_started.elapsed().as_secs_f64());
+        obs.observe("train.loss", loss);
+        progress.advance(1);
+        progress.set_metric(loss);
         if obs.has_sink() {
             use fusa_obs::EventField::{F64, U64};
             obs.event(
@@ -208,6 +219,13 @@ pub fn train_regressor(
         Adam::with_weight_decay(train_config.learning_rate, train_config.weight_decay);
     let mut history = TrainHistory::default();
     let mut best: Option<(f64, GcnRegressor)> = None;
+    let progress = fusa_obs::Progress::start(
+        obs,
+        "train-regressor",
+        "epochs",
+        train_config.epochs as u64,
+        fusa_obs::ProgressConfig::default(),
+    );
 
     for epoch in 0..train_config.epochs {
         let epoch_started = std::time::Instant::now();
@@ -228,6 +246,10 @@ pub fn train_regressor(
             best = Some((-val_loss, model.clone()));
         }
         obs.add("train.regressor_epochs", 1);
+        obs.observe("train.epoch_seconds", epoch_started.elapsed().as_secs_f64());
+        obs.observe("train.loss", loss);
+        progress.advance(1);
+        progress.set_metric(loss);
         if obs.has_sink() {
             use fusa_obs::EventField::{F64, U64};
             obs.event(

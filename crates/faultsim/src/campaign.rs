@@ -175,6 +175,15 @@ impl FaultCampaign {
             config.threads
         };
         let workers = threads.clamp(1, unit_count.max(1));
+        // Heartbeat over the unit work queue; a disabled no-op handle
+        // unless a sink is attached or `--progress` enabled stderr.
+        let progress = fusa_obs::Progress::start(
+            obs,
+            "campaign",
+            "units",
+            unit_count as u64,
+            fusa_obs::ProgressConfig::default(),
+        );
 
         let golden: Vec<OnceLock<GoldenTrace>> =
             (0..workload_list.len()).map(|_| OnceLock::new()).collect();
@@ -183,10 +192,15 @@ impl FaultCampaign {
         let next = AtomicUsize::new(0);
 
         let mut busy = vec![0.0f64; workers];
+        let progress = &progress;
         let worker = |busy_slot: &mut f64| {
             let mut sim = BitSim::new(netlist);
             let mut out_buf = vec![0u64; netlist.primary_outputs().len()];
             let mut roots: Vec<GateId> = Vec::with_capacity(LANES);
+            // Thread-local latency/work histograms, merged into the
+            // recorder once per worker so the hot loop stays lock-free.
+            let mut unit_seconds = fusa_obs::Histogram::new();
+            let mut unit_gate_evals = fusa_obs::Histogram::new();
             loop {
                 let unit = next.fetch_add(1, Ordering::Relaxed);
                 if unit >= unit_count {
@@ -227,9 +241,18 @@ impl FaultCampaign {
                         &mut out_buf,
                     )
                 });
+                unit_gate_evals.observe(output.gate_evals as f64);
+                progress.add_work(output.stepped_fault_cycles);
                 let stored = results[unit].set(output);
                 debug_assert!(stored.is_ok(), "unit {unit} simulated once");
-                *busy_slot += begun.elapsed().as_secs_f64();
+                let elapsed = begun.elapsed().as_secs_f64();
+                unit_seconds.observe(elapsed);
+                *busy_slot += elapsed;
+                progress.advance(1);
+            }
+            if unit_seconds.count() > 0 {
+                obs.observe_merged("campaign.unit_seconds", &unit_seconds);
+                obs.observe_merged("campaign.unit_gate_evals", &unit_gate_evals);
             }
         };
 

@@ -85,7 +85,9 @@ pub fn run_passes(netlist: &Netlist, passes: &[Box<dyn LintPass>]) -> LintReport
     let mut report = LintReport::new(netlist.name());
     for pass in passes {
         report.passes_run.push(pass.name());
+        let begun = std::time::Instant::now();
         obs.time(pass.name(), || pass.run(&ctx, &mut report));
+        obs.observe("lint.pass_seconds", begun.elapsed().as_secs_f64());
     }
     obs.add("lint.findings", report.findings.len() as u64);
     report

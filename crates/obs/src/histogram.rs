@@ -1,0 +1,387 @@
+//! Log-bucketed latency/size histograms.
+//!
+//! A [`Histogram`] trades exactness for O(1) recording and a fixed
+//! memory footprint: observations land in logarithmically spaced
+//! buckets ([`SUB_BUCKETS`] per power of two, ≈ 9% relative width), so
+//! any quantile estimate is an upper bound within one bucket of the
+//! true value. Histograms merge associatively, which lets worker
+//! threads aggregate privately and fold into the shared recorder, and
+//! the exact `min`/`max`/`sum` are tracked alongside the buckets.
+
+use std::fmt;
+
+/// Buckets per power of two. 8 sub-buckets bound the relative error of
+/// a quantile estimate by `2^(1/8) - 1 ≈ 9.05%`.
+pub const SUB_BUCKETS: usize = 8;
+
+/// Smallest resolvable exponent: values `≤ 2^MIN_EXP` (≈ 9.3e-10) share
+/// the first bucket. Covers sub-nanosecond span times.
+const MIN_EXP: i32 = -30;
+
+/// Largest resolvable exponent: values `≥ 2^MAX_EXP` (≈ 1.7e10) share
+/// the last bucket. Covers gate-evaluation counts of any real campaign.
+const MAX_EXP: i32 = 34;
+
+/// Total bucket count.
+const BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) * SUB_BUCKETS;
+
+/// A mergeable log-bucketed histogram of non-negative observations.
+///
+/// Values outside `(2^-30, 2^34)` are clamped into the edge buckets;
+/// the exact `min` and `max` are still tracked, so `quantile` never
+/// reports a value outside the observed range.
+#[derive(Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// Bucket index of `value`; monotonic in `value`.
+fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value <= 0.0 {
+        return 0;
+    }
+    let position = (value.log2() - MIN_EXP as f64) * SUB_BUCKETS as f64;
+    if position < 0.0 {
+        0
+    } else {
+        (position.floor() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Upper bound of bucket `index` (the largest value it can hold, up to
+/// the clamped range).
+fn bucket_upper_bound(index: usize) -> f64 {
+    ((MIN_EXP as f64) + (index as f64 + 1.0) / SUB_BUCKETS as f64).exp2()
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self`. Merging is associative and
+    /// commutative: any merge order over a set of thread-local
+    /// histograms yields the same aggregate.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` clamped to
+    /// `[0, 1]`), within one bucket (≈ 9%) of the exact order statistic
+    /// and clamped to the observed `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, &bucket_count) in self.counts.iter().enumerate() {
+            cumulative += bucket_count;
+            if cumulative >= target {
+                return bucket_upper_bound(index).clamp(self.min, self.max);
+            }
+        }
+        self.max()
+    }
+
+    /// Condenses the histogram into the summary recorded in manifests.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// The fixed quantile digest of one histogram, as serialized into the
+/// `histograms` section of a run manifest.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Exact smallest observation.
+    pub min: f64,
+    /// Exact largest observation.
+    pub max: f64,
+    /// Median estimate (upper bound within one bucket).
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Relative slack of one bucket: `2^(1/SUB_BUCKETS)`, plus floating
+    /// point headroom.
+    const BUCKET_FACTOR: f64 = 1.0906;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn tracks_exact_count_sum_min_max() {
+        let mut h = Histogram::new();
+        for v in [0.5, 2.0, 8.0, 1.5] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 12.0).abs() < 1e-12);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 8.0);
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(1.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn zero_and_negative_land_in_first_bucket() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-3.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), -3.0);
+        // The quantile is clamped to the observed range, never the
+        // bucket bound.
+        assert!(h.quantile(1.0) <= 0.0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_in_value() {
+        // Bucket monotonicity: sorting by value must sort by bucket.
+        let mut previous = 0usize;
+        let mut v = 1e-12;
+        while v < 1e12 {
+            let index = bucket_index(v);
+            assert!(
+                index >= previous,
+                "bucket index decreased at value {v}: {index} < {previous}"
+            );
+            previous = index;
+            v *= 1.0345;
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(f64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_increasing_and_contain_their_values() {
+        for index in 0..BUCKETS - 1 {
+            assert!(bucket_upper_bound(index) < bucket_upper_bound(index + 1));
+        }
+        // A value maps to a bucket whose upper bound is ≥ the value and
+        // within one bucket factor above it (in the resolvable range).
+        let mut v = 2e-9;
+        while v < 1e10 {
+            let upper = bucket_upper_bound(bucket_index(v));
+            assert!(upper >= v * (1.0 - 1e-12), "value {v}, upper {upper}");
+            assert!(upper <= v * BUCKET_FACTOR, "value {v}, upper {upper}");
+            v *= 1.618;
+        }
+    }
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn quantiles_bound_exact_reference_on_random_streams() {
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut h = Histogram::new();
+            let mut values: Vec<f64> = Vec::new();
+            for _ in 0..500 {
+                // Log-uniform over ~9 decades, the resolvable range.
+                let v = 10f64.powf(rng.gen_range(-6.0..3.0));
+                values.push(v);
+                h.observe(v);
+            }
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                let exact = exact_quantile(&values, q);
+                let estimate = h.quantile(q);
+                assert!(
+                    estimate >= exact * (1.0 - 1e-12),
+                    "seed {seed} q {q}: estimate {estimate} below exact {exact}"
+                );
+                assert!(
+                    estimate <= exact * BUCKET_FACTOR,
+                    "seed {seed} q {q}: estimate {estimate} above bound for exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_histogram_and_is_associative() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let values: Vec<f64> = (0..300)
+            .map(|_| 10f64.powf(rng.gen_range(-4.0..2.0)))
+            .collect();
+
+        let mut whole = Histogram::new();
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &v) in values.iter().enumerate() {
+            whole.observe(v);
+            parts[i % 3].observe(v);
+        }
+
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c) == whole.
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut tail = parts[1].clone();
+        tail.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&tail);
+
+        // Merge order over the same parts is bit-identical.
+        assert_eq!(left, right);
+        // Against the single whole histogram, the float `sum` may differ
+        // in addition order; everything else must match exactly.
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        assert!((left.sum() - whole.sum()).abs() <= whole.sum().abs() * 1e-12);
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(left.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn summary_reports_ordered_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64 / 1000.0);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert!((s.mean() - 0.5005).abs() < 1e-9);
+        // p50 within a bucket of 0.5.
+        assert!(s.p50 >= 0.5 && s.p50 <= 0.5 * BUCKET_FACTOR);
+    }
+}

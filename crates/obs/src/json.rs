@@ -162,6 +162,52 @@ impl Json {
         }
     }
 
+    /// Renders pretty-printed JSON (two-space indent, one member or
+    /// element per line), used when rewriting documents meant to live
+    /// in version control such as `BENCH_campaign.json`.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_pretty_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_pretty_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    for _ in 0..depth + 1 {
+                        out.push_str("  ");
+                    }
+                    item.render_pretty_into(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in members.iter().enumerate() {
+                    for _ in 0..depth + 1 {
+                        out.push_str("  ");
+                    }
+                    out.push_str(&escape(key));
+                    out.push_str(": ");
+                    value.render_pretty_into(out, depth + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                out.push('}');
+            }
+            other => other.render_into(out),
+        }
+    }
+
     /// Parses one JSON value from `input` (trailing whitespace allowed,
     /// trailing garbage rejected).
     pub fn parse(input: &str) -> Result<Json, JsonError> {
@@ -416,6 +462,17 @@ mod tests {
             assert_eq!(Json::parse(&rendered).unwrap().as_f64(), Some(v));
         }
         assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn pretty_rendering_round_trips_and_indents() {
+        let v = Json::parse(r#"{"a":[1,{"b":true}],"empty":{},"none":[]}"#).unwrap();
+        let pretty = v.render_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": [\n    1,\n    {\n      \"b\": true\n    }\n  ],\n  \"empty\": {},\n  \"none\": []\n}\n"
+        );
     }
 
     #[test]

@@ -6,16 +6,21 @@
 //! lint — records into a thread-safe [`Recorder`]: hierarchical **span
 //! timers** (wall time per named stage, nested via a per-thread span
 //! stack), named **counters** and **gauges** (gate evaluations, epochs,
-//! peak RSS), and an optional **JSONL event sink** (`--trace-out` on the
-//! CLI) receiving one JSON object per line for spans, per-epoch training
-//! metrics and campaign summaries.
+//! peak RSS), log-bucketed **histograms** ([`Recorder::observe`];
+//! per-unit campaign latency, per-epoch train time/loss) and an
+//! optional **JSONL event sink** (`--trace-out` on the CLI) receiving
+//! one JSON object per line for spans, per-epoch training metrics,
+//! campaign summaries and [`Progress`] heartbeats.
 //!
 //! At the end of a run the CLI folds a [`Recorder`] snapshot, the run
 //! configuration, RNG seeds and output digests into a [`RunManifest`] —
 //! written as `results/<run>/manifest.json` — so any reported number can
 //! be traced to the exact configuration, timing breakdown and content
 //! hashes that produced it. `fusa report <manifest.json>` renders it
-//! back into a human-readable breakdown ([`render_manifest_report`]).
+//! back into a human-readable breakdown ([`render_manifest_report`]),
+//! and `fusa compare` diffs two manifests into a regression verdict
+//! ([`compare_manifests`]): digests gate hard on same-seed runs, stage
+//! times and histogram quantiles gate within a noise tolerance.
 //!
 //! Instrumented library code records into the process-wide [`global`]
 //! recorder (analogous to the `log` crate's global logger); tests and
@@ -38,16 +43,25 @@
 //! assert_eq!(snapshot.spans.len(), 2);
 //! ```
 
+mod compare;
 mod digest;
+mod histogram;
 mod json;
 mod manifest;
+mod progress;
 mod recorder;
 mod render;
 mod rss;
 
+pub use compare::{
+    append_bench_trajectory, compare_manifests, load_manifest_arg, CompareOptions, Comparison,
+    DeltaRow, RowStatus,
+};
 pub use digest::{fnv1a64, fnv1a64_hex, Fnv64};
+pub use histogram::{Histogram, HistogramSummary};
 pub use json::{Json, JsonError};
-pub use manifest::{ManifestError, RunManifest, StageTime, MANIFEST_SCHEMA};
+pub use manifest::{ManifestError, RunManifest, StageTime, MANIFEST_SCHEMA, MANIFEST_SCHEMA_V1};
+pub use progress::{progress_stderr, set_progress_stderr, Progress, ProgressConfig};
 pub use recorder::{EventField, Recorder, Snapshot, SpanGuard, SpanStat};
 pub use render::render_manifest_report;
 pub use rss::peak_rss_bytes;

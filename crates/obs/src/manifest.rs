@@ -8,13 +8,19 @@
 //! ([`RunManifest::to_json`]) and parses back ([`RunManifest::parse`])
 //! for `fusa report`.
 
+use crate::histogram::HistogramSummary;
 use crate::json::{escape, fmt_f64, Json};
 use crate::recorder::Snapshot;
 use std::fmt;
 use std::fmt::Write as _;
 
-/// Schema identifier stamped into every manifest.
-pub const MANIFEST_SCHEMA: &str = "fusa-obs/manifest/v1";
+/// Schema identifier stamped into every newly written manifest.
+pub const MANIFEST_SCHEMA: &str = "fusa-obs/manifest/v2";
+
+/// The previous schema; still accepted by [`RunManifest::parse`].
+/// v1 manifests have no `build` or `histograms` sections and encode an
+/// unknown peak RSS as `0` (v2 uses `null`).
+pub const MANIFEST_SCHEMA_V1: &str = "fusa-obs/manifest/v1";
 
 /// Wall time aggregate of one span path.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,8 +49,13 @@ pub struct RunManifest {
     pub wall_seconds: f64,
     /// Worker threads the campaign used (0 if no campaign ran).
     pub threads: usize,
-    /// Peak resident set size in bytes (0 where unsupported).
-    pub peak_rss_bytes: u64,
+    /// Peak resident set size in bytes; `None` where the platform
+    /// offers no measurement (non-Linux).
+    pub peak_rss_bytes: Option<u64>,
+    /// Build/toolchain provenance (`rustc`, `target`, `opt_level`,
+    /// `git_commit`). Annotates cross-build comparisons; never part of
+    /// digest computation.
+    pub build: Vec<(String, String)>,
     /// Flattened configuration key/value pairs.
     pub config: Vec<(String, String)>,
     /// Named RNG seeds (`split`, `workloads`, `model`, …).
@@ -55,6 +66,9 @@ pub struct RunManifest {
     pub counters: Vec<(String, u64)>,
     /// Gauge values at the end of the run.
     pub gauges: Vec<(String, f64)>,
+    /// Latency/value distribution summaries (`campaign.unit_seconds`,
+    /// `train.loss`, …) with p50/p90/p99 quantile estimates.
+    pub histograms: Vec<(String, HistogramSummary)>,
     /// `artifact name → fnv1a64:<hex>` content digests.
     pub digests: Vec<(String, String)>,
 }
@@ -64,7 +78,8 @@ pub struct RunManifest {
 pub enum ManifestError {
     /// The document is not valid JSON.
     Json(crate::json::JsonError),
-    /// The document is JSON but not a `fusa-obs/manifest/v1` manifest.
+    /// The document is JSON but not a known `fusa-obs/manifest/*`
+    /// schema version.
     Schema(String),
 }
 
@@ -95,8 +110,8 @@ impl RunManifest {
         }
     }
 
-    /// Folds a recorder snapshot into the manifest's stages, counters and
-    /// gauges (replacing any previous values).
+    /// Folds a recorder snapshot into the manifest's stages, counters,
+    /// gauges and histogram summaries (replacing any previous values).
     pub fn absorb_snapshot(&mut self, snapshot: &Snapshot) {
         self.stages = snapshot
             .spans
@@ -109,6 +124,11 @@ impl RunManifest {
             .collect();
         self.counters = snapshot.counters.clone();
         self.gauges = snapshot.gauges.clone();
+        self.histograms = snapshot
+            .histograms
+            .iter()
+            .map(|(name, histogram)| (name.clone(), histogram.summary()))
+            .collect();
     }
 
     /// Records a named output digest.
@@ -147,7 +167,13 @@ impl RunManifest {
         let _ = writeln!(out, "  \"created_unix\": {},", self.created_unix);
         let _ = writeln!(out, "  \"wall_seconds\": {},", fmt_f64(self.wall_seconds));
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
-        let _ = writeln!(out, "  \"peak_rss_bytes\": {},", self.peak_rss_bytes);
+        match self.peak_rss_bytes {
+            Some(bytes) => {
+                let _ = writeln!(out, "  \"peak_rss_bytes\": {bytes},");
+            }
+            None => out.push_str("  \"peak_rss_bytes\": null,\n"),
+        }
+        write_str_map(&mut out, "build", &self.build);
         write_str_map(&mut out, "config", &self.config);
         write_num_map(&mut out, "seeds", &self.seeds, |v| v.to_string());
         out.push_str("  \"stages\": [\n");
@@ -168,21 +194,37 @@ impl RunManifest {
         out.push_str("  ],\n");
         write_num_map(&mut out, "counters", &self.counters, |v| v.to_string());
         write_num_map(&mut out, "gauges", &self.gauges, |v| fmt_f64(*v));
+        write_num_map(&mut out, "histograms", &self.histograms, |h| {
+            format!(
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                h.count,
+                fmt_f64(h.sum),
+                fmt_f64(h.min),
+                fmt_f64(h.max),
+                fmt_f64(h.p50),
+                fmt_f64(h.p90),
+                fmt_f64(h.p99)
+            )
+        });
         write_str_map_last(&mut out, "digests", &self.digests);
         out.push_str("}\n");
         out
     }
 
-    /// Parses a manifest previously produced by [`RunManifest::to_json`].
+    /// Parses a manifest previously produced by [`RunManifest::to_json`],
+    /// accepting both the current v2 schema and legacy v1 documents
+    /// (v1: no `build`/`histograms`, peak RSS `0` means unknown).
     pub fn parse(text: &str) -> Result<RunManifest, ManifestError> {
         let root = Json::parse(text).map_err(ManifestError::Json)?;
         let schema = root
             .get("schema")
             .and_then(Json::as_str)
             .ok_or_else(|| ManifestError::Schema("missing `schema` field".into()))?;
-        if schema != MANIFEST_SCHEMA {
+        let legacy_v1 = schema == MANIFEST_SCHEMA_V1;
+        if !legacy_v1 && schema != MANIFEST_SCHEMA {
             return Err(ManifestError::Schema(format!(
-                "unsupported schema `{schema}` (expected `{MANIFEST_SCHEMA}`)"
+                "unsupported schema `{schema}` (expected `{MANIFEST_SCHEMA}` or `{MANIFEST_SCHEMA_V1}`)"
             )));
         }
         let str_field = |key: &str| -> Result<String, ManifestError> {
@@ -222,6 +264,33 @@ impl RunManifest {
             });
         }
 
+        // v2 writes `null` for an unavailable RSS; v1 wrote `0`.
+        let peak_rss_bytes = match root.get("peak_rss_bytes") {
+            Some(Json::Null) => None,
+            Some(value) => {
+                let bytes = value.as_u64().ok_or_else(|| {
+                    ManifestError::Schema("bad value for `peak_rss_bytes`".into())
+                })?;
+                if legacy_v1 && bytes == 0 {
+                    None
+                } else {
+                    Some(bytes)
+                }
+            }
+            None => return Err(ManifestError::Schema("missing `peak_rss_bytes`".into())),
+        };
+
+        let build = if legacy_v1 {
+            Vec::new()
+        } else {
+            parse_str_map(&root, "build")?
+        };
+        let histograms = if legacy_v1 {
+            Vec::new()
+        } else {
+            parse_map(&root, "histograms", parse_histogram_summary)?
+        };
+
         Ok(RunManifest {
             run_id: str_field("run_id")?,
             command: str_field("command")?,
@@ -229,15 +298,29 @@ impl RunManifest {
             created_unix: u64_field("created_unix")?,
             wall_seconds: f64_field("wall_seconds")?,
             threads: u64_field("threads")? as usize,
-            peak_rss_bytes: u64_field("peak_rss_bytes")?,
+            peak_rss_bytes,
+            build,
             config: parse_str_map(&root, "config")?,
             seeds: parse_map(&root, "seeds", Json::as_u64)?,
             stages,
             counters: parse_map(&root, "counters", Json::as_u64)?,
             gauges: parse_map(&root, "gauges", Json::as_f64)?,
+            histograms,
             digests: parse_str_map(&root, "digests")?,
         })
     }
+}
+
+fn parse_histogram_summary(value: &Json) -> Option<HistogramSummary> {
+    Some(HistogramSummary {
+        count: value.get("count").and_then(Json::as_u64)?,
+        sum: value.get("sum").and_then(Json::as_f64)?,
+        min: value.get("min").and_then(Json::as_f64)?,
+        max: value.get("max").and_then(Json::as_f64)?,
+        p50: value.get("p50").and_then(Json::as_f64)?,
+        p90: value.get("p90").and_then(Json::as_f64)?,
+        p99: value.get("p99").and_then(Json::as_f64)?,
+    })
 }
 
 fn write_str_map(out: &mut String, key: &str, map: &[(String, String)]) {
@@ -307,7 +390,12 @@ mod tests {
             created_unix: 1_754_000_000,
             wall_seconds: 2.5,
             threads: 8,
-            peak_rss_bytes: 12_345_678,
+            peak_rss_bytes: Some(12_345_678),
+            build: vec![
+                ("opt_level".into(), "3".into()),
+                ("rustc".into(), "rustc 1.95.0".into()),
+                ("target".into(), "x86_64-unknown-linux-gnu".into()),
+            ],
             config: vec![
                 ("workloads.num".into(), "24".into()),
                 ("train.epochs".into(), "300".into()),
@@ -332,6 +420,18 @@ mod tests {
             ],
             counters: vec![("campaign.gate_evals".into(), 123_456_789)],
             gauges: vec![("campaign.utilization".into(), 0.875)],
+            histograms: vec![(
+                "campaign.unit_seconds".into(),
+                HistogramSummary {
+                    count: 96,
+                    sum: 1.44,
+                    min: 0.01,
+                    max: 0.03,
+                    p50: 0.015,
+                    p90: 0.025,
+                    p99: 0.03,
+                },
+            )],
             digests: vec![("nodes_csv".into(), "fnv1a64:00ff00ff00ff00ff".into())],
         }
     }
@@ -363,6 +463,57 @@ mod tests {
         let manifest = sample();
         assert!((manifest.top_level_stage_seconds() - 2.25).abs() < 1e-12);
         assert!((manifest.stage_coverage() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_rss_round_trips_as_null() {
+        let manifest = RunManifest {
+            run_id: "x".into(),
+            command: "fusa".into(),
+            design: "d".into(),
+            peak_rss_bytes: None,
+            ..RunManifest::default()
+        };
+        let text = manifest.to_json();
+        assert!(text.contains("\"peak_rss_bytes\": null"));
+        assert_eq!(RunManifest::parse(&text).expect("parses"), manifest);
+    }
+
+    #[test]
+    fn parses_legacy_v1_manifests() {
+        // A v1 document: no build/histograms, RSS 0 means unknown.
+        let v1 = r#"{
+  "schema": "fusa-obs/manifest/v1",
+  "run_id": "analyze-d",
+  "command": "fusa analyze d",
+  "design": "d",
+  "created_unix": 1754000000,
+  "wall_seconds": 1.5,
+  "threads": 4,
+  "peak_rss_bytes": 0,
+  "config": {},
+  "seeds": {"split": 7},
+  "stages": [{"name": "campaign", "seconds": 1.0, "count": 1}],
+  "counters": {"campaign.gate_evals": 10},
+  "gauges": {},
+  "digests": {"nodes_csv": "fnv1a64:0000000000000001"}
+}"#;
+        let manifest = RunManifest::parse(v1).expect("v1 parses");
+        assert_eq!(manifest.peak_rss_bytes, None);
+        assert!(manifest.build.is_empty());
+        assert!(manifest.histograms.is_empty());
+        assert_eq!(manifest.stages.len(), 1);
+        // Re-serializing upgrades the document to v2.
+        assert!(manifest
+            .to_json()
+            .starts_with("{\n  \"schema\": \"fusa-obs/manifest/v2\""));
+
+        // A nonzero v1 RSS is preserved.
+        let with_rss = v1.replace("\"peak_rss_bytes\": 0", "\"peak_rss_bytes\": 42");
+        assert_eq!(
+            RunManifest::parse(&with_rss).unwrap().peak_rss_bytes,
+            Some(42)
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! The thread-safe metrics recorder: spans, counters, gauges, events.
+//! The thread-safe metrics recorder: spans, counters, gauges,
+//! histograms, events.
 
+use crate::histogram::Histogram;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -22,6 +24,7 @@ struct State {
     spans: BTreeMap<String, SpanStat>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 /// A point-in-time copy of everything a [`Recorder`] has aggregated.
@@ -33,6 +36,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// `(name, value)` gauge pairs, sorted by name.
     pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` pairs, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
 }
 
 impl Snapshot {
@@ -57,6 +62,14 @@ impl Snapshot {
     /// Value of gauge `name` (`None` if absent).
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Histogram `name` (`None` if absent).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
     }
 }
 
@@ -188,6 +201,30 @@ impl Recorder {
         *state.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
+    /// Records one observation into histogram `name` (created on first
+    /// use). O(1): one short-held lock plus a bucket increment; hot
+    /// paths observe per work unit (not per gate), so this stays off
+    /// the critical path.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut state = self.state.lock().expect("recorder state poisoned");
+        state
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Folds a privately aggregated histogram into histogram `name`.
+    /// Lets worker threads batch observations locally and merge once.
+    pub fn observe_merged(&self, name: &str, histogram: &Histogram) {
+        let mut state = self.state.lock().expect("recorder state poisoned");
+        state
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(histogram);
+    }
+
     /// Sets gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
         let mut state = self.state.lock().expect("recorder state poisoned");
@@ -270,6 +307,11 @@ impl Recorder {
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
             gauges: state.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: state
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
         }
     }
 
@@ -486,7 +528,88 @@ mod tests {
         let r = Recorder::new();
         r.add("n", 1);
         r.time("s", || {});
+        r.observe("h", 1.0);
         r.reset();
         assert_eq!(r.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn observe_aggregates_into_named_histograms() {
+        let r = Recorder::new();
+        r.observe("latency", 0.5);
+        r.observe("latency", 2.0);
+        let mut local = crate::Histogram::new();
+        local.observe(8.0);
+        r.observe_merged("latency", &local);
+        let snap = r.snapshot();
+        let h = snap.histogram("latency").expect("histogram exists");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 8.0);
+        assert!(snap.histogram("absent").is_none());
+    }
+
+    /// Snapshot iteration order is deterministic (sorted by name) no
+    /// matter the recording order, so `fusa report` output and JSONL
+    /// snapshots are stable across hash-map seeding and platforms.
+    #[test]
+    fn snapshot_iteration_order_is_sorted() {
+        let r = Recorder::new();
+        for name in ["zeta", "alpha", "mid"] {
+            r.add(name, 1);
+            r.gauge_set(name, 1.0);
+            r.observe(name, 1.0);
+            r.time_rooted(name, || {});
+        }
+        let snap = r.snapshot();
+        let sorted = ["alpha", "mid", "zeta"];
+        assert_eq!(
+            snap.counters
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            sorted
+        );
+        assert_eq!(
+            snap.gauges
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            sorted
+        );
+        assert_eq!(
+            snap.histograms
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            sorted
+        );
+        assert_eq!(
+            snap.spans
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            sorted
+        );
+    }
+
+    #[test]
+    fn concurrent_observations_merge_losslessly() {
+        let r = Recorder::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let r = &r;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        r.observe("work", (t * 100 + i) as f64 + 1.0);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        let h = snap.histogram("work").unwrap();
+        assert_eq!(h.count(), 400);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 400.0);
     }
 }

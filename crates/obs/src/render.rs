@@ -13,14 +13,22 @@ pub fn render_manifest_report(manifest: &RunManifest) -> String {
     let _ = writeln!(out, "=== fusa run manifest: {} ===", manifest.run_id);
     let _ = writeln!(out, "design  {}", manifest.design);
     let _ = writeln!(out, "command {}", manifest.command);
+    let rss = manifest
+        .peak_rss_bytes
+        .map_or_else(|| "n/a".to_string(), format_bytes);
     let _ = writeln!(
         out,
         "wall {:.3}s | threads {} | peak RSS {} | created @{}",
-        manifest.wall_seconds,
-        manifest.threads,
-        format_bytes(manifest.peak_rss_bytes),
-        manifest.created_unix,
+        manifest.wall_seconds, manifest.threads, rss, manifest.created_unix,
     );
+    if !manifest.build.is_empty() {
+        let parts: Vec<String> = manifest
+            .build
+            .iter()
+            .map(|(k, v)| format!("{k} {v}"))
+            .collect();
+        let _ = writeln!(out, "build   {}", parts.join(" | "));
+    }
 
     if !manifest.stages.is_empty() {
         let _ = writeln!(
@@ -68,6 +76,28 @@ pub fn render_manifest_report(manifest: &RunManifest) -> String {
             let _ = writeln!(out, "  {name:<width$} {value:.4}");
         }
     }
+    if !manifest.histograms.is_empty() {
+        let _ = writeln!(out, "\nhistograms:");
+        let width = key_width(manifest.histograms.iter().map(|(k, _)| k.len()));
+        let _ = writeln!(
+            out,
+            "  {:<width$} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "name", "count", "mean", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in &manifest.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<width$} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11}",
+                name,
+                h.count,
+                format_quantity(h.mean()),
+                format_quantity(h.p50),
+                format_quantity(h.p90),
+                format_quantity(h.p99),
+                format_quantity(h.max),
+            );
+        }
+    }
     if !manifest.seeds.is_empty() {
         let _ = writeln!(out, "\nseeds:");
         let width = key_width(manifest.seeds.iter().map(|(k, _)| k.len()));
@@ -94,6 +124,21 @@ pub fn render_manifest_report(manifest: &RunManifest) -> String {
 
 fn key_width(lengths: impl Iterator<Item = usize>) -> usize {
     lengths.max().unwrap_or(0).max(4)
+}
+
+/// Deterministic fixed-width-friendly number rendering for histogram
+/// statistics: sub-milli values in scientific notation, everything else
+/// with 4 significant-ish decimals.
+fn format_quantity(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() < 1e-3 || value.abs() >= 1e9 {
+        format!("{value:.3e}")
+    } else if value.abs() >= 1000.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.4}")
+    }
 }
 
 fn format_bytes(bytes: u64) -> String {
@@ -131,7 +176,8 @@ mod tests {
             created_unix: 1,
             wall_seconds: 2.0,
             threads: 4,
-            peak_rss_bytes: 3 << 20,
+            peak_rss_bytes: Some(3 << 20),
+            build: vec![("rustc".into(), "rustc 1.95.0".into())],
             config: vec![("k".into(), "v".into())],
             seeds: vec![("split".into(), 0x5117)],
             stages: vec![StageTime {
@@ -141,18 +187,56 @@ mod tests {
             }],
             counters: vec![("c".into(), 9)],
             gauges: vec![("g".into(), 0.5)],
+            histograms: vec![(
+                "campaign.unit_seconds".into(),
+                crate::HistogramSummary {
+                    count: 10,
+                    sum: 0.2,
+                    min: 0.01,
+                    max: 0.05,
+                    p50: 0.02,
+                    p90: 0.04,
+                    p99: 0.05,
+                },
+            )],
             digests: vec![("csv".into(), "fnv1a64:0123456789abcdef".into())],
         };
         let text = render_manifest_report(&manifest);
         assert!(text.contains("=== fusa run manifest: analyze-x ==="));
         assert!(text.contains("wall 2.000s | threads 4 | peak RSS 3.0 MiB"));
+        assert!(text.contains("build   rustc rustc 1.95.0"));
         assert!(text.contains("stages (top-level 1.000s, 50.0% of wall):"));
         assert!(text.contains("campaign"));
         assert!(text.contains("counters:"));
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("campaign.unit_seconds"));
         assert!(text.contains("seeds:"));
         assert!(text.contains("0x5117"));
         assert!(text.contains("output digests:"));
         assert!(text.contains("fnv1a64:0123456789abcdef"));
+    }
+
+    #[test]
+    fn absent_rss_renders_as_na() {
+        let manifest = RunManifest {
+            run_id: "r".into(),
+            command: "c".into(),
+            design: "d".into(),
+            peak_rss_bytes: None,
+            ..RunManifest::default()
+        };
+        let text = render_manifest_report(&manifest);
+        assert!(text.contains("peak RSS n/a"));
+    }
+
+    #[test]
+    fn quantities_render_deterministically() {
+        assert_eq!(format_quantity(0.0), "0");
+        assert_eq!(format_quantity(0.000012), "1.200e-5");
+        assert_eq!(format_quantity(0.0153), "0.0153");
+        assert_eq!(format_quantity(12.5), "12.5000");
+        assert_eq!(format_quantity(98_304.0), "98304.0");
+        assert_eq!(format_quantity(2.5e12), "2.500e12");
     }
 
     #[test]

@@ -1,19 +1,24 @@
 //! Peak resident-set-size (allocation high-water mark) probing.
 
-/// The process's peak resident set size in bytes, or 0 when the platform
-/// does not expose it.
+/// The process's peak resident set size in bytes, or `None` when the
+/// platform does not expose it.
 ///
 /// On Linux this reads `VmHWM` from `/proc/self/status` — the kernel's
 /// high-water mark of physical memory use, which manifests record as the
-/// run's allocation ceiling. Other platforms return 0 rather than guess.
-pub fn peak_rss_bytes() -> u64 {
+/// run's allocation ceiling. Other platforms report absence rather than
+/// guess; `fusa report` and `fusa compare` render "n/a" and skip the RSS
+/// comparison respectively.
+pub fn peak_rss_bytes() -> Option<u64> {
     #[cfg(target_os = "linux")]
     {
-        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
-            return parse_vm_hwm(&status).unwrap_or(0);
-        }
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|status| parse_vm_hwm(&status))
     }
-    0
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
 }
 
 #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
@@ -32,9 +37,11 @@ mod tests {
 
     #[test]
     fn parses_vm_hwm_line() {
+        // Fixture block mirroring /proc/self/status framing.
         let status = "Name:\tfusa\nVmPeak:\t  100 kB\nVmHWM:\t  2048 kB\nThreads:\t1\n";
         assert_eq!(parse_vm_hwm(status), Some(2048 * 1024));
         assert_eq!(parse_vm_hwm("Name:\tfusa\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
     }
 
     #[cfg(target_os = "linux")]
@@ -42,7 +49,7 @@ mod tests {
     fn linux_reports_nonzero_peak() {
         // Touch some memory so the HWM is definitely nonzero.
         let v = vec![1u8; 1 << 20];
-        assert!(peak_rss_bytes() > 0);
+        assert!(peak_rss_bytes().unwrap_or(0) > 0);
         drop(v);
     }
 }

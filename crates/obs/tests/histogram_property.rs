@@ -1,0 +1,86 @@
+//! Property tests for the log-bucketed histogram: on arbitrary
+//! observation streams the quantile estimates must bracket the exact
+//! sorted-reference quantiles within one bucket's relative error, and
+//! merging any partition of the stream must equal observing it whole.
+
+use fusa_obs::Histogram;
+use proptest::prelude::*;
+
+/// One bucket spans a factor of `2^(1/8)`; estimates may exceed the
+/// exact quantile by at most this ratio (see `histogram.rs`).
+const BUCKET_FACTOR: f64 = 1.0906;
+
+/// Exact quantile of `values` by sorting: smallest element with at
+/// least `ceil(q * n)` values at or below it — the same rank the
+/// histogram targets.
+fn exact_quantile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantile estimates are bounded below by the exact quantile and
+    /// above by one bucket's relative error (clamped to the true max).
+    #[test]
+    fn quantiles_bracket_exact_reference(
+        values in proptest::collection::vec(1e-6f64..1e6, 1..400),
+        q in 0.01f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let exact = exact_quantile(&values, q);
+        let estimate = h.quantile(q);
+        prop_assert!(
+            estimate >= exact,
+            "estimate {estimate} below exact {exact} at q={q}"
+        );
+        prop_assert!(
+            estimate <= exact * BUCKET_FACTOR,
+            "estimate {estimate} above bound {} at q={q}",
+            exact * BUCKET_FACTOR
+        );
+    }
+
+    /// Observing a stream whole and observing any 3-way partition then
+    /// merging agree on count, min, max and all quantiles.
+    #[test]
+    fn any_partition_merges_to_the_whole(
+        values in proptest::collection::vec(1e-9f64..1e9, 1..300),
+        splits in proptest::collection::vec(0usize..3, 1..300),
+    ) {
+        let mut whole = Histogram::new();
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &v) in values.iter().enumerate() {
+            whole.observe(v);
+            parts[splits[i % splits.len()]].observe(v);
+        }
+        let mut merged = Histogram::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        for q in [0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// Counts and sums are exact regardless of bucketing.
+    #[test]
+    fn count_and_sum_are_exact(values in proptest::collection::vec(0.0f64..1e3, 0..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let expected: f64 = values.iter().sum();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert!((h.sum() - expected).abs() <= expected.abs() * 1e-12 + 1e-12);
+    }
+}

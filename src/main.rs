@@ -11,8 +11,10 @@
 //! `harden`) records a run manifest — per-stage wall times, counters,
 //! seeds, peak RSS and output digests — under
 //! `results/<command>-<design>/manifest.json` (`--run-dir` overrides).
-//! `fusa report <manifest.json>` renders one; `--trace-out PATH`
-//! additionally streams JSONL trace events while the run executes.
+//! `fusa report <manifest.json>` renders one; `fusa compare` diffs two
+//! (digests, stage times, histogram quantiles) and exits nonzero on
+//! regression; `--trace-out PATH` streams JSONL trace events while the
+//! run executes and `--progress` prints live heartbeat lines.
 
 use fusa::faultsim::{FaultCampaign, FaultList, SeuCampaign, SeuConfig};
 use fusa::gcn::pipeline::{FusaPipeline, PipelineConfig};
@@ -84,6 +86,11 @@ const RUN_FLAGS: &[FlagSpec] = &[
         name: "--quiet-stats",
         value: None,
         help: "suppress the end-of-run manifest summary",
+    },
+    FlagSpec {
+        name: "--progress",
+        value: None,
+        help: "live heartbeat lines on stderr (campaign units, train epochs)",
     },
 ];
 
@@ -206,6 +213,40 @@ const COMMANDS: &[CommandSpec] = &[
         flags: &[],
         run_options: false,
         help: "render a run manifest",
+    },
+    CommandSpec {
+        name: "compare",
+        positionals: "<baseline> <candidate>",
+        positional_count: 2,
+        flags: &[
+            FlagSpec {
+                name: "--tolerance-pct",
+                value: Some("P"),
+                help: "allowed slowdown before a regression (default 10)",
+            },
+            FlagSpec {
+                name: "--min-seconds",
+                value: Some("S"),
+                help: "stages below this baseline never gate (default 0.05)",
+            },
+            FlagSpec {
+                name: "--json",
+                value: None,
+                help: "JSON delta table",
+            },
+            FlagSpec {
+                name: "--append-bench",
+                value: None,
+                help: "append a trajectory entry to the bench file",
+            },
+            FlagSpec {
+                name: "--bench-file",
+                value: Some("FILE"),
+                help: "bench file for --append-bench (default BENCH_campaign.json)",
+            },
+        ],
+        run_options: false,
+        help: "diff two run manifests; exit 1 on regression",
     },
 ];
 
@@ -334,6 +375,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "seu" => cmd_seu(args),
         "harden" => cmd_harden(args),
         "report" => cmd_report(args),
+        "compare" => cmd_compare(args),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -357,6 +399,32 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Positional arguments of a validated command line, in order: walks
+/// `args` skipping each value-taking flag's value, mirroring
+/// [`validate_args`].
+fn positional_args<'a>(spec: &CommandSpec, args: &'a [String]) -> Vec<&'a str> {
+    let takes_value = |name: &str| -> bool {
+        spec.flags
+            .iter()
+            .chain(if spec.run_options { RUN_FLAGS } else { &[] })
+            .any(|f| f.name == name && f.value.is_some())
+    };
+    let mut out = Vec::new();
+    let mut i = 1; // args[0] is the command itself
+    while i < args.len() {
+        let arg = &args[i];
+        if arg.starts_with("--") {
+            if takes_value(arg) {
+                i += 1;
+            }
+        } else {
+            out.push(arg.as_str());
+        }
+        i += 1;
+    }
+    out
 }
 
 fn pipeline_config(args: &[String]) -> PipelineConfig {
@@ -394,6 +462,7 @@ impl ObsSession {
     fn begin(command: &str, design_arg: &str, args: &[String]) -> Result<ObsSession, String> {
         let obs = fusa::obs::global();
         obs.reset();
+        fusa::obs::set_progress_stderr(args.iter().any(|a| a == "--progress"));
         if let Some(path) = flag_value(args, "--trace-out") {
             let file = std::fs::File::create(path)
                 .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
@@ -442,6 +511,7 @@ impl ObsSession {
             .find(|(name, _)| name == "campaign.threads")
             .map(|&(_, v)| v as usize)
             .unwrap_or(0);
+        manifest.build = build_provenance();
         manifest.config = config;
         manifest.seeds = seeds;
         manifest.digests = digests;
@@ -462,6 +532,22 @@ impl ObsSession {
         }
         Ok(())
     }
+}
+
+/// Build/toolchain provenance captured by `build.rs`, in sorted key
+/// order. Annotates cross-build `fusa compare` runs; digests never
+/// depend on these values.
+fn build_provenance() -> Vec<(String, String)> {
+    [
+        ("git_commit", env!("FUSA_GIT_COMMIT")),
+        ("opt_level", env!("FUSA_OPT_LEVEL")),
+        ("rustc", env!("FUSA_RUSTC_VERSION")),
+        ("target", env!("FUSA_TARGET")),
+    ]
+    .iter()
+    .filter(|(_, value)| !value.is_empty())
+    .map(|(key, value)| (key.to_string(), value.to_string()))
+    .collect()
 }
 
 /// Manifest `config` entries: flattened key/value strings.
@@ -782,5 +868,57 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let manifest = RunManifest::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
     print!("{}", render_manifest_report(&manifest));
+    Ok(())
+}
+
+/// `fusa compare <baseline> <candidate>`: the cross-run regression
+/// gate. Arguments are manifest files or run directories. Exits 1 when
+/// the candidate regressed (digest mismatch on same-seed runs, or a
+/// time metric beyond tolerance).
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    use fusa::obs::{
+        append_bench_trajectory, compare_manifests, load_manifest_arg, CompareOptions,
+    };
+
+    let spec = COMMANDS
+        .iter()
+        .find(|c| c.name == "compare")
+        .expect("compare spec");
+    let positionals = positional_args(spec, args);
+    let baseline_arg = positionals.first().ok_or("missing baseline")?;
+    let candidate_arg = positionals.get(1).ok_or("missing candidate")?;
+    let baseline = load_manifest_arg(std::path::Path::new(baseline_arg))?;
+    let candidate = load_manifest_arg(std::path::Path::new(candidate_arg))?;
+
+    let mut options = CompareOptions::default();
+    if let Some(value) = flag_value(args, "--tolerance-pct") {
+        options.tolerance_pct = value
+            .parse()
+            .map_err(|_| format!("bad --tolerance-pct value `{value}`"))?;
+    }
+    if let Some(value) = flag_value(args, "--min-seconds") {
+        options.min_seconds = value
+            .parse()
+            .map_err(|_| format!("bad --min-seconds value `{value}`"))?;
+    }
+    let comparison = compare_manifests(&baseline, &candidate, options);
+
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", comparison.to_json().render());
+    } else {
+        print!("{}", comparison.render_text());
+    }
+
+    if args.iter().any(|a| a == "--append-bench") {
+        let path = flag_value(args, "--bench-file").unwrap_or("BENCH_campaign.json");
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let updated = append_bench_trajectory(&existing, &comparison, &baseline, &candidate)?;
+        std::fs::write(path, updated).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("trajectory entry appended to {path}");
+    }
+
+    if comparison.has_regression() {
+        std::process::exit(1);
+    }
     Ok(())
 }

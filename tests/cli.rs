@@ -225,6 +225,29 @@ fn analyze_writes_parseable_manifest_with_stage_coverage() {
         assert!(digest.starts_with("fnv1a64:"), "{digest}");
     }
 
+    // Acceptance: the v2 manifest carries the four pipeline histograms
+    // with ordered quantile estimates.
+    for name in [
+        "campaign.unit_seconds",
+        "campaign.unit_gate_evals",
+        "train.epoch_seconds",
+        "train.loss",
+    ] {
+        let summary = manifest
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+            .unwrap_or_else(|| panic!("histogram `{name}` missing"));
+        assert!(summary.count > 0, "{name} empty");
+        assert!(
+            summary.p50 <= summary.p90 && summary.p90 <= summary.p99,
+            "{name} quantiles out of order"
+        );
+    }
+    // Build provenance is recorded (rustc is always probeable in CI).
+    assert!(manifest.build.iter().any(|(key, _)| key == "rustc"));
+
     // The trace is line-delimited JSON with span and epoch events.
     let trace_text = std::fs::read_to_string(&trace).unwrap();
     assert!(trace_text.lines().count() > 10);
@@ -275,6 +298,149 @@ fn same_seed_runs_produce_identical_digests() {
         "same-seed runs must produce identical artifact digests"
     );
     assert_eq!(manifests[0].seeds, manifests[1].seeds);
+}
+
+#[test]
+fn compare_gates_same_seed_runs_and_detects_regressions() {
+    use fusa::obs::{Json, RunManifest};
+
+    // Two same-seed runs: digests identical, wall times within noise.
+    let dir = std::env::temp_dir().join("fusa_cli_compare");
+    for sub in ["a", "b"] {
+        let run_dir = dir.join(sub);
+        let output = fusa()
+            .args([
+                "faults",
+                "or1200_icfsm",
+                "--fast",
+                "--quiet-stats",
+                "--run-dir",
+                run_dir.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(output.status.success(), "{:?}", output);
+    }
+    let baseline = dir.join("a");
+    let candidate = dir.join("b");
+
+    // Same-seed compare with a generous tolerance exits 0.
+    let output = fusa()
+        .args([
+            "compare",
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            "--tolerance-pct",
+            "200",
+            "--min-seconds",
+            "0.2",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "{stdout}\n{:?}", output);
+    assert!(stdout.contains("result: OK"), "{stdout}");
+    assert!(stdout.contains("same-seed yes"), "{stdout}");
+
+    // JSON output parses and reports no regression.
+    let output = fusa()
+        .args([
+            "compare",
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            "--tolerance-pct",
+            "200",
+            "--min-seconds",
+            "0.2",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    let doc = Json::parse(String::from_utf8_lossy(&output.stdout).trim()).expect("json parses");
+    assert_eq!(doc.get("regression"), Some(&Json::Bool(false)));
+
+    // Inject a >10% stage-time regression into a copy of the candidate
+    // manifest: compare must exit nonzero and name the stage.
+    let manifest_path = candidate.join("manifest.json");
+    let mut slowed = RunManifest::parse(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+    for stage in &mut slowed.stages {
+        stage.seconds *= 2.0;
+    }
+    let slowed_dir = dir.join("slowed");
+    std::fs::create_dir_all(&slowed_dir).unwrap();
+    std::fs::write(slowed_dir.join("manifest.json"), slowed.to_json()).unwrap();
+    let output = fusa()
+        .args([
+            "compare",
+            baseline.to_str().unwrap(),
+            slowed_dir.to_str().unwrap(),
+            "--min-seconds",
+            "0.001",
+        ])
+        .output()
+        .unwrap();
+    assert!(!output.status.success(), "doubled stage times must gate");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("result: REGRESSION"), "{stdout}");
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+
+    // --append-bench writes a well-formed trajectory entry.
+    let bench_file = dir.join("bench.json");
+    let _ = std::fs::remove_file(&bench_file);
+    let output = fusa()
+        .args([
+            "compare",
+            baseline.to_str().unwrap(),
+            candidate.to_str().unwrap(),
+            "--tolerance-pct",
+            "200",
+            "--min-seconds",
+            "0.2",
+            "--append-bench",
+            "--bench-file",
+            bench_file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    let bench = Json::parse(&std::fs::read_to_string(&bench_file).unwrap()).unwrap();
+    let trajectory = bench
+        .get("trajectory")
+        .and_then(Json::as_arr)
+        .expect("trajectory array");
+    assert_eq!(trajectory.len(), 1);
+    let entry = &trajectory[0];
+    assert_eq!(
+        entry.get("design").and_then(Json::as_str),
+        Some("or1200_icfsm")
+    );
+    assert_eq!(entry.get("regression"), Some(&Json::Bool(false)));
+    assert!(entry
+        .get("candidate_wall_seconds")
+        .and_then(Json::as_f64)
+        .is_some());
+}
+
+#[test]
+fn progress_flag_emits_heartbeat_lines() {
+    let run_dir = std::env::temp_dir().join("fusa_cli_progress").join("run");
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--quiet-stats",
+            "--progress",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("[fusa] campaign:"), "{stderr}");
+    assert!(stderr.contains("units"), "{stderr}");
 }
 
 #[test]
@@ -353,12 +519,15 @@ fn usage_lists_every_command() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     for name in [
         "designs", "stats", "lint", "analyze", "faults", "explain", "seu", "harden", "report",
+        "compare",
     ] {
         assert!(stderr.contains(&format!("fusa {name}")), "missing {name}");
     }
     assert!(stderr.contains("--trace-out PATH"), "{stderr}");
     assert!(stderr.contains("--run-dir DIR"), "{stderr}");
     assert!(stderr.contains("--quiet-stats"), "{stderr}");
+    assert!(stderr.contains("--progress"), "{stderr}");
+    assert!(stderr.contains("--tolerance-pct"), "{stderr}");
 }
 
 #[test]

@@ -1,15 +1,22 @@
-//! Golden-file test pinning the `fusa report` rendering byte-for-byte.
+//! Golden-file tests pinning the `fusa report` rendering byte-for-byte.
 //!
 //! The rendered breakdown is part of the reproduction playbook
 //! (EXPERIMENTS.md tells readers what to expect from a manifest), so its
 //! format is locked here: any intentional change to the renderer must
 //! regenerate `tests/data/golden_report.txt` with
 //! `fusa report tests/data/golden_manifest.json`.
+//!
+//! Two manifest generations are pinned: the current v2 schema (build
+//! provenance + histograms) and a legacy v1 document, which must keep
+//! loading and rendering — v1 has no histograms and records an unknown
+//! peak RSS as `0`, rendered as `n/a`.
 
-use fusa::obs::{render_manifest_report, RunManifest};
+use fusa::obs::{render_manifest_report, RunManifest, MANIFEST_SCHEMA, MANIFEST_SCHEMA_V1};
 
 const GOLDEN_MANIFEST: &str = include_str!("data/golden_manifest.json");
 const GOLDEN_REPORT: &str = include_str!("data/golden_report.txt");
+const GOLDEN_MANIFEST_V1: &str = include_str!("data/golden_manifest_v1.json");
+const GOLDEN_REPORT_V1: &str = include_str!("data/golden_report_v1.txt");
 
 #[test]
 fn report_rendering_matches_golden_file() {
@@ -24,6 +31,8 @@ fn golden_manifest_round_trips() {
     assert_eq!(reparsed, manifest);
     // Serialization is a fixed point: render(parse(render(m))) == render(m).
     assert_eq!(reparsed.to_json(), manifest.to_json());
+    // And the committed fixture IS the serialized form, byte for byte.
+    assert_eq!(manifest.to_json(), GOLDEN_MANIFEST);
 }
 
 #[test]
@@ -33,4 +42,19 @@ fn golden_manifest_summary_fields() {
     assert_eq!(manifest.threads, 8);
     assert!((manifest.top_level_stage_seconds() - 2.3).abs() < 1e-12);
     assert!((manifest.stage_coverage() - 0.92).abs() < 1e-12);
+    assert_eq!(manifest.histograms.len(), 3);
+    assert_eq!(manifest.build.len(), 4);
+    assert!(GOLDEN_MANIFEST.contains(MANIFEST_SCHEMA));
+}
+
+#[test]
+fn legacy_v1_manifest_still_loads_and_renders() {
+    assert!(GOLDEN_MANIFEST_V1.contains(MANIFEST_SCHEMA_V1));
+    let manifest = RunManifest::parse(GOLDEN_MANIFEST_V1).expect("v1 manifest parses");
+    assert!(manifest.histograms.is_empty());
+    assert!(manifest.build.is_empty());
+    assert_eq!(manifest.design, "sdram_ctrl");
+    assert_eq!(render_manifest_report(&manifest), GOLDEN_REPORT_V1);
+    // Rewriting a v1 document upgrades it to the current schema.
+    assert!(manifest.to_json().contains(MANIFEST_SCHEMA));
 }
