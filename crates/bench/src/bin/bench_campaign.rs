@@ -39,7 +39,9 @@ fn measure(
 ) -> Measurement {
     let campaign = FaultCampaign::new(config);
     let started = Instant::now();
-    let report = campaign.run(netlist, faults, workloads);
+    let report = campaign
+        .run(netlist, faults, workloads)
+        .expect("campaign runs");
     let seconds = started.elapsed().as_secs_f64();
     let stats = report.stats().clone();
     Measurement {

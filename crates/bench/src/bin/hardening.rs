@@ -114,6 +114,7 @@ fn gate_defect_vulnerability(
     let workloads = WorkloadSuite::generate(&design, &config.workloads);
     let dataset = FaultCampaign::new(config.campaign)
         .run(&design, &faults, &workloads)
+        .expect("campaign runs")
         .into_dataset(config.criticality_threshold);
 
     let mut total = 0.0;

@@ -32,9 +32,11 @@ fn main() {
 
         let output_dataset = campaign
             .run(&netlist, &output_faults, &workloads)
+            .expect("campaign runs")
             .into_dataset(config.criticality_threshold);
         let pin_dataset = campaign
             .run(&netlist, &collapsed, &workloads)
+            .expect("campaign runs")
             .into_dataset(config.criticality_threshold);
 
         let agreement = output_dataset

@@ -28,6 +28,7 @@ fn main() {
         let faults = FaultList::all_gate_outputs(&netlist);
         let dataset = FaultCampaign::new(config.campaign)
             .run(&netlist, &faults, &workloads)
+            .expect("campaign runs")
             .into_dataset(config.criticality_threshold);
 
         let stuckat: Vec<f64> = seu_report.flops.iter().map(|&g| dataset.score(g)).collect();

@@ -25,7 +25,9 @@ fn main() {
         let faults = FaultList::all_gate_outputs(&netlist);
         let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
         let fi_started = Instant::now();
-        let report = FaultCampaign::new(config.campaign).run(&netlist, &faults, &workloads);
+        let report = FaultCampaign::new(config.campaign)
+            .run(&netlist, &faults, &workloads)
+            .expect("campaign runs");
         let fi_seconds = fi_started.elapsed().as_secs_f64();
         let _ = report.mean_coverage();
 

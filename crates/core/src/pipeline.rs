@@ -6,7 +6,10 @@ use crate::model::{GcnConfig, GcnRegressor};
 use crate::train::{
     train_classifier, train_regressor, EvaluationReport, TrainConfig, TrainHistory,
 };
-use fusa_faultsim::{CampaignConfig, CampaignStats, CriticalityDataset, FaultCampaign, FaultList};
+use fusa_faultsim::{
+    CampaignConfig, CampaignError, CampaignStats, CriticalityDataset, DurabilityConfig,
+    FaultCampaign, FaultList, QuarantinedUnit,
+};
 use fusa_graph::{normalized_adjacency, CircuitGraph, FeatureMatrix, Standardizer};
 use fusa_logicsim::{SignalStats, SignalStatsConfig, WorkloadConfig, WorkloadSuite};
 use fusa_netlist::Netlist;
@@ -98,6 +101,18 @@ pub enum PipelineError {
         /// Total number of nodes.
         total: usize,
     },
+    /// The fault campaign itself failed (lost unit result, checkpoint
+    /// I/O or a resume/checkpoint mismatch).
+    Campaign(CampaignError),
+    /// The campaign drained early on an interruption request; ground
+    /// truth is partial and no model was trained. Resume the run with
+    /// `--resume` to finish the remaining units.
+    Interrupted {
+        /// Units whose verdicts were completed (including checkpointed).
+        completed: usize,
+        /// Total scheduled units.
+        total: usize,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -106,6 +121,11 @@ impl fmt::Display for PipelineError {
             PipelineError::DegenerateLabels { critical, total } => write!(
                 f,
                 "degenerate labels: {critical}/{total} nodes critical; adjust threshold or workloads"
+            ),
+            PipelineError::Campaign(error) => write!(f, "fault campaign failed: {error}"),
+            PipelineError::Interrupted { completed, total } => write!(
+                f,
+                "campaign interrupted after {completed}/{total} units; resume with --resume"
             ),
         }
     }
@@ -143,6 +163,9 @@ pub struct FusaAnalysis {
     /// Timing/throughput statistics of the fault-injection campaign —
     /// the dominant cost of the pipeline.
     pub campaign_stats: CampaignStats,
+    /// Units the campaign quarantined after repeated panics (empty on a
+    /// clean run). Their faults default to benign in the ground truth.
+    pub campaign_quarantined: Vec<QuarantinedUnit>,
 }
 
 impl fmt::Debug for FusaAnalysis {
@@ -222,12 +245,24 @@ impl FusaAnalysis {
 #[derive(Debug, Clone)]
 pub struct FusaPipeline {
     config: PipelineConfig,
+    campaign_durability: DurabilityConfig,
 }
 
 impl FusaPipeline {
     /// Creates a pipeline with the given configuration.
     pub fn new(config: PipelineConfig) -> FusaPipeline {
-        FusaPipeline { config }
+        FusaPipeline {
+            config,
+            campaign_durability: DurabilityConfig::default(),
+        }
+    }
+
+    /// Installs campaign durability options (checkpointing, resume,
+    /// retry budget, interruption flag). `PipelineConfig` stays `Clone +
+    /// PartialEq`-comparable; the durability knobs ride alongside it.
+    pub fn with_campaign_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.campaign_durability = durability;
+        self
     }
 
     /// The pipeline configuration.
@@ -284,8 +319,19 @@ impl FusaPipeline {
         let workloads = WorkloadSuite::generate(netlist, &self.config.workloads);
         // FaultCampaign::run opens its own top-level "campaign" span so
         // direct callers (`fusa faults`) get the same breakdown.
-        let report = FaultCampaign::new(self.config.campaign).run(netlist, &faults, &workloads);
+        let report = FaultCampaign::new(self.config.campaign)
+            .with_durability(self.campaign_durability.clone())
+            .run(netlist, &faults, &workloads)
+            .map_err(PipelineError::Campaign)?;
+        if report.interrupted() {
+            let stats = report.stats();
+            return Err(PipelineError::Interrupted {
+                completed: stats.units - stats.units_skipped - stats.units_quarantined,
+                total: stats.units,
+            });
+        }
         let campaign_stats = report.stats().clone();
+        let campaign_quarantined = report.quarantined().to_vec();
         let dataset = report.into_dataset(self.config.criticality_threshold);
 
         let critical = dataset.critical_count();
@@ -329,6 +375,7 @@ impl FusaPipeline {
             evaluation,
             excluded_fault_sites,
             campaign_stats,
+            campaign_quarantined,
         })
     }
 }

@@ -14,16 +14,22 @@
 //!   `min_divergent_cycles`, no later cycle can change any outcome and
 //!   the chunk stops stepping.
 
+use crate::checkpoint::{self, CheckpointHeader, CheckpointWriter};
+use crate::durability::{
+    panic_message, CampaignError, DurabilityConfig, FaultInjection, QuarantinedUnit,
+};
 use crate::fault::{Fault, FaultList, FaultSite};
 use crate::report::{CampaignReport, CampaignStats, FaultOutcome, WorkloadReport};
 use fusa_logicsim::{ActiveCone, BitSim, Workload, WorkloadSuite};
 use fusa_netlist::{GateId, Netlist};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Faults simulated per bit-parallel pass (one per `u64` lane).
-const LANES: usize = 64;
+pub(crate) const LANES: usize = 64;
 
 /// Parameters of a [`FaultCampaign`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +84,8 @@ impl Default for CampaignConfig {
 #[derive(Debug, Clone, Default)]
 pub struct FaultCampaign {
     config: CampaignConfig,
+    durability: DurabilityConfig,
+    injection: FaultInjection,
 }
 
 /// Golden (fault-free) reference of one workload, shared read-only
@@ -139,34 +147,106 @@ impl GoldenTrace {
 }
 
 /// Result of one `(workload × chunk)` unit.
-struct UnitOutput {
-    outcomes: Vec<FaultOutcome>,
-    first_divergence: Vec<Option<u32>>,
-    stepped_fault_cycles: u64,
-    gate_evals: u64,
+pub(crate) struct UnitOutput {
+    pub(crate) outcomes: Vec<FaultOutcome>,
+    pub(crate) first_divergence: Vec<Option<u32>>,
+    pub(crate) stepped_fault_cycles: u64,
+    pub(crate) gate_evals: u64,
 }
 
 impl FaultCampaign {
     /// Creates a campaign runner with the given configuration.
     pub fn new(config: CampaignConfig) -> Self {
-        FaultCampaign { config }
+        FaultCampaign {
+            config,
+            durability: DurabilityConfig::default(),
+            injection: FaultInjection::default(),
+        }
+    }
+
+    /// Sets the durability policy (checkpointing, resume, retries,
+    /// interruption flag).
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Arms deterministic fault-injection hooks (tests only). When left
+    /// at the no-op default, hooks are read from the `FUSA_CAMPAIGN_*`
+    /// environment variables instead.
+    pub fn with_injection(mut self, injection: FaultInjection) -> Self {
+        self.injection = injection;
+        self
     }
 
     /// Executes the campaign and returns the full report.
+    ///
+    /// A unit that panics is retried up to
+    /// [`DurabilityConfig::max_unit_retries`] times on a fresh simulator
+    /// and then quarantined (its faults stay `Benign` and the unit is
+    /// listed in [`CampaignReport::quarantined`]). When the durability
+    /// interrupt flag is set mid-run, in-flight units drain, the
+    /// checkpoint is flushed and the partial report is returned with
+    /// [`CampaignReport::interrupted`] set.
     pub fn run(
         &self,
         netlist: &Netlist,
         faults: &FaultList,
         workloads: &WorkloadSuite,
-    ) -> CampaignReport {
+    ) -> Result<CampaignReport, CampaignError> {
         let obs = fusa_obs::global();
         let _span = obs.span("campaign");
         let start = Instant::now();
         let config = self.config;
+        let durability = &self.durability;
+        let injection = if self.injection.is_noop() {
+            FaultInjection::from_env()
+        } else {
+            self.injection.clone()
+        };
         let workload_list = workloads.workloads();
         let fault_slice = faults.faults();
         let chunk_count = fault_slice.len().div_ceil(LANES);
         let unit_count = workload_list.len() * chunk_count;
+
+        // Checkpoint setup: fingerprint the campaign, load completed
+        // units on resume (header mismatch is a hard error), and open
+        // the writer (write failures degrade to a warning).
+        let header = durability
+            .checkpoint
+            .as_ref()
+            .map(|_| CheckpointHeader::capture(netlist, faults, workloads, &config));
+        let mut completed: HashMap<usize, UnitOutput> = HashMap::new();
+        if durability.resume {
+            let path = durability
+                .checkpoint
+                .as_ref()
+                .ok_or(CampaignError::ResumeWithoutCheckpoint)?;
+            let expected = header.as_ref().expect("header captured with checkpoint");
+            completed = checkpoint::load_units(path, expected, unit_count)?;
+        }
+        let writer = match (&durability.checkpoint, &header) {
+            (Some(path), Some(header)) => {
+                let opened = if durability.resume {
+                    CheckpointWriter::append_to(path)
+                } else {
+                    CheckpointWriter::create(path, header)
+                };
+                match opened {
+                    Ok(writer) => Some(writer),
+                    Err(e) => {
+                        eprintln!("fusa-faultsim: {e}; continuing without checkpointing");
+                        None
+                    }
+                }
+            }
+            _ => None,
+        };
+        let writer = writer.as_ref();
+
+        let pending: Vec<usize> = (0..unit_count)
+            .filter(|unit| !completed.contains_key(unit))
+            .collect();
         let threads = if config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -174,9 +254,11 @@ impl FaultCampaign {
         } else {
             config.threads
         };
-        let workers = threads.clamp(1, unit_count.max(1));
+        let workers = threads.clamp(1, pending.len().max(1));
         // Heartbeat over the unit work queue; a disabled no-op handle
         // unless a sink is attached or `--progress` enabled stderr.
+        // Totals include checkpointed units so a resumed run reports
+        // done-including-checkpointed progress.
         let progress = fusa_obs::Progress::start(
             obs,
             "campaign",
@@ -184,15 +266,36 @@ impl FaultCampaign {
             unit_count as u64,
             fusa_obs::ProgressConfig::default(),
         );
+        progress.advance(completed.len() as u64);
 
         let golden: Vec<OnceLock<GoldenTrace>> =
             (0..workload_list.len()).map(|_| OnceLock::new()).collect();
         let cones: Vec<OnceLock<ActiveCone>> = (0..chunk_count).map(|_| OnceLock::new()).collect();
         let results: Vec<OnceLock<UnitOutput>> = (0..unit_count).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
+        let done_this_run = AtomicUsize::new(0);
+        let retries_total = AtomicU64::new(0);
+        let quarantined: Mutex<Vec<QuarantinedUnit>> = Mutex::new(Vec::new());
+        // Injected interruptions without an external flag land here so
+        // library tests never touch process-global state.
+        let local_interrupt = AtomicBool::new(false);
+        let stop_requested = || {
+            durability
+                .interrupt
+                .is_some_and(|flag| flag.load(Ordering::Acquire))
+                || local_interrupt.load(Ordering::Acquire)
+        };
+        let request_stop = || match durability.interrupt {
+            Some(flag) => flag.store(true, Ordering::Release),
+            None => local_interrupt.store(true, Ordering::Release),
+        };
 
         let mut busy = vec![0.0f64; workers];
         let progress = &progress;
+        let pending = &pending;
+        let injection = &injection;
+        let quarantined_ref = &quarantined;
+        let max_attempts = durability.max_unit_retries.saturating_add(1);
         let worker = |busy_slot: &mut f64| {
             let mut sim = BitSim::new(netlist);
             let mut out_buf = vec![0u64; netlist.primary_outputs().len()];
@@ -202,10 +305,14 @@ impl FaultCampaign {
             let mut unit_seconds = fusa_obs::Histogram::new();
             let mut unit_gate_evals = fusa_obs::Histogram::new();
             loop {
-                let unit = next.fetch_add(1, Ordering::Relaxed);
-                if unit >= unit_count {
+                if stop_requested() {
                     break;
                 }
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                if slot >= pending.len() {
+                    break;
+                }
+                let unit = pending[slot];
                 let begun = Instant::now();
                 let w = unit / chunk_count;
                 let c = unit % chunk_count;
@@ -230,21 +337,65 @@ impl FaultCampaign {
                 } else {
                     None
                 };
-                let output = obs.time_rooted("campaign/units", || {
-                    run_unit(
-                        &mut sim,
-                        chunk,
-                        workload,
-                        trace,
-                        cone,
-                        &config,
-                        &mut out_buf,
-                    )
-                });
-                unit_gate_evals.observe(output.gate_evals as f64);
-                progress.add_work(output.stepped_fault_cycles);
-                let stored = results[unit].set(output);
-                debug_assert!(stored.is_ok(), "unit {unit} simulated once");
+                // Panic isolation: each attempt runs under catch_unwind;
+                // a panicking attempt leaves the simulator in an unknown
+                // state, so it is rebuilt before the retry.
+                let mut attempt = 0u32;
+                let output = loop {
+                    attempt += 1;
+                    let inject = injection.should_panic(unit, attempt);
+                    let attempted = catch_unwind(AssertUnwindSafe(|| {
+                        if inject {
+                            panic!("injected unit fault (unit {unit}, attempt {attempt})");
+                        }
+                        obs.time_rooted("campaign/units", || {
+                            run_unit(
+                                &mut sim,
+                                chunk,
+                                workload,
+                                trace,
+                                cone,
+                                &config,
+                                &mut out_buf,
+                            )
+                        })
+                    }));
+                    match attempted {
+                        Ok(output) => break Some(output),
+                        Err(payload) => {
+                            sim = BitSim::new(netlist);
+                            if attempt >= max_attempts {
+                                quarantined_ref.lock().expect("quarantine poisoned").push(
+                                    QuarantinedUnit {
+                                        unit,
+                                        workload: workload.name.clone(),
+                                        chunk: c,
+                                        attempts: attempt,
+                                        panic_message: panic_message(payload.as_ref()),
+                                    },
+                                );
+                                break None;
+                            }
+                            retries_total.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                };
+                if let Some(output) = output {
+                    unit_gate_evals.observe(output.gate_evals as f64);
+                    progress.add_work(output.stepped_fault_cycles);
+                    if let Some(writer) = writer {
+                        writer.record(unit, &output);
+                    }
+                    let stored = results[unit].set(output);
+                    debug_assert!(stored.is_ok(), "unit {unit} simulated once");
+                    let done = done_this_run.fetch_add(1, Ordering::Relaxed) + 1;
+                    if injection.interrupt_after_units == Some(done) {
+                        request_stop();
+                    }
+                    if injection.sigterm_after_units == Some(done) {
+                        fusa_obs::raise_shutdown_signal();
+                    }
+                }
                 let elapsed = begun.elapsed().as_secs_f64();
                 unit_seconds.observe(elapsed);
                 *busy_slot += elapsed;
@@ -267,11 +418,17 @@ impl FaultCampaign {
             });
         }
 
-        // Assemble per-workload reports from the per-unit slots and fold
-        // the throughput accounting.
+        let interrupted = stop_requested();
+        let quarantined = quarantined.into_inner().expect("quarantine poisoned");
+
+        // Assemble per-workload reports from the per-unit slots (or the
+        // checkpoint, on resume) and fold the throughput accounting.
         let mut stats = CampaignStats {
             threads: workers,
             units: unit_count,
+            units_from_checkpoint: completed.len(),
+            units_quarantined: quarantined.len(),
+            unit_retries: retries_total.into_inner(),
             ..CampaignStats::default()
         };
         let mut workload_reports = Vec::with_capacity(workload_list.len());
@@ -279,9 +436,24 @@ impl FaultCampaign {
             let mut outcomes = vec![FaultOutcome::Benign; fault_slice.len()];
             let mut first_divergence: Vec<Option<u32>> = vec![None; fault_slice.len()];
             for c in 0..chunk_count {
-                let output = results[w * chunk_count + c]
-                    .get()
-                    .expect("every scheduled unit produced a result");
+                let unit = w * chunk_count + c;
+                let output = results[unit].get().or_else(|| completed.get(&unit));
+                let Some(output) = output else {
+                    if quarantined.iter().any(|q| q.unit == unit) {
+                        // Quarantined: faults keep the Benign default and
+                        // the unit is listed in the report.
+                        continue;
+                    }
+                    if interrupted {
+                        stats.units_skipped += 1;
+                        continue;
+                    }
+                    return Err(CampaignError::MissingUnit {
+                        unit,
+                        workload: workload.name.clone(),
+                        chunk: c,
+                    });
+                };
                 let base = c * LANES;
                 outcomes[base..base + output.outcomes.len()].copy_from_slice(&output.outcomes);
                 first_divergence[base..base + output.first_divergence.len()]
@@ -306,12 +478,14 @@ impl FaultCampaign {
         stats.worker_busy_seconds = busy;
         stats.publish(obs);
 
-        CampaignReport {
+        Ok(CampaignReport {
             faults: faults.clone(),
             gate_count: netlist.gate_count(),
             workload_reports,
             stats,
-        }
+            interrupted,
+            quarantined,
+        })
     }
 }
 
@@ -479,7 +653,9 @@ mod tests {
         let netlist = inverter_netlist();
         let faults = FaultList::all_gate_outputs(&netlist);
         let workloads = tiny_suite(&netlist, 4, 32);
-        let report = FaultCampaign::default().run(&netlist, &faults, &workloads);
+        let report = FaultCampaign::default()
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
         // A stuck output on the only path must diverge in any workload
         // that exercises both input values; narrow kinds may freeze the
         // single input, so restrict the check to uniform-random ones.
@@ -504,7 +680,9 @@ mod tests {
         let netlist = b.finish().unwrap();
         let faults = FaultList::all_gate_outputs(&netlist);
         let workloads = tiny_suite(&netlist, 2, 16);
-        let report = FaultCampaign::default().run(&netlist, &faults, &workloads);
+        let report = FaultCampaign::default()
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
         let dead_gate = netlist.find_gate("DEAD").unwrap();
         for wr in report.workload_reports() {
             for (fault, outcome) in faults.iter().zip(&wr.outcomes) {
@@ -528,7 +706,9 @@ mod tests {
         let netlist = b.finish().unwrap();
         let faults = FaultList::all_gate_outputs(&netlist);
         let workloads = tiny_suite(&netlist, 1, 16);
-        let report = FaultCampaign::default().run(&netlist, &faults, &workloads);
+        let report = FaultCampaign::default()
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
         let hid = netlist.find_gate("HID").unwrap();
         let wr = &report.workload_reports()[0];
         let mut saw_latent = false;
@@ -546,7 +726,9 @@ mod tests {
         let netlist = inverter_netlist();
         let faults = FaultList::all_gate_outputs(&netlist);
         let workloads = tiny_suite(&netlist, 1, 8);
-        let report = FaultCampaign::default().run(&netlist, &faults, &workloads);
+        let report = FaultCampaign::default()
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
         let wr = &report.workload_reports()[0];
         for (outcome, first) in wr.outcomes.iter().zip(&wr.first_divergence) {
             if *outcome == FaultOutcome::Dangerous {
@@ -567,13 +749,15 @@ mod tests {
             classify_latent: true,
             ..Default::default()
         })
-        .run(&netlist, &faults, &workloads);
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
         let parallel = FaultCampaign::new(CampaignConfig {
             threads: 4,
             classify_latent: true,
             ..Default::default()
         })
-        .run(&netlist, &faults, &workloads);
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
         for (a, b) in serial
             .workload_reports()
             .iter()
@@ -597,7 +781,8 @@ mod tests {
             early_exit: false,
             ..Default::default()
         })
-        .run(&netlist, &faults, &workloads);
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
         for restrict_to_cone in [false, true] {
             for early_exit in [false, true] {
                 for threads in [1, 4] {
@@ -607,7 +792,8 @@ mod tests {
                         early_exit,
                         ..Default::default()
                     })
-                    .run(&netlist, &faults, &workloads);
+                    .run(&netlist, &faults, &workloads)
+                    .unwrap();
                     for (a, b) in reference
                         .workload_reports()
                         .iter()
@@ -642,12 +828,14 @@ mod tests {
                 early_exit: false,
                 ..base
             })
-            .run(&netlist, &faults, &workloads);
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
             let with = FaultCampaign::new(CampaignConfig {
                 early_exit: true,
                 ..base
             })
-            .run(&netlist, &faults, &workloads);
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
             for (a, b) in without
                 .workload_reports()
                 .iter()
@@ -669,7 +857,8 @@ mod tests {
             early_exit: false,
             ..Default::default()
         })
-        .run(&netlist, &faults, &workloads);
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
         let stats = report.stats();
         assert!(stats.wall_seconds > 0.0);
         assert_eq!(stats.threads, 1);
@@ -709,7 +898,9 @@ mod tests {
         let faults = FaultList::all_gate_outputs(&netlist);
         assert!(faults.len() > 64);
         let workloads = tiny_suite(&netlist, 2, 24);
-        let report = FaultCampaign::default().run(&netlist, &faults, &workloads);
+        let report = FaultCampaign::default()
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
         assert_eq!(report.workload_reports()[0].outcomes.len(), faults.len());
         // Cross-check a fault from the second chunk against a scalar
         // single-fault run.
@@ -758,7 +949,9 @@ mod tests {
                 seed: 11,
             },
         );
-        let report = FaultCampaign::default().run(&netlist, &faults, &workloads);
+        let report = FaultCampaign::default()
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
         let coverages: Vec<f64> = report
             .workload_reports()
             .iter()
@@ -783,11 +976,265 @@ mod tests {
         let netlist = inverter_netlist();
         let faults: FaultList = Vec::<Fault>::new().into_iter().collect();
         let workloads = tiny_suite(&netlist, 2, 8);
-        let report = FaultCampaign::default().run(&netlist, &faults, &workloads);
+        let report = FaultCampaign::default()
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
         assert_eq!(report.workload_reports().len(), 2);
         for wr in report.workload_reports() {
             assert!(wr.outcomes.is_empty());
         }
         assert_eq!(report.stats().fault_cycles, 0);
+    }
+
+    fn temp_checkpoint(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fusa_campaign_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.jsonl"))
+    }
+
+    #[test]
+    fn always_panicking_unit_is_quarantined_not_fatal() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = tiny_suite(&netlist, 2, 16);
+        let chunk_count = faults.len().div_ceil(64);
+        let report = FaultCampaign::new(CampaignConfig {
+            threads: 2,
+            ..Default::default()
+        })
+        .with_injection(FaultInjection {
+            panic_units: vec![1],
+            ..Default::default()
+        })
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
+        assert!(!report.interrupted());
+        assert_eq!(report.quarantined().len(), 1);
+        let q = &report.quarantined()[0];
+        assert_eq!(q.unit, 1);
+        assert_eq!(q.chunk, 1 % chunk_count);
+        assert_eq!(q.attempts, 3, "default budget is 1 attempt + 2 retries");
+        assert!(q.panic_message.contains("injected unit fault"));
+        assert_eq!(report.stats().units_quarantined, 1);
+        assert_eq!(report.stats().unit_retries, 2);
+        // Quarantined faults keep the Benign default; everything else
+        // matches a clean run.
+        let clean = FaultCampaign::default()
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
+        let (w, c) = (q.unit / chunk_count, q.unit % chunk_count);
+        for (wi, (a, b)) in clean
+            .workload_reports()
+            .iter()
+            .zip(report.workload_reports())
+            .enumerate()
+        {
+            for fi in 0..faults.len() {
+                if wi == w && fi / 64 == c {
+                    assert_eq!(b.outcomes[fi], FaultOutcome::Benign);
+                } else {
+                    assert_eq!(a.outcomes[fi], b.outcomes[fi]);
+                }
+            }
+        }
+        let summary = report.summary_opts(false);
+        assert!(summary.contains("quarantined: 1 unit(s)"));
+    }
+
+    #[test]
+    fn transient_panic_is_retried_to_a_clean_report() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = tiny_suite(&netlist, 2, 16);
+        let flaky = FaultCampaign::default()
+            .with_injection(FaultInjection {
+                panic_once_units: vec![0, 2],
+                ..Default::default()
+            })
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
+        assert!(flaky.quarantined().is_empty());
+        assert_eq!(flaky.stats().unit_retries, 2);
+        let clean = FaultCampaign::default()
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
+        for (a, b) in clean
+            .workload_reports()
+            .iter()
+            .zip(flaky.workload_reports())
+        {
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.first_divergence, b.first_divergence);
+        }
+        assert_eq!(clean.summary_opts(false), flaky.summary_opts(false));
+    }
+
+    #[test]
+    fn zero_retry_budget_quarantines_after_one_attempt() {
+        let netlist = inverter_netlist();
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = tiny_suite(&netlist, 1, 8);
+        let report = FaultCampaign::default()
+            .with_durability(DurabilityConfig {
+                max_unit_retries: 0,
+                ..Default::default()
+            })
+            .with_injection(FaultInjection {
+                panic_once_units: vec![0],
+                ..Default::default()
+            })
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
+        assert_eq!(report.quarantined().len(), 1);
+        assert_eq!(report.quarantined()[0].attempts, 1);
+        assert_eq!(report.stats().unit_retries, 0);
+    }
+
+    #[test]
+    fn interrupted_campaign_drains_and_reports_partial() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = tiny_suite(&netlist, 4, 16);
+        let report = FaultCampaign::new(CampaignConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .with_injection(FaultInjection {
+            interrupt_after_units: Some(3),
+            ..Default::default()
+        })
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
+        assert!(report.interrupted());
+        assert_eq!(report.stats().units_skipped, report.stats().units - 3);
+        assert!(report.summary_opts(false).contains("interrupted: 3/"));
+    }
+
+    #[test]
+    fn interrupt_resume_round_trip_is_bit_identical() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_sites(&netlist);
+        let workloads = tiny_suite(&netlist, 2, 24);
+        let reference = FaultCampaign::default()
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
+        let path = temp_checkpoint("resume_round_trip");
+        let partial = FaultCampaign::new(CampaignConfig {
+            threads: 2,
+            ..Default::default()
+        })
+        .with_durability(DurabilityConfig {
+            checkpoint: Some(path.clone()),
+            ..Default::default()
+        })
+        .with_injection(FaultInjection {
+            interrupt_after_units: Some(4),
+            ..Default::default()
+        })
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
+        assert!(partial.interrupted());
+        assert!(partial.stats().units_skipped > 0);
+        // Resume under a different thread count and acceleration mix:
+        // both are bit-identical knobs, so the checkpoint stays valid.
+        let resumed = FaultCampaign::new(CampaignConfig {
+            threads: 1,
+            early_exit: false,
+            ..Default::default()
+        })
+        .with_durability(DurabilityConfig {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Default::default()
+        })
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
+        assert!(!resumed.interrupted());
+        assert!(resumed.stats().units_from_checkpoint >= 4);
+        for (a, b) in reference
+            .workload_reports()
+            .iter()
+            .zip(resumed.workload_reports())
+        {
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.first_divergence, b.first_divergence);
+        }
+        assert_eq!(
+            reference.summary_opts(false),
+            resumed.summary_opts(false),
+            "resumed summary must digest identically to an uninterrupted run"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_checkpoint_from_different_campaign() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = tiny_suite(&netlist, 2, 16);
+        let path = temp_checkpoint("mismatch");
+        FaultCampaign::default()
+            .with_durability(DurabilityConfig {
+                checkpoint: Some(path.clone()),
+                ..Default::default()
+            })
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
+        // Different workload suite (different seed) => workload_digest
+        // mismatch must be a hard error.
+        let other = WorkloadSuite::generate(
+            &netlist,
+            &WorkloadConfig {
+                num_workloads: 2,
+                vectors_per_workload: 16,
+                reset_cycles: 0,
+                seed: 999,
+            },
+        );
+        let err = FaultCampaign::default()
+            .with_durability(DurabilityConfig {
+                checkpoint: Some(path.clone()),
+                resume: true,
+                ..Default::default()
+            })
+            .run(&netlist, &faults, &other)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::Checkpoint(crate::checkpoint::CheckpointError::Mismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_without_checkpoint_path_is_an_error() {
+        let netlist = inverter_netlist();
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = tiny_suite(&netlist, 1, 8);
+        let err = FaultCampaign::default()
+            .with_durability(DurabilityConfig {
+                resume: true,
+                ..Default::default()
+            })
+            .run(&netlist, &faults, &workloads)
+            .unwrap_err();
+        assert_eq!(err, CampaignError::ResumeWithoutCheckpoint);
+    }
+
+    #[test]
+    fn external_interrupt_flag_stops_before_any_unit() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = tiny_suite(&netlist, 2, 16);
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(true)));
+        let report = FaultCampaign::default()
+            .with_durability(DurabilityConfig {
+                interrupt: Some(flag),
+                ..Default::default()
+            })
+            .run(&netlist, &faults, &workloads)
+            .unwrap();
+        assert!(report.interrupted());
+        assert_eq!(report.stats().units_skipped, report.stats().units);
     }
 }

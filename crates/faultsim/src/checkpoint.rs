@@ -1,0 +1,603 @@
+//! Append-only JSONL campaign checkpoints.
+//!
+//! Line 1 is a header fingerprinting everything that determines unit
+//! outcomes: the design (digest of its Verilog form), the fault list,
+//! the workload suite (names and vector bits, which cover the seeds)
+//! and the outcome-affecting campaign knobs. Each subsequent line is
+//! one completed `(workload × chunk)` unit with its per-lane verdicts
+//! and an FNV-1a64 record digest. `--resume` re-validates the header —
+//! any mismatch is a hard error, because mixing results across designs
+//! or configs would silently corrupt the ground truth — and skips unit
+//! lines that are torn or fail their digest, so those units simply run
+//! again.
+//!
+//! Deliberately *not* in the header: `threads`, `restrict_to_cone` and
+//! `early_exit`. Those knobs are bit-identical by construction (see the
+//! differential tests), so a campaign may be resumed under a different
+//! thread count or acceleration setting.
+
+use crate::campaign::{CampaignConfig, UnitOutput};
+use crate::fault::{FaultList, FaultSite};
+use crate::report::FaultOutcome;
+use fusa_logicsim::WorkloadSuite;
+use fusa_netlist::Netlist;
+use fusa_obs::{Fnv64, Json};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Schema tag of the checkpoint header line.
+pub const CHECKPOINT_SCHEMA: &str = "fusa-faultsim/checkpoint/v1";
+
+/// Errors raised while creating, loading or validating a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint file could not be opened, read or created.
+    Io {
+        /// Path of the checkpoint file.
+        path: String,
+        /// Rendered I/O error.
+        message: String,
+    },
+    /// The file exists but its header line is missing or malformed.
+    Corrupt {
+        /// Path of the checkpoint file.
+        path: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// The header does not match the campaign being resumed.
+    Mismatch {
+        /// Header field that differs (e.g. `design_digest`).
+        field: String,
+        /// Value expected by the current campaign.
+        expected: String,
+        /// Value found in the checkpoint.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => {
+                write!(f, "cannot access checkpoint {path}: {message}")
+            }
+            CheckpointError::Corrupt { path, message } => {
+                write!(f, "corrupt checkpoint {path}: {message}")
+            }
+            CheckpointError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint does not match this campaign: {field} is {found}, \
+                 expected {expected} (delete the checkpoint or fix the invocation)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn io_error(path: &Path, e: &std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// The outcome-determining fingerprint of a campaign, written as the
+/// checkpoint's first line and re-validated on `--resume`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointHeader {
+    /// Design name (informational; the digest is what gates).
+    pub design: String,
+    /// FNV-1a64 of the design's written-out Verilog.
+    pub design_digest: String,
+    /// Number of faults in the campaign's fault list.
+    pub fault_count: usize,
+    /// FNV-1a64 over every fault's (gate, net, polarity, site).
+    pub fault_digest: String,
+    /// Number of workloads.
+    pub workload_count: usize,
+    /// FNV-1a64 over workload names and vector bits (covers the seeds).
+    pub workload_digest: String,
+    /// `CampaignConfig::classify_latent` (outcome-affecting).
+    pub classify_latent: bool,
+    /// `CampaignConfig::min_divergence_fraction` (outcome-affecting).
+    pub min_divergence_fraction: f64,
+}
+
+impl CheckpointHeader {
+    /// Fingerprints `netlist`, `faults`, `workloads` and the
+    /// outcome-affecting parts of `config`.
+    pub fn capture(
+        netlist: &Netlist,
+        faults: &FaultList,
+        workloads: &WorkloadSuite,
+        config: &CampaignConfig,
+    ) -> CheckpointHeader {
+        let design_digest =
+            fusa_obs::fnv1a64_hex(fusa_netlist::writer::write_verilog(netlist).as_bytes());
+        let mut fault_hash = Fnv64::new();
+        for fault in faults.iter() {
+            fault_hash.write(&(fault.gate.0).to_le_bytes());
+            fault_hash.write(&(fault.net.0).to_le_bytes());
+            fault_hash.write(&[u8::from(fault.stuck_at.value())]);
+            let site = match fault.site {
+                FaultSite::Output => 255u8,
+                FaultSite::InputPin(pin) => pin,
+            };
+            fault_hash.write(&[site]);
+        }
+        let mut workload_hash = Fnv64::new();
+        for workload in workloads.workloads() {
+            workload_hash.write(workload.name.as_bytes());
+            workload_hash.write(&[0]);
+            for vector in &workload.vectors {
+                for &bit in vector {
+                    workload_hash.write(&[u8::from(bit)]);
+                }
+                workload_hash.write(&[2]);
+            }
+        }
+        CheckpointHeader {
+            design: netlist.name().to_string(),
+            design_digest,
+            fault_count: faults.len(),
+            fault_digest: fault_hash.hex(),
+            workload_count: workloads.len(),
+            workload_digest: workload_hash.hex(),
+            classify_latent: config.classify_latent,
+            min_divergence_fraction: config.min_divergence_fraction,
+        }
+    }
+
+    fn to_json_line(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(CHECKPOINT_SCHEMA.into())),
+            ("design".into(), Json::Str(self.design.clone())),
+            (
+                "design_digest".into(),
+                Json::Str(self.design_digest.clone()),
+            ),
+            ("fault_count".into(), Json::Num(self.fault_count as f64)),
+            ("fault_digest".into(), Json::Str(self.fault_digest.clone())),
+            (
+                "workload_count".into(),
+                Json::Num(self.workload_count as f64),
+            ),
+            (
+                "workload_digest".into(),
+                Json::Str(self.workload_digest.clone()),
+            ),
+            ("classify_latent".into(), Json::Bool(self.classify_latent)),
+            (
+                "min_divergence_fraction".into(),
+                Json::Num(self.min_divergence_fraction),
+            ),
+            ("lanes".into(), Json::Num(crate::campaign::LANES as f64)),
+        ])
+        .render()
+    }
+
+    fn parse(line: &str) -> Result<CheckpointHeader, String> {
+        let json = Json::parse(line).map_err(|e| format!("header is not JSON: {e:?}"))?;
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("header has no schema field")?;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(format!(
+                "unsupported checkpoint schema {schema:?} (expected {CHECKPOINT_SCHEMA:?})"
+            ));
+        }
+        let str_field = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("header field {name} missing"))
+        };
+        let num_field = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("header field {name} missing"))
+        };
+        Ok(CheckpointHeader {
+            design: str_field("design")?,
+            design_digest: str_field("design_digest")?,
+            fault_count: num_field("fault_count")? as usize,
+            fault_digest: str_field("fault_digest")?,
+            workload_count: num_field("workload_count")? as usize,
+            workload_digest: str_field("workload_digest")?,
+            classify_latent: match json.get("classify_latent") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("header field classify_latent missing".into()),
+            },
+            min_divergence_fraction: json
+                .get("min_divergence_fraction")
+                .and_then(Json::as_f64)
+                .ok_or("header field min_divergence_fraction missing")?,
+        })
+    }
+
+    /// Validates that resuming from a checkpoint written under `self`
+    /// is sound for a campaign expecting `expected`.
+    pub fn check_compatible(&self, expected: &CheckpointHeader) -> Result<(), CheckpointError> {
+        let mismatch = |field: &str, expected: String, found: String| {
+            Err(CheckpointError::Mismatch {
+                field: field.to_string(),
+                expected,
+                found,
+            })
+        };
+        if self.design_digest != expected.design_digest {
+            return mismatch(
+                "design_digest",
+                expected.design_digest.clone(),
+                self.design_digest.clone(),
+            );
+        }
+        if self.fault_count != expected.fault_count || self.fault_digest != expected.fault_digest {
+            return mismatch(
+                "fault_digest",
+                format!(
+                    "{} ({} faults)",
+                    expected.fault_digest, expected.fault_count
+                ),
+                format!("{} ({} faults)", self.fault_digest, self.fault_count),
+            );
+        }
+        if self.workload_count != expected.workload_count
+            || self.workload_digest != expected.workload_digest
+        {
+            return mismatch(
+                "workload_digest",
+                format!(
+                    "{} ({} workloads)",
+                    expected.workload_digest, expected.workload_count
+                ),
+                format!(
+                    "{} ({} workloads)",
+                    self.workload_digest, self.workload_count
+                ),
+            );
+        }
+        if self.classify_latent != expected.classify_latent {
+            return mismatch(
+                "classify_latent",
+                expected.classify_latent.to_string(),
+                self.classify_latent.to_string(),
+            );
+        }
+        if self.min_divergence_fraction != expected.min_divergence_fraction {
+            return mismatch(
+                "min_divergence_fraction",
+                expected.min_divergence_fraction.to_string(),
+                self.min_divergence_fraction.to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Canonical string a unit record's `crc` digests, recomputed on read.
+fn unit_crc(
+    unit: usize,
+    outcomes: &str,
+    first_divergence: &str,
+    stepped: u64,
+    evals: u64,
+) -> String {
+    fusa_obs::fnv1a64_hex(
+        format!("{unit}|{outcomes}|{first_divergence}|{stepped}|{evals}").as_bytes(),
+    )
+}
+
+/// Serializes one completed unit as a checkpoint JSONL line (no newline).
+pub(crate) fn encode_unit(unit: usize, output: &UnitOutput) -> String {
+    let outcomes: String = output
+        .outcomes
+        .iter()
+        .map(|o| match o {
+            FaultOutcome::Dangerous => 'D',
+            FaultOutcome::Latent => 'L',
+            FaultOutcome::Benign => 'B',
+        })
+        .collect();
+    let fd_csv: String = output
+        .first_divergence
+        .iter()
+        .map(|d| d.map_or(-1i64, i64::from).to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let crc = unit_crc(
+        unit,
+        &outcomes,
+        &fd_csv,
+        output.stepped_fault_cycles,
+        output.gate_evals,
+    );
+    Json::Obj(vec![
+        ("unit".into(), Json::Num(unit as f64)),
+        ("outcomes".into(), Json::Str(outcomes)),
+        (
+            "first_divergence".into(),
+            Json::Arr(
+                output
+                    .first_divergence
+                    .iter()
+                    .map(|d| Json::Num(d.map_or(-1.0, f64::from)))
+                    .collect(),
+            ),
+        ),
+        (
+            "stepped_fault_cycles".into(),
+            Json::Num(output.stepped_fault_cycles as f64),
+        ),
+        ("gate_evals".into(), Json::Num(output.gate_evals as f64)),
+        ("crc".into(), Json::Str(crc)),
+    ])
+    .render()
+}
+
+/// Parses one unit line; `None` for torn, malformed or digest-failing
+/// records (the unit is simply simulated again).
+fn decode_unit(line: &str) -> Option<(usize, UnitOutput)> {
+    let json = Json::parse(line).ok()?;
+    let unit = json.get("unit")?.as_u64()? as usize;
+    let outcome_text = json.get("outcomes")?.as_str()?;
+    let mut outcomes = Vec::with_capacity(outcome_text.len());
+    for c in outcome_text.chars() {
+        outcomes.push(match c {
+            'D' => FaultOutcome::Dangerous,
+            'L' => FaultOutcome::Latent,
+            'B' => FaultOutcome::Benign,
+            _ => return None,
+        });
+    }
+    let mut first_divergence = Vec::new();
+    let mut fd_parts = Vec::new();
+    for item in json.get("first_divergence")?.as_arr()? {
+        let v = item.as_f64()?;
+        fd_parts.push(format!("{}", v as i64));
+        first_divergence.push(if v < 0.0 { None } else { Some(v as u32) });
+    }
+    if first_divergence.len() != outcomes.len() {
+        return None;
+    }
+    let stepped_fault_cycles = json.get("stepped_fault_cycles")?.as_u64()?;
+    let gate_evals = json.get("gate_evals")?.as_u64()?;
+    let expected_crc = unit_crc(
+        unit,
+        outcome_text,
+        &fd_parts.join(","),
+        stepped_fault_cycles,
+        gate_evals,
+    );
+    if json.get("crc")?.as_str()? != expected_crc {
+        return None;
+    }
+    Some((
+        unit,
+        UnitOutput {
+            outcomes,
+            first_divergence,
+            stepped_fault_cycles,
+            gate_evals,
+        },
+    ))
+}
+
+/// Loads the completed units of `path`, hard-failing when the header is
+/// missing, unreadable or incompatible with `expected`.
+pub(crate) fn load_units(
+    path: &Path,
+    expected: &CheckpointHeader,
+    unit_count: usize,
+) -> Result<HashMap<usize, UnitOutput>, CheckpointError> {
+    let file = File::open(path).map_err(|e| io_error(path, &e))?;
+    let mut lines = BufReader::new(file).lines();
+    let header_line = match lines.next() {
+        Some(Ok(line)) => line,
+        Some(Err(e)) => return Err(io_error(path, &e)),
+        None => {
+            return Err(CheckpointError::Corrupt {
+                path: path.display().to_string(),
+                message: "file is empty (no header line)".into(),
+            })
+        }
+    };
+    let header =
+        CheckpointHeader::parse(&header_line).map_err(|message| CheckpointError::Corrupt {
+            path: path.display().to_string(),
+            message,
+        })?;
+    header.check_compatible(expected)?;
+    let mut units = HashMap::new();
+    for line in lines {
+        let Ok(line) = line else { break };
+        if let Some((unit, output)) = decode_unit(&line) {
+            if unit < unit_count {
+                units.insert(unit, output);
+            }
+        }
+    }
+    Ok(units)
+}
+
+/// Concurrent append-only checkpoint writer. Serialization happens on
+/// the worker thread; the mutex guards only the buffered write. Write
+/// failures degrade to a one-time stderr warning (the campaign result
+/// is not worth less because the checkpoint disk filled up).
+pub(crate) struct CheckpointWriter {
+    path: PathBuf,
+    file: Mutex<Option<BufWriter<File>>>,
+}
+
+impl CheckpointWriter {
+    /// Starts a fresh checkpoint: truncates `path` and writes `header`.
+    pub(crate) fn create(
+        path: &Path,
+        header: &CheckpointHeader,
+    ) -> Result<CheckpointWriter, CheckpointError> {
+        let file = File::create(path).map_err(|e| io_error(path, &e))?;
+        let mut file = BufWriter::new(file);
+        file.write_all(header.to_json_line().as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .and_then(|()| file.flush())
+            .map_err(|e| io_error(path, &e))?;
+        Ok(CheckpointWriter {
+            path: path.to_path_buf(),
+            file: Mutex::new(Some(file)),
+        })
+    }
+
+    /// Reopens an existing checkpoint for appending (resume).
+    pub(crate) fn append_to(path: &Path) -> Result<CheckpointWriter, CheckpointError> {
+        let file = File::options()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_error(path, &e))?;
+        Ok(CheckpointWriter {
+            path: path.to_path_buf(),
+            file: Mutex::new(Some(BufWriter::new(file))),
+        })
+    }
+
+    /// Appends one completed unit, flushing so a kill after return
+    /// cannot tear the record.
+    pub(crate) fn record(&self, unit: usize, output: &UnitOutput) {
+        let mut line = encode_unit(unit, output);
+        line.push('\n');
+        let mut guard = self.file.lock().expect("checkpoint writer poisoned");
+        if let Some(file) = guard.as_mut() {
+            let outcome = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+            if let Err(e) = outcome {
+                eprintln!(
+                    "fusa-faultsim: checkpoint write to {} failed ({e}); \
+                     checkpointing disabled for the rest of this run",
+                    self.path.display()
+                );
+                *guard = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultList;
+    use fusa_logicsim::{WorkloadConfig, WorkloadSuite};
+
+    fn sample_header() -> CheckpointHeader {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = WorkloadSuite::generate(
+            &netlist,
+            &WorkloadConfig {
+                num_workloads: 2,
+                vectors_per_workload: 8,
+                reset_cycles: 0,
+                seed: 3,
+            },
+        );
+        CheckpointHeader::capture(&netlist, &faults, &workloads, &CampaignConfig::default())
+    }
+
+    fn sample_output() -> UnitOutput {
+        UnitOutput {
+            outcomes: vec![
+                FaultOutcome::Dangerous,
+                FaultOutcome::Latent,
+                FaultOutcome::Benign,
+            ],
+            first_divergence: vec![Some(4), None, None],
+            stepped_fault_cycles: 24,
+            gate_evals: 480,
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let header = sample_header();
+        let parsed = CheckpointHeader::parse(&header.to_json_line()).unwrap();
+        assert_eq!(parsed, header);
+        assert!(parsed.check_compatible(&header).is_ok());
+    }
+
+    #[test]
+    fn mismatched_headers_are_rejected() {
+        let header = sample_header();
+        let mut other = header.clone();
+        other.design_digest = "fnv1a64:0000000000000000".into();
+        let err = other.check_compatible(&header).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Mismatch { ref field, .. } if field == "design_digest")
+        );
+        let mut other = header.clone();
+        other.classify_latent = !header.classify_latent;
+        assert!(other.check_compatible(&header).is_err());
+    }
+
+    #[test]
+    fn unit_record_round_trips_and_detects_corruption() {
+        let output = sample_output();
+        let line = encode_unit(7, &output);
+        let (unit, decoded) = decode_unit(&line).unwrap();
+        assert_eq!(unit, 7);
+        assert_eq!(decoded.outcomes, output.outcomes);
+        assert_eq!(decoded.first_divergence, output.first_divergence);
+        assert_eq!(decoded.stepped_fault_cycles, 24);
+        assert_eq!(decoded.gate_evals, 480);
+        // Any tampering breaks the record digest.
+        assert!(decode_unit(&line.replace("DLB", "DDB")).is_none());
+        // Torn writes (truncated JSON) are skipped, not fatal.
+        assert!(decode_unit(&line[..line.len() - 10]).is_none());
+    }
+
+    #[test]
+    fn load_skips_corrupt_lines_and_validates_header() {
+        let header = sample_header();
+        let dir = std::env::temp_dir().join(format!("fusa_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.jsonl");
+        let writer = CheckpointWriter::create(&path, &header).unwrap();
+        writer.record(0, &sample_output());
+        writer.record(3, &sample_output());
+        drop(writer);
+        // Append garbage and a torn record.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json\n{\"unit\":5,\"outcomes\":\"D\n");
+        std::fs::write(&path, &text).unwrap();
+
+        let units = load_units(&path, &header, 8).unwrap();
+        assert_eq!(units.len(), 2);
+        assert!(units.contains_key(&0) && units.contains_key(&3));
+
+        let mut other = header.clone();
+        other.fault_count += 1;
+        other.fault_digest = "fnv1a64:ffffffffffffffff".into();
+        assert!(matches!(
+            load_units(&path, &other, 8),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_io_error() {
+        let header = sample_header();
+        let path = std::env::temp_dir().join("fusa_ckpt_does_not_exist.jsonl");
+        assert!(matches!(
+            load_units(&path, &header, 8),
+            Err(CheckpointError::Io { .. })
+        ));
+    }
+}

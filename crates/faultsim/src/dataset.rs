@@ -173,7 +173,8 @@ mod tests {
             classify_latent: false,
             ..Default::default()
         })
-        .run(&netlist, &faults, &workloads);
+        .run(&netlist, &faults, &workloads)
+        .expect("campaign runs");
         let dataset = report.into_dataset(threshold);
         (netlist, dataset)
     }

@@ -23,19 +23,24 @@
 //!     &WorkloadConfig { num_workloads: 2, vectors_per_workload: 32, ..Default::default() },
 //! );
 //! let report = FaultCampaign::new(CampaignConfig::default())
-//!     .run(&netlist, &faults, &workloads);
+//!     .run(&netlist, &faults, &workloads)
+//!     .expect("campaign runs");
 //! let dataset = report.into_dataset(0.5);
 //! assert_eq!(dataset.scores().len(), netlist.gate_count());
 //! ```
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod dataset;
+pub mod durability;
 pub mod fault;
 pub mod report;
 pub mod seu;
 
 pub use campaign::{CampaignConfig, FaultCampaign};
+pub use checkpoint::{CheckpointError, CheckpointHeader, CHECKPOINT_SCHEMA};
 pub use dataset::CriticalityDataset;
+pub use durability::{CampaignError, DurabilityConfig, FaultInjection, QuarantinedUnit};
 pub use fault::{Fault, FaultList, FaultSite, StuckAt};
 pub use report::{CampaignReport, CampaignStats, FaultOutcome, WorkloadReport};
 pub use seu::{SeuCampaign, SeuConfig, SeuOutcome, SeuReport};

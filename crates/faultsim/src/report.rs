@@ -83,6 +83,14 @@ pub struct CampaignStats {
     pub gate_evals_full: u64,
     /// Busy seconds per worker (length = `threads`).
     pub worker_busy_seconds: Vec<f64>,
+    /// Units loaded from the checkpoint instead of simulated (resume).
+    pub units_from_checkpoint: usize,
+    /// Units quarantined after exhausting their retry budget.
+    pub units_quarantined: usize,
+    /// Unit attempts that panicked and were retried.
+    pub unit_retries: u64,
+    /// Units never attempted because the campaign was interrupted.
+    pub units_skipped: usize,
 }
 
 impl CampaignStats {
@@ -133,6 +141,23 @@ impl CampaignStats {
             self.gate_evals_saved_fraction(),
         );
         recorder.gauge_set("campaign.utilization", self.mean_utilization());
+        // Durability counters are published only when nonzero so clean
+        // runs keep their established manifest shape.
+        if self.units_from_checkpoint > 0 {
+            recorder.add(
+                "campaign.units_from_checkpoint",
+                self.units_from_checkpoint as u64,
+            );
+        }
+        if self.units_quarantined > 0 {
+            recorder.add("campaign.units_quarantined", self.units_quarantined as u64);
+        }
+        if self.unit_retries > 0 {
+            recorder.add("campaign.unit_retries", self.unit_retries);
+        }
+        if self.units_skipped > 0 {
+            recorder.add("campaign.units_skipped", self.units_skipped as u64);
+        }
         if recorder.has_sink() {
             use fusa_obs::EventField::{F64, U64};
             recorder.event(
@@ -160,6 +185,11 @@ pub struct CampaignReport {
     pub(crate) gate_count: usize,
     pub(crate) workload_reports: Vec<WorkloadReport>,
     pub(crate) stats: CampaignStats,
+    /// `true` when the campaign drained early on an interruption
+    /// request; outcomes of skipped units keep their Benign default.
+    pub(crate) interrupted: bool,
+    /// Units excluded after exhausting their retry budget.
+    pub(crate) quarantined: Vec<crate::durability::QuarantinedUnit>,
 }
 
 impl CampaignReport {
@@ -176,6 +206,17 @@ impl CampaignReport {
     /// Timing and throughput statistics of the run.
     pub fn stats(&self) -> &CampaignStats {
         &self.stats
+    }
+
+    /// `true` when the campaign was interrupted before every unit ran;
+    /// the report then holds partial ground truth.
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    /// Units excluded because they panicked on every attempt.
+    pub fn quarantined(&self) -> &[crate::durability::QuarantinedUnit] {
+        &self.quarantined
     }
 
     /// Number of workloads (`N` in Algorithm 1).
@@ -234,6 +275,35 @@ impl CampaignReport {
                 report.dangerous_count(),
                 report.coverage() * 100.0,
                 latent
+            );
+        }
+        // Degraded-run lines are part of the stable (digested) summary
+        // on purpose: a partial campaign must never digest identically
+        // to a complete one. Clean runs emit neither line.
+        if !self.quarantined.is_empty() {
+            let _ = writeln!(
+                out,
+                "  quarantined: {} unit(s) excluded after retries (partial ground truth)",
+                self.quarantined.len()
+            );
+            for q in &self.quarantined {
+                let _ = writeln!(
+                    out,
+                    "    unit {} (workload {}, chunk {}, {} attempts): {}",
+                    q.unit,
+                    q.workload,
+                    q.chunk,
+                    q.attempts,
+                    q.panic_message.lines().next().unwrap_or("")
+                );
+            }
+        }
+        if self.interrupted {
+            let done = self.stats.units - self.stats.units_skipped - self.stats.units_quarantined;
+            let _ = writeln!(
+                out,
+                "  interrupted: {}/{} units completed (resume with --resume)",
+                done, self.stats.units
             );
         }
         if show_stats && self.stats.wall_seconds > 0.0 {
@@ -315,6 +385,8 @@ mod tests {
                 },
             ],
             stats: CampaignStats::default(),
+            interrupted: false,
+            quarantined: Vec::new(),
         }
     }
 
@@ -350,6 +422,7 @@ mod tests {
             gate_evals: 250,
             gate_evals_full: 1_000,
             worker_busy_seconds: vec![1.0, 3.0],
+            ..CampaignStats::default()
         };
         assert!((stats.fault_cycles_per_second() - 500.0).abs() < 1e-9);
         assert!((stats.gate_evals_saved_fraction() - 0.75).abs() < 1e-9);

@@ -54,6 +54,9 @@ pub struct SeuReport {
     pub latent_rate: Vec<f64>,
     /// Total experiments per flop.
     pub experiments: usize,
+    /// `true` when the campaign drained early on an interruption
+    /// request; rates then aggregate only the completed experiments.
+    pub interrupted: bool,
 }
 
 impl SeuReport {
@@ -82,12 +85,24 @@ impl SeuReport {
 #[derive(Debug, Clone, Default)]
 pub struct SeuCampaign {
     config: SeuConfig,
+    interrupt: Option<&'static std::sync::atomic::AtomicBool>,
 }
 
 impl SeuCampaign {
     /// Creates a campaign runner.
     pub fn new(config: SeuConfig) -> SeuCampaign {
-        SeuCampaign { config }
+        SeuCampaign {
+            config,
+            interrupt: None,
+        }
+    }
+
+    /// Installs a cooperative interruption flag (typically the process
+    /// signal flag): once set, the campaign finishes the experiment in
+    /// flight and returns the partial report with `interrupted` set.
+    pub fn with_interrupt(mut self, flag: &'static std::sync::atomic::AtomicBool) -> Self {
+        self.interrupt = Some(flag);
+        self
     }
 
     /// Injects one flip per flop at each configured injection point of
@@ -99,9 +114,18 @@ impl SeuCampaign {
         let mut corrupted = vec![0usize; flops.len()];
         let mut latent = vec![0usize; flops.len()];
         let mut experiments = 0usize;
+        let mut interrupted = false;
+        let stop_requested = || {
+            self.interrupt
+                .is_some_and(|flag| flag.load(std::sync::atomic::Ordering::Acquire))
+        };
 
-        for workload in workloads.workloads() {
+        'campaign: for workload in workloads.workloads() {
             for &fraction in &self.config.injection_points {
+                if stop_requested() {
+                    interrupted = true;
+                    break 'campaign;
+                }
                 let inject_cycle = ((workload.len() as f64 * fraction) as usize)
                     .min(workload.len().saturating_sub(1));
                 experiments += 1;
@@ -125,6 +149,7 @@ impl SeuCampaign {
             corruption_rate: corrupted.iter().map(|&c| c as f64 / denom).collect(),
             latent_rate: latent.iter().map(|&l| l as f64 / denom).collect(),
             experiments,
+            interrupted,
         }
     }
 }
@@ -265,5 +290,22 @@ mod tests {
         let netlist = b.finish().unwrap();
         let report = SeuCampaign::default().run(&netlist, &suite(&netlist));
         assert_eq!(report.experiments, 3 * 3);
+        assert!(!report.interrupted);
+    }
+
+    #[test]
+    fn pre_set_interrupt_flag_yields_empty_partial_report() {
+        use std::sync::atomic::AtomicBool;
+        let mut b = NetlistBuilder::new("one");
+        let a = b.primary_input("a");
+        let q = b.gate(GateKind::Dff, &[a]);
+        b.primary_output("q", q);
+        let netlist = b.finish().unwrap();
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(true)));
+        let report = SeuCampaign::default()
+            .with_interrupt(flag)
+            .run(&netlist, &suite(&netlist));
+        assert!(report.interrupted);
+        assert_eq!(report.experiments, 0);
     }
 }

@@ -43,6 +43,7 @@ fn run_with(
         early_exit,
     })
     .run(netlist, faults, workloads)
+    .expect("campaign runs")
 }
 
 fn assert_reports_identical(context: &str, reference: &CampaignReport, candidate: &CampaignReport) {

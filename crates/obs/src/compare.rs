@@ -104,8 +104,12 @@ pub struct Comparison {
     /// Number of artifact digests present in both manifests.
     pub digests_compared: usize,
     /// Artifact names whose digests differ (hard failure when
-    /// `same_seed`).
+    /// `same_seed` and both runs are complete).
     pub digest_mismatches: Vec<String>,
+    /// Whether the baseline run was interrupted (partial results).
+    pub baseline_interrupted: bool,
+    /// Whether the candidate run was interrupted (partial results).
+    pub candidate_interrupted: bool,
     /// Build-provenance keys that differ: `(key, baseline, candidate)`.
     pub build_differs: Vec<(String, String, String)>,
     /// The delta table.
@@ -116,9 +120,14 @@ pub struct Comparison {
 
 impl Comparison {
     /// Whether the candidate regressed: any `REGRESSION` row, or a
-    /// digest mismatch on a same-seed comparison.
+    /// digest mismatch on a same-seed comparison. An interrupted run on
+    /// either side disables the digest gate — partial artifacts
+    /// legitimately differ from complete ones.
     pub fn has_regression(&self) -> bool {
-        (self.same_seed && !self.digest_mismatches.is_empty())
+        (self.same_seed
+            && !self.baseline_interrupted
+            && !self.candidate_interrupted
+            && !self.digest_mismatches.is_empty())
             || self.rows.iter().any(|r| r.status == RowStatus::Regression)
     }
 
@@ -140,6 +149,17 @@ impl Comparison {
         );
         for (key, base, cand) in &self.build_differs {
             let _ = writeln!(out, "build differs: {key}: {base} -> {cand}");
+        }
+        if self.baseline_interrupted || self.candidate_interrupted {
+            let which = match (self.baseline_interrupted, self.candidate_interrupted) {
+                (true, true) => "both runs were",
+                (true, false) => "baseline was",
+                _ => "candidate was",
+            };
+            let _ = writeln!(
+                out,
+                "note: {which} interrupted (partial results); digest gate disabled"
+            );
         }
 
         let metric_width = self
@@ -223,6 +243,14 @@ impl Comparison {
             ("candidate".into(), Json::Str(self.candidate_id.clone())),
             ("design".into(), Json::Str(self.design.clone())),
             ("same_seed".into(), Json::Bool(self.same_seed)),
+            (
+                "baseline_interrupted".into(),
+                Json::Bool(self.baseline_interrupted),
+            ),
+            (
+                "candidate_interrupted".into(),
+                Json::Bool(self.candidate_interrupted),
+            ),
             (
                 "tolerance_pct".into(),
                 Json::Num(self.options.tolerance_pct),
@@ -397,11 +425,41 @@ pub fn compare_manifests(
         rows.push(row);
     }
 
-    // Histogram quantiles for shared names. Only time-valued
-    // histograms gate; counts/losses are informational.
-    for (name, base) in &baseline.histograms {
-        let Some(cand) = lookup(&candidate.histograms, name) else {
-            continue;
+    // Histogram quantiles over the union of names, baseline order
+    // first. Manifests with disjoint histogram sets (different code
+    // versions, partial runs) report the asymmetry as skipped rows
+    // instead of silently dropping — or erroring on — the odd ones out.
+    // Only time-valued histograms gate; counts/losses are informational.
+    let mut hist_names: Vec<&str> = baseline
+        .histograms
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    for (name, _) in &candidate.histograms {
+        if !hist_names.contains(&name.as_str()) {
+            hist_names.push(name);
+        }
+    }
+    for name in hist_names {
+        let base = lookup(&baseline.histograms, name);
+        let cand = lookup(&candidate.histograms, name);
+        let (base, cand) = match (base, cand) {
+            (Some(b), Some(c)) => (b, c),
+            (b, c) => {
+                rows.push(DeltaRow {
+                    metric: format!("hist {name}"),
+                    baseline: b.map(|h| h.p50),
+                    candidate: c.map(|h| h.p50),
+                    delta_pct: None,
+                    status: RowStatus::Skipped,
+                    note: if b.is_some() {
+                        "only in baseline".into()
+                    } else {
+                        "only in candidate".into()
+                    },
+                });
+                continue;
+            }
         };
         let time_like = name.ends_with("_seconds");
         for (quantile, b, c) in [
@@ -454,6 +512,8 @@ pub fn compare_manifests(
         same_seed,
         digests_compared,
         digest_mismatches,
+        baseline_interrupted: baseline.interrupted,
+        candidate_interrupted: candidate.interrupted,
         build_differs,
         rows,
         options,
@@ -703,6 +763,72 @@ mod tests {
             .unwrap();
         assert_ne!(loss.status, RowStatus::Regression);
         assert_eq!(loss.note, "informational");
+    }
+
+    #[test]
+    fn disjoint_histogram_sets_report_asymmetry_without_gating() {
+        let mut base = manifest("a");
+        base.histograms.push((
+            "lint.findings".into(),
+            HistogramSummary {
+                count: 4,
+                sum: 8.0,
+                min: 1.0,
+                max: 3.0,
+                p50: 2.0,
+                p90: 3.0,
+                p99: 3.0,
+            },
+        ));
+        let mut cand = manifest("b");
+        cand.histograms.push((
+            "train.epoch_seconds".into(),
+            HistogramSummary {
+                count: 80,
+                sum: 8.0,
+                min: 0.05,
+                max: 0.3,
+                p50: 0.1,
+                p90: 0.2,
+                p99: 0.3,
+            },
+        ));
+        let cmp = compare_manifests(&base, &cand, CompareOptions::default());
+        let only_base = cmp
+            .rows
+            .iter()
+            .find(|r| r.metric == "hist lint.findings")
+            .expect("baseline-only histogram row");
+        assert_eq!(only_base.status, RowStatus::Skipped);
+        assert_eq!(only_base.note, "only in baseline");
+        assert!(only_base.candidate.is_none());
+        let only_cand = cmp
+            .rows
+            .iter()
+            .find(|r| r.metric == "hist train.epoch_seconds")
+            .expect("candidate-only histogram row");
+        assert_eq!(only_cand.status, RowStatus::Skipped);
+        assert_eq!(only_cand.note, "only in candidate");
+        assert!(only_cand.baseline.is_none());
+        assert!(!cmp.has_regression(), "{}", cmp.render_text());
+    }
+
+    #[test]
+    fn interrupted_runs_disable_the_digest_gate() {
+        let base = manifest("a");
+        let mut cand = manifest("b");
+        cand.interrupted = true;
+        cand.digests[0].1 = "fnv1a64:dead".into(); // partial artifact
+        let cmp = compare_manifests(&base, &cand, CompareOptions::default());
+        assert!(cmp.same_seed);
+        assert!(cmp.candidate_interrupted);
+        assert_eq!(cmp.digest_mismatches, vec!["nodes_csv".to_string()]);
+        assert!(!cmp.has_regression(), "{}", cmp.render_text());
+        let text = cmp.render_text();
+        assert!(text.contains("candidate was interrupted"));
+        assert!(text.contains("digest gate disabled"));
+        let json = cmp.to_json();
+        assert_eq!(json.get("candidate_interrupted"), Some(&Json::Bool(true)));
     }
 
     #[test]

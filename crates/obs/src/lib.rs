@@ -52,6 +52,7 @@ mod progress;
 mod recorder;
 mod render;
 mod rss;
+mod shutdown;
 
 pub use compare::{
     append_bench_trajectory, compare_manifests, load_manifest_arg, CompareOptions, Comparison,
@@ -60,11 +61,18 @@ pub use compare::{
 pub use digest::{fnv1a64, fnv1a64_hex, Fnv64};
 pub use histogram::{Histogram, HistogramSummary};
 pub use json::{Json, JsonError};
-pub use manifest::{ManifestError, RunManifest, StageTime, MANIFEST_SCHEMA, MANIFEST_SCHEMA_V1};
+pub use manifest::{
+    ManifestError, QuarantinedUnitRecord, RunManifest, StageTime, MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_V1, MANIFEST_SCHEMA_V2,
+};
 pub use progress::{progress_stderr, set_progress_stderr, Progress, ProgressConfig};
 pub use recorder::{EventField, Recorder, Snapshot, SpanGuard, SpanStat};
 pub use render::render_manifest_report;
 pub use rss::peak_rss_bytes;
+pub use shutdown::{
+    install_signal_handlers, raise_shutdown_signal, request_shutdown, reset_shutdown,
+    shutdown_flag, shutdown_requested,
+};
 
 use std::sync::OnceLock;
 

@@ -15,12 +15,33 @@ use std::fmt;
 use std::fmt::Write as _;
 
 /// Schema identifier stamped into every newly written manifest.
-pub const MANIFEST_SCHEMA: &str = "fusa-obs/manifest/v2";
+pub const MANIFEST_SCHEMA: &str = "fusa-obs/manifest/v3";
 
-/// The previous schema; still accepted by [`RunManifest::parse`].
+/// The v2 schema; still accepted by [`RunManifest::parse`]. v2
+/// manifests predate campaign durability: no `interrupted` flag and no
+/// `quarantined` section (both default to clean-run values).
+pub const MANIFEST_SCHEMA_V2: &str = "fusa-obs/manifest/v2";
+
+/// The original schema; still accepted by [`RunManifest::parse`].
 /// v1 manifests have no `build` or `histograms` sections and encode an
-/// unknown peak RSS as `0` (v2 uses `null`).
+/// unknown peak RSS as `0` (v2+ uses `null`).
 pub const MANIFEST_SCHEMA_V1: &str = "fusa-obs/manifest/v1";
+
+/// One quarantined campaign unit, as recorded in the manifest (the
+/// obs-side mirror of the fault simulator's quarantine record).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuarantinedUnitRecord {
+    /// Flat unit index within the campaign.
+    pub unit: u64,
+    /// Workload the unit belonged to.
+    pub workload: String,
+    /// Fault-chunk index within the workload.
+    pub chunk: u64,
+    /// Attempts made before quarantining.
+    pub attempts: u64,
+    /// Rendered panic payload of the final attempt.
+    pub panic: String,
+}
 
 /// Wall time aggregate of one span path.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +70,11 @@ pub struct RunManifest {
     pub wall_seconds: f64,
     /// Worker threads the campaign used (0 if no campaign ran).
     pub threads: usize,
+    /// `true` when the run was interrupted (SIGINT/SIGTERM) and holds
+    /// partial results; such runs are resumable via `--resume`.
+    pub interrupted: bool,
+    /// Campaign units quarantined after exhausting their retry budget.
+    pub quarantined: Vec<QuarantinedUnitRecord>,
     /// Peak resident set size in bytes; `None` where the platform
     /// offers no measurement (non-Linux).
     pub peak_rss_bytes: Option<u64>,
@@ -167,6 +193,7 @@ impl RunManifest {
         let _ = writeln!(out, "  \"created_unix\": {},", self.created_unix);
         let _ = writeln!(out, "  \"wall_seconds\": {},", fmt_f64(self.wall_seconds));
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"interrupted\": {},", self.interrupted);
         match self.peak_rss_bytes {
             Some(bytes) => {
                 let _ = writeln!(out, "  \"peak_rss_bytes\": {bytes},");
@@ -192,6 +219,29 @@ impl RunManifest {
             });
         }
         out.push_str("  ],\n");
+        if self.quarantined.is_empty() {
+            out.push_str("  \"quarantined\": [],\n");
+        } else {
+            out.push_str("  \"quarantined\": [\n");
+            for (i, q) in self.quarantined.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "    {{\"unit\": {}, \"workload\": {}, \"chunk\": {}, \
+                     \"attempts\": {}, \"panic\": {}}}",
+                    q.unit,
+                    escape(&q.workload),
+                    q.chunk,
+                    q.attempts,
+                    escape(&q.panic)
+                );
+                out.push_str(if i + 1 < self.quarantined.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  ],\n");
+        }
         write_num_map(&mut out, "counters", &self.counters, |v| v.to_string());
         write_num_map(&mut out, "gauges", &self.gauges, |v| fmt_f64(*v));
         write_num_map(&mut out, "histograms", &self.histograms, |h| {
@@ -213,8 +263,10 @@ impl RunManifest {
     }
 
     /// Parses a manifest previously produced by [`RunManifest::to_json`],
-    /// accepting both the current v2 schema and legacy v1 documents
-    /// (v1: no `build`/`histograms`, peak RSS `0` means unknown).
+    /// accepting the current v3 schema and legacy v1/v2 documents
+    /// (v1: no `build`/`histograms`, peak RSS `0` means unknown;
+    /// v1/v2: no `interrupted`/`quarantined`, which default to a clean,
+    /// complete run).
     pub fn parse(text: &str) -> Result<RunManifest, ManifestError> {
         let root = Json::parse(text).map_err(ManifestError::Json)?;
         let schema = root
@@ -222,9 +274,11 @@ impl RunManifest {
             .and_then(Json::as_str)
             .ok_or_else(|| ManifestError::Schema("missing `schema` field".into()))?;
         let legacy_v1 = schema == MANIFEST_SCHEMA_V1;
-        if !legacy_v1 && schema != MANIFEST_SCHEMA {
+        let legacy_v2 = schema == MANIFEST_SCHEMA_V2;
+        if !legacy_v1 && !legacy_v2 && schema != MANIFEST_SCHEMA {
             return Err(ManifestError::Schema(format!(
-                "unsupported schema `{schema}` (expected `{MANIFEST_SCHEMA}` or `{MANIFEST_SCHEMA_V1}`)"
+                "unsupported schema `{schema}` (expected `{MANIFEST_SCHEMA}`, \
+                 `{MANIFEST_SCHEMA_V2}` or `{MANIFEST_SCHEMA_V1}`)"
             )));
         }
         let str_field = |key: &str| -> Result<String, ManifestError> {
@@ -291,6 +345,31 @@ impl RunManifest {
             parse_map(&root, "histograms", parse_histogram_summary)?
         };
 
+        // v3 durability fields; lenient defaults keep v1/v2 parsing.
+        let interrupted = matches!(root.get("interrupted"), Some(Json::Bool(true)));
+        let mut quarantined = Vec::new();
+        if let Some(items) = root.get("quarantined").and_then(Json::as_arr) {
+            for item in items {
+                quarantined.push(QuarantinedUnitRecord {
+                    unit: item.get("unit").and_then(Json::as_u64).ok_or_else(|| {
+                        ManifestError::Schema("quarantined unit without `unit`".into())
+                    })?,
+                    workload: item
+                        .get("workload")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    chunk: item.get("chunk").and_then(Json::as_u64).unwrap_or(0),
+                    attempts: item.get("attempts").and_then(Json::as_u64).unwrap_or(0),
+                    panic: item
+                        .get("panic")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                });
+            }
+        }
+
         Ok(RunManifest {
             run_id: str_field("run_id")?,
             command: str_field("command")?,
@@ -298,6 +377,8 @@ impl RunManifest {
             created_unix: u64_field("created_unix")?,
             wall_seconds: f64_field("wall_seconds")?,
             threads: u64_field("threads")? as usize,
+            interrupted,
+            quarantined,
             peak_rss_bytes,
             build,
             config: parse_str_map(&root, "config")?,
@@ -390,6 +471,8 @@ mod tests {
             created_unix: 1_754_000_000,
             wall_seconds: 2.5,
             threads: 8,
+            interrupted: false,
+            quarantined: vec![],
             peak_rss_bytes: Some(12_345_678),
             build: vec![
                 ("opt_level".into(), "3".into()),
@@ -503,10 +586,10 @@ mod tests {
         assert!(manifest.build.is_empty());
         assert!(manifest.histograms.is_empty());
         assert_eq!(manifest.stages.len(), 1);
-        // Re-serializing upgrades the document to v2.
+        // Re-serializing upgrades the document to the current schema.
         assert!(manifest
             .to_json()
-            .starts_with("{\n  \"schema\": \"fusa-obs/manifest/v2\""));
+            .starts_with("{\n  \"schema\": \"fusa-obs/manifest/v3\""));
 
         // A nonzero v1 RSS is preserved.
         let with_rss = v1.replace("\"peak_rss_bytes\": 0", "\"peak_rss_bytes\": 42");
@@ -514,6 +597,45 @@ mod tests {
             RunManifest::parse(&with_rss).unwrap().peak_rss_bytes,
             Some(42)
         );
+    }
+
+    #[test]
+    fn parses_legacy_v2_manifests() {
+        // A v2 document is exactly a v3 one minus the durability fields.
+        let mut v2 = sample();
+        v2.interrupted = false;
+        v2.quarantined = Vec::new();
+        let text = v2
+            .to_json()
+            .replace("fusa-obs/manifest/v3", "fusa-obs/manifest/v2")
+            .replace("  \"interrupted\": false,\n", "")
+            .replace("  \"quarantined\": [],\n", "");
+        assert!(!text.contains("interrupted"));
+        let manifest = RunManifest::parse(&text).expect("v2 parses");
+        assert!(!manifest.interrupted);
+        assert!(manifest.quarantined.is_empty());
+        assert_eq!(manifest, v2);
+        // Re-serializing upgrades to v3 with clean durability defaults.
+        assert!(manifest.to_json().contains("\"interrupted\": false"));
+    }
+
+    #[test]
+    fn durability_fields_round_trip() {
+        let mut manifest = sample();
+        manifest.interrupted = true;
+        manifest.quarantined = vec![QuarantinedUnitRecord {
+            unit: 17,
+            workload: "uniform_random#0".into(),
+            chunk: 3,
+            attempts: 3,
+            panic: "injected unit fault (unit 17, attempt 3)".into(),
+        }];
+        let text = manifest.to_json();
+        assert!(text.contains("\"interrupted\": true"));
+        assert!(text.contains("\"quarantined\": [\n"));
+        let parsed = RunManifest::parse(&text).expect("parses");
+        assert_eq!(parsed, manifest);
+        assert_eq!(parsed.to_json(), text);
     }
 
     #[test]

@@ -248,11 +248,15 @@ impl Recorder {
         self.sink_attached.store(true, Ordering::Release);
     }
 
-    /// Flushes and detaches the sink, if any.
+    /// Flushes and detaches the sink, if any. A failed final flush
+    /// (disk full, closed pipe) degrades to a stderr warning: trace
+    /// output is best-effort and must never fail the run.
     pub fn detach_sink(&self) {
         self.sink_attached.store(false, Ordering::Release);
         if let Some(mut sink) = self.sink.lock().expect("sink poisoned").take() {
-            let _ = sink.flush();
+            if let Err(error) = sink.flush() {
+                eprintln!("fusa-obs: trace sink flush failed ({error}); trace may be truncated");
+            }
         }
     }
 
@@ -291,8 +295,15 @@ impl Recorder {
         }
         line.push('}');
         line.push('\n');
-        if let Some(sink) = self.sink.lock().expect("sink poisoned").as_mut() {
-            let _ = sink.write_all(line.as_bytes());
+        let mut guard = self.sink.lock().expect("sink poisoned");
+        if let Some(sink) = guard.as_mut() {
+            if let Err(error) = sink.write_all(line.as_bytes()) {
+                // A full disk or closed pipe must not kill (or spam) a
+                // multi-hour campaign: warn once and drop the sink.
+                self.sink_attached.store(false, Ordering::Release);
+                *guard = None;
+                eprintln!("fusa-obs: trace sink write failed ({error}); trace output disabled");
+            }
         }
     }
 
@@ -521,6 +532,29 @@ mod tests {
         for line in lines {
             assert!(crate::Json::parse(line).is_ok(), "{line}");
         }
+    }
+
+    #[test]
+    fn failing_sink_detaches_instead_of_erroring() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let r = Recorder::new();
+        r.attach_sink(Box::new(Failing));
+        assert!(r.has_sink());
+        // The first failed write warns and detaches; recording goes on.
+        r.event("epoch", &[("epoch", EventField::U64(1))]);
+        assert!(!r.has_sink());
+        r.add("still_counting", 1);
+        r.event("epoch", &[("epoch", EventField::U64(2))]); // silently dropped
+        assert_eq!(r.snapshot().counter("still_counting"), 1);
+        r.detach_sink(); // no sink left: no-op, no panic
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub fn render_manifest_report(manifest: &RunManifest) -> String {
             .collect();
         let _ = writeln!(out, "build   {}", parts.join(" | "));
     }
+    if manifest.interrupted {
+        let _ = writeln!(
+            out,
+            "status  INTERRUPTED — partial run; resume the command with --resume"
+        );
+    }
 
     if !manifest.stages.is_empty() {
         let _ = writeln!(
@@ -119,6 +125,24 @@ pub fn render_manifest_report(manifest: &RunManifest) -> String {
             let _ = writeln!(out, "  {name:<width$} {value}");
         }
     }
+    if !manifest.quarantined.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nquarantined campaign units ({} excluded after retries):",
+            manifest.quarantined.len()
+        );
+        for q in &manifest.quarantined {
+            let _ = writeln!(
+                out,
+                "  unit {} (workload {}, chunk {}, {} attempts): {}",
+                q.unit,
+                q.workload,
+                q.chunk,
+                q.attempts,
+                q.panic.lines().next().unwrap_or(""),
+            );
+        }
+    }
     out
 }
 
@@ -176,6 +200,8 @@ mod tests {
             created_unix: 1,
             wall_seconds: 2.0,
             threads: 4,
+            interrupted: false,
+            quarantined: vec![],
             peak_rss_bytes: Some(3 << 20),
             build: vec![("rustc".into(), "rustc 1.95.0".into())],
             config: vec![("k".into(), "v".into())],
@@ -214,6 +240,43 @@ mod tests {
         assert!(text.contains("0x5117"));
         assert!(text.contains("output digests:"));
         assert!(text.contains("fnv1a64:0123456789abcdef"));
+    }
+
+    #[test]
+    fn interrupted_and_quarantined_runs_are_flagged() {
+        let manifest = RunManifest {
+            run_id: "r".into(),
+            command: "fusa faults x".into(),
+            design: "d".into(),
+            interrupted: true,
+            quarantined: vec![crate::manifest::QuarantinedUnitRecord {
+                unit: 7,
+                workload: "w3".into(),
+                chunk: 1,
+                attempts: 3,
+                panic: "injected unit fault\nsecond line".into(),
+            }],
+            ..RunManifest::default()
+        };
+        let text = render_manifest_report(&manifest);
+        assert!(text.contains("status  INTERRUPTED"));
+        assert!(text.contains("resume the command with --resume"));
+        assert!(text.contains("quarantined campaign units (1 excluded after retries):"));
+        assert!(text.contains("unit 7 (workload w3, chunk 1, 3 attempts): injected unit fault"));
+        assert!(!text.contains("second line"), "only the first panic line");
+    }
+
+    #[test]
+    fn clean_runs_do_not_mention_durability() {
+        let manifest = RunManifest {
+            run_id: "r".into(),
+            command: "c".into(),
+            design: "d".into(),
+            ..RunManifest::default()
+        };
+        let text = render_manifest_report(&manifest);
+        assert!(!text.contains("INTERRUPTED"));
+        assert!(!text.contains("quarantined"));
     }
 
     #[test]

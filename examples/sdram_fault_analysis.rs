@@ -32,7 +32,8 @@ fn main() {
         min_divergence_fraction: 0.2,
         ..Default::default()
     })
-    .run(&design, &faults, &workloads);
+    .run(&design, &faults, &workloads)
+    .expect("campaign runs");
     println!(
         "campaign finished in {:.2}s ({} fault-workload pairs)\n",
         started.elapsed().as_secs_f64(),

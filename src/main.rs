@@ -16,13 +16,15 @@
 //! regression; `--trace-out PATH` streams JSONL trace events while the
 //! run executes and `--progress` prints live heartbeat lines.
 
-use fusa::faultsim::{FaultCampaign, FaultList, SeuCampaign, SeuConfig};
-use fusa::gcn::pipeline::{FusaPipeline, PipelineConfig};
+use fusa::faultsim::{
+    DurabilityConfig, FaultCampaign, FaultList, QuarantinedUnit, SeuCampaign, SeuConfig,
+};
+use fusa::gcn::pipeline::{FusaPipeline, PipelineConfig, PipelineError};
 use fusa::gcn::report::{render_csv_report, render_text_report, ReportOptions};
 use fusa::gcn::ExplainerConfig;
 use fusa::logicsim::WorkloadSuite;
 use fusa::netlist::{designs, parser::parse_verilog, Netlist, NetlistStats};
-use fusa::obs::{fnv1a64_hex, render_manifest_report, RunManifest};
+use fusa::obs::{fnv1a64_hex, render_manifest_report, QuarantinedUnitRecord, RunManifest};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -91,6 +93,26 @@ const RUN_FLAGS: &[FlagSpec] = &[
         name: "--progress",
         value: None,
         help: "live heartbeat lines on stderr (campaign units, train epochs)",
+    },
+    FlagSpec {
+        name: "--checkpoint",
+        value: Some("PATH"),
+        help: "campaign checkpoint file (default <run-dir>/checkpoint.jsonl)",
+    },
+    FlagSpec {
+        name: "--resume",
+        value: None,
+        help: "resume a previously interrupted campaign from its checkpoint",
+    },
+    FlagSpec {
+        name: "--max-unit-retries",
+        value: Some("N"),
+        help: "retries before a panicking campaign unit is quarantined (default 2)",
+    },
+    FlagSpec {
+        name: "--strict",
+        value: None,
+        help: "exit nonzero when any campaign unit was quarantined",
     },
 ];
 
@@ -456,12 +478,20 @@ struct ObsSession {
     run_dir: PathBuf,
     quiet: bool,
     started: Instant,
+    /// Set when the campaign drained early on SIGINT/SIGTERM; recorded
+    /// in the manifest so `fusa report`/`compare` can tell a partial run
+    /// from a complete one.
+    interrupted: bool,
+    /// Units the campaign quarantined after repeated panics.
+    quarantined: Vec<QuarantinedUnitRecord>,
 }
 
 impl ObsSession {
     fn begin(command: &str, design_arg: &str, args: &[String]) -> Result<ObsSession, String> {
         let obs = fusa::obs::global();
         obs.reset();
+        fusa::obs::reset_shutdown();
+        fusa::obs::install_signal_handlers();
         fusa::obs::set_progress_stderr(args.iter().any(|a| a == "--progress"));
         if let Some(path) = flag_value(args, "--trace-out") {
             let file = std::fs::File::create(path)
@@ -481,13 +511,83 @@ impl ObsSession {
             Some(dir) => PathBuf::from(dir),
             None => PathBuf::from("results").join(&run_id),
         };
+        // Created up front so the default checkpoint path is writable
+        // while the campaign runs. Failure degrades to a warning: an
+        // unwritable results directory must not stop the analysis.
+        if let Err(error) = std::fs::create_dir_all(&run_dir) {
+            eprintln!(
+                "fusa: cannot create run directory `{}` ({error}); manifest and checkpoint disabled",
+                run_dir.display()
+            );
+        }
         Ok(ObsSession {
             run_id,
             command_line: format!("fusa {}", args.join(" ")),
             run_dir,
             quiet: args.iter().any(|a| a == "--quiet-stats"),
             started: Instant::now(),
+            interrupted: false,
+            quarantined: Vec::new(),
         })
+    }
+
+    /// Campaign durability options for this run: checkpoint under the
+    /// run directory unless `--checkpoint` overrides, cooperative
+    /// interruption through the process signal flag.
+    fn durability(&self, args: &[String]) -> Result<DurabilityConfig, String> {
+        let checkpoint = match flag_value(args, "--checkpoint") {
+            Some(path) => PathBuf::from(path),
+            None => self.run_dir.join("checkpoint.jsonl"),
+        };
+        let max_unit_retries = match flag_value(args, "--max-unit-retries") {
+            Some(value) => value
+                .parse()
+                .map_err(|_| format!("bad --max-unit-retries value `{value}`"))?,
+            None => DurabilityConfig::default().max_unit_retries,
+        };
+        Ok(DurabilityConfig {
+            checkpoint: Some(checkpoint),
+            resume: args.iter().any(|a| a == "--resume"),
+            max_unit_retries,
+            interrupt: Some(fusa::obs::shutdown_flag()),
+        })
+    }
+
+    /// Notes quarantined campaign units for the manifest and, under
+    /// `--strict`, for the exit status.
+    fn note_quarantined(&mut self, quarantined: &[QuarantinedUnit]) {
+        self.quarantined = quarantined
+            .iter()
+            .map(|q| QuarantinedUnitRecord {
+                unit: q.unit as u64,
+                workload: q.workload.to_string(),
+                chunk: q.chunk as u64,
+                attempts: u64::from(q.attempts),
+                panic: q.panic_message.clone(),
+            })
+            .collect();
+    }
+
+    /// Prints the interruption notice and the exact invocation that
+    /// resumes this run, then exits with the conventional SIGINT status.
+    fn exit_interrupted(self, design: &str, config: ConfigEntries, seeds: SeedEntries) -> ! {
+        let resume = if self
+            .command_line
+            .split_whitespace()
+            .any(|a| a == "--resume")
+        {
+            self.command_line.clone()
+        } else {
+            format!("{} --resume", self.command_line)
+        };
+        let mut session = self;
+        session.interrupted = true;
+        if let Err(error) = session.finish(design, config, seeds, vec![]) {
+            eprintln!("fusa: {error}");
+        }
+        eprintln!("fusa: interrupted — partial results checkpointed; resume with:");
+        eprintln!("  {resume}");
+        std::process::exit(130);
     }
 
     /// Writes the manifest and (unless `--quiet-stats`) a one-screen
@@ -515,12 +615,22 @@ impl ObsSession {
         manifest.config = config;
         manifest.seeds = seeds;
         manifest.digests = digests;
+        manifest.interrupted = self.interrupted;
+        manifest.quarantined = self.quarantined.clone();
 
-        std::fs::create_dir_all(&self.run_dir)
-            .map_err(|e| format!("cannot create `{}`: {e}", self.run_dir.display()))?;
+        // Manifest I/O failures (disk full, read-only results dir) must
+        // not turn a finished analysis into a nonzero exit: warn and
+        // keep the run's stdout results.
         let path = self.run_dir.join("manifest.json");
-        std::fs::write(&path, manifest.to_json())
-            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        let written = std::fs::create_dir_all(&self.run_dir)
+            .and_then(|()| std::fs::write(&path, manifest.to_json()));
+        if let Err(error) = written {
+            eprintln!(
+                "fusa: cannot write manifest `{}` ({error}); continuing without it",
+                path.display()
+            );
+            return Ok(());
+        }
         if !self.quiet {
             println!(
                 "\nrun manifest: {} (wall {:.2}s, stages cover {:.0}%; `fusa report {}` for the breakdown)",
@@ -649,13 +759,21 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let design_arg = args.get(1).ok_or("missing design")?;
-    let session = ObsSession::begin("analyze", design_arg, args)?;
+    let mut session = ObsSession::begin("analyze", design_arg, args)?;
     let netlist = load_design(design_arg)?;
     let config = pipeline_config(args);
     let (config_kv, seeds) = manifest_config(&config);
-    let analysis = FusaPipeline::new(config)
+    let analysis = match FusaPipeline::new(config)
+        .with_campaign_durability(session.durability(args)?)
         .run(&netlist)
-        .map_err(|e| e.to_string())?;
+    {
+        Ok(analysis) => analysis,
+        Err(PipelineError::Interrupted { .. }) => {
+            session.exit_interrupted(netlist.name(), config_kv, seeds)
+        }
+        Err(error) => return Err(error.to_string()),
+    };
+    session.note_quarantined(&analysis.campaign_quarantined);
 
     let text = render_text_report(&analysis, &netlist, &ReportOptions::default());
     println!("{text}");
@@ -694,20 +812,30 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("trained model written to {path}");
     }
-    session.finish(netlist.name(), config_kv, seeds, digests)
+    session.finish(netlist.name(), config_kv, seeds, digests)?;
+    exit_strict(args, analysis.campaign_quarantined.len());
+    Ok(())
 }
 
 fn cmd_faults(args: &[String]) -> Result<(), String> {
     let design_arg = args.get(1).ok_or("missing design")?;
-    let session = ObsSession::begin("faults", design_arg, args)?;
+    let mut session = ObsSession::begin("faults", design_arg, args)?;
     let netlist = load_design(design_arg)?;
     let config = pipeline_config(args);
     let (config_kv, seeds) = manifest_config(&config);
     let faults = FaultList::all_gate_outputs(&netlist);
     let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
-    let report = FaultCampaign::new(config.campaign).run(&netlist, &faults, &workloads);
+    let report = FaultCampaign::new(config.campaign)
+        .with_durability(session.durability(args)?)
+        .run(&netlist, &faults, &workloads)
+        .map_err(|e| e.to_string())?;
+    session.note_quarantined(report.quarantined());
+    if report.interrupted() {
+        session.exit_interrupted(netlist.name(), config_kv, seeds);
+    }
     print!("{}", report.summary());
     let stable_summary = report.summary_opts(false);
+    let quarantined_count = report.quarantined().len();
     let dataset = report.into_dataset(config.criticality_threshold);
     println!(
         "\nAlgorithm 1: {} / {} nodes critical at th={}",
@@ -727,12 +855,24 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
         std::fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("criticality CSV written to {path}");
     }
-    session.finish(netlist.name(), config_kv, seeds, digests)
+    session.finish(netlist.name(), config_kv, seeds, digests)?;
+    exit_strict(args, quarantined_count);
+    Ok(())
+}
+
+/// Under `--strict`, quarantined units make the whole run fail (after
+/// the manifest was written, so the partial ground truth stays
+/// inspectable).
+fn exit_strict(args: &[String], quarantined: usize) {
+    if quarantined > 0 && args.iter().any(|a| a == "--strict") {
+        eprintln!("fusa: --strict: {quarantined} campaign unit(s) quarantined");
+        std::process::exit(1);
+    }
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {
     let design_arg = args.get(1).ok_or("missing design")?;
-    let session = ObsSession::begin("explain", design_arg, args)?;
+    let mut session = ObsSession::begin("explain", design_arg, args)?;
     let netlist = load_design(design_arg)?;
     let gate_name = args.get(2).ok_or("missing gate name")?;
     let gate = netlist
@@ -740,9 +880,17 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("no gate named `{gate_name}`"))?;
     let config = pipeline_config(args);
     let (config_kv, seeds) = manifest_config(&config);
-    let analysis = FusaPipeline::new(config)
+    let analysis = match FusaPipeline::new(config)
+        .with_campaign_durability(session.durability(args)?)
         .run(&netlist)
-        .map_err(|e| e.to_string())?;
+    {
+        Ok(analysis) => analysis,
+        Err(PipelineError::Interrupted { .. }) => {
+            session.exit_interrupted(netlist.name(), config_kv, seeds)
+        }
+        Err(error) => return Err(error.to_string()),
+    };
+    session.note_quarantined(&analysis.campaign_quarantined);
     let explainer = analysis.explainer(ExplainerConfig::default());
     let explanation = explainer.explain(gate.index());
     let mut text = format!(
@@ -770,7 +918,9 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     }
     print!("{text}");
     let digests = vec![("explanation.txt".to_string(), fnv1a64_hex(text.as_bytes()))];
-    session.finish(netlist.name(), config_kv, seeds, digests)
+    session.finish(netlist.name(), config_kv, seeds, digests)?;
+    exit_strict(args, analysis.campaign_quarantined.len());
+    Ok(())
 }
 
 fn cmd_harden(args: &[String]) -> Result<(), String> {
@@ -778,7 +928,7 @@ fn cmd_harden(args: &[String]) -> Result<(), String> {
     use fusa::netlist::GateId;
 
     let design_arg = args.get(1).ok_or("missing design")?;
-    let session = ObsSession::begin("harden", design_arg, args)?;
+    let mut session = ObsSession::begin("harden", design_arg, args)?;
     let netlist = load_design(design_arg)?;
     let budget: f64 = flag_value(args, "--budget")
         .map(|v| v.parse().map_err(|_| "bad --budget value".to_string()))
@@ -789,9 +939,17 @@ fn cmd_harden(args: &[String]) -> Result<(), String> {
     }
     let config = pipeline_config(args);
     let (config_kv, seeds) = manifest_config(&config);
-    let analysis = FusaPipeline::new(config)
+    let analysis = match FusaPipeline::new(config)
+        .with_campaign_durability(session.durability(args)?)
         .run(&netlist)
-        .map_err(|e| e.to_string())?;
+    {
+        Ok(analysis) => analysis,
+        Err(PipelineError::Interrupted { .. }) => {
+            session.exit_interrupted(netlist.name(), config_kv, seeds)
+        }
+        Err(error) => return Err(error.to_string()),
+    };
+    session.note_quarantined(&analysis.campaign_quarantined);
 
     let count = ((netlist.gate_count() as f64) * budget) as usize;
     let mut ranked: Vec<(usize, f64)> = analysis
@@ -837,17 +995,27 @@ fn cmd_harden(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("hardened netlist written to {path}");
     }
-    session.finish(netlist.name(), config_kv, seeds, digests)
+    session.finish(netlist.name(), config_kv, seeds, digests)?;
+    exit_strict(args, analysis.campaign_quarantined.len());
+    Ok(())
 }
 
 fn cmd_seu(args: &[String]) -> Result<(), String> {
     let design_arg = args.get(1).ok_or("missing design")?;
     let session = ObsSession::begin("seu", design_arg, args)?;
     let netlist = load_design(design_arg)?;
+    if args.iter().any(|a| a == "--resume") || flag_value(args, "--checkpoint").is_some() {
+        eprintln!("fusa: note: seu campaigns re-run from scratch; --checkpoint/--resume ignored");
+    }
     let config = pipeline_config(args);
     let (config_kv, seeds) = manifest_config(&config);
     let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
-    let report = SeuCampaign::new(SeuConfig::default()).run(&netlist, &workloads);
+    let report = SeuCampaign::new(SeuConfig::default())
+        .with_interrupt(fusa::obs::shutdown_flag())
+        .run(&netlist, &workloads);
+    if report.interrupted {
+        session.exit_interrupted(netlist.name(), config_kv, seeds);
+    }
     let mut text = format!(
         "{}: {} flip-flops, mean SEU corruption rate {:.3}\n",
         netlist.name(),

@@ -528,6 +528,10 @@ fn usage_lists_every_command() {
     assert!(stderr.contains("--quiet-stats"), "{stderr}");
     assert!(stderr.contains("--progress"), "{stderr}");
     assert!(stderr.contains("--tolerance-pct"), "{stderr}");
+    assert!(stderr.contains("--checkpoint PATH"), "{stderr}");
+    assert!(stderr.contains("--resume"), "{stderr}");
+    assert!(stderr.contains("--max-unit-retries N"), "{stderr}");
+    assert!(stderr.contains("--strict"), "{stderr}");
 }
 
 #[test]

@@ -95,7 +95,8 @@ fn faults_outside_output_cone_are_never_dangerous() {
         threads: 1,
         ..Default::default()
     })
-    .run(&design, &faults, &workloads);
+    .run(&design, &faults, &workloads)
+    .expect("campaign runs");
     for workload in report.workload_reports() {
         for (fault, outcome) in report.faults().iter().zip(&workload.outcomes) {
             if *outcome == FaultOutcome::Dangerous {
@@ -181,7 +182,8 @@ fn criticality_scores_are_workload_fractions() {
         threads: 1,
         ..Default::default()
     })
-    .run(&design, &faults, &workloads);
+    .run(&design, &faults, &workloads)
+    .expect("campaign runs");
     let dataset = report.into_dataset(0.5);
     for &score in dataset.scores() {
         // With 5 workloads, scores are multiples of 1/5.
@@ -256,7 +258,8 @@ mod hardening {
             threads: 1,
             ..Default::default()
         })
-        .run(&hardened, &faults, &workloads);
+        .run(&hardened, &faults, &workloads)
+        .expect("campaign runs");
         for workload in report.workload_reports() {
             assert_eq!(
                 workload.dangerous_count(),

@@ -1,0 +1,296 @@
+//! End-to-end durability tests of the `fusa` binary: interruption,
+//! checkpoint/resume, quarantine and the `--strict` gate.
+//!
+//! Interruption is driven through the `FUSA_CAMPAIGN_SIGTERM_AFTER_UNITS`
+//! test hook, which raises a *real* SIGTERM at the process after N
+//! campaign units — exercising the installed signal handler, the
+//! cooperative drain, the checkpoint flush and the partial manifest,
+//! exactly as an operator's Ctrl-C would.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fusa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fusa"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fusa_durability_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn manifest_text(run_dir: &Path) -> String {
+    std::fs::read_to_string(run_dir.join("manifest.json")).expect("manifest written")
+}
+
+fn digest_of(manifest: &str, artifact: &str) -> String {
+    let parsed = fusa::obs::RunManifest::parse(manifest).expect("manifest parses");
+    parsed
+        .digests
+        .iter()
+        .find(|(name, _)| name == artifact)
+        .map(|(_, digest)| digest.clone())
+        .unwrap_or_else(|| panic!("no digest for {artifact}"))
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_checkpoints_and_resume_reproduces_the_full_run() {
+    let dir = temp_dir("resume");
+    let full_dir = dir.join("full");
+    let partial_dir = dir.join("partial");
+
+    // Reference: one uninterrupted run.
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--quiet-stats",
+            "--run-dir",
+            full_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let full_manifest = manifest_text(&full_dir);
+
+    // Interrupted run: a real SIGTERM after 3 units.
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--quiet-stats",
+            "--run-dir",
+            partial_dir.to_str().unwrap(),
+        ])
+        .env("FUSA_CAMPAIGN_SIGTERM_AFTER_UNITS", "3")
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(130), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("interrupted"), "{stderr}");
+    assert!(stderr.contains("--resume"), "{stderr}");
+    assert!(
+        partial_dir.join("checkpoint.jsonl").exists(),
+        "checkpoint flushed on interruption"
+    );
+    let partial_manifest = manifest_text(&partial_dir);
+    assert!(partial_manifest.contains("\"interrupted\": true"));
+
+    // An interrupted-vs-complete comparison must not hard-fail on
+    // digests (keep the partial manifest aside: resume overwrites it).
+    let partial_copy = dir.join("partial_manifest.json");
+    std::fs::copy(partial_dir.join("manifest.json"), &partial_copy).unwrap();
+    let output = fusa()
+        .args([
+            "compare",
+            full_dir.to_str().unwrap(),
+            partial_copy.to_str().unwrap(),
+            "--tolerance-pct",
+            "100000",
+            "--min-seconds",
+            "100000",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    assert!(String::from_utf8_lossy(&output.stdout).contains("digest gate disabled"));
+
+    // Resume completes the remaining units from the checkpoint...
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--quiet-stats",
+            "--resume",
+            "--run-dir",
+            partial_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let resumed_manifest = manifest_text(&partial_dir);
+    assert!(resumed_manifest.contains("\"interrupted\": false"));
+    assert!(resumed_manifest.contains("campaign.units_from_checkpoint"));
+
+    // ...and the final artifacts are bit-identical to the uninterrupted
+    // run: same summary digest, same criticality CSV digest.
+    for artifact in ["summary.txt", "criticality.csv"] {
+        assert_eq!(
+            digest_of(&full_manifest, artifact),
+            digest_of(&resumed_manifest, artifact),
+            "digest of {artifact} differs after resume"
+        );
+    }
+
+    // The regression gate agrees.
+    let output = fusa()
+        .args([
+            "compare",
+            full_dir.to_str().unwrap(),
+            partial_dir.to_str().unwrap(),
+            "--tolerance-pct",
+            "100000",
+            "--min-seconds",
+            "100000",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_with_a_mismatched_config_is_rejected() {
+    let dir = temp_dir("mismatch");
+    let run_dir = dir.join("run");
+
+    // Checkpoint a completed --fast campaign...
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--quiet-stats",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    assert!(run_dir.join("checkpoint.jsonl").exists());
+
+    // ...then resume with the default (non---fast) workload suite: the
+    // checkpoint header no longer matches and the run must refuse.
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--quiet-stats",
+            "--resume",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!output.status.success(), "{output:?}");
+    assert_ne!(output.status.code(), Some(130));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("checkpoint"), "{stderr}");
+    assert!(stderr.contains("does not match"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_units_are_quarantined_and_strict_gates() {
+    let dir = temp_dir("quarantine");
+    let run_dir = dir.join("run");
+
+    // Unit 2 panics on every attempt: the campaign must complete anyway
+    // with exit 0, surfacing the quarantine in summary and manifest.
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--quiet-stats",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ])
+        .env("FUSA_CAMPAIGN_PANIC_UNITS", "2")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("quarantined: 1 unit(s)"), "{stdout}");
+    let manifest = manifest_text(&run_dir);
+    assert!(manifest.contains("\"quarantined\": ["));
+    assert!(manifest.contains("injected unit fault"));
+    assert!(manifest.contains("campaign.units_quarantined"));
+
+    // `fusa report` renders the quarantine section.
+    let output = fusa()
+        .args(["report", run_dir.join("manifest.json").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    assert!(String::from_utf8_lossy(&output.stdout).contains("quarantined campaign units"));
+
+    // Same run under --strict: the partial ground truth is a failure.
+    let strict_dir = dir.join("strict");
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--quiet-stats",
+            "--strict",
+            "--run-dir",
+            strict_dir.to_str().unwrap(),
+        ])
+        .env("FUSA_CAMPAIGN_PANIC_UNITS", "2")
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--strict"));
+    // The manifest was still written before the strict exit.
+    assert!(strict_dir.join("manifest.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_panics_are_retried_to_a_clean_run() {
+    let dir = temp_dir("retry");
+    let run_dir = dir.join("run");
+    // Units 0 and 3 panic once each; retries recover both, so even
+    // --strict passes and nothing is quarantined.
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--quiet-stats",
+            "--strict",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ])
+        .env("FUSA_CAMPAIGN_PANIC_ONCE_UNITS", "0,3")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let manifest = manifest_text(&run_dir);
+    assert!(manifest.contains("\"quarantined\": [],"));
+    assert!(manifest.contains("campaign.unit_retries"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_retry_budget_is_configurable_from_the_cli() {
+    let dir = temp_dir("budget");
+    let run_dir = dir.join("run");
+    // With --max-unit-retries 0 a single transient panic is enough to
+    // quarantine the unit.
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--quiet-stats",
+            "--max-unit-retries",
+            "0",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ])
+        .env("FUSA_CAMPAIGN_PANIC_ONCE_UNITS", "1")
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let manifest = manifest_text(&run_dir);
+    assert!(manifest.contains("\"attempts\": 1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -178,7 +178,8 @@ proptest! {
             threads: 1,
             ..Default::default()
         })
-        .run(&netlist, &faults, &workloads);
+        .run(&netlist, &faults, &workloads)
+        .expect("campaign runs");
         let relaxed = report.clone().into_dataset(0.25);
         let strict = report.into_dataset(0.75);
         for (r, s) in relaxed.labels().iter().zip(strict.labels()) {
@@ -354,7 +355,8 @@ mod fault_equivalence {
             threads: 1,
             ..Default::default()
         })
-        .run(&netlist, &faults, &workloads);
+        .run(&netlist, &faults, &workloads)
+        .expect("campaign runs");
         for workload in report.workload_reports() {
             for (k, (pin_fault, _)) in pairs.iter().enumerate() {
                 let pin_outcome = workload.outcomes[2 * k];

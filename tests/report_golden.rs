@@ -6,17 +6,23 @@
 //! regenerate `tests/data/golden_report.txt` with
 //! `fusa report tests/data/golden_manifest.json`.
 //!
-//! Two manifest generations are pinned: the current v2 schema (build
-//! provenance + histograms) and a legacy v1 document, which must keep
-//! loading and rendering — v1 has no histograms and records an unknown
-//! peak RSS as `0`, rendered as `n/a`.
+//! Three manifest generations are pinned: the current v3 schema
+//! (durability state: `interrupted` flag + `quarantined` units), the v2
+//! generation (build provenance + histograms, no durability fields) and
+//! a legacy v1 document, which must keep loading and rendering — v1 has
+//! no histograms and records an unknown peak RSS as `0`, rendered as
+//! `n/a`.
 
-use fusa::obs::{render_manifest_report, RunManifest, MANIFEST_SCHEMA, MANIFEST_SCHEMA_V1};
+use fusa::obs::{
+    render_manifest_report, RunManifest, MANIFEST_SCHEMA, MANIFEST_SCHEMA_V1, MANIFEST_SCHEMA_V2,
+};
 
 const GOLDEN_MANIFEST: &str = include_str!("data/golden_manifest.json");
 const GOLDEN_REPORT: &str = include_str!("data/golden_report.txt");
 const GOLDEN_MANIFEST_V1: &str = include_str!("data/golden_manifest_v1.json");
 const GOLDEN_REPORT_V1: &str = include_str!("data/golden_report_v1.txt");
+const GOLDEN_MANIFEST_V2: &str = include_str!("data/golden_manifest_v2.json");
+const GOLDEN_REPORT_V2: &str = include_str!("data/golden_report_v2.txt");
 
 #[test]
 fn report_rendering_matches_golden_file() {
@@ -40,6 +46,8 @@ fn golden_manifest_summary_fields() {
     let manifest = RunManifest::parse(GOLDEN_MANIFEST).expect("golden manifest parses");
     assert_eq!(manifest.design, "sdram_ctrl");
     assert_eq!(manifest.threads, 8);
+    assert!(!manifest.interrupted);
+    assert!(manifest.quarantined.is_empty());
     assert!((manifest.top_level_stage_seconds() - 2.3).abs() < 1e-12);
     assert!((manifest.stage_coverage() - 0.92).abs() < 1e-12);
     assert_eq!(manifest.histograms.len(), 3);
@@ -57,4 +65,20 @@ fn legacy_v1_manifest_still_loads_and_renders() {
     assert_eq!(render_manifest_report(&manifest), GOLDEN_REPORT_V1);
     // Rewriting a v1 document upgrades it to the current schema.
     assert!(manifest.to_json().contains(MANIFEST_SCHEMA));
+}
+
+#[test]
+fn legacy_v2_manifest_still_loads_and_renders() {
+    assert!(GOLDEN_MANIFEST_V2.contains(MANIFEST_SCHEMA_V2));
+    let manifest = RunManifest::parse(GOLDEN_MANIFEST_V2).expect("v2 manifest parses");
+    // Pre-durability manifests read as clean, complete runs...
+    assert!(!manifest.interrupted);
+    assert!(manifest.quarantined.is_empty());
+    // ...and render identically to the upgraded v3 fixture, which holds
+    // the same run.
+    assert_eq!(render_manifest_report(&manifest), GOLDEN_REPORT_V2);
+    // Rewriting upgrades the document to the current schema, and the
+    // result is byte-identical to the v3 fixture.
+    assert!(manifest.to_json().contains(MANIFEST_SCHEMA));
+    assert_eq!(manifest.to_json(), GOLDEN_MANIFEST);
 }
