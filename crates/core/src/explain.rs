@@ -17,7 +17,7 @@
 //! Equation 3 / Figure 5(b).
 
 use crate::model::GcnClassifier;
-use fusa_graph::{masked_adjacency, CircuitGraph, FEATURE_COUNT, FEATURE_NAMES};
+use fusa_graph::{feature_names, masked_adjacency, CircuitGraph};
 use fusa_neuro::layers::sigmoid;
 use fusa_neuro::optim::Adam;
 use fusa_neuro::{Matrix, Param};
@@ -85,10 +85,8 @@ impl Explanation {
             .enumerate()
             .collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN scores"));
-        ranked
-            .into_iter()
-            .map(|(i, s)| (FEATURE_NAMES[i], s))
-            .collect()
+        let names = feature_names(self.feature_importance.len());
+        ranked.into_iter().map(|(i, s)| (names[i], s)).collect()
     }
 
     /// 1-based rank of each feature (rank 1 = most important), in
@@ -129,9 +127,10 @@ impl GlobalFeatureImportance {
                 .partial_cmp(&self.mean_ranks[b])
                 .expect("no NaN ranks")
         });
+        let names = feature_names(self.mean_ranks.len());
         order
             .into_iter()
-            .map(|i| (FEATURE_NAMES[i], self.mean_ranks[i]))
+            .map(|i| (names[i], self.mean_ranks[i]))
             .collect()
     }
 }
@@ -196,6 +195,7 @@ impl<'a> Explainer<'a> {
         obs.add("explain.nodes", 1);
         obs.add("explain.iterations", self.config.iterations as u64);
         let num_edges = self.graph.edge_count();
+        let num_features = self.features.cols();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ node as u64);
 
         // Mask logits initialized near σ≈0.5 (maximum gradient flow,
@@ -210,8 +210,8 @@ impl<'a> Explainer<'a> {
         ));
         let mut feature_logits = Param::new(Matrix::from_vec(
             1,
-            FEATURE_COUNT,
-            (0..FEATURE_COUNT)
+            num_features,
+            (0..num_features)
                 .map(|_| rng.gen_range(-0.1..0.1))
                 .collect(),
         ));
@@ -229,7 +229,7 @@ impl<'a> Explainer<'a> {
             let edge_mask: Vec<f64> = (0..num_edges)
                 .map(|e| sigmoid(edge_logits.value.get(0, e)))
                 .collect();
-            let feature_mask: Vec<f64> = (0..FEATURE_COUNT)
+            let feature_mask: Vec<f64> = (0..num_features)
                 .map(|c| sigmoid(feature_logits.value.get(0, c)))
                 .collect();
 
@@ -270,7 +270,7 @@ impl<'a> Explainer<'a> {
             }
 
             // Chain rule into the feature logits.
-            for (c, &s) in feature_mask.iter().enumerate().take(FEATURE_COUNT) {
+            for (c, &s) in feature_mask.iter().enumerate().take(num_features) {
                 let ds = s * (1.0 - s);
                 let mut g = 0.0;
                 for r in 0..grad_x.rows() {
@@ -285,7 +285,7 @@ impl<'a> Explainer<'a> {
             optimizer.step(&mut [&mut edge_logits, &mut feature_logits]);
         }
 
-        let feature_mask: Vec<f64> = (0..FEATURE_COUNT)
+        let feature_mask: Vec<f64> = (0..num_features)
             .map(|c| sigmoid(feature_logits.value.get(0, c)))
             .collect();
         let mask_sum: f64 = feature_mask.iter().sum();
@@ -293,7 +293,7 @@ impl<'a> Explainer<'a> {
             .iter()
             .map(|&m| {
                 if mask_sum > 0.0 {
-                    m * FEATURE_COUNT as f64 / mask_sum
+                    m * num_features as f64 / mask_sum
                 } else {
                     0.0
                 }
@@ -335,8 +335,9 @@ impl<'a> Explainer<'a> {
     /// Panics if `nodes` is empty or contains an out-of-range node.
     pub fn global_importance(&self, nodes: &[usize]) -> GlobalFeatureImportance {
         assert!(!nodes.is_empty(), "need at least one node to aggregate");
-        let mut score_sums = [0.0; FEATURE_COUNT];
-        let mut rank_sums = [0.0; FEATURE_COUNT];
+        let num_features = self.features.cols();
+        let mut score_sums = vec![0.0; num_features];
+        let mut rank_sums = vec![0.0; num_features];
         for &node in nodes {
             let explanation = self.explain(node);
             for (s, &v) in score_sums.iter_mut().zip(&explanation.feature_importance) {
@@ -366,6 +367,7 @@ mod tests {
     use super::*;
     use crate::model::GcnConfig;
     use crate::train::{train_classifier, TrainConfig};
+    use fusa_graph::{FEATURE_COUNT, FEATURE_NAMES};
     use fusa_neuro::split::Split;
 
     /// Builds a task where exactly one feature column determines the

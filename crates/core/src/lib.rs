@@ -34,6 +34,7 @@ pub mod explain;
 pub mod model;
 pub mod persist;
 pub mod pipeline;
+pub mod rank;
 pub mod report;
 pub mod sgc;
 pub mod train;
@@ -41,6 +42,9 @@ pub mod train;
 pub use explain::{Explainer, ExplainerConfig, Explanation, GlobalFeatureImportance};
 pub use model::{GcnClassifier, GcnConfig, GcnRegressor};
 pub use pipeline::{FusaAnalysis, FusaPipeline, PipelineConfig, PipelineError};
+pub use rank::{
+    parse_ground_truth, RankEvaluation, StaticRank, CHANNEL_WEIGHTS, RANK_CHANNEL_NAMES,
+};
 pub use sgc::{SgcClassifier, SgcConfig};
 pub use train::{
     train_classifier, train_regressor, EvaluationReport, GridSearch, TrainConfig, TrainHistory,

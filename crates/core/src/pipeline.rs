@@ -12,7 +12,7 @@ use fusa_faultsim::{
 };
 use fusa_graph::{normalized_adjacency, CircuitGraph, FeatureMatrix, Standardizer};
 use fusa_logicsim::{SignalStats, SignalStatsConfig, WorkloadConfig, WorkloadSuite};
-use fusa_netlist::Netlist;
+use fusa_netlist::{Netlist, StructuralProfile};
 use fusa_neuro::split::Split;
 use fusa_neuro::{CsrMatrix, Matrix};
 use std::error::Error;
@@ -38,6 +38,11 @@ pub struct PipelineConfig {
     /// simulation. The excluded gates keep criticality score 0 — the
     /// same label simulating them would produce — at zero cost.
     pub exclude_untestable_faults: bool,
+    /// Append the simulation-free structural channels (SCOAP
+    /// testability, graph centralities) to the node features fed to the
+    /// GCN and the baselines. Off by default: the base layout is the
+    /// paper's five features and keeps artifact digests stable.
+    pub structural_features: bool,
     /// GCN architecture (`in_features` is set from the feature matrix).
     pub model: GcnConfig,
     /// Training hyper-parameters.
@@ -60,6 +65,7 @@ impl Default for PipelineConfig {
             train_fraction: 0.8,
             split_seed: 0x5117,
             exclude_untestable_faults: true,
+            structural_features: false,
             model: GcnConfig::default(),
             train: TrainConfig::default(),
         }
@@ -287,11 +293,17 @@ impl FusaPipeline {
             (graph, adjacency)
         };
 
-        // 2. Feature extraction (§3.1).
+        // 2. Feature extraction (§3.1), optionally extended with the
+        // simulation-free structural channels.
         let (raw_features, standardizer, features) = {
             let _span = obs.span("features");
             let stats = SignalStats::estimate(netlist, &self.config.signal_stats);
-            let raw_features = FeatureMatrix::extract(netlist, &stats);
+            let raw_features = if self.config.structural_features {
+                let profile = StructuralProfile::analyze(netlist);
+                FeatureMatrix::extract_with_structure(netlist, &stats, &profile)
+            } else {
+                FeatureMatrix::extract(netlist, &stats)
+            };
             let standardizer = Standardizer::fit(raw_features.matrix());
             let features = standardizer.transform(raw_features.matrix());
             (raw_features, standardizer, features)
@@ -439,6 +451,25 @@ mod tests {
             .run(&or1200_icfsm())
             .expect("pipeline runs without exclusion");
         assert_eq!(analysis.excluded_fault_sites, 0);
+    }
+
+    #[test]
+    fn structural_features_widen_the_model_input() {
+        let config = PipelineConfig {
+            structural_features: true,
+            ..PipelineConfig::fast()
+        };
+        let analysis = FusaPipeline::new(config)
+            .run(&or1200_icfsm())
+            .expect("pipeline runs with structural features");
+        let expected = fusa_graph::FEATURE_COUNT + fusa_graph::STRUCTURAL_FEATURE_COUNT;
+        assert_eq!(analysis.features.cols(), expected);
+        assert_eq!(analysis.classifier.config().in_features, expected);
+        assert!(
+            analysis.evaluation.accuracy > 0.6,
+            "accuracy {}",
+            analysis.evaluation.accuracy
+        );
     }
 
     #[test]

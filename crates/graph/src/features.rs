@@ -1,7 +1,8 @@
 //! Node feature extraction (§3.1) and standardization.
 
 use fusa_logicsim::SignalStats;
-use fusa_netlist::{GateId, Netlist};
+use fusa_netlist::structural::cost_to_feature;
+use fusa_netlist::{GateId, Netlist, StructuralProfile};
 use fusa_neuro::Matrix;
 
 /// Number of node features.
@@ -15,6 +16,41 @@ pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
     "State transition probability",
     "Boolean inverting tag",
 ];
+
+/// Number of optional structural channels appended by
+/// [`FeatureMatrix::extract_with_structure`].
+pub const STRUCTURAL_FEATURE_COUNT: usize = 6;
+
+/// Names of the structural channels, in column order after
+/// [`FEATURE_NAMES`].
+pub const STRUCTURAL_FEATURE_NAMES: [&str; STRUCTURAL_FEATURE_COUNT] = [
+    "SCOAP 0-controllability (log)",
+    "SCOAP 1-controllability (log)",
+    "SCOAP observability (log)",
+    "Fanout betweenness (log)",
+    "PageRank influence",
+    "Convergence dominance (log)",
+];
+
+/// Column names of a feature matrix with `cols` columns: the paper's
+/// base features, optionally followed by the structural channels.
+///
+/// # Panics
+///
+/// Panics if `cols` is neither the base width nor the extended width.
+pub fn feature_names(cols: usize) -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = FEATURE_NAMES.to_vec();
+    if cols == FEATURE_COUNT {
+        return names;
+    }
+    assert_eq!(
+        cols,
+        FEATURE_COUNT + STRUCTURAL_FEATURE_COUNT,
+        "unknown feature layout: {cols} columns"
+    );
+    names.extend(STRUCTURAL_FEATURE_NAMES);
+    names
+}
 
 /// The `N × 5` node feature matrix of §3.1.
 ///
@@ -36,18 +72,47 @@ impl FeatureMatrix {
         let n = netlist.gate_count();
         let mut matrix = Matrix::zeros(n, FEATURE_COUNT);
         for i in 0..n {
-            let gate_id = GateId(i as u32);
-            let row = matrix.row_mut(i);
-            row[0] = netlist.connection_count(gate_id) as f64;
-            row[1] = stats.probability_zero(gate_id);
-            row[2] = stats.probability_one(gate_id);
-            row[3] = stats.transition_probability(gate_id);
-            row[4] = f64::from(netlist.gates()[i].kind.is_inverting());
+            fill_base_features(matrix.row_mut(i), netlist, stats, GateId(i as u32));
         }
         FeatureMatrix { matrix }
     }
 
-    /// The underlying `N × 5` matrix.
+    /// Extracts the base features plus the simulation-free structural
+    /// channels ([`STRUCTURAL_FEATURE_NAMES`]) computed from `profile`.
+    ///
+    /// SCOAP costs are log-compressed via
+    /// [`fusa_netlist::structural::cost_to_feature`] (infinite costs
+    /// saturate at a fixed cap); betweenness and dominance are `ln(1+x)`
+    /// compressed; PageRank is scaled by the gate count so its mean is 1
+    /// regardless of design size.
+    pub fn extract_with_structure(
+        netlist: &Netlist,
+        stats: &SignalStats,
+        profile: &StructuralProfile,
+    ) -> FeatureMatrix {
+        let _span = fusa_obs::global().span("extract");
+        let n = netlist.gate_count();
+        let mut matrix = Matrix::zeros(n, FEATURE_COUNT + STRUCTURAL_FEATURE_COUNT);
+        for i in 0..n {
+            let gate_id = GateId(i as u32);
+            let row = matrix.row_mut(i);
+            fill_base_features(row, netlist, stats, gate_id);
+            row[FEATURE_COUNT] = cost_to_feature(profile.gate_cc0(netlist, gate_id));
+            row[FEATURE_COUNT + 1] = cost_to_feature(profile.gate_cc1(netlist, gate_id));
+            row[FEATURE_COUNT + 2] = cost_to_feature(profile.gate_co(netlist, gate_id));
+            row[FEATURE_COUNT + 3] = (1.0 + profile.betweenness[i]).ln();
+            row[FEATURE_COUNT + 4] = profile.pagerank[i] * n as f64;
+            row[FEATURE_COUNT + 5] = f64::from(1 + profile.dominated[i]).ln();
+        }
+        FeatureMatrix { matrix }
+    }
+
+    /// Number of feature columns.
+    pub fn cols(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// The underlying `N × F` matrix.
     pub fn matrix(&self) -> &Matrix {
         &self.matrix
     }
@@ -65,6 +130,15 @@ impl FeatureMatrix {
     pub fn row(&self, gate: GateId) -> &[f64] {
         self.matrix.row(gate.index())
     }
+}
+
+/// Fills the paper's five base features into the head of `row`.
+fn fill_base_features(row: &mut [f64], netlist: &Netlist, stats: &SignalStats, gate_id: GateId) {
+    row[0] = netlist.connection_count(gate_id) as f64;
+    row[1] = stats.probability_zero(gate_id);
+    row[2] = stats.probability_one(gate_id);
+    row[3] = stats.transition_probability(gate_id);
+    row[4] = f64::from(netlist.gates()[gate_id.index()].kind.is_inverting());
 }
 
 /// Z-score standardizer fitted on training columns and applied to the
@@ -194,6 +268,46 @@ mod tests {
         let yrow = features.row(GateId(1));
         assert_eq!(yrow[0], 2.0); // 1 fanin + PO
         assert_eq!(yrow[4], 0.0);
+    }
+
+    #[test]
+    fn structural_channels_append_after_base_features() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let stats = SignalStats::estimate(
+            &netlist,
+            &SignalStatsConfig {
+                cycles: 200,
+                warmup: 8,
+                ..Default::default()
+            },
+        );
+        let profile = StructuralProfile::analyze(&netlist);
+        let base = FeatureMatrix::extract(&netlist, &stats);
+        let extended = FeatureMatrix::extract_with_structure(&netlist, &stats, &profile);
+        assert_eq!(base.cols(), FEATURE_COUNT);
+        assert_eq!(extended.cols(), FEATURE_COUNT + STRUCTURAL_FEATURE_COUNT);
+        for i in 0..netlist.gate_count() {
+            let id = GateId(i as u32);
+            assert_eq!(&extended.row(id)[..FEATURE_COUNT], base.row(id));
+            for &v in &extended.row(id)[FEATURE_COUNT..] {
+                assert!(v.is_finite());
+            }
+        }
+        // PageRank channel has mean 1 by construction.
+        let n = netlist.gate_count();
+        let mean: f64 = (0..n)
+            .map(|i| extended.matrix().get(i, FEATURE_COUNT + 4))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 1e-6, "pagerank mean {mean}");
+    }
+
+    #[test]
+    fn feature_names_cover_both_layouts() {
+        assert_eq!(feature_names(FEATURE_COUNT), FEATURE_NAMES.to_vec());
+        let extended = feature_names(FEATURE_COUNT + STRUCTURAL_FEATURE_COUNT);
+        assert_eq!(extended.len(), FEATURE_COUNT + STRUCTURAL_FEATURE_COUNT);
+        assert_eq!(extended[FEATURE_COUNT], STRUCTURAL_FEATURE_NAMES[0]);
     }
 
     #[test]

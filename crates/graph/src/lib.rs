@@ -30,5 +30,8 @@ pub mod features;
 pub mod graph;
 
 pub use adjacency::{masked_adjacency, normalized_adjacency};
-pub use features::{FeatureMatrix, Standardizer, FEATURE_COUNT, FEATURE_NAMES};
+pub use features::{
+    feature_names, FeatureMatrix, Standardizer, FEATURE_COUNT, FEATURE_NAMES,
+    STRUCTURAL_FEATURE_COUNT, STRUCTURAL_FEATURE_NAMES,
+};
 pub use graph::CircuitGraph;

@@ -1,7 +1,7 @@
 //! Shared structural analyses computed once and consumed by many passes.
 
 use fusa_netlist::netlist::Driver;
-use fusa_netlist::{GateId, Levelizer, NetId, Netlist};
+use fusa_netlist::{GateId, Levelizer, NetId, Netlist, StructuralProfile};
 
 /// A validated netlist plus the dataflow facts the passes share.
 ///
@@ -22,6 +22,9 @@ pub struct LintContext<'a> {
     /// flip-flop output. Constant cells are sources of their own and are
     /// deliberately *not* counted here.
     reachable: Vec<bool>,
+    /// SCOAP testability and graph-centrality measures, shared by the
+    /// structural criticality passes.
+    structural: StructuralProfile,
 }
 
 impl<'a> LintContext<'a> {
@@ -32,6 +35,7 @@ impl<'a> LintContext<'a> {
             const_value: propagate_constants(netlist),
             observable: observable_gates(netlist),
             reachable: reachable_gates(netlist),
+            structural: StructuralProfile::analyze(netlist),
         }
     }
 
@@ -55,6 +59,11 @@ impl<'a> LintContext<'a> {
     /// input or flip-flop output.
     pub fn is_reachable(&self, gate: GateId) -> bool {
         self.reachable[gate.index()]
+    }
+
+    /// SCOAP testability and centrality measures of the design.
+    pub fn structural(&self) -> &StructuralProfile {
+        &self.structural
     }
 }
 

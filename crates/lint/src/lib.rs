@@ -69,6 +69,9 @@ pub fn all_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(passes::ConnectivityPass),
         Box::new(passes::FanoutProfilePass),
         Box::new(passes::RegisterDisciplinePass),
+        Box::new(passes::ScoapControlPass),
+        Box::new(passes::ScoapObservePass),
+        Box::new(passes::StructuralSpofPass),
     ]
 }
 
@@ -90,6 +93,9 @@ pub fn run_passes(netlist: &Netlist, passes: &[Box<dyn LintPass>]) -> LintReport
         obs.observe("lint.pass_seconds", begun.elapsed().as_secs_f64());
     }
     obs.add("lint.findings", report.findings.len() as u64);
+    obs.add("lint.findings.error", report.error_count() as u64);
+    obs.add("lint.findings.warning", report.warning_count() as u64);
+    obs.add("lint.findings.info", report.info_count() as u64);
     report
 }
 

@@ -16,7 +16,7 @@ use crate::context::LintContext;
 use crate::report::{LintFinding, LintReport, LintSeverity};
 use crate::LintPass;
 use fusa_netlist::netlist::Driver;
-use fusa_netlist::{combinational_loops, GateId, GateKind, Netlist};
+use fusa_netlist::{combinational_loops, GateId, GateKind, Netlist, SCOAP_INF};
 use std::collections::HashMap;
 
 fn finding(
@@ -459,6 +459,214 @@ impl LintPass for RegisterDisciplinePass {
     }
 }
 
+/// Mean and mean-plus-four-sigma outlier threshold (with a floor) of a
+/// sample, the same grading [`FanoutProfilePass`] uses.
+fn outlier_stats(values: &[f64], floor: f64) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, floor);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let variance = values.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, (mean + 4.0 * variance.sqrt()).max(floor))
+}
+
+/// L012/L013: hard-to-control fault sites, graded by SCOAP
+/// controllability of the gate's output net.
+///
+/// * L012 (`Warning`) — one output value has *infinite* SCOAP
+///   controllability although constant propagation does not prove the
+///   net constant: typically state held only through feedback with no
+///   composable way to load it (locked at its power-on value).
+/// * L013 (`Info`) — finite controllability that is an extreme outlier
+///   for the design (mean + 4 sigma, minimum 32): faults here activate
+///   so rarely that campaign labels for them carry little signal.
+pub struct ScoapControlPass;
+
+impl LintPass for ScoapControlPass {
+    fn name(&self) -> &'static str {
+        "scoap-control"
+    }
+
+    fn description(&self) -> &'static str {
+        "hard-to-control fault sites (SCOAP CC0/CC1 grading)"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let netlist = ctx.netlist;
+        let s = ctx.structural();
+        let mut finite: Vec<f64> = Vec::new();
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            if gate.kind.is_constant() {
+                continue; // one-sided by design; L002 covers their cones
+            }
+            let id = GateId(i as u32);
+            let (cc0, cc1) = (s.gate_cc0(netlist, id), s.gate_cc1(netlist, id));
+            if cc0 == SCOAP_INF || cc1 == SCOAP_INF {
+                if ctx.gate_const_value(id).is_none() {
+                    let value = if cc0 == SCOAP_INF && cc1 == SCOAP_INF {
+                        "either value".to_string()
+                    } else {
+                        format!("{}", u8::from(cc0 == SCOAP_INF))
+                    };
+                    report.findings.push(gate_finding(
+                        netlist,
+                        id,
+                        self.name(),
+                        "L012",
+                        LintSeverity::Warning,
+                        format!(
+                            "no composable input sequence drives this output to {value}; \
+                             logic is likely locked at its power-on state"
+                        ),
+                    ));
+                }
+            } else {
+                finite.push(cc0.max(cc1) as f64);
+            }
+        }
+        let (mean, threshold) = outlier_stats(&finite, 32.0);
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            if gate.kind.is_constant() {
+                continue;
+            }
+            let id = GateId(i as u32);
+            let difficulty = s.gate_control_difficulty(netlist, id);
+            if difficulty != SCOAP_INF && difficulty as f64 > threshold {
+                report.findings.push(gate_finding(
+                    netlist,
+                    id,
+                    self.name(),
+                    "L013",
+                    LintSeverity::Info,
+                    format!(
+                        "SCOAP controllability {difficulty} is an outlier \
+                         (design mean {mean:.1}, threshold {threshold:.1})"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// L014/L015: hard-to-observe fault sites, graded by SCOAP
+/// observability of the gate's output net.
+///
+/// * L014 (`Info`) — a topological path to an output exists (the gate
+///   is not L003-dead) but no SCOAP-sensitizable one: every path is
+///   blocked by constants or per-gate-unsatisfiable side pins, so
+///   faults here are unlikely to ever be detected. Info rather than
+///   Warning because compositional sensitization is pessimistic under
+///   reconvergence and fires on legitimate synthesized logic.
+/// * L015 (`Info`) — finite observability that is an extreme outlier
+///   (mean + 4 sigma, minimum 32).
+pub struct ScoapObservePass;
+
+impl LintPass for ScoapObservePass {
+    fn name(&self) -> &'static str {
+        "scoap-observe"
+    }
+
+    fn description(&self) -> &'static str {
+        "hard-to-observe fault sites (SCOAP CO grading)"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let netlist = ctx.netlist;
+        let s = ctx.structural();
+        let mut finite: Vec<f64> = Vec::new();
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            if gate.kind.is_constant() {
+                continue;
+            }
+            let id = GateId(i as u32);
+            let co = s.gate_co(netlist, id);
+            if co == SCOAP_INF {
+                if ctx.is_observable(id) && ctx.gate_const_value(id).is_none() {
+                    report.findings.push(gate_finding(
+                        netlist,
+                        id,
+                        self.name(),
+                        "L014",
+                        LintSeverity::Info,
+                        "a path to an output exists but none is sensitizable; \
+                         faults here will never be detected"
+                            .to_string(),
+                    ));
+                }
+            } else {
+                finite.push(co as f64);
+            }
+        }
+        let (mean, threshold) = outlier_stats(&finite, 32.0);
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            if gate.kind.is_constant() {
+                continue;
+            }
+            let id = GateId(i as u32);
+            let co = s.gate_co(netlist, id);
+            if co != SCOAP_INF && co as f64 > threshold {
+                report.findings.push(gate_finding(
+                    netlist,
+                    id,
+                    self.name(),
+                    "L015",
+                    LintSeverity::Info,
+                    format!(
+                        "SCOAP observability {co} is an outlier \
+                         (design mean {mean:.1}, threshold {threshold:.1})"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// L016: single-point-of-failure corridors — articulation points of the
+/// gate graph that also post-dominate a significant share of the design
+/// (at least 8 gates and 5% of the gate count).
+///
+/// Every fault in the dominated cone must traverse such a gate to reach
+/// an output, so a fault *on* the gate itself shadows the whole cone's
+/// criticality: a classic common-cause site for safety-mechanism
+/// placement.
+pub struct StructuralSpofPass;
+
+impl LintPass for StructuralSpofPass {
+    fn name(&self) -> &'static str {
+        "structural-spof"
+    }
+
+    fn description(&self) -> &'static str {
+        "articulation points post-dominating a large cone"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, report: &mut LintReport) {
+        let netlist = ctx.netlist;
+        let s = ctx.structural();
+        let threshold = 8.max(netlist.gate_count() / 20) as u32;
+        for i in 0..netlist.gate_count() {
+            if !s.articulation[i] {
+                continue;
+            }
+            let dominated = s.dominated[i];
+            if dominated >= threshold {
+                report.findings.push(gate_finding(
+                    netlist,
+                    GateId(i as u32),
+                    self.name(),
+                    "L016",
+                    LintSeverity::Info,
+                    format!(
+                        "single-point-of-failure corridor: articulation point that \
+                         {dominated} gate(s) must traverse to reach an output"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,6 +834,72 @@ mod tests {
         let report = lint_netlist(&b.finish().unwrap());
         assert!(report.findings_for_pass("comb-loop").is_empty());
         assert!(report.passes_run.contains(&"comb-loop"));
+    }
+
+    #[test]
+    fn scoap_control_flags_locked_feedback() {
+        let mut b = NetlistBuilder::new("lock");
+        // A register holding state only through its own Q->D loop: no
+        // input sequence can ever load it.
+        let q = b.net("q");
+        b.gate_driving("LOCKED", GateKind::Dff, &[q], q);
+        let a = b.primary_input("a");
+        let z = b.gate(GateKind::And2, &[a, q]);
+        b.primary_output("z", z);
+        let report = lint_netlist(&b.finish().unwrap());
+        let hits = report.findings_for_pass("scoap-control");
+        assert!(
+            hits.iter()
+                .any(|f| f.code == "L012" && f.gate.as_deref() == Some("LOCKED")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn scoap_observe_flags_blocked_paths() {
+        let mut b = NetlistBuilder::new("blk");
+        let a = b.primary_input("a");
+        let hid = b.gate_named("HID", GateKind::Inv, &[a]);
+        let zero = b.gate(GateKind::Tie0, &[]);
+        // HID reaches the output topologically, but the constant side
+        // pin blocks every sensitization.
+        let and = b.gate(GateKind::And2, &[hid, zero]);
+        b.primary_output("z", and);
+        let report = lint_netlist(&b.finish().unwrap());
+        let hits = report.findings_for_pass("scoap-observe");
+        assert!(
+            hits.iter()
+                .any(|f| f.code == "L014" && f.gate.as_deref() == Some("HID")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn structural_spof_flags_convergence_corridors() {
+        let mut b = NetlistBuilder::new("neck");
+        // Ten independent cones folded through a collector chain: the
+        // final buffer post-dominates every upstream gate.
+        let mut acc = {
+            let pi = b.primary_input("i0");
+            b.gate(GateKind::Inv, &[pi])
+        };
+        for i in 1..10 {
+            let pi = b.primary_input(format!("i{i}"));
+            let inv = b.gate(GateKind::Inv, &[pi]);
+            acc = b.gate_named(format!("F{i}"), GateKind::Xor2, &[acc, inv]);
+        }
+        let neck = b.gate(GateKind::Buf, &[acc]);
+        b.primary_output("z", neck);
+        let report = lint_netlist(&b.finish().unwrap());
+        let hits = report.findings_for_pass("structural-spof");
+        // The last fold gate is an interior articulation point that the
+        // whole accumulated cone must traverse. (The terminal buffer has
+        // undirected degree 1 and so is never an articulation point.)
+        assert!(
+            hits.iter()
+                .any(|f| f.code == "L016" && f.gate.as_deref() == Some("F9")),
+            "{hits:?}"
+        );
     }
 
     #[test]

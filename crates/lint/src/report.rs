@@ -130,6 +130,11 @@ impl LintReport {
         self.count_at(LintSeverity::Warning)
     }
 
+    /// Number of `info` findings.
+    pub fn info_count(&self) -> usize {
+        self.count_at(LintSeverity::Info)
+    }
+
     /// `true` if any finding is at or above `severity`.
     pub fn has_at_least(&self, severity: LintSeverity) -> bool {
         self.findings.iter().any(|f| f.severity >= severity)

@@ -36,6 +36,7 @@ pub mod harden;
 pub mod netlist;
 pub mod parser;
 pub mod stats;
+pub mod structural;
 pub mod synth;
 pub mod topo;
 pub mod writer;
@@ -46,5 +47,6 @@ pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind};
 pub use netlist::{gate_ids, in_output_cone, net_ids, Driver, Net, NetId, Netlist};
 pub use stats::NetlistStats;
+pub use structural::{StructuralProfile, SCOAP_INF, SEQUENTIAL_STEP};
 pub use synth::{Synth, Word};
-pub use topo::{combinational_loops, LevelizedOrder, Levelizer};
+pub use topo::{combinational_loops, strongly_connected_components, LevelizedOrder, Levelizer};

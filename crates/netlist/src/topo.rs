@@ -130,34 +130,31 @@ impl Levelizer {
     }
 }
 
-/// Finds all combinational loops in a netlist, validated or not.
+/// Strongly connected components of a directed graph in adjacency-list
+/// form (node `v`'s successors are `adjacency[v]`), computed with an
+/// iterative Tarjan walk.
 ///
-/// Returns the non-trivial strongly connected components (two or more
-/// gates, or a gate feeding itself) of the combinational gate graph,
-/// where flip-flop outputs break edges exactly as in levelization. A
-/// validated [`Netlist`] always yields an empty vector; the builder and
-/// the lint framework share this routine to diagnose pre-validation
-/// designs.
+/// Components come back in Tarjan emission order — **reverse
+/// topological order of the condensation**: every edge either stays
+/// inside a component or points from a later-listed component to an
+/// earlier-listed one. Members of each component are sorted ascending.
 ///
-/// Components and their member gates come back in a deterministic order
-/// (sorted by gate id).
-pub fn combinational_loops(netlist: &Netlist) -> Vec<Vec<GateId>> {
-    let n = netlist.gate_count();
-    let gates = netlist.gates();
-    let is_comb = |i: usize| !gates[i].kind.is_sequential();
-
-    // Iterative Tarjan over combinational gates only.
+/// This is the single SCC implementation shared by
+/// [`combinational_loops`] and the [`crate::structural`] engine's
+/// fixpoint scheduling.
+pub fn strongly_connected_components(adjacency: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let n = adjacency.len();
     const UNVISITED: u32 = u32::MAX;
     let mut index = vec![UNVISITED; n];
     let mut lowlink = vec![0u32; n];
     let mut on_stack = vec![false; n];
     let mut stack: Vec<usize> = Vec::new();
     let mut next_index = 0u32;
-    let mut components: Vec<Vec<GateId>> = Vec::new();
+    let mut components: Vec<Vec<u32>> = Vec::new();
 
-    // Explicit DFS frames: (gate, which fanout edge to try next).
+    // Explicit DFS frames: (node, which out-edge to try next).
     let mut frames: Vec<(usize, usize)> = Vec::new();
-    for root in (0..n).filter(|&i| is_comb(i)) {
+    for root in 0..n {
         if index[root] != UNVISITED {
             continue;
         }
@@ -169,13 +166,9 @@ pub fn combinational_loops(netlist: &Netlist) -> Vec<Vec<GateId>> {
         on_stack[root] = true;
 
         while let Some(&mut (v, ref mut edge)) = frames.last_mut() {
-            let fanout = netlist.fanout_of_gate(GateId(v as u32));
-            if *edge < fanout.len() {
-                let w = fanout[*edge].index();
+            if *edge < adjacency[v].len() {
+                let w = adjacency[v][*edge] as usize;
                 *edge += 1;
-                if !is_comb(w) {
-                    continue;
-                }
                 if index[w] == UNVISITED {
                     frames.push((w, 0));
                     index[w] = next_index;
@@ -195,22 +188,62 @@ pub fn combinational_loops(netlist: &Netlist) -> Vec<Vec<GateId>> {
                     let mut component = Vec::new();
                     while let Some(w) = stack.pop() {
                         on_stack[w] = false;
-                        component.push(GateId(w as u32));
+                        component.push(w as u32);
                         if w == v {
                             break;
                         }
                     }
-                    let self_loop = component.len() == 1
-                        && netlist.fanout_of_gate(component[0]).contains(&component[0]);
-                    if component.len() > 1 || self_loop {
-                        component.sort_unstable_by_key(|g| g.index());
-                        components.push(component);
-                    }
+                    component.sort_unstable();
+                    components.push(component);
                 }
             }
         }
     }
-    components.sort_unstable_by_key(|c| c[0].index());
+    components
+}
+
+/// Finds all combinational loops in a netlist, validated or not.
+///
+/// Returns the non-trivial strongly connected components (two or more
+/// gates, or a gate feeding itself) of the combinational gate graph,
+/// where flip-flop outputs break edges exactly as in levelization. A
+/// validated [`Netlist`] always yields an empty vector; the builder and
+/// the lint framework share this routine to diagnose pre-validation
+/// designs.
+///
+/// Components and their member gates come back in a deterministic order
+/// (sorted by gate id).
+pub fn combinational_loops(netlist: &Netlist) -> Vec<Vec<GateId>> {
+    let n = netlist.gate_count();
+    let gates = netlist.gates();
+    let is_comb = |i: usize| !gates[i].kind.is_sequential();
+
+    // Combinational-only gate graph: sequential nodes keep their slots
+    // (so indices stay GateIds) but carry no edges.
+    let adjacency: Vec<Vec<u32>> = (0..n)
+        .map(|i| {
+            if !is_comb(i) {
+                return Vec::new();
+            }
+            netlist
+                .fanout_of_gate(GateId(i as u32))
+                .iter()
+                .filter(|g| is_comb(g.index()))
+                .map(|g| g.0)
+                .collect()
+        })
+        .collect();
+
+    let mut components: Vec<Vec<GateId>> = strongly_connected_components(&adjacency)
+        .into_iter()
+        .filter(|component| {
+            let v = component[0] as usize;
+            let self_loop = component.len() == 1 && adjacency[v].contains(&component[0]);
+            is_comb(v) && (component.len() > 1 || self_loop)
+        })
+        .map(|component| component.into_iter().map(GateId).collect())
+        .collect();
+    components.sort_unstable_by_key(|c: &Vec<GateId>| c[0].index());
     components
 }
 
@@ -336,6 +369,37 @@ mod tests {
         // Turning one ring gate sequential legalizes the cycle.
         ring.gates[1].kind = GateKind::Dff;
         assert!(combinational_loops(&ring).is_empty());
+    }
+
+    #[test]
+    fn scc_emission_order_is_reverse_topological() {
+        // 0 -> 1 -> {2,3} cycle -> 4; plus isolated 5.
+        let adjacency = vec![vec![1], vec![2], vec![3], vec![2, 4], vec![], vec![]];
+        let components = strongly_connected_components(&adjacency);
+        assert_eq!(components.len(), 5);
+        // Every edge points from a later-listed component to an earlier
+        // one (Tarjan emits sinks of the condensation first).
+        let position = |node: u32| {
+            components
+                .iter()
+                .position(|c| c.contains(&node))
+                .expect("node in some component")
+        };
+        for (v, succs) in adjacency.iter().enumerate() {
+            for &w in succs {
+                if position(v as u32) != position(w) {
+                    assert!(position(v as u32) > position(w), "edge {v} -> {w}");
+                }
+            }
+        }
+        assert!(components.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn scc_handles_self_loops_and_empty_graphs() {
+        assert!(strongly_connected_components(&[]).is_empty());
+        let components = strongly_connected_components(&[vec![0]]);
+        assert_eq!(components, vec![vec![0]]);
     }
 
     #[test]

@@ -486,6 +486,60 @@ pub fn compare_manifests(
         }
     }
 
+    // Lint finding counters: static-analysis drift surfaces as
+    // annotated rows, never as a gate — the lint digest above is the
+    // hard gate for same-seed runs, so these rows exist to say *what*
+    // moved (per-severity counts) when it trips, and to flag severity
+    // drift across code versions where digests legitimately differ.
+    let mut counter_names: Vec<&str> = baseline
+        .counters
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .filter(|n| n.starts_with("lint.findings"))
+        .collect();
+    for (name, _) in &candidate.counters {
+        if name.starts_with("lint.findings") && !counter_names.contains(&name.as_str()) {
+            counter_names.push(name);
+        }
+    }
+    for name in counter_names {
+        let base = lookup(&baseline.counters, name).copied();
+        let cand = lookup(&candidate.counters, name).copied();
+        let (delta_pct, status, note) = match (base, cand) {
+            (Some(b), Some(c)) => {
+                let (delta_pct, _) = classify(b as f64, c as f64, &options, false);
+                let status = if b == c {
+                    RowStatus::Ok
+                } else {
+                    RowStatus::Skipped
+                };
+                let note = if b == c {
+                    "informational".into()
+                } else {
+                    format!("lint drift: {b} -> {c} finding(s), non-gating")
+                };
+                (delta_pct, status, note)
+            }
+            (b, _) => (
+                None,
+                RowStatus::Skipped,
+                if b.is_some() {
+                    "only in baseline".into()
+                } else {
+                    "only in candidate".into()
+                },
+            ),
+        };
+        rows.push(DeltaRow {
+            metric: format!("counter {name}"),
+            baseline: base.map(|b| b as f64),
+            candidate: cand.map(|c| c as f64),
+            delta_pct,
+            status,
+            note,
+        });
+    }
+
     // Peak RSS: compared only when both platforms measured it.
     {
         let (delta_pct, status, note) = match (baseline.peak_rss_bytes, candidate.peak_rss_bytes) {
@@ -660,6 +714,50 @@ mod tests {
         assert!(cmp.digest_mismatches.is_empty());
         assert!(!cmp.has_regression(), "{}", cmp.render_text());
         assert!(cmp.render_text().contains("result: OK"));
+    }
+
+    #[test]
+    fn lint_counter_drift_annotates_without_gating() {
+        let mut base = manifest("a");
+        let mut cand = manifest("b");
+        base.counters = vec![
+            ("gate_evals".into(), 1000), // non-lint counters stay out
+            ("lint.findings".into(), 5),
+            ("lint.findings.warning".into(), 2),
+        ];
+        cand.counters = vec![
+            ("gate_evals".into(), 2000),
+            ("lint.findings".into(), 7),
+            ("lint.findings.info".into(), 2),
+        ];
+        let cmp = compare_manifests(&base, &cand, CompareOptions::default());
+        assert!(!cmp.has_regression(), "{}", cmp.render_text());
+        let row = |metric: &str| cmp.rows.iter().find(|r| r.metric == metric);
+        assert!(row("counter gate_evals").is_none());
+        let drift = row("counter lint.findings").unwrap();
+        assert_eq!(drift.status, RowStatus::Skipped);
+        assert!(drift.note.contains("5 -> 7"), "{}", drift.note);
+        let warn = row("counter lint.findings.warning").unwrap();
+        assert_eq!(warn.note, "only in baseline");
+        let info = row("counter lint.findings.info").unwrap();
+        assert_eq!(info.note, "only in candidate");
+    }
+
+    #[test]
+    fn identical_lint_counters_are_informational() {
+        let mut base = manifest("a");
+        let mut cand = manifest("b");
+        base.counters = vec![("lint.findings.error".into(), 0)];
+        cand.counters = vec![("lint.findings.error".into(), 0)];
+        let cmp = compare_manifests(&base, &cand, CompareOptions::default());
+        let row = cmp
+            .rows
+            .iter()
+            .find(|r| r.metric == "counter lint.findings.error")
+            .unwrap();
+        assert_eq!(row.status, RowStatus::Ok);
+        assert_eq!(row.note, "informational");
+        assert!(!cmp.has_regression());
     }
 
     #[test]

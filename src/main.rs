@@ -114,6 +114,11 @@ const RUN_FLAGS: &[FlagSpec] = &[
         value: None,
         help: "exit nonzero when any campaign unit was quarantined",
     },
+    FlagSpec {
+        name: "--structural-features",
+        value: None,
+        help: "append SCOAP/centrality node-feature channels to the model input",
+    },
 ];
 
 const COMMANDS: &[CommandSpec] = &[
@@ -192,6 +197,45 @@ const COMMANDS: &[CommandSpec] = &[
         }],
         run_options: true,
         help: "fault campaign + Algorithm 1 only",
+    },
+    CommandSpec {
+        name: "rank",
+        positionals: "<design>",
+        positional_count: 1,
+        flags: &[
+            FlagSpec {
+                name: "--csv",
+                value: Some("FILE"),
+                help: "write the per-gate static-rank CSV",
+            },
+            FlagSpec {
+                name: "--ground-truth",
+                value: Some("FILE"),
+                help: "criticality CSV from `fusa faults --csv` to score against",
+            },
+            FlagSpec {
+                name: "--min-rho",
+                value: Some("RHO"),
+                help: "fail when combined Spearman rho falls below RHO",
+            },
+            FlagSpec {
+                name: "--top",
+                value: Some("N"),
+                help: "gates to print (default 10)",
+            },
+            FlagSpec {
+                name: "--run-dir",
+                value: Some("DIR"),
+                help: "manifest directory (default results/rank-<design>)",
+            },
+            FlagSpec {
+                name: "--quiet-stats",
+                value: None,
+                help: "suppress the end-of-run manifest summary",
+            },
+        ],
+        run_options: false,
+        help: "simulation-free structural criticality ranking",
     },
     CommandSpec {
         name: "explain",
@@ -393,6 +437,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "lint" => cmd_lint(args),
         "analyze" => cmd_analyze(args),
         "faults" => cmd_faults(args),
+        "rank" => cmd_rank(args),
         "explain" => cmd_explain(args),
         "seu" => cmd_seu(args),
         "harden" => cmd_harden(args),
@@ -465,6 +510,9 @@ fn pipeline_config(args: &[String]) -> PipelineConfig {
     }
     if let Some(threads) = flag_value(args, "--threads").and_then(|t| t.parse().ok()) {
         config.campaign.threads = threads;
+    }
+    if args.iter().any(|a| a == "--structural-features") {
+        config.structural_features = true;
     }
     config
 }
@@ -706,6 +754,10 @@ fn manifest_config(config: &PipelineConfig) -> (ConfigEntries, SeedEntries) {
             config.exclude_untestable_faults.to_string(),
         ),
         (
+            "structural_features".to_string(),
+            config.structural_features.to_string(),
+        ),
+        (
             "model.hidden".to_string(),
             format!("{:?}", config.model.hidden),
         ),
@@ -795,6 +847,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             fnv1a64_hex(stable_text.as_bytes()),
         ),
         ("nodes.csv".to_string(), fnv1a64_hex(csv.as_bytes())),
+        lint_digest(&netlist),
     ];
 
     if let Some(path) = flag_value(args, "--report") {
@@ -850,6 +903,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
             fnv1a64_hex(stable_summary.as_bytes()),
         ),
         ("criticality.csv".to_string(), fnv1a64_hex(csv.as_bytes())),
+        lint_digest(&netlist),
     ];
     if let Some(path) = flag_value(args, "--csv") {
         std::fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
@@ -857,6 +911,101 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     }
     session.finish(netlist.name(), config_kv, seeds, digests)?;
     exit_strict(args, quarantined_count);
+    Ok(())
+}
+
+/// Lints the design and returns the digest entry pinning its findings.
+/// Run inside an [`ObsSession`] so the `lint.findings.*` severity
+/// counters land in the manifest too; `fusa compare` hard-fails on the
+/// digest and annotates counter deltas without gating on them.
+fn lint_digest(netlist: &Netlist) -> (String, String) {
+    let report = fusa::lint::lint_netlist(netlist);
+    (
+        "lint.csv".to_string(),
+        fnv1a64_hex(report.render_csv().as_bytes()),
+    )
+}
+
+fn cmd_rank(args: &[String]) -> Result<(), String> {
+    use fusa::gcn::{parse_ground_truth, StaticRank, CHANNEL_WEIGHTS, RANK_CHANNEL_NAMES};
+
+    let design_arg = args.get(1).ok_or("missing design")?;
+    let session = ObsSession::begin("rank", design_arg, args)?;
+    let netlist = load_design(design_arg)?;
+    let rank = StaticRank::compute(&netlist);
+
+    let top: usize = match flag_value(args, "--top") {
+        Some(value) => value
+            .parse()
+            .map_err(|_| format!("bad --top value `{value}`"))?,
+        None => 10,
+    };
+    let ranking = rank.ranking();
+    println!(
+        "static criticality ranking of {} ({} gates, no simulation):",
+        netlist.name(),
+        ranking.len()
+    );
+    println!("  {:>4}  {:<24} {:>9}", "rank", "gate", "combined");
+    for (position, &gate) in ranking.iter().take(top).enumerate() {
+        println!(
+            "  {:>4}  {:<24} {:>9.4}",
+            position + 1,
+            netlist.gates()[gate].name,
+            rank.combined[gate],
+        );
+    }
+
+    // The CSV is deterministic (pure structure, no RNG), so its digest
+    // pins the whole ranking in the manifest.
+    let csv = rank.to_csv(&netlist);
+    let digests = vec![("rank.csv".to_string(), fnv1a64_hex(csv.as_bytes()))];
+    if let Some(path) = flag_value(args, "--csv") {
+        std::fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("static-rank CSV written to {path}");
+    }
+
+    let config_kv: ConfigEntries = RANK_CHANNEL_NAMES
+        .iter()
+        .zip(&CHANNEL_WEIGHTS)
+        .map(|(name, weight)| (format!("rank.weight.{name}"), weight.to_string()))
+        .collect();
+
+    let mut failed_min_rho = None;
+    if let Some(path) = flag_value(args, "--ground-truth") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let truth = parse_ground_truth(&netlist, &text)
+            .map_err(|e| format!("bad ground truth `{path}`: {e}"))?;
+        let evaluation = rank.evaluate(&truth);
+        let obs = fusa::obs::global();
+        println!("\nSpearman rho vs campaign ground truth ({path}):");
+        for &(name, rho) in &evaluation.channel_rho {
+            println!("  {name:<16} {rho:>7.4}");
+            obs.gauge_set(&format!("rank.rho.{name}"), rho);
+        }
+        println!("  {:<16} {:>7.4}", "combined", evaluation.combined_rho);
+        obs.gauge_set("rank.rho.combined", evaluation.combined_rho);
+        if let Some(value) = flag_value(args, "--min-rho") {
+            let min: f64 = value
+                .parse()
+                .map_err(|_| format!("bad --min-rho value `{value}`"))?;
+            // NaN rho (degenerate ground truth) must fail the gate too.
+            if evaluation.combined_rho < min || evaluation.combined_rho.is_nan() {
+                failed_min_rho = Some((evaluation.combined_rho, min));
+            }
+        }
+    } else if flag_value(args, "--min-rho").is_some() {
+        return Err("--min-rho needs --ground-truth".to_string());
+    }
+
+    // The manifest is written even on a --min-rho failure so the rho
+    // gauges of the failing run stay inspectable.
+    session.finish(netlist.name(), config_kv, Vec::new(), digests)?;
+    if let Some((rho, min)) = failed_min_rho {
+        eprintln!("rank failed: combined Spearman rho {rho:.4} below --min-rho {min}");
+        std::process::exit(1);
+    }
     Ok(())
 }
 

@@ -80,7 +80,7 @@ fn lint_passes_builtin_at_default_severity() {
     let output = fusa().args(["lint", "sdram_ctrl"]).output().unwrap();
     assert!(output.status.success(), "{:?}", output);
     let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(stdout.contains("lint sdram_ctrl: 8 passes"), "{stdout}");
+    assert!(stdout.contains("lint sdram_ctrl: 11 passes"), "{stdout}");
     assert!(stdout.contains("0 errors"), "{stdout}");
     assert!(stdout.contains("0 warnings"), "{stdout}");
 }
@@ -220,7 +220,7 @@ fn analyze_writes_parseable_manifest_with_stage_coverage() {
         .iter()
         .any(|(name, value)| name == "train.epochs" && *value > 0));
     assert!(manifest.seeds.iter().any(|(name, _)| name == "split"));
-    assert_eq!(manifest.digests.len(), 2);
+    assert_eq!(manifest.digests.len(), 3); // report.txt, nodes.csv, lint.csv
     for (_, digest) in &manifest.digests {
         assert!(digest.starts_with("fnv1a64:"), "{digest}");
     }
@@ -518,8 +518,8 @@ fn usage_lists_every_command() {
     assert!(!output.status.success());
     let stderr = String::from_utf8_lossy(&output.stderr);
     for name in [
-        "designs", "stats", "lint", "analyze", "faults", "explain", "seu", "harden", "report",
-        "compare",
+        "designs", "stats", "lint", "analyze", "faults", "rank", "explain", "seu", "harden",
+        "report", "compare",
     ] {
         assert!(stderr.contains(&format!("fusa {name}")), "missing {name}");
     }
@@ -532,6 +532,103 @@ fn usage_lists_every_command() {
     assert!(stderr.contains("--resume"), "{stderr}");
     assert!(stderr.contains("--max-unit-retries N"), "{stderr}");
     assert!(stderr.contains("--strict"), "{stderr}");
+}
+
+#[test]
+fn rank_scores_builtin_against_campaign_ground_truth() {
+    let dir = std::env::temp_dir().join("fusa_cli_rank");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gt = dir.join("gt.csv");
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--csv",
+            gt.to_str().unwrap(),
+            "--run-dir",
+            dir.join("faults").to_str().unwrap(),
+            "--quiet-stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+
+    // Static rank alone (no ground truth) is simulation-free and fast.
+    let csv = dir.join("rank.csv");
+    let run_dir = dir.join("rank");
+    let output = fusa()
+        .args([
+            "rank",
+            "or1200_icfsm",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--ground-truth",
+            gt.to_str().unwrap(),
+            "--min-rho",
+            "0.5",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("static criticality ranking"), "{stdout}");
+    assert!(stdout.contains("Spearman rho"), "{stdout}");
+    assert!(stdout.contains("combined"), "{stdout}");
+
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(
+        csv_text.starts_with("gate,combined,controllability"),
+        "{csv_text}"
+    );
+    assert_eq!(csv_text.lines().count(), 188, "187 gates + header");
+
+    let manifest = std::fs::read_to_string(run_dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("rank.rho.combined"), "{manifest}");
+    assert!(manifest.contains("rank.rho.observability"), "{manifest}");
+    assert!(manifest.contains("rank.csv"), "{manifest}");
+    assert!(manifest.contains("rank.weight.testability"), "{manifest}");
+}
+
+#[test]
+fn rank_min_rho_gate_fails_when_unreachable() {
+    let dir = std::env::temp_dir().join("fusa_cli_rank_gate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gt = dir.join("gt.csv");
+    let output = fusa()
+        .args([
+            "faults",
+            "uart_ctrl",
+            "--fast",
+            "--csv",
+            gt.to_str().unwrap(),
+            "--run-dir",
+            dir.join("faults").to_str().unwrap(),
+            "--quiet-stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+
+    let output = fusa()
+        .args([
+            "rank",
+            "uart_ctrl",
+            "--ground-truth",
+            gt.to_str().unwrap(),
+            "--min-rho",
+            "1.01",
+            "--run-dir",
+            dir.join("rank").to_str().unwrap(),
+            "--quiet-stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("below --min-rho"), "{stderr}");
 }
 
 #[test]
