@@ -20,8 +20,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fusa_faultsim::{CampaignConfig, FaultCampaign, FaultList};
 use fusa_logicsim::{WorkloadConfig, WorkloadSuite};
-use fusa_netlist::designs::{or1200_icfsm, uart_ctrl};
-use fusa_netlist::Netlist;
+use fusa_netlist::designs::{or1200_icfsm, synth_10k, uart_ctrl};
+use fusa_netlist::{GateId, Netlist};
 use std::hint::black_box;
 
 fn workloads_for(netlist: &Netlist) -> WorkloadSuite {
@@ -47,8 +47,66 @@ fn reference() -> CampaignConfig {
         threads: 1,
         restrict_to_cone: false,
         early_exit: false,
+        lane_words: 0,
         ..Default::default()
     }
+}
+
+/// Cone + early exit at a given lane width (`0` = legacy scalar): the
+/// SoA-vs-legacy axis, everything else held at the accelerated default.
+fn at_width(lane_words: usize) -> CampaignConfig {
+    CampaignConfig {
+        threads: 1,
+        lane_words,
+        ..Default::default()
+    }
+}
+
+/// A deterministic fault sample built from contiguous gate blocks
+/// spread across the design. Contiguity matters: consecutive 64-fault
+/// chunks then share fanout cones, as they do in a full-list campaign.
+/// Strided single-gate sampling would push every chunk-group's union
+/// cone toward the whole netlist and hide the wide kernel's sharing.
+fn sampled_faults(netlist: &Netlist, count: usize) -> FaultList {
+    const BLOCK: usize = 256;
+    let total = netlist.gate_count();
+    let count = count.min(total);
+    let blocks = count.div_ceil(BLOCK).max(1);
+    let mut gates: Vec<GateId> = Vec::with_capacity(count);
+    for b in 0..blocks {
+        let start = (total / (2 * blocks) + b * total / blocks).min(total.saturating_sub(BLOCK));
+        for i in start..(start + BLOCK).min(total) {
+            if gates.len() < count {
+                gates.push(GateId(i as u32));
+            }
+        }
+    }
+    FaultList::for_gates(netlist, &gates)
+}
+
+/// Lane-width sweep of the structure-of-arrays kernel against the
+/// legacy scalar path, on one builtin and one ~10k-gate synthesized
+/// design (sampled faults). Bit-identity across these configurations is
+/// enforced by `crates/faultsim/tests/lane_equivalence.rs`.
+fn bench_lane_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lane_widths");
+    group.sample_size(10);
+    let builtin = or1200_icfsm();
+    let synthetic = synth_10k(1);
+    let cases = [
+        (FaultList::all_gate_outputs(&builtin), &builtin),
+        (sampled_faults(&synthetic, 128), &synthetic),
+    ];
+    for (faults, netlist) in &cases {
+        let workloads = workloads_for(netlist);
+        for (label, lane_words) in [("legacy", 0usize), ("w1", 1), ("w4", 4), ("w8", 8)] {
+            group.bench_function(&format!("{label}_{}", netlist.name()), |b| {
+                let campaign = FaultCampaign::new(at_width(lane_words));
+                b.iter(|| black_box(campaign.run(netlist, faults, &workloads)))
+            });
+        }
+    }
+    group.finish();
 }
 
 fn bench_campaign_throughput(c: &mut Criterion) {
@@ -78,6 +136,6 @@ fn bench_campaign_throughput(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_campaign_throughput
+    targets = bench_campaign_throughput, bench_lane_widths
 }
 criterion_main!(benches);

@@ -7,12 +7,17 @@
 //! measured speedup, and cross-checks along the way that both paths
 //! return bit-identical outcomes and first-divergence cycles.
 //!
+//! A second section sweeps the wide `[u64; W]` structure-of-arrays
+//! kernel against the legacy scalar path on synthesized 10k/30k/100k-
+//! gate designs (sampled faults — exhaustive lists at that scale would
+//! take hours), again cross-checking bit-identity at every lane width.
+//!
 //! Usage: `cargo run --release -p fusa-bench --bin bench_campaign
 //!         [-- --smoke] [-- --out FILE]`
 
 use fusa_faultsim::{CampaignConfig, CampaignReport, FaultCampaign, FaultList};
 use fusa_logicsim::{WorkloadConfig, WorkloadSuite};
-use fusa_netlist::{designs, Netlist};
+use fusa_netlist::{designs, GateId, Netlist};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -22,6 +27,8 @@ struct Measurement {
     stepped_fault_cycles: u64,
     gate_evals: u64,
     gate_evals_full: u64,
+    cone_build_seconds: f64,
+    cone_coverage: f64,
     report: CampaignReport,
 }
 
@@ -50,6 +57,8 @@ fn measure(
         stepped_fault_cycles: stats.stepped_fault_cycles,
         gate_evals: stats.gate_evals,
         gate_evals_full: stats.gate_evals_full,
+        cone_build_seconds: stats.cone_build_seconds,
+        cone_coverage: stats.cone_coverage,
         report,
     }
 }
@@ -105,6 +114,7 @@ fn main() {
         threads: 1,
         restrict_to_cone: false,
         early_exit: false,
+        lane_words: 0,
         ..Default::default()
     };
 
@@ -143,7 +153,7 @@ fn main() {
         first = false;
         let _ = write!(
             entries,
-            "\n    {{\n      \"design\": \"{}\",\n      \"gates\": {},\n      \"faults\": {},\n      \"fault_cycles\": {},\n      \"reference\": {{\n        \"seconds\": {:.4},\n        \"fault_cycles_per_second\": {:.0},\n        \"stepped_fault_cycles\": {},\n        \"gate_evals\": {}\n      }},\n      \"accelerated\": {{\n        \"seconds\": {:.4},\n        \"fault_cycles_per_second\": {:.0},\n        \"stepped_fault_cycles\": {},\n        \"gate_evals\": {},\n        \"gate_evals_full\": {},\n        \"gate_evals_saved_fraction\": {:.4}\n      }},\n      \"speedup\": {:.2}\n    }}",
+            "\n    {{\n      \"design\": \"{}\",\n      \"gates\": {},\n      \"faults\": {},\n      \"fault_cycles\": {},\n      \"reference\": {{\n        \"seconds\": {:.4},\n        \"fault_cycles_per_second\": {:.0},\n        \"stepped_fault_cycles\": {},\n        \"gate_evals\": {}\n      }},\n      \"accelerated\": {{\n        \"seconds\": {:.4},\n        \"fault_cycles_per_second\": {:.0},\n        \"stepped_fault_cycles\": {},\n        \"gate_evals\": {},\n        \"gate_evals_full\": {},\n        \"gate_evals_saved_fraction\": {:.4},\n        \"lane_words\": {},\n        \"cone_build_seconds\": {:.4},\n        \"cone_coverage\": {:.4}\n      }},\n      \"speedup\": {:.2}\n    }}",
             json_escape(netlist.name()),
             netlist.gate_count(),
             faults.len(),
@@ -158,13 +168,18 @@ fn main() {
             accelerated.gate_evals,
             accelerated.gate_evals_full,
             evals_saved,
+            accelerated_config.lane_words,
+            accelerated.cone_build_seconds,
+            accelerated.cone_coverage,
             speedup,
         );
     }
 
+    let design_sizes = measure_design_sizes(smoke);
+
     let json = format!(
-        "{{\n  \"benchmark\": \"campaign_throughput\",\n  \"unit\": \"fault_cycles_per_second\",\n  \"threads\": 1,\n  \"workloads\": {{\n    \"num_workloads\": {},\n    \"vectors_per_workload\": {}\n  }},\n  \"bit_identical_checked\": true,\n  \"designs\": [{}\n  ]\n}}\n",
-        workload_config.num_workloads, workload_config.vectors_per_workload, entries,
+        "{{\n  \"benchmark\": \"campaign_throughput\",\n  \"unit\": \"fault_cycles_per_second\",\n  \"threads\": 1,\n  \"workloads\": {{\n    \"num_workloads\": {},\n    \"vectors_per_workload\": {}\n  }},\n  \"bit_identical_checked\": true,\n  \"designs\": [{}\n  ],\n  \"design_sizes\": [{}\n  ]\n}}\n",
+        workload_config.num_workloads, workload_config.vectors_per_workload, entries, design_sizes,
     );
 
     match std::fs::write(&out_path, &json) {
@@ -172,4 +187,146 @@ fn main() {
         Err(e) => eprintln!("\nwarning: cannot write {out_path}: {e}"),
     }
     println!("(both paths verified bit-identical on every design above)");
+}
+
+/// A deterministic fault sample built from contiguous gate blocks
+/// spread across the design. Contiguity matters: consecutive 64-fault
+/// chunks then share fanout cones, as they do in a full-list campaign.
+/// Strided single-gate sampling would push every chunk-group's union
+/// cone toward the whole netlist and hide the wide kernel's sharing.
+fn sampled_faults(netlist: &Netlist, count: usize) -> FaultList {
+    const BLOCK: usize = 256;
+    let total = netlist.gate_count();
+    let count = count.min(total);
+    let blocks = count.div_ceil(BLOCK).max(1);
+    let mut gates: Vec<GateId> = Vec::with_capacity(count);
+    for b in 0..blocks {
+        let start = (total / (2 * blocks) + b * total / blocks).min(total.saturating_sub(BLOCK));
+        for i in start..(start + BLOCK).min(total) {
+            if gates.len() < count {
+                gates.push(GateId(i as u32));
+            }
+        }
+    }
+    FaultList::for_gates(netlist, &gates)
+}
+
+/// Scalar-vs-wide sweep over the synthesized scaling designs, one JSON
+/// entry per design size. The scalar baseline keeps cone restriction
+/// and early exit on — it is exactly the pre-SoA accelerated kernel —
+/// so `speedup` isolates the wide-lane rework.
+fn measure_design_sizes(smoke: bool) -> String {
+    let seed = 1;
+    let designs: Vec<Netlist> = vec![
+        designs::synth_10k(seed),
+        designs::synth_30k(seed),
+        designs::synth_100k(seed),
+    ];
+    let (sampled_gates, workload_config) = if smoke {
+        (
+            256,
+            WorkloadConfig {
+                num_workloads: 2,
+                vectors_per_workload: 32,
+                ..Default::default()
+            },
+        )
+    } else {
+        (
+            512,
+            WorkloadConfig {
+                num_workloads: 8,
+                vectors_per_workload: 64,
+                ..Default::default()
+            },
+        )
+    };
+
+    println!("\nWide-lane SoA kernel vs legacy scalar on synthesized designs (sampled faults).\n");
+    println!(
+        "{:<12} {:>7} {:>7} {:>13} {:>13} {:>13} {:>13} {:>9}",
+        "design", "gates", "faults", "scalar fc/s", "64-lane", "256-lane", "512-lane", "best"
+    );
+
+    let mut entries = String::new();
+    let mut first = true;
+    for netlist in &designs {
+        let faults = sampled_faults(netlist, sampled_gates);
+        let workloads = WorkloadSuite::generate(netlist, &workload_config);
+        let scalar = measure(
+            netlist,
+            &faults,
+            &workloads,
+            CampaignConfig {
+                threads: 1,
+                lane_words: 0,
+                ..Default::default()
+            },
+        );
+        let mut wide_entries = String::new();
+        let mut wide_rates = Vec::new();
+        for (i, lane_words) in [1usize, 4, 8].into_iter().enumerate() {
+            let wide = measure(
+                netlist,
+                &faults,
+                &workloads,
+                CampaignConfig {
+                    threads: 1,
+                    lane_words,
+                    ..Default::default()
+                },
+            );
+            assert_identical(netlist.name(), &scalar.report, &wide.report);
+            if i > 0 {
+                wide_entries.push(',');
+            }
+            let _ = write!(
+                wide_entries,
+                "\n        {{\n          \"lane_words\": {},\n          \"lanes\": {},\n          \"seconds\": {:.4},\n          \"fault_cycles_per_second\": {:.0},\n          \"gate_evals\": {},\n          \"cone_build_seconds\": {:.4},\n          \"cone_coverage\": {:.4},\n          \"speedup_vs_scalar\": {:.2}\n        }}",
+                lane_words,
+                64 * lane_words,
+                wide.seconds,
+                wide.fault_cycles_per_second(),
+                wide.gate_evals,
+                wide.cone_build_seconds,
+                wide.cone_coverage,
+                wide.fault_cycles_per_second() / scalar.fault_cycles_per_second(),
+            );
+            wide_rates.push(wide.fault_cycles_per_second());
+        }
+        let best = wide_rates.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:<12} {:>7} {:>7} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>8.2}x",
+            netlist.name(),
+            netlist.gate_count(),
+            faults.len(),
+            scalar.fault_cycles_per_second(),
+            wide_rates[0],
+            wide_rates[1],
+            wide_rates[2],
+            best / scalar.fault_cycles_per_second(),
+        );
+
+        if !first {
+            entries.push(',');
+        }
+        first = false;
+        let _ = write!(
+            entries,
+            "\n    {{\n      \"design\": \"{}\",\n      \"gates\": {},\n      \"flops\": {},\n      \"faults\": {},\n      \"fault_cycles\": {},\n      \"bit_identical_checked\": true,\n      \"scalar\": {{\n        \"seconds\": {:.4},\n        \"fault_cycles_per_second\": {:.0},\n        \"gate_evals\": {},\n        \"cone_build_seconds\": {:.4},\n        \"cone_coverage\": {:.4}\n      }},\n      \"wide\": [{}\n      ],\n      \"best_speedup_vs_scalar\": {:.2}\n    }}",
+            json_escape(netlist.name()),
+            netlist.gate_count(),
+            netlist.sequential_gates().len(),
+            faults.len(),
+            scalar.fault_cycles,
+            scalar.seconds,
+            scalar.fault_cycles_per_second(),
+            scalar.gate_evals,
+            scalar.cone_build_seconds,
+            scalar.cone_coverage,
+            wide_entries,
+            best / scalar.fault_cycles_per_second(),
+        );
+    }
+    entries
 }

@@ -1,18 +1,26 @@
 //! Fault-parallel campaign execution.
 //!
-//! The hot path is organized around three classic fault-simulation
+//! The hot path is organized around four classic fault-simulation
 //! accelerations, all bit-identical to a naive full-netlist run:
 //!
 //! * **cone restriction** — a stuck-at fault only perturbs its transitive
-//!   fanout cone, so each 64-fault chunk evaluates only the union cone of
+//!   fanout cone, so each fault chunk evaluates only the union cone of
 //!   its faults and seeds everything else from the golden trace;
-//! * **chunk-grained scheduling** — `(workload × fault-chunk)` units are
-//!   pulled from an atomic counter, with golden traces computed once per
-//!   workload and shared read-only through per-slot `OnceLock`s (workers
-//!   never contend on a lock to publish results);
-//! * **early exit** — once every lane of a chunk has diverged for
-//!   `min_divergent_cycles`, no later cycle can change any outcome and
-//!   the chunk stops stepping.
+//! * **wide lanes** — with `lane_words = W > 0`, `W` consecutive 64-fault
+//!   chunks of one workload are packed into the `[u64; W]` words of a
+//!   structure-of-arrays [`WideSim`], so each pass advances up to `64·W`
+//!   fault machines through one branch-light sweep over flat tables
+//!   (`lane_words = 0` selects the legacy per-gate [`BitSim`] kernel);
+//! * **chunk-grained scheduling** — `(workload × chunk-group)` work items
+//!   are pulled from an atomic counter, with golden traces computed once
+//!   per workload and shared read-only through per-slot `OnceLock`s
+//!   (workers never contend on a lock to publish results); checkpoint
+//!   unit identity stays the lane-width-invariant
+//!   `(workload × 64-fault chunk)`, so a campaign may be resumed under a
+//!   different `lane_words`;
+//! * **early exit** — once every lane of every chunk in a group has
+//!   diverged for `min_divergent_cycles`, no later cycle can change any
+//!   outcome and the group stops stepping.
 
 use crate::checkpoint::{self, CheckpointHeader, CheckpointWriter};
 use crate::durability::{
@@ -20,22 +28,23 @@ use crate::durability::{
 };
 use crate::fault::{Fault, FaultList, FaultSite};
 use crate::report::{CampaignReport, CampaignStats, FaultOutcome, WorkloadReport};
-use fusa_logicsim::{ActiveCone, BitSim, Workload, WorkloadSuite};
-use fusa_netlist::{GateId, Netlist};
+use fusa_logicsim::{ActiveCone, BitSim, SoaNetlist, WideCone, WideSim, Workload, WorkloadSuite};
+use fusa_netlist::{GateId, NetId, Netlist};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// Faults simulated per bit-parallel pass (one per `u64` lane).
-pub(crate) const LANES: usize = 64;
+/// Faults per chunk — one per lane of the `u64` simulation word. Chunks
+/// are the checkpoint unit and stay this size at every `lane_words`.
+pub(crate) const LANES: usize = u64::BITS as usize;
 
 /// Parameters of a [`FaultCampaign`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignConfig {
-    /// Worker threads; `(workload × fault-chunk)` units are distributed
-    /// across them. `0` means "one per available CPU".
+    /// Worker threads; `(workload × chunk-group)` work items are
+    /// distributed across them. `0` means "one per available CPU".
     pub threads: usize,
     /// Whether to compare register state at workload end to distinguish
     /// latent faults from benign ones (slightly more work per workload).
@@ -52,9 +61,17 @@ pub struct CampaignConfig {
     /// Bit-identical to a full-netlist run; disable only to benchmark
     /// or cross-check the restriction itself.
     pub restrict_to_cone: bool,
-    /// Stop stepping a chunk once every lane's outcome is decided.
+    /// Stop stepping a chunk group once every lane's outcome is decided.
     /// Bit-identical; disable only to benchmark or cross-check.
     pub early_exit: bool,
+    /// Width of the simulation word in 64-lane `u64` words: each pass
+    /// advances `64 · lane_words` fault machines through the
+    /// structure-of-arrays [`WideSim`] kernel. Supported widths are `1`,
+    /// `4` and `8`; `0` selects the legacy scalar [`BitSim`] path (one
+    /// 64-fault chunk per pass). Outcomes are bit-identical at every
+    /// setting, and checkpoints resume across settings, because the
+    /// checkpoint unit is always the 64-fault chunk.
+    pub lane_words: usize,
 }
 
 impl Default for CampaignConfig {
@@ -65,18 +82,20 @@ impl Default for CampaignConfig {
             min_divergence_fraction: 0.0,
             restrict_to_cone: true,
             early_exit: true,
+            lane_words: 4,
         }
     }
 }
 
 /// Runs stuck-at campaigns: every fault in a [`FaultList`] against every
-/// workload of a [`WorkloadSuite`], 64 fault machines per simulation pass.
+/// workload of a [`WorkloadSuite`], `64 · max(lane_words, 1)` fault
+/// machines per simulation pass.
 ///
 /// For each workload the golden (fault-free) trace is computed once and
 /// shared read-only; fault machines then run the same vectors with
 /// per-lane stuck-at forces and are compared lane-wise against the golden
 /// values each cycle. Results are deterministic and independent of
-/// `threads`, `restrict_to_cone` and `early_exit`.
+/// `threads`, `restrict_to_cone`, `early_exit` and `lane_words`.
 ///
 /// # Example
 ///
@@ -154,6 +173,160 @@ pub(crate) struct UnitOutput {
     pub(crate) gate_evals: u64,
 }
 
+/// Result of one wide pass over a chunk group, split into per-unit
+/// [`UnitOutput`]s before recording.
+struct GroupOutput {
+    /// Per member chunk, per lane.
+    outcomes: Vec<Vec<FaultOutcome>>,
+    /// Per member chunk, per lane.
+    first_divergence: Vec<Vec<Option<u32>>>,
+    /// Cycles the group stepped (shared by every member).
+    cycles_stepped: u64,
+    /// Gate evaluations of the whole group (each gate is evaluated once
+    /// per cycle for all words together).
+    gate_evals: u64,
+}
+
+/// The cones of one chunk group: the [`BitSim`] form (legacy path and
+/// panic fallback) and, when a wide kernel is active, its
+/// structure-of-arrays form.
+struct ConeEntry {
+    active: ActiveCone,
+    wide: Option<WideCone>,
+}
+
+/// Per-worker wide simulator, monomorphized over the configured width.
+enum WideHolder<'a> {
+    Off,
+    W1(WideSim<'a, 1>),
+    W4(WideSim<'a, 4>),
+    W8(WideSim<'a, 8>),
+}
+
+impl<'a> WideHolder<'a> {
+    fn new(soa: Option<&'a SoaNetlist>, lane_words: usize) -> WideHolder<'a> {
+        match (soa, lane_words) {
+            (Some(soa), 1) => WideHolder::W1(WideSim::new(soa)),
+            (Some(soa), 4) => WideHolder::W4(WideSim::new(soa)),
+            (Some(soa), 8) => WideHolder::W8(WideSim::new(soa)),
+            _ => WideHolder::Off,
+        }
+    }
+
+    fn run_group(
+        &mut self,
+        netlist: &Netlist,
+        chunks: &[&[Fault]],
+        workload: &Workload,
+        trace: &GoldenTrace,
+        cone: Option<(&ActiveCone, &WideCone)>,
+        config: &CampaignConfig,
+    ) -> GroupOutput {
+        match self {
+            WideHolder::W1(sim) => {
+                run_wide_group(sim, netlist, chunks, workload, trace, cone, config)
+            }
+            WideHolder::W4(sim) => {
+                run_wide_group(sim, netlist, chunks, workload, trace, cone, config)
+            }
+            WideHolder::W8(sim) => {
+                run_wide_group(sim, netlist, chunks, workload, trace, cone, config)
+            }
+            WideHolder::Off => unreachable!("wide groups require lane_words > 0"),
+        }
+    }
+}
+
+/// Shared context of the scalar attempt loop, used by the legacy
+/// (`lane_words = 0`) path and by the per-member fallback after a wide
+/// pass panics.
+struct AttemptCtx<'a, 'n> {
+    netlist: &'n Netlist,
+    config: &'a CampaignConfig,
+    injection: &'a FaultInjection,
+    /// 1 + retry budget.
+    max_attempts: u32,
+    retries_total: &'a AtomicU64,
+    quarantined: &'a Mutex<Vec<QuarantinedUnit>>,
+    obs: &'static fusa_obs::Recorder,
+}
+
+impl<'a, 'n> AttemptCtx<'a, 'n> {
+    /// Runs one unit on the scalar kernel under `catch_unwind`: each
+    /// panicking attempt rebuilds the simulator (a panic leaves it in an
+    /// unknown state) and is retried until the budget runs out, then the
+    /// unit is quarantined and `None` returned.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_unit(
+        &self,
+        sim: &mut BitSim<'n>,
+        out_buf: &mut [u64],
+        unit: usize,
+        chunk_index: usize,
+        chunk: &[Fault],
+        workload: &Workload,
+        trace: &GoldenTrace,
+        cone: Option<&ActiveCone>,
+    ) -> Option<UnitOutput> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let inject = self.injection.should_panic(unit, attempt);
+            let attempted = catch_unwind(AssertUnwindSafe(|| {
+                if inject {
+                    panic!("injected unit fault (unit {unit}, attempt {attempt})");
+                }
+                self.obs.time_rooted("campaign/units", || {
+                    run_unit(sim, chunk, workload, trace, cone, self.config, out_buf)
+                })
+            }));
+            match attempted {
+                Ok(output) => break Some(output),
+                Err(payload) => {
+                    *sim = BitSim::new(self.netlist);
+                    if attempt >= self.max_attempts {
+                        self.quarantined.lock().expect("quarantine poisoned").push(
+                            QuarantinedUnit {
+                                unit,
+                                workload: workload.name.clone(),
+                                chunk: chunk_index,
+                                attempts: attempt,
+                                panic_message: panic_message(payload.as_ref()),
+                            },
+                        );
+                        break None;
+                    }
+                    self.retries_total.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Splits a [`GroupOutput`] into checkpointable per-unit outputs. Gate
+/// evaluations are shared by every word of a pass, so they are
+/// attributed evenly (remainder to the first members, keeping the sum
+/// exact and deterministic).
+fn split_group(group: GroupOutput, chunks: &[&[Fault]]) -> Vec<Option<UnitOutput>> {
+    let members = chunks.len() as u64;
+    let base_evals = group.gate_evals / members;
+    let extra = (group.gate_evals % members) as usize;
+    group
+        .outcomes
+        .into_iter()
+        .zip(group.first_divergence)
+        .zip(chunks.iter().enumerate())
+        .map(|((outcomes, first_divergence), (i, chunk))| {
+            Some(UnitOutput {
+                outcomes,
+                first_divergence,
+                stepped_fault_cycles: chunk.len() as u64 * group.cycles_stepped,
+                gate_evals: base_evals + u64::from(i < extra),
+            })
+        })
+        .collect()
+}
+
 impl FaultCampaign {
     /// Creates a campaign runner with the given configuration.
     pub fn new(config: CampaignConfig) -> Self {
@@ -184,10 +357,12 @@ impl FaultCampaign {
     /// A unit that panics is retried up to
     /// [`DurabilityConfig::max_unit_retries`] times on a fresh simulator
     /// and then quarantined (its faults stay `Benign` and the unit is
-    /// listed in [`CampaignReport::quarantined`]). When the durability
-    /// interrupt flag is set mid-run, in-flight units drain, the
-    /// checkpoint is flushed and the partial report is returned with
-    /// [`CampaignReport::interrupted`] set.
+    /// listed in [`CampaignReport::quarantined`]). A panic inside a wide
+    /// pass first drops the whole group back to the scalar kernel, so
+    /// one poisoned chunk never takes its groupmates down with it. When
+    /// the durability interrupt flag is set mid-run, in-flight work
+    /// drains, the checkpoint is flushed and the partial report is
+    /// returned with [`CampaignReport::interrupted`] set.
     pub fn run(
         &self,
         netlist: &Netlist,
@@ -198,6 +373,11 @@ impl FaultCampaign {
         let _span = obs.span("campaign");
         let start = Instant::now();
         let config = self.config;
+        if !matches!(config.lane_words, 0 | 1 | 4 | 8) {
+            return Err(CampaignError::InvalidLaneWords {
+                lane_words: config.lane_words,
+            });
+        }
         let durability = &self.durability;
         let injection = if self.injection.is_noop() {
             FaultInjection::from_env()
@@ -244,9 +424,24 @@ impl FaultCampaign {
         };
         let writer = writer.as_ref();
 
-        let pending: Vec<usize> = (0..unit_count)
-            .filter(|unit| !completed.contains_key(unit))
-            .collect();
+        // Work items are chunk groups: `lane_words` consecutive chunks
+        // of one workload (a single chunk each on the legacy path).
+        // Only pending (not checkpointed) chunks become group members.
+        let group_width = config.lane_words.max(1);
+        let chunk_group_count = chunk_count.div_ceil(group_width);
+        let mut pending_groups: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        for w in 0..workload_list.len() {
+            for cg in 0..chunk_group_count {
+                let members: Vec<usize> = (cg * group_width
+                    ..chunk_count.min((cg + 1) * group_width))
+                    .map(|c| w * chunk_count + c)
+                    .filter(|unit| !completed.contains_key(unit))
+                    .collect();
+                if !members.is_empty() {
+                    pending_groups.push((w, cg, members));
+                }
+            }
+        }
         let threads = if config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -254,7 +449,10 @@ impl FaultCampaign {
         } else {
             config.threads
         };
-        let workers = threads.clamp(1, pending.len().max(1));
+        let workers = threads.clamp(1, pending_groups.len().max(1));
+        // The flat tables behind every wide simulator, built once.
+        let soa =
+            (config.lane_words > 0 && !pending_groups.is_empty()).then(|| SoaNetlist::new(netlist));
         // Heartbeat over the unit work queue; a disabled no-op handle
         // unless a sink is attached or `--progress` enabled stderr.
         // Totals include checkpointed units so a resumed run reports
@@ -270,11 +468,15 @@ impl FaultCampaign {
 
         let golden: Vec<OnceLock<GoldenTrace>> =
             (0..workload_list.len()).map(|_| OnceLock::new()).collect();
-        let cones: Vec<OnceLock<ActiveCone>> = (0..chunk_count).map(|_| OnceLock::new()).collect();
+        let cones: Vec<OnceLock<ConeEntry>> =
+            (0..chunk_group_count).map(|_| OnceLock::new()).collect();
         let results: Vec<OnceLock<UnitOutput>> = (0..unit_count).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let done_this_run = AtomicUsize::new(0);
         let retries_total = AtomicU64::new(0);
+        let cone_build_nanos = AtomicU64::new(0);
+        let cone_gates_total = AtomicU64::new(0);
+        let cones_built = AtomicU64::new(0);
         let quarantined: Mutex<Vec<QuarantinedUnit>> = Mutex::new(Vec::new());
         // Injected interruptions without an external flag land here so
         // library tests never touch process-global state.
@@ -292,14 +494,26 @@ impl FaultCampaign {
 
         let mut busy = vec![0.0f64; workers];
         let progress = &progress;
-        let pending = &pending;
+        let pending_groups = &pending_groups;
         let injection = &injection;
         let quarantined_ref = &quarantined;
-        let max_attempts = durability.max_unit_retries.saturating_add(1);
+        let soa = &soa;
+        let attempt_ctx = AttemptCtx {
+            netlist,
+            config: &config,
+            injection,
+            max_attempts: durability.max_unit_retries.saturating_add(1),
+            retries_total: &retries_total,
+            quarantined: quarantined_ref,
+            obs,
+        };
+        let attempt_ctx = &attempt_ctx;
+
         let worker = |busy_slot: &mut f64| {
             let mut sim = BitSim::new(netlist);
+            let mut wide = WideHolder::new(soa.as_ref(), config.lane_words);
             let mut out_buf = vec![0u64; netlist.primary_outputs().len()];
-            let mut roots: Vec<GateId> = Vec::with_capacity(LANES);
+            let mut roots: Vec<GateId> = Vec::with_capacity(LANES * group_width);
             // Thread-local latency/work histograms, merged into the
             // recorder once per worker so the hot loop stays lock-free.
             let mut unit_seconds = fusa_obs::Histogram::new();
@@ -309,15 +523,13 @@ impl FaultCampaign {
                     break;
                 }
                 let slot = next.fetch_add(1, Ordering::Relaxed);
-                if slot >= pending.len() {
+                if slot >= pending_groups.len() {
                     break;
                 }
-                let unit = pending[slot];
+                let (w, cg, members) = &pending_groups[slot];
+                let (w, cg) = (*w, *cg);
                 let begun = Instant::now();
-                let w = unit / chunk_count;
-                let c = unit % chunk_count;
                 let workload = &workload_list[w];
-                let chunk = &fault_slice[c * LANES..fault_slice.len().min((c + 1) * LANES)];
                 // Rooted spans: workers run on fresh threads with empty
                 // span stacks, so fixed paths keep the breakdown
                 // identical across thread counts.
@@ -326,80 +538,140 @@ impl FaultCampaign {
                         GoldenTrace::compute(netlist, workload, &config)
                     })
                 });
+                // Cones cover every chunk of the group (not only the
+                // pending members): the cache is shared across
+                // workloads, whose pending sets may differ on resume; a
+                // superset cone is bit-identical for any member.
                 let cone = if config.restrict_to_cone {
-                    Some(cones[c].get_or_init(|| {
+                    Some(cones[cg].get_or_init(|| {
                         obs.time_rooted("campaign/cones", || {
+                            let built = Instant::now();
                             roots.clear();
-                            roots.extend(chunk.iter().map(|f| f.gate));
-                            sim.active_cone(&roots)
+                            let lo = cg * group_width * LANES;
+                            let hi = fault_slice.len().min((cg + 1) * group_width * LANES);
+                            roots.extend(fault_slice[lo..hi].iter().map(|f| f.gate));
+                            let active = sim.active_cone(&roots);
+                            let wide_cone = soa
+                                .as_ref()
+                                .map(|s| WideCone::from_active(s, netlist, &active));
+                            cone_gates_total
+                                .fetch_add(active.gate_count() as u64, Ordering::Relaxed);
+                            cones_built.fetch_add(1, Ordering::Relaxed);
+                            cone_build_nanos
+                                .fetch_add(built.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            ConeEntry {
+                                active,
+                                wide: wide_cone,
+                            }
                         })
                     }))
                 } else {
                     None
                 };
-                // Panic isolation: each attempt runs under catch_unwind;
-                // a panicking attempt leaves the simulator in an unknown
-                // state, so it is rebuilt before the retry.
-                let mut attempt = 0u32;
-                let output = loop {
-                    attempt += 1;
-                    let inject = injection.should_panic(unit, attempt);
-                    let attempted = catch_unwind(AssertUnwindSafe(|| {
-                        if inject {
-                            panic!("injected unit fault (unit {unit}, attempt {attempt})");
-                        }
-                        obs.time_rooted("campaign/units", || {
-                            run_unit(
+
+                let member_outputs: Vec<Option<UnitOutput>> = if config.lane_words == 0 {
+                    members
+                        .iter()
+                        .map(|&unit| {
+                            let c = unit % chunk_count;
+                            let chunk =
+                                &fault_slice[c * LANES..fault_slice.len().min((c + 1) * LANES)];
+                            attempt_ctx.attempt_unit(
                                 &mut sim,
+                                &mut out_buf,
+                                unit,
+                                c,
                                 chunk,
                                 workload,
                                 trace,
-                                cone,
+                                cone.map(|e| &e.active),
+                            )
+                        })
+                        .collect()
+                } else {
+                    let chunks: Vec<&[Fault]> = members
+                        .iter()
+                        .map(|&unit| {
+                            let c = unit % chunk_count;
+                            &fault_slice[c * LANES..fault_slice.len().min((c + 1) * LANES)]
+                        })
+                        .collect();
+                    let inject = members.iter().any(|&unit| injection.should_panic(unit, 1));
+                    let attempted = catch_unwind(AssertUnwindSafe(|| {
+                        if inject {
+                            panic!("injected unit fault (wide group, units {members:?})");
+                        }
+                        obs.time_rooted("campaign/units", || {
+                            wide.run_group(
+                                netlist,
+                                &chunks,
+                                workload,
+                                trace,
+                                cone.map(|e| {
+                                    (&e.active, e.wide.as_ref().expect("wide cone built"))
+                                }),
                                 &config,
-                                &mut out_buf,
                             )
                         })
                     }));
                     match attempted {
-                        Ok(output) => break Some(output),
-                        Err(payload) => {
-                            sim = BitSim::new(netlist);
-                            if attempt >= max_attempts {
-                                quarantined_ref.lock().expect("quarantine poisoned").push(
-                                    QuarantinedUnit {
+                        Ok(group) => split_group(group, &chunks),
+                        Err(_) => {
+                            // A panic leaves the wide simulator in an
+                            // unknown state: rebuild it, then re-run
+                            // each member on the scalar kernel with its
+                            // own fresh retry budget so one poisoned
+                            // chunk cannot quarantine its groupmates.
+                            // The group attempt itself is not a retry.
+                            wide = WideHolder::new(soa.as_ref(), config.lane_words);
+                            members
+                                .iter()
+                                .zip(&chunks)
+                                .map(|(&unit, &chunk)| {
+                                    attempt_ctx.attempt_unit(
+                                        &mut sim,
+                                        &mut out_buf,
                                         unit,
-                                        workload: workload.name.clone(),
-                                        chunk: c,
-                                        attempts: attempt,
-                                        panic_message: panic_message(payload.as_ref()),
-                                    },
-                                );
-                                break None;
-                            }
-                            retries_total.fetch_add(1, Ordering::Relaxed);
+                                        unit % chunk_count,
+                                        chunk,
+                                        workload,
+                                        trace,
+                                        cone.map(|e| &e.active),
+                                    )
+                                })
+                                .collect()
                         }
                     }
                 };
-                if let Some(output) = output {
-                    unit_gate_evals.observe(output.gate_evals as f64);
-                    progress.add_work(output.stepped_fault_cycles);
-                    if let Some(writer) = writer {
-                        writer.record(unit, &output);
+
+                let elapsed = begun.elapsed().as_secs_f64();
+                *busy_slot += elapsed;
+                let per_member = elapsed / members.len() as f64;
+                for (&unit, output) in members.iter().zip(member_outputs) {
+                    if let Some(output) = output {
+                        unit_gate_evals.observe(output.gate_evals as f64);
+                        progress.add_work(output.stepped_fault_cycles);
+                        if let Some(writer) = writer {
+                            writer.record(unit, &output);
+                        }
+                        let stored = results[unit].set(output);
+                        debug_assert!(stored.is_ok(), "unit {unit} simulated once");
+                        let done = done_this_run.fetch_add(1, Ordering::Relaxed) + 1;
+                        if injection.interrupt_after_units == Some(done) {
+                            request_stop();
+                        }
+                        if injection.sigterm_after_units == Some(done) {
+                            fusa_obs::raise_shutdown_signal();
+                        }
                     }
-                    let stored = results[unit].set(output);
-                    debug_assert!(stored.is_ok(), "unit {unit} simulated once");
-                    let done = done_this_run.fetch_add(1, Ordering::Relaxed) + 1;
-                    if injection.interrupt_after_units == Some(done) {
-                        request_stop();
-                    }
-                    if injection.sigterm_after_units == Some(done) {
-                        fusa_obs::raise_shutdown_signal();
+                    unit_seconds.observe(per_member);
+                    progress.advance(1);
+                    if stop_requested() {
+                        // Members not yet recorded stay pending — a
+                        // resume simply runs them again.
+                        break;
                     }
                 }
-                let elapsed = begun.elapsed().as_secs_f64();
-                unit_seconds.observe(elapsed);
-                *busy_slot += elapsed;
-                progress.advance(1);
             }
             if unit_seconds.count() > 0 {
                 obs.observe_merged("campaign.unit_seconds", &unit_seconds);
@@ -423,12 +695,21 @@ impl FaultCampaign {
 
         // Assemble per-workload reports from the per-unit slots (or the
         // checkpoint, on resume) and fold the throughput accounting.
+        let cones_built = cones_built.into_inner();
         let mut stats = CampaignStats {
             threads: workers,
             units: unit_count,
             units_from_checkpoint: completed.len(),
             units_quarantined: quarantined.len(),
             unit_retries: retries_total.into_inner(),
+            lane_words: config.lane_words,
+            cone_build_seconds: cone_build_nanos.into_inner() as f64 / 1e9,
+            cone_coverage: if cones_built > 0 && netlist.gate_count() > 0 {
+                (cone_gates_total.into_inner() as f64 / cones_built as f64)
+                    / netlist.gate_count() as f64
+            } else {
+                0.0
+            },
             ..CampaignStats::default()
         };
         let mut workload_reports = Vec::with_capacity(workload_list.len());
@@ -489,8 +770,8 @@ impl FaultCampaign {
     }
 }
 
-/// Simulates one 64-fault chunk against one workload and classifies each
-/// lane's outcome.
+/// Simulates one 64-fault chunk against one workload on the legacy
+/// scalar kernel and classifies each lane's outcome.
 #[allow(clippy::too_many_arguments)]
 fn run_unit(
     sim: &mut BitSim,
@@ -617,6 +898,178 @@ fn run_unit(
         outcomes,
         first_divergence,
         stepped_fault_cycles: chunk.len() as u64 * cycles_stepped,
+        gate_evals,
+    }
+}
+
+/// Simulates up to `W` 64-fault chunks of one workload in a single wide
+/// pass: chunk `i` occupies word `i`, every word shares the broadcast
+/// inputs and the golden trace, and each member's lanes are classified
+/// exactly as [`run_unit`] would.
+///
+/// Early exit fires only when *every* member is fully decided; a word
+/// that is decided earlier keeps stepping harmlessly (its Dangerous
+/// verdicts are monotone and its first-divergence cycles are already
+/// fixed), so per-lane outcomes stay bit-identical to the scalar path.
+#[allow(clippy::too_many_arguments)]
+fn run_wide_group<const W: usize>(
+    sim: &mut WideSim<'_, W>,
+    netlist: &Netlist,
+    chunks: &[&[Fault]],
+    workload: &Workload,
+    trace: &GoldenTrace,
+    cone: Option<(&ActiveCone, &WideCone)>,
+    config: &CampaignConfig,
+) -> GroupOutput {
+    let members = chunks.len();
+    debug_assert!(0 < members && members <= W);
+    let output_count = netlist.primary_outputs().len();
+    let min_divergent_cycles =
+        ((config.min_divergence_fraction * workload.len() as f64).ceil() as u32).max(1);
+    let mut valid = [0u64; W];
+    for (co, chunk) in chunks.iter().enumerate() {
+        valid[co] = if chunk.len() == LANES {
+            u64::MAX
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+    }
+
+    sim.reset();
+    sim.clear_forces();
+    for (co, chunk) in chunks.iter().enumerate() {
+        for (lane, fault) in chunk.iter().enumerate() {
+            match fault.site {
+                FaultSite::Output => {
+                    sim.force_lanes(fault.net, fault.stuck_at.value(), co, 1u64 << lane);
+                }
+                FaultSite::InputPin(pin) => {
+                    sim.force_pin_lanes(fault.gate, pin, fault.stuck_at.value(), co, 1u64 << lane);
+                }
+            }
+        }
+    }
+
+    let full_evals = sim.soa().full_evals_per_cycle();
+    let words = trace.packed_words;
+    let mut diverged = [0u64; W];
+    let mut satisfied = [0u64; W];
+    let mut mismatch = [0u64; W];
+    let mut divergent_cycles = vec![0u32; members * LANES];
+    let mut first_divergence: Vec<Vec<Option<u32>>> =
+        chunks.iter().map(|chunk| vec![None; chunk.len()]).collect();
+    let mut cycles_stepped = 0u64;
+    let mut gate_evals = 0u64;
+
+    for (cycle, vector) in workload.vectors.iter().enumerate() {
+        match cone {
+            Some((_, wide_cone)) => {
+                sim.seed_boundary_packed(wide_cone, &trace.packed_nets[cycle * words..][..words]);
+                sim.settle_restricted(wide_cone);
+                mismatch[..members].fill(0);
+                for &(slot, net) in wide_cone.output_slots() {
+                    let golden = trace.outputs[cycle * output_count + slot as usize];
+                    for (co, word) in mismatch.iter_mut().enumerate().take(members) {
+                        *word |= sim.net_word(NetId(net), co) ^ golden;
+                    }
+                }
+                sim.clock_restricted(wide_cone);
+                gate_evals += wide_cone.evals_per_cycle();
+            }
+            None => {
+                sim.set_vector_broadcast(vector);
+                sim.settle();
+                mismatch[..members].fill(0);
+                for o in 0..output_count {
+                    let golden = trace.outputs[cycle * output_count + o];
+                    for (co, word) in mismatch.iter_mut().enumerate().take(members) {
+                        *word |= sim.output_word(o, co) ^ golden;
+                    }
+                }
+                sim.clock();
+                gate_evals += full_evals;
+            }
+        }
+        cycles_stepped += 1;
+        let mut all_satisfied = true;
+        for co in 0..members {
+            let mm = mismatch[co] & valid[co];
+            if mm != 0 {
+                let newly = mm & !diverged[co];
+                let mut remaining = newly;
+                while remaining != 0 {
+                    let lane = remaining.trailing_zeros() as usize;
+                    remaining &= remaining - 1;
+                    first_divergence[co][lane] = Some(cycle as u32);
+                }
+                diverged[co] |= newly;
+                let mut counting = mm;
+                while counting != 0 {
+                    let lane = counting.trailing_zeros() as usize;
+                    counting &= counting - 1;
+                    let cell = &mut divergent_cycles[co * LANES + lane];
+                    *cell += 1;
+                    if *cell == min_divergent_cycles {
+                        satisfied[co] |= 1u64 << lane;
+                    }
+                }
+            }
+            all_satisfied &= satisfied[co] == valid[co];
+        }
+        if config.early_exit && all_satisfied {
+            break;
+        }
+    }
+
+    // Latent sweep per member word, skipped for fully-Dangerous members
+    // exactly like the scalar path.
+    let mut state_differs = [0u64; W];
+    if config.classify_latent {
+        let all_seq;
+        let flops: &[GateId] = match cone {
+            Some((active, _)) => active.seq_gates(),
+            None => {
+                all_seq = netlist.sequential_gates();
+                &all_seq
+            }
+        };
+        for co in 0..members {
+            if satisfied[co] == valid[co] {
+                continue;
+            }
+            let mut differs = 0u64;
+            for &g in flops {
+                differs |= sim.flop_word(g, co) ^ trace.final_state_by_gate[g.index()];
+            }
+            state_differs[co] = differs & valid[co];
+        }
+    }
+
+    let outcomes = chunks
+        .iter()
+        .enumerate()
+        .map(|(co, chunk)| {
+            (0..chunk.len())
+                .map(|lane| {
+                    let mask = 1u64 << lane;
+                    if divergent_cycles[co * LANES + lane] >= min_divergent_cycles {
+                        FaultOutcome::Dangerous
+                    } else if diverged[co] & mask != 0
+                        || (config.classify_latent && state_differs[co] & mask != 0)
+                    {
+                        FaultOutcome::Latent
+                    } else {
+                        FaultOutcome::Benign
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    GroupOutput {
+        outcomes,
+        first_divergence,
+        cycles_stepped,
         gate_evals,
     }
 }
@@ -779,6 +1232,7 @@ mod tests {
             threads: 1,
             restrict_to_cone: false,
             early_exit: false,
+            lane_words: 0,
             ..Default::default()
         })
         .run(&netlist, &faults, &workloads)
@@ -808,6 +1262,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Every supported lane width must agree lane-for-lane with the
+    /// legacy scalar kernel, under both acceleration settings.
+    #[test]
+    fn lane_widths_are_bit_identical_to_scalar() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_sites(&netlist);
+        let workloads = tiny_suite(&netlist, 2, 24);
+        let reference = FaultCampaign::new(CampaignConfig {
+            threads: 1,
+            lane_words: 0,
+            ..Default::default()
+        })
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
+        for lane_words in [1usize, 4, 8] {
+            for (restrict_to_cone, early_exit) in [(true, true), (false, false)] {
+                let candidate = FaultCampaign::new(CampaignConfig {
+                    threads: 2,
+                    lane_words,
+                    restrict_to_cone,
+                    early_exit,
+                    ..Default::default()
+                })
+                .run(&netlist, &faults, &workloads)
+                .unwrap();
+                assert_eq!(candidate.stats().lane_words, lane_words);
+                for (a, b) in reference
+                    .workload_reports()
+                    .iter()
+                    .zip(candidate.workload_reports())
+                {
+                    assert_eq!(
+                        a.outcomes, b.outcomes,
+                        "lane_words={lane_words} cone={restrict_to_cone} early={early_exit}"
+                    );
+                    assert_eq!(a.first_divergence, b.first_divergence);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_lane_words_is_a_typed_error() {
+        let netlist = inverter_netlist();
+        let faults = FaultList::all_gate_outputs(&netlist);
+        let workloads = tiny_suite(&netlist, 1, 8);
+        let err = FaultCampaign::new(CampaignConfig {
+            lane_words: 3,
+            ..Default::default()
+        })
+        .run(&netlist, &faults, &workloads)
+        .unwrap_err();
+        assert_eq!(err, CampaignError::InvalidLaneWords { lane_words: 3 });
     }
 
     /// Early exit must be invisible even with a nonzero Dangerous
@@ -882,6 +1391,11 @@ mod tests {
         assert!(stats.gate_evals_saved_fraction() > 0.0);
         assert_eq!(stats.worker_busy_seconds.len(), 1);
         assert!(stats.fault_cycles_per_second() > 0.0);
+        // Cone diagnostics: some time was spent building cones, and the
+        // mean cone is a proper fraction of the design.
+        assert!(stats.cone_build_seconds > 0.0);
+        assert!(stats.cone_coverage > 0.0 && stats.cone_coverage <= 1.0);
+        assert_eq!(stats.lane_words, 4, "default width is 4 words");
     }
 
     #[test]
@@ -1164,6 +1678,64 @@ mod tests {
             resumed.summary_opts(false),
             "resumed summary must digest identically to an uninterrupted run"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The headline durability invariant of the wide kernel: checkpoint
+    /// unit identity is the 64-fault chunk at every width, so a run
+    /// interrupted at one `lane_words` resumes bit-identically at
+    /// another.
+    #[test]
+    fn resume_across_lane_widths_is_bit_identical() {
+        let netlist = fusa_netlist::designs::or1200_icfsm();
+        let faults = FaultList::all_sites(&netlist);
+        let workloads = tiny_suite(&netlist, 2, 24);
+        let reference = FaultCampaign::new(CampaignConfig {
+            lane_words: 0,
+            ..Default::default()
+        })
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
+        let path = temp_checkpoint("lane_width_resume");
+        let partial = FaultCampaign::new(CampaignConfig {
+            threads: 1,
+            lane_words: 1,
+            ..Default::default()
+        })
+        .with_durability(DurabilityConfig {
+            checkpoint: Some(path.clone()),
+            ..Default::default()
+        })
+        .with_injection(FaultInjection {
+            interrupt_after_units: Some(3),
+            ..Default::default()
+        })
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
+        assert!(partial.interrupted());
+        let resumed = FaultCampaign::new(CampaignConfig {
+            threads: 2,
+            lane_words: 8,
+            ..Default::default()
+        })
+        .with_durability(DurabilityConfig {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Default::default()
+        })
+        .run(&netlist, &faults, &workloads)
+        .unwrap();
+        assert!(!resumed.interrupted());
+        assert!(resumed.stats().units_from_checkpoint >= 3);
+        for (a, b) in reference
+            .workload_reports()
+            .iter()
+            .zip(resumed.workload_reports())
+        {
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.first_divergence, b.first_divergence);
+        }
+        assert_eq!(reference.summary_opts(false), resumed.summary_opts(false));
         std::fs::remove_file(&path).ok();
     }
 

@@ -11,10 +11,12 @@
 //! lines that are torn or fail their digest, so those units simply run
 //! again.
 //!
-//! Deliberately *not* in the header: `threads`, `restrict_to_cone` and
-//! `early_exit`. Those knobs are bit-identical by construction (see the
-//! differential tests), so a campaign may be resumed under a different
-//! thread count or acceleration setting.
+//! Deliberately *not* in the header: `threads`, `restrict_to_cone`,
+//! `early_exit` and `lane_words`. Those knobs are bit-identical by
+//! construction (see the differential tests), so a campaign may be
+//! resumed under a different thread count, acceleration setting or lane
+//! width — the checkpoint unit is always the 64-fault chunk regardless
+//! of how many chunks a pass packs together.
 
 use crate::campaign::{CampaignConfig, UnitOutput};
 use crate::fault::{FaultList, FaultSite};

@@ -30,6 +30,12 @@ pub enum CampaignError {
     Checkpoint(CheckpointError),
     /// `resume` was requested without a checkpoint path to resume from.
     ResumeWithoutCheckpoint,
+    /// `CampaignConfig::lane_words` is outside the supported set
+    /// (`0` = legacy scalar path, or `1`/`4`/`8` wide words).
+    InvalidLaneWords {
+        /// The rejected width.
+        lane_words: usize,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -48,6 +54,12 @@ impl fmt::Display for CampaignError {
             CampaignError::ResumeWithoutCheckpoint => {
                 write!(f, "--resume requires a checkpoint path")
             }
+            CampaignError::InvalidLaneWords { lane_words } => write!(
+                f,
+                "unsupported lane_words {lane_words}: use 1, 4 or 8 \
+                 (64/256/512 fault lanes per pass), or 0 for the legacy \
+                 scalar kernel"
+            ),
         }
     }
 }
@@ -189,6 +201,9 @@ mod tests {
         assert!(CampaignError::ResumeWithoutCheckpoint
             .to_string()
             .contains("--resume"));
+        assert!(CampaignError::InvalidLaneWords { lane_words: 3 }
+            .to_string()
+            .contains("lane_words 3"));
     }
 
     #[test]

@@ -91,6 +91,16 @@ pub struct CampaignStats {
     pub unit_retries: u64,
     /// Units never attempted because the campaign was interrupted.
     pub units_skipped: usize,
+    /// Lane width the run used, in 64-lane `u64` words (`0` = legacy
+    /// scalar kernel).
+    pub lane_words: usize,
+    /// Seconds spent building fanout cones (cone restriction only).
+    pub cone_build_seconds: f64,
+    /// Mean union-cone size as a fraction of the design's gate count,
+    /// in `(0, 1]`; `0.0` when cone restriction was off. High values
+    /// explain poor cone speedups (e.g. dense designs where every cone
+    /// covers most of the netlist).
+    pub cone_coverage: f64,
 }
 
 impl CampaignStats {
@@ -141,6 +151,9 @@ impl CampaignStats {
             self.gate_evals_saved_fraction(),
         );
         recorder.gauge_set("campaign.utilization", self.mean_utilization());
+        recorder.gauge_set("campaign.lane_words", self.lane_words as f64);
+        recorder.gauge_set("campaign.cone_build_seconds", self.cone_build_seconds);
+        recorder.gauge_set("campaign.cone_coverage", self.cone_coverage);
         // Durability counters are published only when nonzero so clean
         // runs keep their established manifest shape.
         if self.units_from_checkpoint > 0 {

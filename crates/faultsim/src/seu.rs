@@ -9,7 +9,7 @@
 //! aggregates per-flop SEU vulnerability scores analogous to
 //! Algorithm 1's criticality scores.
 
-use fusa_logicsim::{BitSim, Workload, WorkloadSuite};
+use fusa_logicsim::{BitSim, SoaNetlist, WideSim, Workload, WorkloadSuite};
 use fusa_netlist::{GateId, Netlist};
 
 /// Parameters of an [`SeuCampaign`].
@@ -20,6 +20,12 @@ pub struct SeuConfig {
     pub injection_points: [f64; 3],
     /// Worker threads (`0` = one per CPU).
     pub threads: usize,
+    /// Width of the simulation word in 64-lane `u64` words: each pass
+    /// flips `64 · lane_words` flops through the structure-of-arrays
+    /// [`WideSim`] kernel. Supported widths are `1`, `4` and `8`; `0`
+    /// selects the legacy scalar [`BitSim`] path. Rates are identical
+    /// at every setting.
+    pub lane_words: usize,
 }
 
 impl Default for SeuConfig {
@@ -27,6 +33,7 @@ impl Default for SeuConfig {
         SeuConfig {
             injection_points: [0.25, 0.5, 0.75],
             threads: 0,
+            lane_words: 4,
         }
     }
 }
@@ -110,7 +117,14 @@ impl SeuCampaign {
     pub fn run(&self, netlist: &Netlist, workloads: &WorkloadSuite) -> SeuReport {
         let obs = fusa_obs::global();
         let _span = obs.span("seu");
+        assert!(
+            matches!(self.config.lane_words, 0 | 1 | 4 | 8),
+            "unsupported lane_words {}: use 1, 4 or 8, or 0 for the legacy scalar kernel",
+            self.config.lane_words
+        );
         let flops = netlist.sequential_gates();
+        let soa =
+            (self.config.lane_words > 0 && !flops.is_empty()).then(|| SoaNetlist::new(netlist));
         let mut corrupted = vec![0usize; flops.len()];
         let mut latent = vec![0usize; flops.len()];
         let mut experiments = 0usize;
@@ -131,6 +145,8 @@ impl SeuCampaign {
                 experiments += 1;
                 run_injection(
                     netlist,
+                    soa.as_ref(),
+                    self.config.lane_words,
                     workload,
                     &flops,
                     inject_cycle,
@@ -154,9 +170,15 @@ impl SeuCampaign {
     }
 }
 
-/// One injection experiment: 64 flops flipped per pass at `inject_cycle`.
+/// One injection experiment: `64 · max(lane_words, 1)` flops flipped per
+/// pass at `inject_cycle`. The golden trace always comes from the scalar
+/// broadcast simulator (its `0`/`u64::MAX` lanes compare against any
+/// word), so every lane width scores identically.
+#[allow(clippy::too_many_arguments)]
 fn run_injection(
     netlist: &Netlist,
+    soa: Option<&SoaNetlist>,
+    lane_words: usize,
     workload: &Workload,
     flops: &[GateId],
     inject_cycle: usize,
@@ -174,33 +196,123 @@ fn run_injection(
     }
     let golden_state: Vec<u64> = flops.iter().map(|&g| golden.flop_lanes(g)).collect();
 
-    let mut sim = BitSim::new(netlist);
-    for (chunk_index, chunk) in flops.chunks(64).enumerate() {
+    match (soa, lane_words) {
+        (Some(soa), 1) => run_chunks_wide::<1>(
+            soa,
+            workload,
+            flops,
+            inject_cycle,
+            &golden_trace,
+            &golden_state,
+            corrupted,
+            latent,
+        ),
+        (Some(soa), 4) => run_chunks_wide::<4>(
+            soa,
+            workload,
+            flops,
+            inject_cycle,
+            &golden_trace,
+            &golden_state,
+            corrupted,
+            latent,
+        ),
+        (Some(soa), 8) => run_chunks_wide::<8>(
+            soa,
+            workload,
+            flops,
+            inject_cycle,
+            &golden_trace,
+            &golden_state,
+            corrupted,
+            latent,
+        ),
+        _ => {
+            let mut sim = BitSim::new(netlist);
+            for (chunk_index, chunk) in flops.chunks(64).enumerate() {
+                sim.reset();
+                let mut diverged: u64 = 0;
+                for (cycle, vector) in workload.vectors.iter().enumerate() {
+                    if cycle == inject_cycle {
+                        for (lane, &flop) in chunk.iter().enumerate() {
+                            sim.schedule_state_flip(flop, 1u64 << lane);
+                        }
+                    }
+                    sim.step_broadcast_into(vector, &mut out_buf);
+                    if cycle > inject_cycle {
+                        for (o, &lanes) in out_buf.iter().enumerate() {
+                            diverged |= lanes ^ golden_trace[cycle * output_count + o];
+                        }
+                    }
+                }
+                let mut state_differs: u64 = 0;
+                for (s, &g) in flops.iter().enumerate() {
+                    state_differs |= sim.flop_lanes(g) ^ golden_state[s];
+                }
+                for (lane, _) in chunk.iter().enumerate() {
+                    let index = chunk_index * 64 + lane;
+                    let mask = 1u64 << lane;
+                    if diverged & mask != 0 {
+                        corrupted[index] += 1;
+                    } else if state_differs & mask != 0 {
+                        latent[index] += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Wide sweep of one injection experiment: flop `i` of a group occupies
+/// word `i / 64`, lane `i % 64`.
+#[allow(clippy::too_many_arguments)]
+fn run_chunks_wide<const W: usize>(
+    soa: &SoaNetlist,
+    workload: &Workload,
+    flops: &[GateId],
+    inject_cycle: usize,
+    golden_trace: &[u64],
+    golden_state: &[u64],
+    corrupted: &mut [usize],
+    latent: &mut [usize],
+) {
+    let output_count = golden_trace.len() / workload.len().max(1);
+    let mut sim = WideSim::<W>::new(soa);
+    for (group_index, group) in flops.chunks(64 * W).enumerate() {
         sim.reset();
-        let mut diverged: u64 = 0;
+        sim.clear_forces();
+        let members = group.len().div_ceil(64);
+        let mut diverged = [0u64; W];
         for (cycle, vector) in workload.vectors.iter().enumerate() {
             if cycle == inject_cycle {
-                for (lane, &flop) in chunk.iter().enumerate() {
-                    sim.schedule_state_flip(flop, 1u64 << lane);
+                for (i, &flop) in group.iter().enumerate() {
+                    sim.schedule_state_flip(flop, i / 64, 1u64 << (i % 64));
                 }
             }
-            sim.step_broadcast_into(vector, &mut out_buf);
+            sim.set_vector_broadcast(vector);
+            sim.settle();
             if cycle > inject_cycle {
-                for (o, &lanes) in out_buf.iter().enumerate() {
-                    diverged |= lanes ^ golden_trace[cycle * output_count + o];
+                for o in 0..output_count {
+                    let golden = golden_trace[cycle * output_count + o];
+                    for (co, word) in diverged.iter_mut().enumerate().take(members) {
+                        *word |= sim.output_word(o, co) ^ golden;
+                    }
                 }
             }
+            sim.clock();
         }
-        let mut state_differs: u64 = 0;
+        let mut state_differs = [0u64; W];
         for (s, &g) in flops.iter().enumerate() {
-            state_differs |= sim.flop_lanes(g) ^ golden_state[s];
+            for (co, word) in state_differs.iter_mut().enumerate().take(members) {
+                *word |= sim.flop_word(g, co) ^ golden_state[s];
+            }
         }
-        for (lane, _) in chunk.iter().enumerate() {
-            let index = chunk_index * 64 + lane;
-            let mask = 1u64 << lane;
-            if diverged & mask != 0 {
+        for (i, _) in group.iter().enumerate() {
+            let index = group_index * 64 * W + i;
+            let mask = 1u64 << (i % 64);
+            if diverged[i / 64] & mask != 0 {
                 corrupted[index] += 1;
-            } else if state_differs & mask != 0 {
+            } else if state_differs[i / 64] & mask != 0 {
                 latent[index] += 1;
             }
         }
@@ -291,6 +403,41 @@ mod tests {
         let report = SeuCampaign::default().run(&netlist, &suite(&netlist));
         assert_eq!(report.experiments, 3 * 3);
         assert!(!report.interrupted);
+    }
+
+    #[test]
+    fn lane_widths_agree_with_scalar() {
+        // Differential: every wide width scores the exact same rates as
+        // the legacy scalar sweep on a random sequential netlist with
+        // more flops than one 64-lane word holds.
+        use fusa_netlist::designs::{random_netlist, RandomNetlistConfig};
+        let netlist = random_netlist(&RandomNetlistConfig {
+            num_inputs: 6,
+            num_gates: 400,
+            sequential_fraction: 0.5,
+            num_outputs: 5,
+            seed: 11,
+        });
+        let workloads = suite(&netlist);
+        let run = |lane_words: usize| {
+            SeuCampaign::new(SeuConfig {
+                lane_words,
+                ..SeuConfig::default()
+            })
+            .run(&netlist, &workloads)
+        };
+        let reference = run(0);
+        assert!(reference.flops.len() > 64, "want multi-word flop count");
+        for lane_words in [1usize, 4, 8] {
+            let wide = run(lane_words);
+            assert_eq!(reference.flops, wide.flops, "W={lane_words}");
+            assert_eq!(
+                reference.corruption_rate, wide.corruption_rate,
+                "W={lane_words}"
+            );
+            assert_eq!(reference.latent_rate, wide.latent_rate, "W={lane_words}");
+            assert_eq!(reference.experiments, wide.experiments, "W={lane_words}");
+        }
     }
 
     #[test]

@@ -41,6 +41,9 @@ fn run_with(
         min_divergence_fraction: 0.0,
         restrict_to_cone,
         early_exit,
+        // Legacy scalar kernel: the wide-lane differential lives in
+        // tests/lane_equivalence.rs.
+        lane_words: 0,
     })
     .run(netlist, faults, workloads)
     .expect("campaign runs")

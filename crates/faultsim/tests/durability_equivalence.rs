@@ -96,6 +96,7 @@ proptest! {
             min_divergence_fraction: 0.0,
             restrict_to_cone,
             early_exit,
+            ..CampaignConfig::default()
         };
 
         let reference = FaultCampaign::new(config)
@@ -168,6 +169,7 @@ proptest! {
             min_divergence_fraction: 0.0,
             restrict_to_cone: true,
             early_exit: true,
+            ..CampaignConfig::default()
         };
         let unit_count = workloads.workloads().len() * faults.len().div_ceil(64);
         let bad_unit = (seed as usize) % unit_count;

@@ -551,6 +551,18 @@ impl ActiveCone {
         &self.seq_gates
     }
 
+    /// Cone combinational gates, in global levelized order (the
+    /// restricted evaluation schedule).
+    pub fn comb_order(&self) -> &[GateId] {
+        &self.comb_order
+    }
+
+    /// Inputs of cone gates driven from outside the cone — the nets
+    /// seeded from the golden snapshot each cycle.
+    pub fn boundary_nets(&self) -> &[NetId] {
+        &self.boundary_nets
+    }
+
     /// `(slot, net)` for each primary output a cone fault can reach.
     pub fn output_slots(&self) -> &[(usize, NetId)] {
         &self.output_slots

@@ -41,6 +41,7 @@ pub mod cop;
 pub mod eval;
 pub mod probability;
 pub mod sim;
+pub mod soa;
 pub mod value;
 pub mod vcd;
 pub mod workload;
@@ -48,6 +49,7 @@ pub mod workload;
 pub use bitsim::{ActiveCone, BitSim};
 pub use probability::{SignalStats, SignalStatsConfig};
 pub use sim::Simulator;
+pub use soa::{SoaNetlist, WideCone, WideSim};
 pub use value::Logic;
 pub use vcd::VcdRecorder;
 pub use workload::{Workload, WorkloadConfig, WorkloadKind, WorkloadSuite};

@@ -12,12 +12,14 @@ mod or1200_icfsm;
 mod or1200_if;
 mod random;
 mod sdram_ctrl;
+mod synthetic;
 mod uart_ctrl;
 
 pub use or1200_icfsm::or1200_icfsm;
 pub use or1200_if::or1200_if;
 pub use random::{random_netlist, RandomNetlistConfig};
 pub use sdram_ctrl::sdram_ctrl;
+pub use synthetic::{synth_100k, synth_10k, synth_30k, synthetic_design, SyntheticConfig};
 pub use uart_ctrl::uart_ctrl;
 
 use crate::netlist::Netlist;

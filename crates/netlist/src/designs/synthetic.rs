@@ -1,0 +1,237 @@
+//! Parameterized large synthetic designs for scaling studies.
+//!
+//! The paper's benchmark modules top out around a few thousand gates;
+//! kernel-throughput work needs designs one to two orders of magnitude
+//! larger with realistic structure, not the uniform soup
+//! [`super::random_netlist`] produces. This generator composes the three
+//! archetypes that dominate real E/E control silicon:
+//!
+//! * a **deep pipeline** — `pipeline_stages` register stages over a
+//!   `datapath_width`-bit word, each stage mixing its input through a
+//!   seeded choice of adder, XOR-rotate or conditional-mux logic;
+//! * a **wide datapath** — the stage word itself, with word-level
+//!   operators lowered through the varied technology mapping in
+//!   [`crate::Synth`];
+//! * a **multi-bank controller** — `banks` enable-gated counters behind
+//!   a one-hot select decoder, whose status comparators steer the
+//!   pipeline's conditional stages (control/datapath coupling).
+//!
+//! Generation is pure: the same [`SyntheticConfig`] always yields the
+//! same netlist, gate for gate, so campaign digests over synthesized
+//! designs are stable across machines and releases.
+
+use crate::netlist::Netlist;
+use crate::synth::{Synth, Word};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for [`synthetic_design`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticConfig {
+    /// Design name (also the digest namespace — change it when the
+    /// topology changes meaning).
+    pub name: String,
+    /// Width of the pipeline datapath in bits (≥ 2).
+    pub datapath_width: usize,
+    /// Number of register stages in the pipeline (≥ 1).
+    pub pipeline_stages: usize,
+    /// Controller banks, each an enable-gated counter (1..=8).
+    pub banks: usize,
+    /// Width of each bank counter in bits (≥ 2).
+    pub bank_counter_bits: usize,
+    /// Seed steering per-stage operator choice and comparator constants.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            name: "synthetic".to_string(),
+            datapath_width: 32,
+            pipeline_stages: 16,
+            banks: 4,
+            bank_counter_bits: 6,
+            seed: 0xD0C5,
+        }
+    }
+}
+
+/// Builds a synthetic pipeline + controller design from `config`.
+///
+/// # Panics
+///
+/// Panics if any parameter is outside its documented range, or if the
+/// resulting netlist fails validation (a generator bug, not an input
+/// error — the builder is total over the accepted parameter space).
+pub fn synthetic_design(config: &SyntheticConfig) -> Netlist {
+    assert!(config.datapath_width >= 2, "datapath_width must be >= 2");
+    assert!(config.pipeline_stages >= 1, "pipeline_stages must be >= 1");
+    assert!(
+        (1..=8).contains(&config.banks),
+        "banks must be in 1..=8 (one-hot decoded)"
+    );
+    assert!(config.bank_counter_bits >= 2, "bank_counter_bits too small");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut s = Synth::new(config.name.clone());
+    let width = config.datapath_width;
+
+    let rst = s.input_bit("rst");
+    let en = s.input_bit("en");
+    let data = s.input_word("data", width);
+    // Enough select bits to address every bank (decode() caps at 8 bits;
+    // banks <= 8 needs at most 3).
+    let sel_bits = usize::max(
+        1,
+        config.banks.next_power_of_two().trailing_zeros() as usize,
+    );
+    let sel = s.input_word("sel", sel_bits);
+
+    // ---- multi-bank controller -------------------------------------
+    let lines = s.decode(&sel);
+    let mut ctrl_bits = Vec::with_capacity(config.banks * 2);
+    let mut bank_counters: Vec<Word> = Vec::with_capacity(config.banks);
+    for (bank, &line) in lines.iter().enumerate().take(config.banks) {
+        let q = s.reg_word(&format!("bank{bank}_cnt"), config.bank_counter_bits);
+        let (next, wrap) = s.inc(&q);
+        let bank_en = s.and2(en, line);
+        s.connect_reg(
+            &format!("bank{bank}_cnt"),
+            &q,
+            &next,
+            Some(bank_en),
+            Some(rst),
+        );
+        // Status comparators: a seeded match value plus the wrap carry,
+        // both visible to the pipeline's conditional stages.
+        let target = rng.gen::<u64>() & ((1u64 << config.bank_counter_bits) - 1);
+        ctrl_bits.push(s.eq_const(&q, target));
+        ctrl_bits.push(wrap);
+        bank_counters.push(q);
+    }
+
+    // ---- deep pipeline over the wide datapath ----------------------
+    let zero = s.zero();
+    let mut stage = data;
+    for st in 0..config.pipeline_stages {
+        let rot = (rng.gen::<u32>() as usize % (width - 1)) + 1;
+        let rotated = Word(
+            (0..width)
+                .map(|i| stage.bit((i + rot) % width))
+                .collect::<Vec<_>>(),
+        );
+        let mixed = match rng.gen::<u32>() % 3 {
+            0 => {
+                // Arithmetic stage: ripple add against the rotation.
+                let (sum, _) = s.add(&stage, &rotated, zero);
+                sum
+            }
+            1 => s.xor_word(&stage, &rotated),
+            _ => {
+                // Conditional stage steered by the controller.
+                let ctrl = ctrl_bits[st % ctrl_bits.len()];
+                let muxed = s.mux_word(ctrl, &stage, &rotated);
+                s.xor_word(&muxed, &stage)
+            }
+        };
+        stage = s.register(&format!("stage{st}"), &mixed, Some(en), Some(rst));
+    }
+
+    // ---- outputs ---------------------------------------------------
+    s.output_word("out", &stage);
+    let parity = s.reduce_xor(stage.bits());
+    s.output_bit("parity", parity);
+    for (bank, q) in bank_counters.iter().enumerate() {
+        let busy = s.reduce_or(q.bits());
+        s.output_bit(format!("bank{bank}_busy"), busy);
+    }
+
+    s.finish()
+        .expect("synthetic generator produced an invalid netlist")
+}
+
+/// ~10k-gate preset: 32-bit datapath, 90 stages, 4 banks.
+pub fn synth_10k(seed: u64) -> Netlist {
+    synthetic_design(&SyntheticConfig {
+        name: "synth_10k".to_string(),
+        datapath_width: 32,
+        pipeline_stages: 90,
+        banks: 4,
+        bank_counter_bits: 6,
+        seed,
+    })
+}
+
+/// ~30k-gate preset: 48-bit datapath, 180 stages, 6 banks.
+pub fn synth_30k(seed: u64) -> Netlist {
+    synthetic_design(&SyntheticConfig {
+        name: "synth_30k".to_string(),
+        datapath_width: 48,
+        pipeline_stages: 180,
+        banks: 6,
+        bank_counter_bits: 8,
+        seed,
+    })
+}
+
+/// ~100k-gate preset: 64-bit datapath, 440 stages, 8 banks.
+pub fn synth_100k(seed: u64) -> Netlist {
+    synthetic_design(&SyntheticConfig {
+        name: "synth_100k".to_string(),
+        datapath_width: 64,
+        pipeline_stages: 440,
+        banks: 8,
+        bank_counter_bits: 8,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetlistStats;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synth_10k(7);
+        let b = synth_10k(7);
+        assert_eq!(a.gate_count(), b.gate_count());
+        assert_eq!(a.kind_histogram(), b.kind_histogram());
+        // Different seed, different mapping choices.
+        let c = synth_10k(8);
+        assert_eq!(a.primary_inputs().len(), c.primary_inputs().len());
+        assert_ne!(a.kind_histogram(), c.kind_histogram());
+    }
+
+    #[test]
+    fn presets_hit_their_size_bands() {
+        for (netlist, lo, hi) in [
+            (synth_10k(1), 8_000, 14_000),
+            (synth_30k(1), 24_000, 40_000),
+        ] {
+            let stats = NetlistStats::of(&netlist);
+            assert!(
+                (lo..=hi).contains(&stats.gate_count),
+                "{}: {} gates outside [{lo}, {hi}]",
+                stats.name,
+                stats.gate_count
+            );
+            assert!(stats.flip_flop_count > 100, "{}", stats.name);
+            assert!(stats.output_count > 0, "{}", stats.name);
+        }
+    }
+
+    #[test]
+    fn pipeline_is_deep_and_sequential() {
+        let netlist = synthetic_design(&SyntheticConfig {
+            name: "probe".to_string(),
+            datapath_width: 8,
+            pipeline_stages: 12,
+            banks: 2,
+            bank_counter_bits: 4,
+            seed: 3,
+        });
+        // 12 stages x 8 bits + 2 banks x 4 bits of counter state.
+        assert_eq!(netlist.sequential_gates().len(), 12 * 8 + 2 * 4);
+    }
+}

@@ -65,6 +65,11 @@ const RUN_FLAGS: &[FlagSpec] = &[
         help: "campaign worker threads (0 = one per CPU)",
     },
     FlagSpec {
+        name: "--lanes",
+        value: Some("N"),
+        help: "fault lanes per simulation pass: 64, 256 or 512 (default 256); `scalar` selects the legacy kernel",
+    },
+    FlagSpec {
         name: "--no-cone",
         value: None,
         help: "disable cone-restricted fault simulation",
@@ -273,6 +278,25 @@ const COMMANDS: &[CommandSpec] = &[
         help: "TMR-protect the most critical gates",
     },
     CommandSpec {
+        name: "synth",
+        positionals: "<size>",
+        positional_count: 1,
+        flags: &[
+            FlagSpec {
+                name: "--seed",
+                value: Some("N"),
+                help: "generator seed (default 1)",
+            },
+            FlagSpec {
+                name: "--out",
+                value: Some("FILE.v"),
+                help: "write the netlist (default synth_<size>.v)",
+            },
+        ],
+        run_options: false,
+        help: "generate a synthetic benchmark netlist (10k | 30k | 100k gates)",
+    },
+    CommandSpec {
         name: "report",
         positionals: "<manifest.json>",
         positional_count: 1,
@@ -441,6 +465,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "explain" => cmd_explain(args),
         "seu" => cmd_seu(args),
         "harden" => cmd_harden(args),
+        "synth" => cmd_synth(args),
         "report" => cmd_report(args),
         "compare" => cmd_compare(args),
         other => Err(format!("unknown command `{other}`")),
@@ -494,7 +519,7 @@ fn positional_args<'a>(spec: &CommandSpec, args: &'a [String]) -> Vec<&'a str> {
     out
 }
 
-fn pipeline_config(args: &[String]) -> PipelineConfig {
+fn pipeline_config(args: &[String]) -> Result<PipelineConfig, String> {
     let mut config = if args.iter().any(|a| a == "--fast") {
         PipelineConfig::fast()
     } else {
@@ -511,10 +536,23 @@ fn pipeline_config(args: &[String]) -> PipelineConfig {
     if let Some(threads) = flag_value(args, "--threads").and_then(|t| t.parse().ok()) {
         config.campaign.threads = threads;
     }
+    if let Some(lanes) = flag_value(args, "--lanes") {
+        config.campaign.lane_words = match lanes {
+            "scalar" => 0,
+            "64" => 1,
+            "256" => 4,
+            "512" => 8,
+            other => {
+                return Err(format!(
+                    "bad --lanes value `{other}`: use 64, 256, 512 or scalar"
+                ))
+            }
+        };
+    }
     if args.iter().any(|a| a == "--structural-features") {
         config.structural_features = true;
     }
-    config
+    Ok(config)
 }
 
 /// One observed CLI run: resets the global recorder, optionally attaches
@@ -742,6 +780,17 @@ fn manifest_config(config: &PipelineConfig) -> (ConfigEntries, SeedEntries) {
             config.campaign.early_exit.to_string(),
         ),
         (
+            "campaign.lane_words".to_string(),
+            config.campaign.lane_words.to_string(),
+        ),
+        // The checkpoint unit is always a 64-fault chunk, whatever the
+        // lane width packs into one pass.
+        ("campaign.chunk_faults".to_string(), "64".to_string()),
+        (
+            "campaign.faults_per_pass".to_string(),
+            (64 * config.campaign.lane_words.max(1)).to_string(),
+        ),
+        (
             "criticality_threshold".to_string(),
             config.criticality_threshold.to_string(),
         ),
@@ -813,7 +862,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let design_arg = args.get(1).ok_or("missing design")?;
     let mut session = ObsSession::begin("analyze", design_arg, args)?;
     let netlist = load_design(design_arg)?;
-    let config = pipeline_config(args);
+    let config = pipeline_config(args)?;
     let (config_kv, seeds) = manifest_config(&config);
     let analysis = match FusaPipeline::new(config)
         .with_campaign_durability(session.durability(args)?)
@@ -874,7 +923,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     let design_arg = args.get(1).ok_or("missing design")?;
     let mut session = ObsSession::begin("faults", design_arg, args)?;
     let netlist = load_design(design_arg)?;
-    let config = pipeline_config(args);
+    let config = pipeline_config(args)?;
     let (config_kv, seeds) = manifest_config(&config);
     let faults = FaultList::all_gate_outputs(&netlist);
     let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
@@ -1027,7 +1076,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let gate = netlist
         .find_gate(gate_name)
         .ok_or_else(|| format!("no gate named `{gate_name}`"))?;
-    let config = pipeline_config(args);
+    let config = pipeline_config(args)?;
     let (config_kv, seeds) = manifest_config(&config);
     let analysis = match FusaPipeline::new(config)
         .with_campaign_durability(session.durability(args)?)
@@ -1086,7 +1135,7 @@ fn cmd_harden(args: &[String]) -> Result<(), String> {
     if !(0.0..=1.0).contains(&budget) {
         return Err("--budget must be in [0, 1]".into());
     }
-    let config = pipeline_config(args);
+    let config = pipeline_config(args)?;
     let (config_kv, seeds) = manifest_config(&config);
     let analysis = match FusaPipeline::new(config)
         .with_campaign_durability(session.durability(args)?)
@@ -1156,12 +1205,15 @@ fn cmd_seu(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--resume") || flag_value(args, "--checkpoint").is_some() {
         eprintln!("fusa: note: seu campaigns re-run from scratch; --checkpoint/--resume ignored");
     }
-    let config = pipeline_config(args);
+    let config = pipeline_config(args)?;
     let (config_kv, seeds) = manifest_config(&config);
     let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
-    let report = SeuCampaign::new(SeuConfig::default())
-        .with_interrupt(fusa::obs::shutdown_flag())
-        .run(&netlist, &workloads);
+    let report = SeuCampaign::new(SeuConfig {
+        lane_words: config.campaign.lane_words,
+        ..SeuConfig::default()
+    })
+    .with_interrupt(fusa::obs::shutdown_flag())
+    .run(&netlist, &workloads);
     if report.interrupted {
         session.exit_interrupted(netlist.name(), config_kv, seeds);
     }
@@ -1178,6 +1230,41 @@ fn cmd_seu(args: &[String]) -> Result<(), String> {
     print!("{text}");
     let digests = vec![("seu.txt".to_string(), fnv1a64_hex(text.as_bytes()))];
     session.finish(netlist.name(), config_kv, seeds, digests)
+}
+
+/// `fusa synth <size>`: writes a seeded synthetic benchmark netlist.
+/// Generation is deterministic, so the printed digest is stable for a
+/// given (size, seed) across machines and releases.
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let spec = COMMANDS
+        .iter()
+        .find(|c| c.name == "synth")
+        .expect("synth spec");
+    let positionals = positional_args(spec, args);
+    let size = *positionals.first().ok_or("missing size")?;
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(value) => value
+            .parse()
+            .map_err(|_| format!("bad --seed value `{value}`"))?,
+        None => 1,
+    };
+    let netlist = match size {
+        "10k" => designs::synth_10k(seed),
+        "30k" => designs::synth_30k(seed),
+        "100k" => designs::synth_100k(seed),
+        other => return Err(format!("unknown size `{other}`: use 10k, 30k or 100k")),
+    };
+    let verilog = fusa::netlist::writer::write_verilog(&netlist);
+    let out = flag_value(args, "--out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("synth_{size}.v"));
+    std::fs::write(&out, &verilog).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!("{}", NetlistStats::of(&netlist));
+    println!(
+        "seed {seed}, netlist digest {}, written to {out}",
+        fnv1a64_hex(verilog.as_bytes())
+    );
+    Ok(())
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
