@@ -28,6 +28,7 @@ use crate::durability::{
 };
 use crate::fault::{Fault, FaultList, FaultSite};
 use crate::report::{CampaignReport, CampaignStats, FaultOutcome, WorkloadReport};
+use crate::shard::ShardSpec;
 use fusa_logicsim::{ActiveCone, BitSim, SoaNetlist, WideCone, WideSim, Workload, WorkloadSuite};
 use fusa_netlist::{GateId, NetId, Netlist};
 use std::collections::HashMap;
@@ -72,6 +73,13 @@ pub struct CampaignConfig {
     /// setting, and checkpoints resume across settings, because the
     /// checkpoint unit is always the 64-fault chunk.
     pub lane_words: usize,
+    /// Restrict the campaign to the units owned by one shard of an
+    /// `n`-way split (`--shard i/n`). Ownership is a digest-stable
+    /// function of the unit index alone (see [`ShardSpec::owns`]), so
+    /// shards can run on different hosts with different `threads` /
+    /// `lane_words` settings and still merge bit-identically via
+    /// [`crate::merge`]. `None` runs the full campaign.
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for CampaignConfig {
@@ -83,6 +91,7 @@ impl Default for CampaignConfig {
             restrict_to_cone: true,
             early_exit: true,
             lane_words: 4,
+            shard: None,
         }
     }
 }
@@ -378,6 +387,18 @@ impl FaultCampaign {
                 lane_words: config.lane_words,
             });
         }
+        if let Some(shard) = config.shard {
+            if shard.total == 0 || shard.index == 0 || shard.index > shard.total {
+                return Err(CampaignError::InvalidShard {
+                    index: shard.index,
+                    total: shard.total,
+                });
+            }
+        }
+        // Shard ownership of a unit is a pure function of the unit
+        // index, so scheduling, resumption and assembly all agree on
+        // which units this process is responsible for.
+        let owns = |unit: usize| config.shard.is_none_or(|shard| shard.owns(unit));
         let durability = &self.durability;
         let injection = if self.injection.is_noop() {
             FaultInjection::from_env()
@@ -388,6 +409,11 @@ impl FaultCampaign {
         let fault_slice = faults.faults();
         let chunk_count = fault_slice.len().div_ceil(LANES);
         let unit_count = workload_list.len() * chunk_count;
+        let units_in_shard = if config.shard.is_some() {
+            (0..unit_count).filter(|&unit| owns(unit)).count()
+        } else {
+            unit_count
+        };
 
         // Checkpoint setup: fingerprint the campaign, load completed
         // units on resume (header mismatch is a hard error), and open
@@ -435,7 +461,7 @@ impl FaultCampaign {
                 let members: Vec<usize> = (cg * group_width
                     ..chunk_count.min((cg + 1) * group_width))
                     .map(|c| w * chunk_count + c)
-                    .filter(|unit| !completed.contains_key(unit))
+                    .filter(|&unit| owns(unit) && !completed.contains_key(&unit))
                     .collect();
                 if !members.is_empty() {
                     pending_groups.push((w, cg, members));
@@ -456,12 +482,13 @@ impl FaultCampaign {
         // Heartbeat over the unit work queue; a disabled no-op handle
         // unless a sink is attached or `--progress` enabled stderr.
         // Totals include checkpointed units so a resumed run reports
-        // done-including-checkpointed progress.
+        // done-including-checkpointed progress; a sharded run counts
+        // only the units this shard owns.
         let progress = fusa_obs::Progress::start(
             obs,
             "campaign",
             "units",
-            unit_count as u64,
+            units_in_shard as u64,
             fusa_obs::ProgressConfig::default(),
         );
         progress.advance(completed.len() as u64);
@@ -699,6 +726,7 @@ impl FaultCampaign {
         let mut stats = CampaignStats {
             threads: workers,
             units: unit_count,
+            units_in_shard,
             units_from_checkpoint: completed.len(),
             units_quarantined: quarantined.len(),
             unit_retries: retries_total.into_inner(),
@@ -720,6 +748,12 @@ impl FaultCampaign {
                 let unit = w * chunk_count + c;
                 let output = results[unit].get().or_else(|| completed.get(&unit));
                 let Some(output) = output else {
+                    if !owns(unit) {
+                        // Another shard's unit: its faults keep the
+                        // Benign default until `fusa merge` unions the
+                        // shard checkpoints.
+                        continue;
+                    }
                     if quarantined.iter().any(|q| q.unit == unit) {
                         // Quarantined: faults keep the Benign default and
                         // the unit is listed in the report.
@@ -766,6 +800,7 @@ impl FaultCampaign {
             stats,
             interrupted,
             quarantined,
+            shard: config.shard,
         })
     }
 }

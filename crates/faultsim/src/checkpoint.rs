@@ -11,16 +11,58 @@
 //! lines that are torn or fail their digest, so those units simply run
 //! again.
 //!
-//! Deliberately *not* in the header: `threads`, `restrict_to_cone`,
-//! `early_exit` and `lane_words`. Those knobs are bit-identical by
-//! construction (see the differential tests), so a campaign may be
-//! resumed under a different thread count, acceleration setting or lane
-//! width — the checkpoint unit is always the 64-fault chunk regardless
-//! of how many chunks a pass packs together.
+//! # The header-binding model
+//!
+//! Every knob that can change a unit's *outcome* is bound into the
+//! header; every knob that only changes how fast or in what order units
+//! are computed is deliberately left out. Bound: the design digest, the
+//! fault list digest (count, sites, polarities), the workload digest
+//! (names and vector bits, which cover the seeds), `classify_latent`,
+//! `min_divergence_fraction`, and — since schema v2 — the shard spec of
+//! a `--shard i/n` partial campaign. Not bound: `threads`,
+//! `restrict_to_cone`, `early_exit` and `lane_words`, which are
+//! bit-identical by construction (see the differential tests), so a
+//! campaign may be resumed under a different thread count, acceleration
+//! setting or lane width — the checkpoint unit is always the 64-fault
+//! chunk regardless of how many chunks a pass packs together.
+//!
+//! The shard spec sits in between: it does not change any unit's
+//! outcome, but it changes which units a resumed process is allowed to
+//! consider complete, so resuming binds it exactly while
+//! [`merge`](crate::merge) compares headers with the shard field
+//! excluded (that is the whole point of merging).
+//!
+//! ```
+//! use fusa_faultsim::{CampaignConfig, CheckpointHeader, FaultList, ShardSpec};
+//! use fusa_logicsim::{WorkloadConfig, WorkloadSuite};
+//!
+//! let netlist = fusa_netlist::designs::or1200_icfsm();
+//! let faults = FaultList::all_gate_outputs(&netlist);
+//! let workloads = WorkloadSuite::generate(
+//!     &netlist,
+//!     &WorkloadConfig { num_workloads: 2, vectors_per_workload: 8, reset_cycles: 0, seed: 3 },
+//! );
+//! let config = CampaignConfig::default();
+//! let header = CheckpointHeader::capture(&netlist, &faults, &workloads, &config);
+//!
+//! // A checkpoint written under the same fingerprint resumes cleanly…
+//! assert!(header.check_compatible(&header).is_ok());
+//!
+//! // …an outcome-affecting difference is a hard error…
+//! let mut flipped = header.clone();
+//! flipped.classify_latent = !header.classify_latent;
+//! assert!(flipped.check_compatible(&header).is_err());
+//!
+//! // …and a shard checkpoint only resumes under the same `--shard i/n`.
+//! let mut sharded = header.clone();
+//! sharded.shard = Some(ShardSpec { index: 2, total: 3 });
+//! assert!(sharded.check_compatible(&header).is_err());
+//! ```
 
 use crate::campaign::{CampaignConfig, UnitOutput};
 use crate::fault::{FaultList, FaultSite};
 use crate::report::FaultOutcome;
+use crate::shard::ShardSpec;
 use fusa_logicsim::WorkloadSuite;
 use fusa_netlist::Netlist;
 use fusa_obs::{Fnv64, Json};
@@ -32,7 +74,13 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Schema tag of the checkpoint header line.
-pub const CHECKPOINT_SCHEMA: &str = "fusa-faultsim/checkpoint/v1";
+///
+/// v2 added the optional `shard_index`/`shard_total` header fields;
+/// v1 checkpoints (no shard fields) still parse as unsharded.
+pub const CHECKPOINT_SCHEMA: &str = "fusa-faultsim/checkpoint/v2";
+
+/// Legacy schema tag, still accepted on read.
+pub const CHECKPOINT_SCHEMA_V1: &str = "fusa-faultsim/checkpoint/v1";
 
 /// Errors raised while creating, loading or validating a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,6 +161,9 @@ pub struct CheckpointHeader {
     pub classify_latent: bool,
     /// `CampaignConfig::min_divergence_fraction` (outcome-affecting).
     pub min_divergence_fraction: f64,
+    /// Shard spec of a `--shard i/n` partial campaign; `None` for a
+    /// full campaign or a merged checkpoint.
+    pub shard: Option<ShardSpec>,
 }
 
 impl CheckpointHeader {
@@ -157,11 +208,12 @@ impl CheckpointHeader {
             workload_digest: workload_hash.hex(),
             classify_latent: config.classify_latent,
             min_divergence_fraction: config.min_divergence_fraction,
+            shard: config.shard,
         }
     }
 
-    fn to_json_line(&self) -> String {
-        Json::Obj(vec![
+    pub(crate) fn to_json_line(&self) -> String {
+        let mut fields = vec![
             ("schema".into(), Json::Str(CHECKPOINT_SCHEMA.into())),
             ("design".into(), Json::Str(self.design.clone())),
             (
@@ -183,22 +235,37 @@ impl CheckpointHeader {
                 "min_divergence_fraction".into(),
                 Json::Num(self.min_divergence_fraction),
             ),
-            ("lanes".into(), Json::Num(crate::campaign::LANES as f64)),
-        ])
-        .render()
+        ];
+        if let Some(shard) = self.shard {
+            fields.push(("shard_index".into(), Json::Num(shard.index as f64)));
+            fields.push(("shard_total".into(), Json::Num(shard.total as f64)));
+        }
+        fields.push(("lanes".into(), Json::Num(crate::campaign::LANES as f64)));
+        Json::Obj(fields).render()
     }
 
-    fn parse(line: &str) -> Result<CheckpointHeader, String> {
+    pub(crate) fn parse(line: &str) -> Result<CheckpointHeader, String> {
         let json = Json::parse(line).map_err(|e| format!("header is not JSON: {e:?}"))?;
         let schema = json
             .get("schema")
             .and_then(Json::as_str)
             .ok_or("header has no schema field")?;
-        if schema != CHECKPOINT_SCHEMA {
+        if schema != CHECKPOINT_SCHEMA && schema != CHECKPOINT_SCHEMA_V1 {
             return Err(format!(
                 "unsupported checkpoint schema {schema:?} (expected {CHECKPOINT_SCHEMA:?})"
             ));
         }
+        let shard = match (
+            json.get("shard_index").and_then(Json::as_u64),
+            json.get("shard_total").and_then(Json::as_u64),
+        ) {
+            (Some(index), Some(total)) => Some(ShardSpec {
+                index: index as usize,
+                total: total as usize,
+            }),
+            (None, None) => None,
+            _ => return Err("header has shard_index without shard_total (or vice versa)".into()),
+        };
         let str_field = |name: &str| {
             json.get(name)
                 .and_then(Json::as_str)
@@ -225,12 +292,35 @@ impl CheckpointHeader {
                 .get("min_divergence_fraction")
                 .and_then(Json::as_f64)
                 .ok_or("header field min_divergence_fraction missing")?,
+            shard,
         })
     }
 
     /// Validates that resuming from a checkpoint written under `self`
-    /// is sound for a campaign expecting `expected`.
+    /// is sound for a campaign expecting `expected`, including the
+    /// shard spec: a `--shard 2/3` checkpoint only resumes under
+    /// `--shard 2/3`.
     pub fn check_compatible(&self, expected: &CheckpointHeader) -> Result<(), CheckpointError> {
+        self.check_compatible_ignoring_shard(expected)?;
+        if self.shard != expected.shard {
+            let render =
+                |s: &Option<ShardSpec>| s.map_or_else(|| "none".to_string(), |s| s.to_string());
+            return Err(CheckpointError::Mismatch {
+                field: "shard".to_string(),
+                expected: render(&expected.shard),
+                found: render(&self.shard),
+            });
+        }
+        Ok(())
+    }
+
+    /// [`check_compatible`](Self::check_compatible) minus the shard
+    /// comparison — the compatibility rule `fusa merge` applies across
+    /// shard checkpoints, which by design differ only in shard spec.
+    pub fn check_compatible_ignoring_shard(
+        &self,
+        expected: &CheckpointHeader,
+    ) -> Result<(), CheckpointError> {
         let mismatch = |field: &str, expected: String, found: String| {
             Err(CheckpointError::Mismatch {
                 field: field.to_string(),
@@ -350,7 +440,7 @@ pub(crate) fn encode_unit(unit: usize, output: &UnitOutput) -> String {
 
 /// Parses one unit line; `None` for torn, malformed or digest-failing
 /// records (the unit is simply simulated again).
-fn decode_unit(line: &str) -> Option<(usize, UnitOutput)> {
+pub(crate) fn decode_unit(line: &str) -> Option<(usize, UnitOutput)> {
     let json = Json::parse(line).ok()?;
     let unit = json.get("unit")?.as_u64()? as usize;
     let outcome_text = json.get("outcomes")?.as_str()?;
@@ -394,6 +484,30 @@ fn decode_unit(line: &str) -> Option<(usize, UnitOutput)> {
             gate_evals,
         },
     ))
+}
+
+/// Reads and parses the header line of `path` without touching the
+/// unit records.
+///
+/// This is the cheap "peek" used by `fusa merge` to learn the design
+/// name and campaign parameters bound by a shard checkpoint before
+/// reconstructing the campaign inputs.
+pub fn read_header(path: &Path) -> Result<CheckpointHeader, CheckpointError> {
+    let file = File::open(path).map_err(|e| io_error(path, &e))?;
+    let header_line = match BufReader::new(file).lines().next() {
+        Some(Ok(line)) => line,
+        Some(Err(e)) => return Err(io_error(path, &e)),
+        None => {
+            return Err(CheckpointError::Corrupt {
+                path: path.display().to_string(),
+                message: "file is empty (no header line)".into(),
+            })
+        }
+    };
+    CheckpointHeader::parse(&header_line).map_err(|message| CheckpointError::Corrupt {
+        path: path.display().to_string(),
+        message,
+    })
 }
 
 /// Loads the completed units of `path`, hard-failing when the header is
@@ -546,6 +660,49 @@ mod tests {
         let mut other = header.clone();
         other.classify_latent = !header.classify_latent;
         assert!(other.check_compatible(&header).is_err());
+    }
+
+    #[test]
+    fn sharded_header_round_trips_and_binds_shard_on_resume() {
+        let mut header = sample_header();
+        header.shard = Some(ShardSpec { index: 2, total: 3 });
+        let parsed = CheckpointHeader::parse(&header.to_json_line()).unwrap();
+        assert_eq!(parsed.shard, Some(ShardSpec { index: 2, total: 3 }));
+        assert!(parsed.check_compatible(&header).is_ok());
+
+        // A different shard (or no shard) cannot resume this checkpoint…
+        let unsharded = sample_header();
+        let err = parsed.check_compatible(&unsharded).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { ref field, .. } if field == "shard"));
+        // …but merge-style comparison ignores the shard spec.
+        assert!(parsed.check_compatible_ignoring_shard(&unsharded).is_ok());
+    }
+
+    #[test]
+    fn v1_headers_parse_as_unsharded() {
+        let header = sample_header();
+        let line = header
+            .to_json_line()
+            .replace(CHECKPOINT_SCHEMA, CHECKPOINT_SCHEMA_V1);
+        let parsed = CheckpointHeader::parse(&line).unwrap();
+        assert_eq!(parsed.shard, None);
+        assert!(parsed.check_compatible(&header).is_ok());
+
+        let unknown = header
+            .to_json_line()
+            .replace("checkpoint/v2", "checkpoint/v9");
+        assert!(CheckpointHeader::parse(&unknown).is_err());
+    }
+
+    #[test]
+    fn half_specified_shard_header_is_rejected() {
+        let mut header = sample_header();
+        header.shard = Some(ShardSpec { index: 2, total: 3 });
+        let line = header.to_json_line().replace(",\"shard_total\":3", "");
+        assert!(
+            CheckpointHeader::parse(&line).is_err(),
+            "accepted half-specified shard in {line}"
+        );
     }
 
     #[test]

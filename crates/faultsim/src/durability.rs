@@ -36,6 +36,13 @@ pub enum CampaignError {
         /// The rejected width.
         lane_words: usize,
     },
+    /// `CampaignConfig::shard` does not satisfy `1 <= index <= total`.
+    InvalidShard {
+        /// 1-based index of the rejected spec.
+        index: usize,
+        /// Shard total of the rejected spec.
+        total: usize,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -59,6 +66,10 @@ impl fmt::Display for CampaignError {
                 "unsupported lane_words {lane_words}: use 1, 4 or 8 \
                  (64/256/512 fault lanes per pass), or 0 for the legacy \
                  scalar kernel"
+            ),
+            CampaignError::InvalidShard { index, total } => write!(
+                f,
+                "invalid shard {index}/{total}: expected 1 <= index <= total"
             ),
         }
     }

@@ -34,13 +34,19 @@ pub mod checkpoint;
 pub mod dataset;
 pub mod durability;
 pub mod fault;
+pub mod merge;
 pub mod report;
 pub mod seu;
+pub mod shard;
 
 pub use campaign::{CampaignConfig, FaultCampaign};
-pub use checkpoint::{CheckpointError, CheckpointHeader, CHECKPOINT_SCHEMA};
+pub use checkpoint::{
+    read_header, CheckpointError, CheckpointHeader, CHECKPOINT_SCHEMA, CHECKPOINT_SCHEMA_V1,
+};
 pub use dataset::CriticalityDataset;
 pub use durability::{CampaignError, DurabilityConfig, FaultInjection, QuarantinedUnit};
 pub use fault::{Fault, FaultList, FaultSite, StuckAt};
+pub use merge::{merge_checkpoints, MergeError, MergeOutcome, MergeSource};
 pub use report::{CampaignReport, CampaignStats, FaultOutcome, WorkloadReport};
 pub use seu::{SeuCampaign, SeuConfig, SeuOutcome, SeuReport};
+pub use shard::{shard_of, ShardSpec};

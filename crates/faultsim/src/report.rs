@@ -68,8 +68,11 @@ pub struct CampaignStats {
     pub wall_seconds: f64,
     /// Worker threads used.
     pub threads: usize,
-    /// `(workload × fault-chunk)` units scheduled.
+    /// `(workload × fault-chunk)` units in the full campaign.
     pub units: usize,
+    /// Units owned by this process: equal to [`units`](Self::units) for
+    /// a full campaign, the owned subset under `--shard i/n`.
+    pub units_in_shard: usize,
     /// Logical campaign size: Σ faults × workload cycles. Independent of
     /// cone restriction and early exit, so `fault_cycles / wall_seconds`
     /// is comparable across implementations.
@@ -171,6 +174,11 @@ impl CampaignStats {
         if self.units_skipped > 0 {
             recorder.add("campaign.units_skipped", self.units_skipped as u64);
         }
+        // Published only for sharded runs, where ownership is a strict
+        // subset, so full-campaign manifests keep their shape.
+        if self.units_in_shard != self.units {
+            recorder.add("campaign.units_in_shard", self.units_in_shard as u64);
+        }
         if recorder.has_sink() {
             use fusa_obs::EventField::{F64, U64};
             recorder.event(
@@ -203,6 +211,10 @@ pub struct CampaignReport {
     pub(crate) interrupted: bool,
     /// Units excluded after exhausting their retry budget.
     pub(crate) quarantined: Vec<crate::durability::QuarantinedUnit>,
+    /// The shard this run covered (`--shard i/n`), `None` for a full
+    /// campaign; outcomes of other shards' units keep their Benign
+    /// default until the shard checkpoints are merged.
+    pub(crate) shard: Option<crate::shard::ShardSpec>,
 }
 
 impl CampaignReport {
@@ -230,6 +242,12 @@ impl CampaignReport {
     /// Units excluded because they panicked on every attempt.
     pub fn quarantined(&self) -> &[crate::durability::QuarantinedUnit] {
         &self.quarantined
+    }
+
+    /// The shard this run covered (`--shard i/n`), or `None` for a full
+    /// campaign. A sharded report is partial ground truth by design.
+    pub fn shard(&self) -> Option<crate::shard::ShardSpec> {
+        self.shard
     }
 
     /// Number of workloads (`N` in Algorithm 1).
@@ -290,9 +308,18 @@ impl CampaignReport {
                 latent
             );
         }
-        // Degraded-run lines are part of the stable (digested) summary
-        // on purpose: a partial campaign must never digest identically
-        // to a complete one. Clean runs emit neither line.
+        // Degraded- and partial-run lines are part of the stable
+        // (digested) summary on purpose: a partial campaign must never
+        // digest identically to a complete one. Clean full runs emit
+        // none of them.
+        if let Some(shard) = self.shard {
+            let _ = writeln!(
+                out,
+                "  shard {shard}: {} of {} units owned (partial ground truth; \
+                 union shards with `fusa merge`)",
+                self.stats.units_in_shard, self.stats.units
+            );
+        }
         if !self.quarantined.is_empty() {
             let _ = writeln!(
                 out,
@@ -312,11 +339,19 @@ impl CampaignReport {
             }
         }
         if self.interrupted {
-            let done = self.stats.units - self.stats.units_skipped - self.stats.units_quarantined;
+            // Against the owned total for a sharded run: the other
+            // shards' units were never this process's to complete.
+            let total = if self.shard.is_some() {
+                self.stats.units_in_shard
+            } else {
+                self.stats.units
+            };
+            let done = total
+                .saturating_sub(self.stats.units_skipped)
+                .saturating_sub(self.stats.units_quarantined);
             let _ = writeln!(
                 out,
-                "  interrupted: {}/{} units completed (resume with --resume)",
-                done, self.stats.units
+                "  interrupted: {done}/{total} units completed (resume with --resume)"
             );
         }
         if show_stats && self.stats.wall_seconds > 0.0 {
@@ -400,6 +435,7 @@ mod tests {
             stats: CampaignStats::default(),
             interrupted: false,
             quarantined: Vec::new(),
+            shard: None,
         }
     }
 

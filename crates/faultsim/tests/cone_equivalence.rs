@@ -44,6 +44,7 @@ fn run_with(
         // Legacy scalar kernel: the wide-lane differential lives in
         // tests/lane_equivalence.rs.
         lane_words: 0,
+        shard: None,
     })
     .run(netlist, faults, workloads)
     .expect("campaign runs")

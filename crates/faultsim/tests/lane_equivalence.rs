@@ -46,6 +46,7 @@ fn run_with(
         restrict_to_cone,
         early_exit,
         lane_words,
+        shard: None,
     })
     .run(netlist, faults, workloads)
     .expect("campaign runs")

@@ -110,6 +110,12 @@ pub struct Comparison {
     pub baseline_interrupted: bool,
     /// Whether the candidate run was interrupted (partial results).
     pub candidate_interrupted: bool,
+    /// The baseline's `--shard index/total` spec, when it was a shard
+    /// partial (rendered as `i/n`).
+    pub baseline_shard: Option<String>,
+    /// The candidate's `--shard index/total` spec, when it was a shard
+    /// partial (rendered as `i/n`).
+    pub candidate_shard: Option<String>,
     /// Build-provenance keys that differ: `(key, baseline, candidate)`.
     pub build_differs: Vec<(String, String, String)>,
     /// The delta table.
@@ -120,13 +126,17 @@ pub struct Comparison {
 
 impl Comparison {
     /// Whether the candidate regressed: any `REGRESSION` row, or a
-    /// digest mismatch on a same-seed comparison. An interrupted run on
-    /// either side disables the digest gate — partial artifacts
-    /// legitimately differ from complete ones.
+    /// digest mismatch on a same-seed comparison. An interrupted or
+    /// sharded run on either side disables the digest gate — partial
+    /// artifacts legitimately differ from complete ones. (A *merged*
+    /// run carries no shard spec, so merged-vs-full comparisons gate
+    /// normally.)
     pub fn has_regression(&self) -> bool {
         (self.same_seed
             && !self.baseline_interrupted
             && !self.candidate_interrupted
+            && self.baseline_shard.is_none()
+            && self.candidate_shard.is_none()
             && !self.digest_mismatches.is_empty())
             || self.rows.iter().any(|r| r.status == RowStatus::Regression)
     }
@@ -159,6 +169,18 @@ impl Comparison {
             let _ = writeln!(
                 out,
                 "note: {which} interrupted (partial results); digest gate disabled"
+            );
+        }
+        if self.baseline_shard.is_some() || self.candidate_shard.is_some() {
+            let which = match (&self.baseline_shard, &self.candidate_shard) {
+                (Some(b), Some(c)) => format!("both runs are shard partials ({b}, {c})"),
+                (Some(b), None) => format!("baseline is a shard partial ({b})"),
+                (None, Some(c)) => format!("candidate is a shard partial ({c})"),
+                (None, None) => unreachable!(),
+            };
+            let _ = writeln!(
+                out,
+                "note: {which}; digest gate disabled — union shards with `fusa merge` first"
             );
         }
 
@@ -250,6 +272,14 @@ impl Comparison {
             (
                 "candidate_interrupted".into(),
                 Json::Bool(self.candidate_interrupted),
+            ),
+            (
+                "baseline_shard".into(),
+                self.baseline_shard.clone().map_or(Json::Null, Json::Str),
+            ),
+            (
+                "candidate_shard".into(),
+                self.candidate_shard.clone().map_or(Json::Null, Json::Str),
             ),
             (
                 "tolerance_pct".into(),
@@ -568,6 +598,8 @@ pub fn compare_manifests(
         digest_mismatches,
         baseline_interrupted: baseline.interrupted,
         candidate_interrupted: candidate.interrupted,
+        baseline_shard: baseline.shard.map(|s| format!("{}/{}", s.index, s.total)),
+        candidate_shard: candidate.shard.map(|s| format!("{}/{}", s.index, s.total)),
         build_differs,
         rows,
         options,
@@ -927,6 +959,51 @@ mod tests {
         assert!(text.contains("digest gate disabled"));
         let json = cmp.to_json();
         assert_eq!(json.get("candidate_interrupted"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn sharded_runs_disable_the_digest_gate() {
+        let base = manifest("a");
+        let mut cand = manifest("b");
+        cand.shard = Some(crate::manifest::ShardRecord { index: 2, total: 3 });
+        cand.digests[0].1 = "fnv1a64:beef".into(); // shard partial artifact
+        let cmp = compare_manifests(&base, &cand, CompareOptions::default());
+        assert!(cmp.same_seed);
+        assert_eq!(cmp.candidate_shard.as_deref(), Some("2/3"));
+        assert!(cmp.baseline_shard.is_none());
+        assert_eq!(cmp.digest_mismatches, vec!["nodes_csv".to_string()]);
+        assert!(!cmp.has_regression(), "{}", cmp.render_text());
+        let text = cmp.render_text();
+        assert!(
+            text.contains("candidate is a shard partial (2/3)"),
+            "{text}"
+        );
+        assert!(text.contains("digest gate disabled"), "{text}");
+        assert!(text.contains("fusa merge"), "{text}");
+        let json = cmp.to_json();
+        assert_eq!(
+            json.get("candidate_shard"),
+            Some(&Json::Str("2/3".to_string()))
+        );
+        assert_eq!(json.get("baseline_shard"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn sharded_metric_regressions_still_gate() {
+        let mut base = manifest("a");
+        let mut cand = manifest("b");
+        base.shard = Some(crate::manifest::ShardRecord { index: 1, total: 2 });
+        cand.shard = Some(crate::manifest::ShardRecord { index: 1, total: 2 });
+        cand.stages[0].seconds = 1.5 * 1.25; // +25% > 10%
+        let cmp = compare_manifests(&base, &cand, CompareOptions::default());
+        assert_eq!(cmp.baseline_shard.as_deref(), Some("1/2"));
+        assert!(
+            cmp.has_regression(),
+            "shard partials gate on metrics even though digests are exempt"
+        );
+        assert!(cmp
+            .render_text()
+            .contains("both runs are shard partials (1/2, 1/2)"));
     }
 
     #[test]

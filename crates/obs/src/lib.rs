@@ -62,8 +62,8 @@ pub use digest::{fnv1a64, fnv1a64_hex, Fnv64};
 pub use histogram::{Histogram, HistogramSummary};
 pub use json::{Json, JsonError};
 pub use manifest::{
-    ManifestError, QuarantinedUnitRecord, RunManifest, StageTime, MANIFEST_SCHEMA,
-    MANIFEST_SCHEMA_V1, MANIFEST_SCHEMA_V2,
+    ManifestError, MergeSourceRecord, QuarantinedUnitRecord, RunManifest, ShardRecord, StageTime,
+    MANIFEST_SCHEMA, MANIFEST_SCHEMA_V1, MANIFEST_SCHEMA_V2, MANIFEST_SCHEMA_V3,
 };
 pub use progress::{progress_stderr, set_progress_stderr, Progress, ProgressConfig};
 pub use recorder::{EventField, Recorder, Snapshot, SpanGuard, SpanStat};

@@ -15,7 +15,12 @@ use std::fmt;
 use std::fmt::Write as _;
 
 /// Schema identifier stamped into every newly written manifest.
-pub const MANIFEST_SCHEMA: &str = "fusa-obs/manifest/v3";
+pub const MANIFEST_SCHEMA: &str = "fusa-obs/manifest/v4";
+
+/// The v3 schema; still accepted by [`RunManifest::parse`]. v3
+/// manifests predate sharded campaigns: no `shard` spec and no
+/// `merged_from` provenance (both default to a plain full run).
+pub const MANIFEST_SCHEMA_V3: &str = "fusa-obs/manifest/v3";
 
 /// The v2 schema; still accepted by [`RunManifest::parse`]. v2
 /// manifests predate campaign durability: no `interrupted` flag and no
@@ -41,6 +46,29 @@ pub struct QuarantinedUnitRecord {
     pub attempts: u64,
     /// Rendered panic payload of the final attempt.
     pub panic: String,
+}
+
+/// The shard slice a run covered (`--shard index/total`), as recorded
+/// in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRecord {
+    /// 1-based shard index.
+    pub index: u64,
+    /// Total number of shards.
+    pub total: u64,
+}
+
+/// Provenance of one input to a `fusa merge` run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MergeSourceRecord {
+    /// Path of the shard checkpoint that was merged.
+    pub path: String,
+    /// Shard index from the checkpoint's header, if it was sharded.
+    pub shard_index: Option<u64>,
+    /// Shard total from the checkpoint's header, if it was sharded.
+    pub shard_total: Option<u64>,
+    /// Units the checkpoint contributed to the merge.
+    pub units: u64,
 }
 
 /// Wall time aggregate of one span path.
@@ -73,8 +101,15 @@ pub struct RunManifest {
     /// `true` when the run was interrupted (SIGINT/SIGTERM) and holds
     /// partial results; such runs are resumable via `--resume`.
     pub interrupted: bool,
+    /// The `--shard index/total` slice this run covered; `None` for a
+    /// full (or merged) campaign. Sharded runs hold partial results by
+    /// design and are completed via `fusa merge`.
+    pub shard: Option<ShardRecord>,
     /// Campaign units quarantined after exhausting their retry budget.
     pub quarantined: Vec<QuarantinedUnitRecord>,
+    /// For a `fusa merge` run: the shard checkpoints that were unioned,
+    /// in input order. Empty for every other command.
+    pub merged_from: Vec<MergeSourceRecord>,
     /// Peak resident set size in bytes; `None` where the platform
     /// offers no measurement (non-Linux).
     pub peak_rss_bytes: Option<u64>,
@@ -194,6 +229,16 @@ impl RunManifest {
         let _ = writeln!(out, "  \"wall_seconds\": {},", fmt_f64(self.wall_seconds));
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"interrupted\": {},", self.interrupted);
+        match self.shard {
+            Some(shard) => {
+                let _ = writeln!(
+                    out,
+                    "  \"shard\": {{\"index\": {}, \"total\": {}}},",
+                    shard.index, shard.total
+                );
+            }
+            None => out.push_str("  \"shard\": null,\n"),
+        }
         match self.peak_rss_bytes {
             Some(bytes) => {
                 let _ = writeln!(out, "  \"peak_rss_bytes\": {bytes},");
@@ -242,6 +287,30 @@ impl RunManifest {
             }
             out.push_str("  ],\n");
         }
+        if self.merged_from.is_empty() {
+            out.push_str("  \"merged_from\": [],\n");
+        } else {
+            out.push_str("  \"merged_from\": [\n");
+            for (i, source) in self.merged_from.iter().enumerate() {
+                let shard_num =
+                    |v: Option<u64>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
+                let _ = write!(
+                    out,
+                    "    {{\"path\": {}, \"shard_index\": {}, \"shard_total\": {}, \
+                     \"units\": {}}}",
+                    escape(&source.path),
+                    shard_num(source.shard_index),
+                    shard_num(source.shard_total),
+                    source.units
+                );
+                out.push_str(if i + 1 < self.merged_from.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  ],\n");
+        }
         write_num_map(&mut out, "counters", &self.counters, |v| v.to_string());
         write_num_map(&mut out, "gauges", &self.gauges, |v| fmt_f64(*v));
         write_num_map(&mut out, "histograms", &self.histograms, |h| {
@@ -263,10 +332,11 @@ impl RunManifest {
     }
 
     /// Parses a manifest previously produced by [`RunManifest::to_json`],
-    /// accepting the current v3 schema and legacy v1/v2 documents
+    /// accepting the current v4 schema and legacy v1–v3 documents
     /// (v1: no `build`/`histograms`, peak RSS `0` means unknown;
     /// v1/v2: no `interrupted`/`quarantined`, which default to a clean,
-    /// complete run).
+    /// complete run; v1–v3: no `shard`/`merged_from`, which default to
+    /// a full unmerged run).
     pub fn parse(text: &str) -> Result<RunManifest, ManifestError> {
         let root = Json::parse(text).map_err(ManifestError::Json)?;
         let schema = root
@@ -275,10 +345,11 @@ impl RunManifest {
             .ok_or_else(|| ManifestError::Schema("missing `schema` field".into()))?;
         let legacy_v1 = schema == MANIFEST_SCHEMA_V1;
         let legacy_v2 = schema == MANIFEST_SCHEMA_V2;
-        if !legacy_v1 && !legacy_v2 && schema != MANIFEST_SCHEMA {
+        let legacy_v3 = schema == MANIFEST_SCHEMA_V3;
+        if !legacy_v1 && !legacy_v2 && !legacy_v3 && schema != MANIFEST_SCHEMA {
             return Err(ManifestError::Schema(format!(
                 "unsupported schema `{schema}` (expected `{MANIFEST_SCHEMA}`, \
-                 `{MANIFEST_SCHEMA_V2}` or `{MANIFEST_SCHEMA_V1}`)"
+                 `{MANIFEST_SCHEMA_V3}`, `{MANIFEST_SCHEMA_V2}` or `{MANIFEST_SCHEMA_V1}`)"
             )));
         }
         let str_field = |key: &str| -> Result<String, ManifestError> {
@@ -347,6 +418,38 @@ impl RunManifest {
 
         // v3 durability fields; lenient defaults keep v1/v2 parsing.
         let interrupted = matches!(root.get("interrupted"), Some(Json::Bool(true)));
+
+        // v4 shard/merge fields; lenient defaults keep v1–v3 parsing.
+        let shard = match root.get("shard") {
+            Some(Json::Null) | None => None,
+            Some(value) => Some(ShardRecord {
+                index: value
+                    .get("index")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ManifestError::Schema("shard without `index`".into()))?,
+                total: value
+                    .get("total")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ManifestError::Schema("shard without `total`".into()))?,
+            }),
+        };
+        let mut merged_from = Vec::new();
+        if let Some(items) = root.get("merged_from").and_then(Json::as_arr) {
+            for item in items {
+                merged_from.push(MergeSourceRecord {
+                    path: item
+                        .get("path")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| {
+                            ManifestError::Schema("merged_from entry without `path`".into())
+                        })?
+                        .to_string(),
+                    shard_index: item.get("shard_index").and_then(Json::as_u64),
+                    shard_total: item.get("shard_total").and_then(Json::as_u64),
+                    units: item.get("units").and_then(Json::as_u64).unwrap_or(0),
+                });
+            }
+        }
         let mut quarantined = Vec::new();
         if let Some(items) = root.get("quarantined").and_then(Json::as_arr) {
             for item in items {
@@ -378,7 +481,9 @@ impl RunManifest {
             wall_seconds: f64_field("wall_seconds")?,
             threads: u64_field("threads")? as usize,
             interrupted,
+            shard,
             quarantined,
+            merged_from,
             peak_rss_bytes,
             build,
             config: parse_str_map(&root, "config")?,
@@ -472,7 +577,9 @@ mod tests {
             wall_seconds: 2.5,
             threads: 8,
             interrupted: false,
+            shard: None,
             quarantined: vec![],
+            merged_from: vec![],
             peak_rss_bytes: Some(12_345_678),
             build: vec![
                 ("opt_level".into(), "3".into()),
@@ -589,7 +696,7 @@ mod tests {
         // Re-serializing upgrades the document to the current schema.
         assert!(manifest
             .to_json()
-            .starts_with("{\n  \"schema\": \"fusa-obs/manifest/v3\""));
+            .starts_with("{\n  \"schema\": \"fusa-obs/manifest/v4\""));
 
         // A nonzero v1 RSS is preserved.
         let with_rss = v1.replace("\"peak_rss_bytes\": 0", "\"peak_rss_bytes\": 42");
@@ -601,22 +708,79 @@ mod tests {
 
     #[test]
     fn parses_legacy_v2_manifests() {
-        // A v2 document is exactly a v3 one minus the durability fields.
+        // A v2 document is a v4 one minus the durability and shard
+        // fields.
         let mut v2 = sample();
         v2.interrupted = false;
         v2.quarantined = Vec::new();
         let text = v2
             .to_json()
-            .replace("fusa-obs/manifest/v3", "fusa-obs/manifest/v2")
+            .replace("fusa-obs/manifest/v4", "fusa-obs/manifest/v2")
             .replace("  \"interrupted\": false,\n", "")
-            .replace("  \"quarantined\": [],\n", "");
+            .replace("  \"shard\": null,\n", "")
+            .replace("  \"quarantined\": [],\n", "")
+            .replace("  \"merged_from\": [],\n", "");
         assert!(!text.contains("interrupted"));
         let manifest = RunManifest::parse(&text).expect("v2 parses");
         assert!(!manifest.interrupted);
         assert!(manifest.quarantined.is_empty());
         assert_eq!(manifest, v2);
-        // Re-serializing upgrades to v3 with clean durability defaults.
+        // Re-serializing upgrades to v4 with clean defaults.
         assert!(manifest.to_json().contains("\"interrupted\": false"));
+        assert!(manifest.to_json().contains("\"shard\": null"));
+    }
+
+    #[test]
+    fn parses_legacy_v3_manifests() {
+        // A v3 document is a v4 one minus the shard/merge fields.
+        let v3 = sample();
+        let text = v3
+            .to_json()
+            .replace("fusa-obs/manifest/v4", "fusa-obs/manifest/v3")
+            .replace("  \"shard\": null,\n", "")
+            .replace("  \"merged_from\": [],\n", "");
+        assert!(!text.contains("shard"));
+        let manifest = RunManifest::parse(&text).expect("v3 parses");
+        assert_eq!(manifest.shard, None);
+        assert!(manifest.merged_from.is_empty());
+        assert_eq!(manifest, v3);
+        // Re-serializing upgrades to v4 with full-run defaults.
+        assert!(manifest
+            .to_json()
+            .starts_with("{\n  \"schema\": \"fusa-obs/manifest/v4\""));
+    }
+
+    #[test]
+    fn shard_and_merge_fields_round_trip() {
+        let mut manifest = sample();
+        manifest.shard = Some(ShardRecord { index: 2, total: 3 });
+        let text = manifest.to_json();
+        assert!(text.contains("\"shard\": {\"index\": 2, \"total\": 3}"));
+        let parsed = RunManifest::parse(&text).expect("parses");
+        assert_eq!(parsed, manifest);
+        assert_eq!(parsed.to_json(), text);
+
+        let mut merged = sample();
+        merged.merged_from = vec![
+            MergeSourceRecord {
+                path: "shards/shard1.jsonl".into(),
+                shard_index: Some(1),
+                shard_total: Some(2),
+                units: 5,
+            },
+            MergeSourceRecord {
+                path: "shards/full.jsonl".into(),
+                shard_index: None,
+                shard_total: None,
+                units: 3,
+            },
+        ];
+        let text = merged.to_json();
+        assert!(text.contains("\"merged_from\": [\n"));
+        assert!(text.contains("\"shard_index\": null"));
+        let parsed = RunManifest::parse(&text).expect("parses");
+        assert_eq!(parsed, merged);
+        assert_eq!(parsed.to_json(), text);
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub fn render_manifest_report(manifest: &RunManifest) -> String {
             "status  INTERRUPTED — partial run; resume the command with --resume"
         );
     }
+    if let Some(shard) = manifest.shard {
+        let _ = writeln!(
+            out,
+            "shard   {}/{} — partial ground truth; union shards with `fusa merge`",
+            shard.index, shard.total,
+        );
+    }
 
     if !manifest.stages.is_empty() {
         let _ = writeln!(
@@ -143,6 +150,20 @@ pub fn render_manifest_report(manifest: &RunManifest) -> String {
             );
         }
     }
+    if !manifest.merged_from.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nmerged from {} shard checkpoint(s):",
+            manifest.merged_from.len()
+        );
+        for source in &manifest.merged_from {
+            let shard = match (source.shard_index, source.shard_total) {
+                (Some(i), Some(n)) => format!("shard {i}/{n}"),
+                _ => "unsharded".to_string(),
+            };
+            let _ = writeln!(out, "  {} ({shard}, {} units)", source.path, source.units,);
+        }
+    }
     out
 }
 
@@ -226,6 +247,8 @@ mod tests {
                 },
             )],
             digests: vec![("csv".into(), "fnv1a64:0123456789abcdef".into())],
+            shard: None,
+            merged_from: vec![],
         };
         let text = render_manifest_report(&manifest);
         assert!(text.contains("=== fusa run manifest: analyze-x ==="));
@@ -264,6 +287,45 @@ mod tests {
         assert!(text.contains("quarantined campaign units (1 excluded after retries):"));
         assert!(text.contains("unit 7 (workload w3, chunk 1, 3 attempts): injected unit fault"));
         assert!(!text.contains("second line"), "only the first panic line");
+    }
+
+    #[test]
+    fn sharded_and_merged_runs_are_flagged() {
+        let manifest = RunManifest {
+            run_id: "faults-d-shard2of3".into(),
+            command: "fusa faults d --shard 2/3".into(),
+            design: "d".into(),
+            shard: Some(crate::manifest::ShardRecord { index: 2, total: 3 }),
+            ..RunManifest::default()
+        };
+        let text = render_manifest_report(&manifest);
+        assert!(text.contains("shard   2/3 — partial ground truth"));
+        assert!(text.contains("`fusa merge`"));
+
+        let merged = RunManifest {
+            run_id: "merge-d".into(),
+            command: "fusa merge a.jsonl b.jsonl".into(),
+            design: "d".into(),
+            merged_from: vec![
+                crate::manifest::MergeSourceRecord {
+                    path: "a.jsonl".into(),
+                    shard_index: Some(1),
+                    shard_total: Some(2),
+                    units: 8,
+                },
+                crate::manifest::MergeSourceRecord {
+                    path: "b.jsonl".into(),
+                    shard_index: None,
+                    shard_total: None,
+                    units: 8,
+                },
+            ],
+            ..RunManifest::default()
+        };
+        let text = render_manifest_report(&merged);
+        assert!(text.contains("merged from 2 shard checkpoint(s):"));
+        assert!(text.contains("  a.jsonl (shard 1/2, 8 units)"));
+        assert!(text.contains("  b.jsonl (unsharded, 8 units)"));
     }
 
     #[test]

@@ -17,14 +17,17 @@
 //! run executes and `--progress` prints live heartbeat lines.
 
 use fusa::faultsim::{
-    DurabilityConfig, FaultCampaign, FaultList, QuarantinedUnit, SeuCampaign, SeuConfig,
+    DurabilityConfig, FaultCampaign, FaultList, QuarantinedUnit, SeuCampaign, SeuConfig, ShardSpec,
 };
 use fusa::gcn::pipeline::{FusaPipeline, PipelineConfig, PipelineError};
 use fusa::gcn::report::{render_csv_report, render_text_report, ReportOptions};
 use fusa::gcn::ExplainerConfig;
 use fusa::logicsim::WorkloadSuite;
 use fusa::netlist::{designs, parser::parse_verilog, Netlist, NetlistStats};
-use fusa::obs::{fnv1a64_hex, render_manifest_report, QuarantinedUnitRecord, RunManifest};
+use fusa::obs::{
+    fnv1a64_hex, render_manifest_report, MergeSourceRecord, QuarantinedUnitRecord, RunManifest,
+    ShardRecord,
+};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -44,8 +47,12 @@ struct CommandSpec {
     name: &'static str,
     /// Positional-argument synopsis, e.g. `<design>`.
     positionals: &'static str,
-    /// Exact number of required positional arguments.
+    /// Number of required positional arguments; the exact count unless
+    /// `variadic`, where it becomes the minimum.
     positional_count: usize,
+    /// Whether extra positional arguments beyond `positional_count` are
+    /// accepted (`fusa merge <checkpoint>...`).
+    variadic: bool,
     flags: &'static [FlagSpec],
     /// Whether the shared run options (RUN_FLAGS) also apply.
     run_options: bool,
@@ -131,6 +138,7 @@ const COMMANDS: &[CommandSpec] = &[
         name: "designs",
         positionals: "",
         positional_count: 0,
+        variadic: false,
         flags: &[],
         run_options: false,
         help: "list built-in benchmark designs",
@@ -139,6 +147,7 @@ const COMMANDS: &[CommandSpec] = &[
         name: "stats",
         positionals: "<design>",
         positional_count: 1,
+        variadic: false,
         flags: &[],
         run_options: false,
         help: "netlist statistics",
@@ -147,6 +156,7 @@ const COMMANDS: &[CommandSpec] = &[
         name: "lint",
         positionals: "<design>",
         positional_count: 1,
+        variadic: false,
         flags: &[
             FlagSpec {
                 name: "--json",
@@ -171,6 +181,7 @@ const COMMANDS: &[CommandSpec] = &[
         name: "analyze",
         positionals: "<design>",
         positional_count: 1,
+        variadic: false,
         flags: &[
             FlagSpec {
                 name: "--report",
@@ -187,6 +198,11 @@ const COMMANDS: &[CommandSpec] = &[
                 value: Some("FILE"),
                 help: "save the trained classifier",
             },
+            FlagSpec {
+                name: "--shard",
+                value: Some("i/n"),
+                help: "run shard i of an n-way campaign partition (see `fusa merge`)",
+            },
         ],
         run_options: true,
         help: "full pipeline: campaign, GCN training, report",
@@ -195,11 +211,19 @@ const COMMANDS: &[CommandSpec] = &[
         name: "faults",
         positionals: "<design>",
         positional_count: 1,
-        flags: &[FlagSpec {
-            name: "--csv",
-            value: Some("FILE"),
-            help: "write the criticality CSV",
-        }],
+        variadic: false,
+        flags: &[
+            FlagSpec {
+                name: "--csv",
+                value: Some("FILE"),
+                help: "write the criticality CSV",
+            },
+            FlagSpec {
+                name: "--shard",
+                value: Some("i/n"),
+                help: "run shard i of an n-way campaign partition (see `fusa merge`)",
+            },
+        ],
         run_options: true,
         help: "fault campaign + Algorithm 1 only",
     },
@@ -207,6 +231,7 @@ const COMMANDS: &[CommandSpec] = &[
         name: "rank",
         positionals: "<design>",
         positional_count: 1,
+        variadic: false,
         flags: &[
             FlagSpec {
                 name: "--csv",
@@ -246,6 +271,7 @@ const COMMANDS: &[CommandSpec] = &[
         name: "explain",
         positionals: "<design> <gate-name>",
         positional_count: 2,
+        variadic: false,
         flags: &[],
         run_options: true,
         help: "why is this node critical?",
@@ -254,6 +280,7 @@ const COMMANDS: &[CommandSpec] = &[
         name: "seu",
         positionals: "<design>",
         positional_count: 1,
+        variadic: false,
         flags: &[],
         run_options: true,
         help: "transient bit-flip vulnerability",
@@ -262,6 +289,7 @@ const COMMANDS: &[CommandSpec] = &[
         name: "harden",
         positionals: "<design>",
         positional_count: 1,
+        variadic: false,
         flags: &[
             FlagSpec {
                 name: "--budget",
@@ -281,6 +309,7 @@ const COMMANDS: &[CommandSpec] = &[
         name: "synth",
         positionals: "<size>",
         positional_count: 1,
+        variadic: false,
         flags: &[
             FlagSpec {
                 name: "--seed",
@@ -297,9 +326,50 @@ const COMMANDS: &[CommandSpec] = &[
         help: "generate a synthetic benchmark netlist (10k | 30k | 100k gates)",
     },
     CommandSpec {
+        name: "merge",
+        positionals: "<checkpoint>...",
+        positional_count: 1,
+        variadic: true,
+        flags: &[
+            FlagSpec {
+                name: "--out",
+                value: Some("FILE"),
+                help: "merged checkpoint path (default <run-dir>/checkpoint.jsonl)",
+            },
+            FlagSpec {
+                name: "--design",
+                value: Some("NAME|FILE"),
+                help: "design override (default: the design named in the checkpoint header)",
+            },
+            FlagSpec {
+                name: "--fast",
+                value: None,
+                help: "match shards that ran with --fast (same workload preset)",
+            },
+            FlagSpec {
+                name: "--csv",
+                value: Some("FILE"),
+                help: "write the merged criticality CSV",
+            },
+            FlagSpec {
+                name: "--run-dir",
+                value: Some("DIR"),
+                help: "manifest directory (default results/merge-<design>)",
+            },
+            FlagSpec {
+                name: "--quiet-stats",
+                value: None,
+                help: "suppress the end-of-run manifest summary",
+            },
+        ],
+        run_options: false,
+        help: "union shard checkpoints into one full-campaign report",
+    },
+    CommandSpec {
         name: "report",
         positionals: "<manifest.json>",
         positional_count: 1,
+        variadic: false,
         flags: &[],
         run_options: false,
         help: "render a run manifest",
@@ -308,6 +378,7 @@ const COMMANDS: &[CommandSpec] = &[
         name: "compare",
         positionals: "<baseline> <candidate>",
         positional_count: 2,
+        variadic: false,
         flags: &[
             FlagSpec {
                 name: "--tolerance-pct",
@@ -417,7 +488,14 @@ fn validate_args(spec: &CommandSpec, args: &[String]) -> Result<(), String> {
         }
         i += 1;
     }
-    if positionals != spec.positional_count {
+    if spec.variadic {
+        if positionals < spec.positional_count {
+            return Err(format!(
+                "`fusa {}` takes at least {} positional argument(s) ({}), got {}",
+                spec.name, spec.positional_count, spec.positionals, positionals
+            ));
+        }
+    } else if positionals != spec.positional_count {
         return Err(format!(
             "`fusa {}` takes {} positional argument(s) ({}), got {}",
             spec.name, spec.positional_count, spec.positionals, positionals
@@ -466,6 +544,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "seu" => cmd_seu(args),
         "harden" => cmd_harden(args),
         "synth" => cmd_synth(args),
+        "merge" => cmd_merge(args),
         "report" => cmd_report(args),
         "compare" => cmd_compare(args),
         other => Err(format!("unknown command `{other}`")),
@@ -570,6 +649,13 @@ struct ObsSession {
     interrupted: bool,
     /// Units the campaign quarantined after repeated panics.
     quarantined: Vec<QuarantinedUnitRecord>,
+    /// The `--shard i/n` spec when this run covers one shard of a
+    /// partitioned campaign; recorded in the manifest so `fusa compare`
+    /// treats the run as a partial.
+    shard: Option<ShardSpec>,
+    /// Shard checkpoints unioned by `fusa merge`, recorded in the
+    /// manifest as provenance.
+    merge_sources: Vec<MergeSourceRecord>,
 }
 
 impl ObsSession {
@@ -584,6 +670,10 @@ impl ObsSession {
                 .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
             obs.attach_sink(Box::new(std::io::BufWriter::new(file)));
         }
+        let shard = match flag_value(args, "--shard") {
+            Some(spec) => Some(ShardSpec::parse(spec)?),
+            None => None,
+        };
         // Design paths become slugs: `designs/foo.v` -> `foo`.
         let design_slug: String = std::path::Path::new(design_arg)
             .file_stem()
@@ -592,7 +682,15 @@ impl ObsSession {
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
             .collect();
-        let run_id = format!("{command}-{design_slug}");
+        // Shards get distinct run ids so N parallel shard processes
+        // never race on one run directory.
+        let run_id = match shard {
+            Some(shard) => format!(
+                "{command}-{design_slug}-shard{}of{}",
+                shard.index, shard.total
+            ),
+            None => format!("{command}-{design_slug}"),
+        };
         let run_dir = match flag_value(args, "--run-dir") {
             Some(dir) => PathBuf::from(dir),
             None => PathBuf::from("results").join(&run_id),
@@ -614,6 +712,8 @@ impl ObsSession {
             started: Instant::now(),
             interrupted: false,
             quarantined: Vec::new(),
+            shard,
+            merge_sources: Vec::new(),
         })
     }
 
@@ -703,6 +803,11 @@ impl ObsSession {
         manifest.digests = digests;
         manifest.interrupted = self.interrupted;
         manifest.quarantined = self.quarantined.clone();
+        manifest.shard = self.shard.map(|s| ShardRecord {
+            index: s.index as u64,
+            total: s.total as u64,
+        });
+        manifest.merged_from = self.merge_sources.clone();
 
         // Manifest I/O failures (disk full, read-only results dir) must
         // not turn a finished analysis into a nonzero exit: warn and
@@ -862,7 +967,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let design_arg = args.get(1).ok_or("missing design")?;
     let mut session = ObsSession::begin("analyze", design_arg, args)?;
     let netlist = load_design(design_arg)?;
-    let config = pipeline_config(args)?;
+    let mut config = pipeline_config(args)?;
+    config.campaign.shard = session.shard;
     let (config_kv, seeds) = manifest_config(&config);
     let analysis = match FusaPipeline::new(config)
         .with_campaign_durability(session.durability(args)?)
@@ -923,7 +1029,8 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     let design_arg = args.get(1).ok_or("missing design")?;
     let mut session = ObsSession::begin("faults", design_arg, args)?;
     let netlist = load_design(design_arg)?;
-    let config = pipeline_config(args)?;
+    let mut config = pipeline_config(args)?;
+    config.campaign.shard = session.shard;
     let (config_kv, seeds) = manifest_config(&config);
     let faults = FaultList::all_gate_outputs(&netlist);
     let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
@@ -1265,6 +1372,146 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
         fnv1a64_hex(verilog.as_bytes())
     );
     Ok(())
+}
+
+/// `fusa merge <checkpoint>... [--out FILE]`: unions shard checkpoints
+/// into one complete checkpoint, then replays the campaign from it.
+/// Every unit is already complete after a valid merge, so no simulation
+/// runs and the resulting summary and criticality CSV digests are
+/// bit-identical to an uninterrupted single-process run.
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    use fusa::faultsim::{merge_checkpoints, read_header, CheckpointHeader};
+
+    let spec = COMMANDS
+        .iter()
+        .find(|c| c.name == "merge")
+        .expect("merge spec");
+    let inputs: Vec<PathBuf> = positional_args(spec, args)
+        .into_iter()
+        .map(PathBuf::from)
+        .collect();
+    // Peek the first header for the design name; `fusa merge` wants no
+    // mandatory <design> positional because the checkpoints know it.
+    let first = inputs.first().ok_or("missing checkpoint")?;
+    let header = read_header(first).map_err(|e| e.to_string())?;
+    let design_arg = flag_value(args, "--design")
+        .unwrap_or(&header.design)
+        .to_string();
+    let mut session = ObsSession::begin("merge", &design_arg, args)?;
+    let netlist = load_design(&design_arg)?;
+
+    let out = match flag_value(args, "--out") {
+        Some(path) => PathBuf::from(path),
+        None => session.run_dir.join("checkpoint.jsonl"),
+    };
+    if inputs.iter().any(|input| input == &out) {
+        return Err(format!(
+            "--out `{}` is also a merge input; pick a fresh path",
+            out.display()
+        ));
+    }
+
+    let outcome = {
+        let _span = fusa::obs::global().span("merge");
+        merge_checkpoints(&inputs, &out).map_err(|e| e.to_string())?
+    };
+    session.merge_sources = outcome
+        .sources
+        .iter()
+        .map(|source| MergeSourceRecord {
+            path: source.path.display().to_string(),
+            shard_index: source.shard.map(|s| s.index as u64),
+            shard_total: source.shard.map(|s| s.total as u64),
+            units: source.units as u64,
+        })
+        .collect();
+    println!(
+        "merged {} checkpoint(s) into {}: {} units ({} duplicate unit(s) deduped, {} torn line(s) skipped)",
+        outcome.sources.len(),
+        out.display(),
+        outcome.unit_count,
+        outcome.duplicate_units,
+        outcome.skipped_lines,
+    );
+    for source in &outcome.sources {
+        let shard = match source.shard {
+            Some(s) => format!("shard {s}"),
+            None => "unsharded".to_string(),
+        };
+        println!(
+            "  {} ({shard}, {} units)",
+            source.path.display(),
+            source.units
+        );
+    }
+
+    // Reconstruct the campaign inputs the shards ran with. The merged
+    // header pins the outcome-affecting configuration; the fault list
+    // is rebuilt as every gate output first and with untestable sites
+    // excluded (the `analyze` pipeline default) second, whichever
+    // matches the header's fault digest.
+    let mut config = pipeline_config(args)?;
+    config.campaign.classify_latent = header.classify_latent;
+    config.campaign.min_divergence_fraction = header.min_divergence_fraction;
+    config.campaign.shard = None;
+    let (config_kv, seeds) = manifest_config(&config);
+    let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
+    let merged_header = &outcome.header;
+    let faults = {
+        let all = FaultList::all_gate_outputs(&netlist);
+        let captured = CheckpointHeader::capture(&netlist, &all, &workloads, &config.campaign);
+        if merged_header
+            .check_compatible_ignoring_shard(&captured)
+            .is_ok()
+        {
+            all
+        } else {
+            all.exclude_untestable(&fusa::lint::untestable_stuck_at_sites(&netlist))
+        }
+    };
+    let captured = CheckpointHeader::capture(&netlist, &faults, &workloads, &config.campaign);
+    if let Err(error) = merged_header.check_compatible_ignoring_shard(&captured) {
+        return Err(format!(
+            "merged checkpoint does not match the reconstructed campaign: {error}\n\
+             hint: pass the preset flags the shards ran with (e.g. --fast) \
+             and, for file designs, the same netlist via --design"
+        ));
+    }
+
+    // Resume from the merged checkpoint: the pending set is empty, so
+    // this replays zero units and emits the single-run report.
+    let report = FaultCampaign::new(config.campaign)
+        .with_durability(DurabilityConfig {
+            checkpoint: Some(out.clone()),
+            resume: true,
+            interrupt: Some(fusa::obs::shutdown_flag()),
+            ..DurabilityConfig::default()
+        })
+        .run(&netlist, &faults, &workloads)
+        .map_err(|e| e.to_string())?;
+    print!("{}", report.summary());
+    let stable_summary = report.summary_opts(false);
+    let dataset = report.into_dataset(config.criticality_threshold);
+    println!(
+        "\nAlgorithm 1: {} / {} nodes critical at th={}",
+        dataset.critical_count(),
+        dataset.labels().len(),
+        dataset.threshold()
+    );
+    let csv = dataset.to_csv(&netlist);
+    let digests = vec![
+        (
+            "summary.txt".to_string(),
+            fnv1a64_hex(stable_summary.as_bytes()),
+        ),
+        ("criticality.csv".to_string(), fnv1a64_hex(csv.as_bytes())),
+        lint_digest(&netlist),
+    ];
+    if let Some(path) = flag_value(args, "--csv") {
+        std::fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("criticality CSV written to {path}");
+    }
+    session.finish(netlist.name(), config_kv, seeds, digests)
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {

@@ -519,10 +519,11 @@ fn usage_lists_every_command() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     for name in [
         "designs", "stats", "lint", "analyze", "faults", "rank", "explain", "seu", "harden",
-        "report", "compare",
+        "synth", "merge", "report", "compare",
     ] {
         assert!(stderr.contains(&format!("fusa {name}")), "missing {name}");
     }
+    assert!(stderr.contains("--shard i/n"), "{stderr}");
     assert!(stderr.contains("--trace-out PATH"), "{stderr}");
     assert!(stderr.contains("--run-dir DIR"), "{stderr}");
     assert!(stderr.contains("--quiet-stats"), "{stderr}");
@@ -532,6 +533,189 @@ fn usage_lists_every_command() {
     assert!(stderr.contains("--resume"), "{stderr}");
     assert!(stderr.contains("--max-unit-retries N"), "{stderr}");
     assert!(stderr.contains("--strict"), "{stderr}");
+}
+
+#[test]
+fn sharded_campaigns_merge_into_a_digest_identical_run() {
+    let dir = std::env::temp_dir().join("fusa_cli_shard_merge");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // One uninterrupted single-process run is the reference.
+    let single_dir = dir.join("single");
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--run-dir",
+            single_dir.to_str().unwrap(),
+            "--quiet-stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+
+    // Two shards, different thread counts: scheduling must not matter.
+    for (index, threads) in [(1, "1"), (2, "2")] {
+        let shard_dir = dir.join(format!("s{index}"));
+        let output = fusa()
+            .args([
+                "faults",
+                "or1200_icfsm",
+                "--fast",
+                "--shard",
+                &format!("{index}/2"),
+                "--threads",
+                threads,
+                "--run-dir",
+                shard_dir.to_str().unwrap(),
+                "--quiet-stats",
+            ])
+            .output()
+            .unwrap();
+        assert!(output.status.success(), "{:?}", output);
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains(&format!("shard {index}/2:")),
+            "summary marks the shard partial: {stdout}"
+        );
+        let manifest = std::fs::read_to_string(shard_dir.join("manifest.json")).unwrap();
+        assert!(
+            manifest.contains(&format!("\"shard\": {{\"index\": {index}, \"total\": 2}}")),
+            "{manifest}"
+        );
+    }
+
+    // Merge the shard checkpoints; the merged run must be digest-
+    // identical to the single run, so the compare digest gate passes.
+    let merged_dir = dir.join("merged");
+    let output = fusa()
+        .args([
+            "merge",
+            dir.join("s1/checkpoint.jsonl").to_str().unwrap(),
+            dir.join("s2/checkpoint.jsonl").to_str().unwrap(),
+            "--fast",
+            "--run-dir",
+            merged_dir.to_str().unwrap(),
+            "--quiet-stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("merged 2 checkpoint(s)"), "{stdout}");
+    assert!(stdout.contains("Algorithm 1:"), "{stdout}");
+
+    let single_manifest = std::fs::read_to_string(single_dir.join("manifest.json")).unwrap();
+    let merged_manifest = std::fs::read_to_string(merged_dir.join("manifest.json")).unwrap();
+    let digest = |manifest: &str, name: &str| -> String {
+        let needle = format!("\"{name}\": \"");
+        let start = manifest.find(&needle).expect(name) + needle.len();
+        manifest[start..].split('"').next().unwrap().to_string()
+    };
+    for name in ["summary.txt", "criticality.csv", "lint.csv"] {
+        assert_eq!(
+            digest(&single_manifest, name),
+            digest(&merged_manifest, name),
+            "{name} digest differs between single and merged run"
+        );
+    }
+    assert!(
+        merged_manifest.contains("\"merged_from\": ["),
+        "{merged_manifest}"
+    );
+
+    // `fusa compare` agrees: same-seed digest gate passes on the merge.
+    let output = fusa()
+        .args([
+            "compare",
+            single_dir.to_str().unwrap(),
+            merged_dir.to_str().unwrap(),
+            "--tolerance-pct",
+            "10000",
+            "--min-seconds",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    assert!(String::from_utf8_lossy(&output.stdout).contains("0 mismatched"));
+
+    // A shard partial compared against the full run must not trip the
+    // digest gate, and the note says why.
+    let output = fusa()
+        .args([
+            "compare",
+            single_dir.to_str().unwrap(),
+            dir.join("s1").to_str().unwrap(),
+            "--tolerance-pct",
+            "10000",
+            "--min-seconds",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("shard partial (1/2)"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_rejects_a_bad_shard_spec_and_missing_coverage() {
+    let dir = std::env::temp_dir().join("fusa_cli_merge_errors");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Malformed --shard specs are rejected up front.
+    for bad in ["0/3", "4/3", "x/2", "2"] {
+        let output = fusa()
+            .args(["faults", "or1200_icfsm", "--fast", "--shard", bad])
+            .output()
+            .unwrap();
+        assert!(!output.status.success(), "accepted --shard {bad}");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("invalid shard spec"),
+            "{bad}"
+        );
+    }
+
+    // Merging an incomplete shard set names the hole and the exact
+    // re-run command.
+    let shard_dir = dir.join("s1");
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--shard",
+            "1/3",
+            "--run-dir",
+            shard_dir.to_str().unwrap(),
+            "--quiet-stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{:?}", output);
+    let output = fusa()
+        .args([
+            "merge",
+            shard_dir.join("checkpoint.jsonl").to_str().unwrap(),
+            "--fast",
+            "--run-dir",
+            dir.join("merged").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("missing"), "{stderr}");
+    assert!(stderr.contains("--shard 2/3"), "{stderr}");
+    assert!(stderr.contains("--shard 3/3"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
