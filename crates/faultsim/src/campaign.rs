@@ -492,6 +492,7 @@ impl FaultCampaign {
             fusa_obs::ProgressConfig::default(),
         );
         progress.advance(completed.len() as u64);
+        progress.set_workers(workers as u64);
 
         let golden: Vec<OnceLock<GoldenTrace>> =
             (0..workload_list.len()).map(|_| OnceLock::new()).collect();
@@ -673,6 +674,7 @@ impl FaultCampaign {
 
                 let elapsed = begun.elapsed().as_secs_f64();
                 *busy_slot += elapsed;
+                progress.add_busy_seconds(elapsed);
                 let per_member = elapsed / members.len() as f64;
                 for (&unit, output) in members.iter().zip(member_outputs) {
                     if let Some(output) = output {
@@ -690,6 +692,11 @@ impl FaultCampaign {
                         if injection.sigterm_after_units == Some(done) {
                             fusa_obs::raise_shutdown_signal();
                         }
+                    } else {
+                        // `None` = the unit exhausted its retry budget
+                        // and was quarantined; surface it on the live
+                        // status heartbeat.
+                        progress.add_quarantined(1);
                     }
                     unit_seconds.observe(per_member);
                     progress.advance(1);

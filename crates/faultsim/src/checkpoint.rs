@@ -376,6 +376,29 @@ impl CheckpointHeader {
         }
         Ok(())
     }
+
+    /// Identity key of the shard *family*: a digest over every
+    /// outcome-determining header field except the shard spec. Two
+    /// checkpoints have equal family keys exactly when
+    /// [`check_compatible_ignoring_shard`](Self::check_compatible_ignoring_shard)
+    /// accepts them — the rule `fusa merge` applies — so `fusa top`
+    /// uses it to group shards of the same campaign into one fleet row
+    /// family.
+    pub fn family_key(&self) -> String {
+        fusa_obs::fnv1a64_hex(
+            format!(
+                "{}|{}|{}|{}|{}|{}|{}",
+                self.design_digest,
+                self.fault_count,
+                self.fault_digest,
+                self.workload_count,
+                self.workload_digest,
+                self.classify_latent,
+                self.min_divergence_fraction,
+            )
+            .as_bytes(),
+        )
+    }
 }
 
 /// Canonical string a unit record's `crc` digests, recomputed on read.
@@ -508,6 +531,39 @@ pub fn read_header(path: &Path) -> Result<CheckpointHeader, CheckpointError> {
         path: path.display().to_string(),
         message,
     })
+}
+
+/// Counts the distinct completed units recorded in checkpoint `path`,
+/// applying the same tolerance as `--resume`: torn, malformed or
+/// digest-failing unit lines are skipped, duplicates (a unit re-written
+/// after a retry) count once. This is the ground truth `fusa top`'s
+/// unit counts are validated against in CI.
+pub fn read_unit_count(path: &Path) -> Result<usize, CheckpointError> {
+    let file = File::open(path).map_err(|e| io_error(path, &e))?;
+    let mut lines = BufReader::new(file).lines();
+    match lines.next() {
+        Some(Ok(line)) => {
+            CheckpointHeader::parse(&line).map_err(|message| CheckpointError::Corrupt {
+                path: path.display().to_string(),
+                message,
+            })?;
+        }
+        Some(Err(e)) => return Err(io_error(path, &e)),
+        None => {
+            return Err(CheckpointError::Corrupt {
+                path: path.display().to_string(),
+                message: "file is empty (no header line)".into(),
+            })
+        }
+    }
+    let mut units = std::collections::BTreeSet::new();
+    for line in lines {
+        let line = line.map_err(|e| io_error(path, &e))?;
+        if let Some((unit, _)) = decode_unit(&line) {
+            units.insert(unit);
+        }
+    }
+    Ok(units.len())
 }
 
 /// Loads the completed units of `path`, hard-failing when the header is

@@ -41,7 +41,8 @@ pub mod shard;
 
 pub use campaign::{CampaignConfig, FaultCampaign};
 pub use checkpoint::{
-    read_header, CheckpointError, CheckpointHeader, CHECKPOINT_SCHEMA, CHECKPOINT_SCHEMA_V1,
+    read_header, read_unit_count, CheckpointError, CheckpointHeader, CHECKPOINT_SCHEMA,
+    CHECKPOINT_SCHEMA_V1,
 };
 pub use dataset::CriticalityDataset;
 pub use durability::{CampaignError, DurabilityConfig, FaultInjection, QuarantinedUnit};

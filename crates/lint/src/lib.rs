@@ -84,6 +84,15 @@ pub fn lint_netlist(netlist: &Netlist) -> LintReport {
 pub fn run_passes(netlist: &Netlist, passes: &[Box<dyn LintPass>]) -> LintReport {
     let obs = fusa_obs::global();
     let _span = obs.span("lint");
+    // Status heartbeat over the pass pipeline (a no-op handle unless a
+    // sink, --progress stderr or a status.json target is armed).
+    let progress = fusa_obs::Progress::start(
+        obs,
+        "lint",
+        "passes",
+        passes.len() as u64,
+        fusa_obs::ProgressConfig::default(),
+    );
     let ctx = LintContext::new(netlist);
     let mut report = LintReport::new(netlist.name());
     for pass in passes {
@@ -91,7 +100,9 @@ pub fn run_passes(netlist: &Netlist, passes: &[Box<dyn LintPass>]) -> LintReport
         let begun = std::time::Instant::now();
         obs.time(pass.name(), || pass.run(&ctx, &mut report));
         obs.observe("lint.pass_seconds", begun.elapsed().as_secs_f64());
+        progress.advance(1);
     }
+    drop(progress);
     obs.add("lint.findings", report.findings.len() as u64);
     obs.add("lint.findings.error", report.error_count() as u64);
     obs.add("lint.findings.warning", report.warning_count() as u64);

@@ -1,0 +1,559 @@
+//! Fleet aggregation for `fusa top`: discovery of `status.json`
+//! snapshots under one or more results roots, grouping of shard
+//! families, and the refreshing dashboard / JSON views.
+//!
+//! A *fleet* is the set of runs an operator points `fusa top` at —
+//! typically one results root holding several sharded campaign run
+//! dirs, possibly mixed with finished training or lint runs. Shards of
+//! the same campaign are grouped into a **family** by the
+//! checkpoint-header identity key (everything but the shard spec, see
+//! `CheckpointHeader::family_key` in `fusa-faultsim`); runs without a
+//! checkpoint fall back to a `design:phase` family so campaigns never
+//! mix with training runs on the same design.
+//!
+//! Health flags per row:
+//! - **stalled**: a live run whose snapshot is older than
+//!   [`FleetOptions::stale_seconds`] — the writer likely died without a
+//!   final beat (OOM kill, power loss).
+//! - **straggler**: a live run whose ETA exceeds 1.5× the median ETA of
+//!   its family's live members (needs ≥ 2 live members) — the shard
+//!   holding up the merge.
+//! - **partial**: a finished run with `done < total` — interrupted, to
+//!   be resumed via its checkpoint.
+
+use crate::json::Json;
+use crate::render::{bar, format_quantity};
+use crate::status::StatusSnapshot;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// How deep below a results root discovery looks for `status.json`
+/// (root/status.json, root/<run>/status.json, root/<batch>/<run>/…).
+const DISCOVER_DEPTH: usize = 3;
+
+/// One discovered run: its directory and parsed status snapshot, plus
+/// the shard-family identity key when the caller could derive one from
+/// the run's checkpoint header.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Run directory (the parent of `status.json`).
+    pub dir: PathBuf,
+    /// Latest published snapshot.
+    pub status: StatusSnapshot,
+    /// Checkpoint-identity family key, if the run has a readable
+    /// checkpoint. `None` falls back to grouping by design and phase.
+    pub family: Option<String>,
+}
+
+/// Aggregation knobs for [`FleetView::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct FleetOptions {
+    /// A live run whose snapshot is older than this is flagged stalled.
+    pub stale_seconds: f64,
+    /// "Now" for staleness judgement, seconds since the Unix epoch.
+    /// Injected so views are deterministic in tests.
+    pub now_unix: f64,
+}
+
+impl FleetOptions {
+    /// Default staleness threshold: several missed 500 ms heartbeats
+    /// plus generous scheduling slack.
+    pub const DEFAULT_STALE_SECONDS: f64 = 30.0;
+}
+
+/// One dashboard row: a run annotated with health flags.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    pub run: FleetRun,
+    /// Resolved family key the row was grouped under.
+    pub family: String,
+    /// Live run with a stale heartbeat (writer presumed dead).
+    pub stalled: bool,
+    /// Live run with ETA ≫ its family's median live ETA.
+    pub straggler: bool,
+    /// Finished run with `done < total` (interrupted / resumable).
+    pub partial: bool,
+}
+
+impl FleetRow {
+    /// Live = still being written: not finished and not stalled.
+    pub fn live(&self) -> bool {
+        !self.run.status.finished && !self.stalled
+    }
+}
+
+/// An aggregated fleet: annotated rows plus fleet-wide totals.
+#[derive(Debug, Clone)]
+pub struct FleetView {
+    /// Rows sorted by run id, stable across refreshes.
+    pub rows: Vec<FleetRow>,
+    /// Distinct shard families represented.
+    pub families: usize,
+    /// Σ done over all rows.
+    pub units_done: u64,
+    /// Σ total over all rows.
+    pub units_total: u64,
+    /// Σ quarantined over all rows.
+    pub quarantined: u64,
+    /// Counts by health class.
+    pub live: usize,
+    pub finished: usize,
+    pub stalled: usize,
+    pub stragglers: usize,
+    /// Aggregate throughput of live rows (sum of their rates).
+    pub rate: f64,
+    /// Fleet ETA: remaining units of live families over aggregate live
+    /// unit throughput; 0 when nothing is live or rate is unknown.
+    pub eta_seconds: f64,
+}
+
+/// Finds `status.json` files under each root: the root itself when it
+/// is a run dir (or the file itself), otherwise a bounded-depth walk.
+/// Results are sorted and deduplicated; unreadable directories are
+/// skipped silently (runs may vanish mid-walk).
+pub fn discover_status_files(roots: &[PathBuf]) -> Vec<PathBuf> {
+    fn walk(dir: &Path, depth: usize, found: &mut Vec<PathBuf>) {
+        let direct = dir.join("status.json");
+        if direct.is_file() {
+            found.push(direct);
+        }
+        if depth == 0 {
+            return;
+        }
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, depth - 1, found);
+            }
+        }
+    }
+    let mut found = Vec::new();
+    for root in roots {
+        if root.is_file() {
+            found.push(root.clone());
+        } else {
+            walk(root, DISCOVER_DEPTH, &mut found);
+        }
+    }
+    found.sort();
+    found.dedup();
+    found
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+impl FleetView {
+    /// Aggregates discovered runs into an annotated fleet view.
+    pub fn build(runs: Vec<FleetRun>, options: FleetOptions) -> FleetView {
+        let mut rows: Vec<FleetRow> = runs
+            .into_iter()
+            .map(|run| {
+                let family = run
+                    .family
+                    .clone()
+                    .unwrap_or_else(|| format!("{}:{}", run.status.design, run.status.phase));
+                let status = &run.status;
+                let stalled = !status.finished
+                    && status.age_seconds(options.now_unix) > options.stale_seconds;
+                let partial = status.finished && status.done < status.total;
+                FleetRow {
+                    run,
+                    family,
+                    stalled,
+                    straggler: false,
+                    partial,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| a.run.status.run_id.cmp(&b.run.status.run_id));
+
+        // Straggler detection: within each family, compare live ETAs.
+        let mut family_live_etas: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        for row in &rows {
+            if row.live() && row.run.status.eta_seconds > 0.0 {
+                family_live_etas
+                    .entry(row.family.as_str())
+                    .or_default()
+                    .push(row.run.status.eta_seconds);
+            }
+        }
+        let mut family_median: BTreeMap<String, f64> = BTreeMap::new();
+        for (family, mut etas) in family_live_etas {
+            if etas.len() >= 2 {
+                etas.sort_by(f64::total_cmp);
+                family_median.insert(family.to_string(), median(&etas));
+            }
+        }
+        for row in &mut rows {
+            if let Some(&median_eta) = family_median.get(&row.family) {
+                row.straggler =
+                    row.live() && median_eta > 0.0 && row.run.status.eta_seconds > 1.5 * median_eta;
+            }
+        }
+
+        let families = rows
+            .iter()
+            .map(|r| r.family.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        let units_done = rows.iter().map(|r| r.run.status.done).sum();
+        let units_total = rows.iter().map(|r| r.run.status.total).sum();
+        let quarantined = rows.iter().map(|r| r.run.status.quarantined).sum();
+        let live = rows.iter().filter(|r| r.live()).count();
+        let finished = rows.iter().filter(|r| r.run.status.finished).count();
+        let stalled = rows.iter().filter(|r| r.stalled).count();
+        let stragglers = rows.iter().filter(|r| r.straggler).count();
+        let rate: f64 = rows
+            .iter()
+            .filter(|r| r.live())
+            .map(|r| r.run.status.rate)
+            .sum();
+        // ETA needs unit throughput; `rate` may be in work units
+        // (fault-cycles/s), so derive done/s from each live row.
+        let unit_rate: f64 = rows
+            .iter()
+            .filter(|r| r.live() && r.run.status.elapsed_seconds > 0.0)
+            .map(|r| r.run.status.done as f64 / r.run.status.elapsed_seconds)
+            .sum();
+        let remaining: u64 = rows
+            .iter()
+            .filter(|r| !r.run.status.finished)
+            .map(|r| r.run.status.total.saturating_sub(r.run.status.done))
+            .sum();
+        let eta_seconds = if unit_rate > 0.0 && remaining > 0 {
+            remaining as f64 / unit_rate
+        } else {
+            0.0
+        };
+
+        FleetView {
+            rows,
+            families,
+            units_done,
+            units_total,
+            quarantined,
+            live,
+            finished,
+            stalled,
+            stragglers,
+            rate,
+            eta_seconds,
+        }
+    }
+
+    /// Renders the dashboard: a header with fleet-wide aggregates, then
+    /// one fixed-width row per run.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let percent = if self.units_total > 0 {
+            self.units_done as f64 * 100.0 / self.units_total as f64
+        } else {
+            0.0
+        };
+        let fraction = if self.units_total > 0 {
+            self.units_done as f64 / self.units_total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "fleet: {} run(s), {} famil{}, {} live, {} finished, {} stalled, {} straggler(s)\n",
+            self.rows.len(),
+            self.families,
+            if self.families == 1 { "y" } else { "ies" },
+            self.live,
+            self.finished,
+            self.stalled,
+            self.stragglers,
+        ));
+        out.push_str(&format!(
+            "units: {}/{} ({:.1}%) [{}]  quarantined {}",
+            self.units_done,
+            self.units_total,
+            percent,
+            bar(fraction, 24),
+            self.quarantined,
+        ));
+        if self.live > 0 {
+            out.push_str(&format!(
+                "  rate {}/s  ETA {:.0}s",
+                format_quantity(self.rate),
+                self.eta_seconds
+            ));
+        }
+        out.push('\n');
+        out.push('\n');
+
+        let id_width = self
+            .rows
+            .iter()
+            .map(|r| r.run.status.run_id.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        out.push_str(&format!(
+            "{:<id_width$}  {:<8}  {:>13}  {:>6}  {:>11}  {:>8}  flags\n",
+            "run", "phase", "done/total", "%", "rate", "eta",
+        ));
+        for row in &self.rows {
+            let s = &row.run.status;
+            let percent = if s.total > 0 {
+                s.done as f64 * 100.0 / s.total as f64
+            } else {
+                0.0
+            };
+            let mut flags = Vec::new();
+            if row.stalled {
+                flags.push("STALLED");
+            }
+            if row.straggler {
+                flags.push("straggler");
+            }
+            if row.partial {
+                flags.push("partial");
+            } else if s.finished {
+                flags.push("done");
+            }
+            if s.quarantined > 0 {
+                flags.push("quarantine");
+            }
+            let eta = if s.finished || s.eta_seconds <= 0.0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}s", s.eta_seconds)
+            };
+            out.push_str(&format!(
+                "{:<id_width$}  {:<8}  {:>13}  {:>5.1}%  {:>9}/s  {:>8}  {}\n",
+                s.run_id,
+                s.phase,
+                format!("{}/{}", s.done, s.total),
+                percent,
+                format_quantity(s.rate),
+                eta,
+                flags.join(","),
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable view, schema `fusa-obs/top/v1`. Fleet-wide
+    /// aggregates come before the per-run array so stream consumers
+    /// (and the CI grep) hit them first.
+    pub fn to_json(&self) -> Json {
+        let runs = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut obj = match row.run.status.to_json() {
+                    Json::Obj(members) => members,
+                    _ => unreachable!("snapshot renders as an object"),
+                };
+                obj.push(("dir".into(), Json::Str(row.run.dir.display().to_string())));
+                obj.push(("family".into(), Json::Str(row.family.clone())));
+                obj.push(("stalled".into(), Json::Bool(row.stalled)));
+                obj.push(("straggler".into(), Json::Bool(row.straggler)));
+                obj.push(("partial".into(), Json::Bool(row.partial)));
+                Json::Obj(obj)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("fusa-obs/top/v1".into())),
+            ("runs_total".into(), Json::Num(self.rows.len() as f64)),
+            ("families".into(), Json::Num(self.families as f64)),
+            ("units_done".into(), Json::Num(self.units_done as f64)),
+            ("units_total".into(), Json::Num(self.units_total as f64)),
+            ("quarantined".into(), Json::Num(self.quarantined as f64)),
+            ("live".into(), Json::Num(self.live as f64)),
+            ("finished".into(), Json::Num(self.finished as f64)),
+            ("stalled".into(), Json::Num(self.stalled as f64)),
+            ("stragglers".into(), Json::Num(self.stragglers as f64)),
+            ("rate".into(), Json::Num(self.rate)),
+            ("eta_seconds".into(), Json::Num(self.eta_seconds)),
+            ("runs".into(), Json::Arr(runs)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(run_id: &str, done: u64, total: u64) -> StatusSnapshot {
+        StatusSnapshot {
+            run_id: run_id.into(),
+            design: "demo".into(),
+            shard: None,
+            pid: 1,
+            phase: "campaign".into(),
+            unit: "units".into(),
+            done,
+            total,
+            work: done * 1000,
+            rate: 100.0,
+            eta_seconds: 10.0,
+            elapsed_seconds: 5.0,
+            quarantined: 0,
+            workers: 2,
+            busy_fraction: 0.9,
+            peak_rss_bytes: None,
+            updated_unix: 1_000.0,
+            finished: false,
+        }
+    }
+
+    fn run(id: &str, status: StatusSnapshot, family: Option<&str>) -> FleetRun {
+        FleetRun {
+            dir: PathBuf::from(format!("/tmp/{id}")),
+            status,
+            family: family.map(str::to_string),
+        }
+    }
+
+    fn options() -> FleetOptions {
+        FleetOptions {
+            stale_seconds: 30.0,
+            now_unix: 1_005.0,
+        }
+    }
+
+    #[test]
+    fn aggregates_and_sorts_rows() {
+        let view = FleetView::build(
+            vec![
+                run("b-shard1of2", snapshot("b-shard1of2", 10, 48), Some("fam")),
+                run("a-shard0of2", snapshot("a-shard0of2", 20, 48), Some("fam")),
+            ],
+            options(),
+        );
+        assert_eq!(view.rows.len(), 2);
+        assert_eq!(view.rows[0].run.status.run_id, "a-shard0of2");
+        assert_eq!(view.families, 1);
+        assert_eq!((view.units_done, view.units_total), (30, 96));
+        assert_eq!(view.live, 2);
+        assert_eq!(view.finished, 0);
+        assert!((view.rate - 200.0).abs() < 1e-9);
+        // 66 remaining over (10+20)/5 units/s = 11 s.
+        assert!((view.eta_seconds - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flags_stalled_straggler_and_partial() {
+        let mut stale = snapshot("fam-shard0of3", 5, 32);
+        stale.updated_unix = 900.0; // 105 s old
+        let quick = snapshot("fam-shard1of3", 20, 32);
+        let mut slow = snapshot("fam-shard2of3", 2, 32);
+        slow.eta_seconds = 100.0;
+        let mut interrupted = StatusSnapshot {
+            finished: true,
+            ..snapshot("other", 10, 32)
+        };
+        interrupted.updated_unix = 500.0; // finished runs never stall
+        let view = FleetView::build(
+            vec![
+                run("s0", stale, Some("fam")),
+                run("s1", quick, Some("fam")),
+                run("s2", slow, Some("fam")),
+                run("x", interrupted, None),
+            ],
+            options(),
+        );
+        let by_id = |id: &str| {
+            view.rows
+                .iter()
+                .find(|r| r.run.status.run_id == id)
+                .unwrap()
+        };
+        assert!(by_id("fam-shard0of3").stalled);
+        assert!(!by_id("fam-shard0of3").straggler, "stalled is not live");
+        assert!(by_id("fam-shard2of3").straggler);
+        assert!(!by_id("fam-shard1of3").straggler);
+        assert!(by_id("other").partial);
+        assert!(!by_id("other").stalled);
+        assert_eq!(view.stalled, 1);
+        assert_eq!(view.stragglers, 1);
+        assert_eq!(view.finished, 1);
+        // Fallback family for the checkpoint-less run.
+        assert_eq!(by_id("other").family, "demo:campaign");
+        assert_eq!(view.families, 2);
+    }
+
+    #[test]
+    fn json_view_leads_with_aggregates() {
+        let view = FleetView::build(vec![run("a", snapshot("a", 3, 4), None)], options());
+        let json = view.to_json();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("fusa-obs/top/v1")
+        );
+        assert_eq!(json.get("units_done").and_then(Json::as_u64), Some(3));
+        let text = json.render_pretty();
+        let aggregate_pos = text.find("\"units_done\"").unwrap();
+        let runs_pos = text.find("\"runs\"").unwrap();
+        assert!(aggregate_pos < runs_pos, "aggregates precede runs");
+        let runs = json.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(
+            runs[0].get("family").and_then(Json::as_str),
+            Some("demo:campaign")
+        );
+    }
+
+    #[test]
+    fn discovery_walks_roots_and_dedups() {
+        let base = std::env::temp_dir().join(format!("fusa_fleet_disc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let run_a = base.join("results/run-a");
+        let run_b = base.join("results/batch/run-b");
+        std::fs::create_dir_all(&run_a).unwrap();
+        std::fs::create_dir_all(&run_b).unwrap();
+        std::fs::write(run_a.join("status.json"), "{}").unwrap();
+        std::fs::write(run_b.join("status.json"), "{}").unwrap();
+        std::fs::write(base.join("results/manifest.json"), "{}").unwrap();
+        let found = discover_status_files(&[
+            base.join("results"),
+            run_a.clone(),             // run dir directly
+            run_a.join("status.json"), // file directly
+        ]);
+        assert_eq!(
+            found,
+            vec![run_b.join("status.json"), run_a.join("status.json")]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn text_dashboard_renders_rows_and_flags() {
+        let mut slow = snapshot("fam-shard1of2", 2, 32);
+        slow.eta_seconds = 100.0;
+        slow.quarantined = 3;
+        let view = FleetView::build(
+            vec![
+                run("s0", snapshot("fam-shard0of2", 20, 32), Some("fam")),
+                run("s1", slow, Some("fam")),
+            ],
+            options(),
+        );
+        let text = view.render_text();
+        assert!(text.contains("fleet: 2 run(s), 1 family"), "{text}");
+        assert!(text.contains("units: 22/64"), "{text}");
+        assert!(text.contains("straggler"), "{text}");
+        assert!(text.contains("quarantine"), "{text}");
+        assert!(text.contains("fam-shard0of2"), "{text}");
+    }
+}

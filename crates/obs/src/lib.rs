@@ -45,20 +45,25 @@
 
 mod compare;
 mod digest;
+mod fleet;
 mod histogram;
 mod json;
 mod manifest;
 mod progress;
+mod prom;
 mod recorder;
 mod render;
 mod rss;
 mod shutdown;
+mod status;
+mod tracequery;
 
 pub use compare::{
     append_bench_trajectory, compare_manifests, load_manifest_arg, CompareOptions, Comparison,
     DeltaRow, RowStatus,
 };
 pub use digest::{fnv1a64, fnv1a64_hex, Fnv64};
+pub use fleet::{discover_status_files, FleetOptions, FleetRow, FleetRun, FleetView};
 pub use histogram::{Histogram, HistogramSummary};
 pub use json::{Json, JsonError};
 pub use manifest::{
@@ -66,13 +71,18 @@ pub use manifest::{
     MANIFEST_SCHEMA, MANIFEST_SCHEMA_V1, MANIFEST_SCHEMA_V2, MANIFEST_SCHEMA_V3,
 };
 pub use progress::{progress_stderr, set_progress_stderr, Progress, ProgressConfig};
+pub use prom::{render_prometheus, PromRun};
 pub use recorder::{EventField, Recorder, Snapshot, SpanGuard, SpanStat};
-pub use render::render_manifest_report;
+pub use render::{render_manifest_report, render_manifest_report_json};
 pub use rss::peak_rss_bytes;
 pub use shutdown::{
     install_signal_handlers, raise_shutdown_signal, request_shutdown, reset_shutdown,
     shutdown_flag, shutdown_requested,
 };
+pub use status::{
+    set_status_target, status_target, unix_now, StatusSnapshot, StatusTarget, STATUS_SCHEMA,
+};
+pub use tracequery::{TraceFilter, TraceReport};
 
 use std::sync::OnceLock;
 

@@ -19,6 +19,7 @@
 //! progress-off path).
 
 use crate::recorder::{EventField, Recorder};
+use crate::status::{status_target, unix_now, StatusSnapshot, StatusTarget};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -67,11 +68,20 @@ struct ProgressShared {
     work: AtomicU64,
     /// Latest metric value as `f64` bits; `u64::MAX` sentinel = unset.
     metric_bits: AtomicU64,
+    /// Worker threads serving the phase (0 until published).
+    workers: AtomicU64,
+    /// Cumulative nanoseconds worker threads spent inside work items.
+    busy_nanos: AtomicU64,
+    /// Units quarantined so far.
+    quarantined: AtomicU64,
     stop: Mutex<bool>,
     wake: Condvar,
     stderr: bool,
     started: Instant,
     recorder: &'static Recorder,
+    /// `status.json` destination captured when the handle started; each
+    /// beat additionally publishes a [`StatusSnapshot`] there.
+    status: Option<Arc<StatusTarget>>,
 }
 
 const METRIC_UNSET: u64 = u64::MAX;
@@ -93,6 +103,16 @@ impl ProgressShared {
         } else {
             0.0
         };
+
+        if final_beat {
+            // Preserve the last live figures in the manifest so post-hoc
+            // reports show what the operator saw on the heartbeat.
+            self.recorder
+                .gauge_set(&format!("{}.final_rate", self.label), rate);
+            self.recorder
+                .gauge_set(&format!("{}.final_eta_seconds", self.label), eta);
+        }
+        self.write_status(final_beat, done, work, rate, eta, elapsed);
 
         if self.recorder.has_sink() {
             let mut fields = vec![
@@ -139,6 +159,51 @@ impl ProgressShared {
             eprintln!("{line}");
         }
     }
+
+    /// Publishes a `status.json` snapshot at the armed target, if any.
+    /// Best-effort: a full disk or vanished run dir must not take down
+    /// the instrumented run.
+    fn write_status(
+        &self,
+        final_beat: bool,
+        done: u64,
+        work: u64,
+        rate: f64,
+        eta: f64,
+        elapsed: f64,
+    ) {
+        let Some(target) = &self.status else {
+            return;
+        };
+        let busy_seconds = self.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let workers = self.workers.load(Ordering::Relaxed);
+        let busy_fraction = if workers > 0 {
+            (busy_seconds / (elapsed * workers as f64)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let snapshot = StatusSnapshot {
+            run_id: target.run_id.clone(),
+            design: target.design.clone(),
+            shard: target.shard,
+            pid: std::process::id() as u64,
+            phase: self.label.clone(),
+            unit: self.unit.clone(),
+            done,
+            total: self.total,
+            work,
+            rate,
+            eta_seconds: eta,
+            elapsed_seconds: elapsed,
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            workers,
+            busy_fraction,
+            peak_rss_bytes: crate::rss::peak_rss_bytes(),
+            updated_unix: unix_now(),
+            finished: final_beat,
+        };
+        let _ = snapshot.write_atomic(&target.path);
+    }
 }
 
 /// Handle over a long loop's heartbeat. Cloning is not supported;
@@ -163,9 +228,13 @@ impl Progress {
 
     /// Starts a heartbeat over `total` units of work named `label`.
     ///
-    /// Returns a disabled handle when neither stderr reporting
-    /// (`config.stderr`) nor a JSONL sink on `recorder` is active —
-    /// the zero-overhead default.
+    /// Returns a disabled handle when no output is armed: neither
+    /// stderr reporting (`config.stderr`), nor a JSONL sink on
+    /// `recorder`, nor a process-wide [`StatusTarget`] — the
+    /// zero-overhead default. When a status target is armed, the first
+    /// `status.json` snapshot is published immediately (before any
+    /// heartbeat fires), so `fusa top` sees the run as soon as it
+    /// starts.
     pub fn start(
         recorder: &'static Recorder,
         label: &str,
@@ -173,7 +242,8 @@ impl Progress {
         total: u64,
         config: ProgressConfig,
     ) -> Progress {
-        if !config.stderr && !recorder.has_sink() {
+        let status = status_target();
+        if !config.stderr && !recorder.has_sink() && status.is_none() {
             return Progress::disabled();
         }
         let shared = Arc::new(ProgressShared {
@@ -183,12 +253,19 @@ impl Progress {
             done: AtomicU64::new(0),
             work: AtomicU64::new(0),
             metric_bits: AtomicU64::new(METRIC_UNSET),
+            workers: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
             stop: Mutex::new(false),
             wake: Condvar::new(),
             stderr: config.stderr,
             started: Instant::now(),
             recorder,
+            status,
         });
+        // Publish the starting snapshot (file only — the event/stderr
+        // heartbeat starts with the first periodic beat).
+        shared.write_status(false, 0, 0, 0.0, 0.0, 0.0);
         let beat = Arc::clone(&shared);
         let interval = config.interval;
         let thread = std::thread::Builder::new()
@@ -242,6 +319,30 @@ impl Progress {
             shared.metric_bits.store(value.to_bits(), Ordering::Relaxed);
         }
     }
+
+    /// Publishes the number of worker threads serving the phase; status
+    /// snapshots report `busy / (elapsed * workers)` as the busy
+    /// fraction once this is nonzero.
+    pub fn set_workers(&self, workers: u64) {
+        if let Some(shared) = &self.shared {
+            shared.workers.store(workers, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulates wall time a worker spent inside a work item.
+    pub fn add_busy_seconds(&self, seconds: f64) {
+        if let Some(shared) = &self.shared {
+            let nanos = (seconds.max(0.0) * 1e9) as u64;
+            shared.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` more quarantined units.
+    pub fn add_quarantined(&self, n: u64) {
+        if let Some(shared) = &self.shared {
+            shared.quarantined.fetch_add(n, Ordering::Relaxed);
+        }
+    }
 }
 
 impl Drop for Progress {
@@ -280,6 +381,8 @@ mod tests {
 
     #[test]
     fn disabled_without_sink_or_stderr() {
+        let _guard = crate::status::test_target_lock();
+        crate::status::set_status_target(None);
         let recorder = leaked_recorder();
         let progress = Progress::start(
             recorder,
@@ -387,6 +490,66 @@ mod tests {
             .find(|e| e.get("kind").and_then(crate::Json::as_str) == Some("progress"))
             .expect("final beat present");
         assert_eq!(last.get("done").and_then(crate::Json::as_u64), Some(400));
+    }
+
+    /// An armed status target alone activates the heartbeat, publishes
+    /// a snapshot immediately, tracks worker/quarantine telemetry, and
+    /// records final rate/ETA gauges — without any JSONL sink.
+    #[test]
+    fn status_target_activates_and_publishes_snapshots() {
+        use crate::status::{set_status_target, StatusSnapshot, StatusTarget};
+        let _guard = crate::status::test_target_lock();
+        let dir = std::env::temp_dir().join(format!("fusa_progress_status_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("status.json");
+        set_status_target(Some(StatusTarget {
+            path: path.clone(),
+            run_id: "faults-demo-shard0of2".into(),
+            design: "demo".into(),
+            shard: Some((0, 2)),
+        }));
+        let recorder = leaked_recorder();
+        let progress = Progress::start(
+            recorder,
+            "campaign",
+            "units",
+            6,
+            ProgressConfig {
+                stderr: false,
+                interval: Duration::from_secs(3600),
+            },
+        );
+        set_status_target(None); // captured at start; clearing must not matter
+        assert!(progress.is_active());
+
+        // The starting snapshot is already on disk.
+        let first = StatusSnapshot::read(&path).expect("initial snapshot");
+        assert_eq!(first.run_id, "faults-demo-shard0of2");
+        assert_eq!(first.shard, Some((0, 2)));
+        assert_eq!(first.phase, "campaign");
+        assert_eq!((first.done, first.total), (0, 6));
+        assert!(!first.finished);
+
+        progress.set_workers(2);
+        progress.advance(6);
+        progress.add_work(6000);
+        progress.add_busy_seconds(0.25);
+        progress.add_quarantined(1);
+        drop(progress);
+
+        let last = StatusSnapshot::read(&path).expect("final snapshot");
+        assert_eq!((last.done, last.total, last.work), (6, 6, 6000));
+        assert_eq!(last.workers, 2);
+        assert_eq!(last.quarantined, 1);
+        assert!(last.finished);
+        assert!(last.rate > 0.0);
+        assert!((0.0..=1.0).contains(&last.busy_fraction));
+        assert!(last.updated_unix > 0.0);
+
+        let snapshot = recorder.snapshot();
+        assert!(snapshot.gauge("campaign.final_rate").unwrap() > 0.0);
+        assert_eq!(snapshot.gauge("campaign.final_eta_seconds"), Some(0.0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Prometheus textfile-exporter rendering for `fusa export`.
+//!
+//! Renders the live [`StatusSnapshot`] and/or the post-run
+//! [`RunManifest`] of one or more run dirs into the Prometheus text
+//! exposition format, suitable for a node_exporter textfile collector:
+//!
+//! ```text
+//! # HELP fusa_run_units_done Units completed by the run phase.
+//! # TYPE fusa_run_units_done gauge
+//! fusa_run_units_done{run="faults-x-shard0of2",design="x",shard="0/2",phase="campaign"} 37
+//! ```
+//!
+//! Samples for the same metric name across runs are grouped under one
+//! `# HELP`/`# TYPE` header pair, as the format requires. Metric names
+//! derived from recorder counters/gauges are sanitised to the
+//! Prometheus name alphabet (`[a-zA-Z0-9_:]`); label values escape
+//! backslash, double-quote and newline per the exposition spec.
+
+use crate::manifest::RunManifest;
+use crate::status::StatusSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Everything exportable that one run dir yielded. Either part may be
+/// absent (a live run has no manifest yet; a foreign run dir may hold
+/// only a manifest).
+#[derive(Debug, Clone, Default)]
+pub struct PromRun {
+    pub status: Option<StatusSnapshot>,
+    pub manifest: Option<RunManifest>,
+}
+
+#[derive(Debug)]
+struct MetricFamily {
+    help: &'static str,
+    kind: &'static str,
+    /// `(label-block, value)` samples in insertion order.
+    samples: Vec<(String, String)>,
+}
+
+#[derive(Debug, Default)]
+struct Collector {
+    /// Keyed by metric name; BTreeMap gives deterministic output order.
+    families: BTreeMap<String, MetricFamily>,
+}
+
+impl Collector {
+    fn sample(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        kind: &'static str,
+        labels: &str,
+        value: String,
+    ) {
+        let family = self
+            .families
+            .entry(name.to_string())
+            .or_insert(MetricFamily {
+                help,
+                kind,
+                samples: Vec::new(),
+            });
+        family.samples.push((labels.to_string(), value));
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, family) in &self.families {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind);
+            for (labels, value) in &family.samples {
+                let _ = writeln!(out, "{name}{labels} {value}");
+            }
+        }
+        out
+    }
+}
+
+/// Sanitises an arbitrary recorder metric name (`campaign.final_rate`)
+/// into the Prometheus name alphabet (`fusa_campaign_final_rate`).
+fn metric_name(raw: &str) -> String {
+    let mut name = String::with_capacity(raw.len() + 5);
+    name.push_str("fusa_");
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            name.push(c);
+        } else {
+            name.push('_');
+        }
+    }
+    name
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float sample value; Prometheus accepts full `f64` text.
+fn num(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+fn run_labels(run_id: &str, design: &str, shard: Option<(u64, u64)>, phase: &str) -> String {
+    let shard = match shard {
+        Some((index, total)) => format!("{index}/{total}"),
+        None => String::new(),
+    };
+    format!(
+        "{{run=\"{}\",design=\"{}\",shard=\"{}\",phase=\"{}\"}}",
+        escape_label(run_id),
+        escape_label(design),
+        escape_label(&shard),
+        escape_label(phase),
+    )
+}
+
+/// Renders the given runs into one Prometheus exposition document.
+pub fn render_prometheus(runs: &[PromRun]) -> String {
+    let mut collector = Collector::default();
+    for run in runs {
+        if let Some(status) = &run.status {
+            collect_status(&mut collector, status);
+        }
+        if let Some(manifest) = &run.manifest {
+            collect_manifest(&mut collector, manifest);
+        }
+    }
+    collector.render()
+}
+
+fn collect_status(collector: &mut Collector, status: &StatusSnapshot) {
+    let labels = run_labels(&status.run_id, &status.design, status.shard, &status.phase);
+    let mut gauge = |name: &str, help: &'static str, value: f64| {
+        collector.sample(name, help, "gauge", &labels, num(value));
+    };
+    gauge(
+        "fusa_run_units_done",
+        "Units completed by the run phase.",
+        status.done as f64,
+    );
+    gauge(
+        "fusa_run_units_total",
+        "Units the run phase owns in total (shard-local).",
+        status.total as f64,
+    );
+    gauge(
+        "fusa_run_work_units",
+        "Auxiliary work units completed (fault-cycles for campaigns).",
+        status.work as f64,
+    );
+    gauge(
+        "fusa_run_rate",
+        "Throughput in work units per second (done/s when no work units).",
+        status.rate,
+    );
+    gauge(
+        "fusa_run_eta_seconds",
+        "Estimated seconds until the phase completes.",
+        status.eta_seconds,
+    );
+    gauge(
+        "fusa_run_elapsed_seconds",
+        "Seconds since the phase started.",
+        status.elapsed_seconds,
+    );
+    gauge(
+        "fusa_run_quarantined_units",
+        "Units quarantined after repeated panics.",
+        status.quarantined as f64,
+    );
+    gauge(
+        "fusa_run_workers",
+        "Worker threads serving the phase.",
+        status.workers as f64,
+    );
+    gauge(
+        "fusa_run_busy_fraction",
+        "Fraction of elapsed*workers spent inside work items.",
+        status.busy_fraction,
+    );
+    if let Some(bytes) = status.peak_rss_bytes {
+        gauge(
+            "fusa_run_peak_rss_bytes",
+            "Peak resident set size of the run process.",
+            bytes as f64,
+        );
+    }
+    gauge(
+        "fusa_run_updated_unix",
+        "Unix timestamp of the latest status snapshot.",
+        status.updated_unix,
+    );
+    gauge(
+        "fusa_run_finished",
+        "1 when the phase emitted its final beat.",
+        if status.finished { 1.0 } else { 0.0 },
+    );
+}
+
+fn collect_manifest(collector: &mut Collector, manifest: &RunManifest) {
+    let shard = manifest.shard.as_ref().map(|s| (s.index, s.total));
+    let labels = run_labels(&manifest.run_id, &manifest.design, shard, "");
+    collector.sample(
+        "fusa_manifest_wall_seconds",
+        "End-to-end wall time of the finished run.",
+        "gauge",
+        &labels,
+        num(manifest.wall_seconds),
+    );
+    collector.sample(
+        "fusa_manifest_interrupted",
+        "1 when the run was interrupted and holds partial results.",
+        "gauge",
+        &labels,
+        num(if manifest.interrupted { 1.0 } else { 0.0 }),
+    );
+    if let Some(bytes) = manifest.peak_rss_bytes {
+        collector.sample(
+            "fusa_manifest_peak_rss_bytes",
+            "Peak resident set size recorded in the manifest.",
+            "gauge",
+            &labels,
+            num(bytes as f64),
+        );
+    }
+    for stage in &manifest.stages {
+        let stage_labels = format!(
+            "{},stage=\"{}\"}}",
+            &labels[..labels.len() - 1],
+            escape_label(&stage.name)
+        );
+        collector.sample(
+            "fusa_stage_seconds",
+            "Wall seconds recorded under a named span path.",
+            "gauge",
+            &stage_labels,
+            num(stage.seconds),
+        );
+    }
+    for (name, value) in &manifest.counters {
+        collector.sample(
+            &metric_name(name),
+            "Recorder counter at end of run.",
+            "counter",
+            &labels,
+            num(*value as f64),
+        );
+    }
+    for (name, value) in &manifest.gauges {
+        collector.sample(
+            &metric_name(name),
+            "Recorder gauge at end of run.",
+            "gauge",
+            &labels,
+            num(*value),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status() -> StatusSnapshot {
+        StatusSnapshot {
+            run_id: "faults-x-shard0of2".into(),
+            design: "x".into(),
+            shard: Some((0, 2)),
+            pid: 1,
+            phase: "campaign".into(),
+            unit: "units".into(),
+            done: 37,
+            total: 48,
+            work: 1000,
+            rate: 1.5,
+            eta_seconds: 4.0,
+            elapsed_seconds: 8.0,
+            quarantined: 2,
+            workers: 4,
+            busy_fraction: 0.5,
+            peak_rss_bytes: Some(1024),
+            updated_unix: 1_700_000_000.0,
+            finished: false,
+        }
+    }
+
+    #[test]
+    fn status_renders_grouped_gauges() {
+        let text = render_prometheus(&[PromRun {
+            status: Some(status()),
+            manifest: None,
+        }]);
+        assert!(text.contains("# HELP fusa_run_units_done"), "{text}");
+        assert!(text.contains("# TYPE fusa_run_units_done gauge"), "{text}");
+        assert!(
+            text.contains(
+                "fusa_run_units_done{run=\"faults-x-shard0of2\",design=\"x\",shard=\"0/2\",phase=\"campaign\"} 37"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("fusa_run_rate{") && text.contains("} 1.5"),
+            "{text}"
+        );
+        assert!(text.contains("fusa_run_finished{"), "{text}");
+        // One header pair per family even with multiple runs.
+        let two = render_prometheus(&[
+            PromRun {
+                status: Some(status()),
+                manifest: None,
+            },
+            PromRun {
+                status: Some(StatusSnapshot {
+                    run_id: "faults-x-shard1of2".into(),
+                    shard: Some((1, 2)),
+                    ..status()
+                }),
+                manifest: None,
+            },
+        ]);
+        assert_eq!(two.matches("# TYPE fusa_run_units_done").count(), 1);
+        assert_eq!(two.matches("fusa_run_units_done{").count(), 2);
+    }
+
+    #[test]
+    fn manifest_metrics_are_sanitised_and_typed() {
+        let manifest = RunManifest {
+            run_id: "faults-x".into(),
+            design: "x".into(),
+            wall_seconds: 2.5,
+            counters: vec![("campaign.gate_evals".into(), 77)],
+            gauges: vec![("campaign.final_rate".into(), 123.0)],
+            stages: vec![crate::manifest::StageTime {
+                name: "campaign/golden".into(),
+                seconds: 1.25,
+                count: 1,
+            }],
+            ..RunManifest::default()
+        };
+        let text = render_prometheus(&[PromRun {
+            status: None,
+            manifest: Some(manifest),
+        }]);
+        assert!(
+            text.contains("# TYPE fusa_campaign_gate_evals counter"),
+            "{text}"
+        );
+        assert!(text.contains("fusa_campaign_gate_evals{"), "{text}");
+        assert!(
+            text.contains("# TYPE fusa_campaign_final_rate gauge"),
+            "{text}"
+        );
+        assert!(text.contains("stage=\"campaign/golden\"} 1.25"), "{text}");
+        assert!(text.contains("fusa_manifest_wall_seconds{"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(num(37.0), "37");
+        assert_eq!(num(1.5), "1.5");
+    }
+}

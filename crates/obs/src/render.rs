@@ -1,5 +1,7 @@
-//! Human-readable rendering of a [`RunManifest`] (`fusa report`).
+//! Human-readable rendering of a [`RunManifest`] (`fusa report`), plus
+//! the machine-readable `fusa report --json` view.
 
+use crate::json::Json;
 use crate::manifest::RunManifest;
 use std::fmt::Write as _;
 
@@ -167,6 +169,158 @@ pub fn render_manifest_report(manifest: &RunManifest) -> String {
     out
 }
 
+/// Machine-readable counterpart of [`render_manifest_report`]
+/// (`fusa report --json`): the same sections in the same order, with
+/// the derived quantities the text view computes (stage wall fractions,
+/// coverage, histogram means) materialised as fields. Schema
+/// `fusa-obs/report/v1`.
+pub fn render_manifest_report_json(manifest: &RunManifest) -> Json {
+    let stages = manifest
+        .stages
+        .iter()
+        .map(|stage| {
+            let fraction = if manifest.wall_seconds > 0.0 {
+                (stage.seconds / manifest.wall_seconds).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            Json::Obj(vec![
+                ("name".into(), Json::Str(stage.name.clone())),
+                ("seconds".into(), Json::Num(stage.seconds)),
+                ("count".into(), Json::Num(stage.count as f64)),
+                ("wall_fraction".into(), Json::Num(fraction)),
+            ])
+        })
+        .collect();
+    let str_map = |pairs: &[(String, String)]| {
+        Json::Obj(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect(),
+        )
+    };
+    let counters = Json::Obj(
+        manifest
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        manifest
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+            .collect(),
+    );
+    let seeds = Json::Obj(
+        manifest
+            .seeds
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+            .collect(),
+    );
+    let histograms = manifest
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(name.clone())),
+                ("count".into(), Json::Num(h.count as f64)),
+                ("mean".into(), Json::Num(h.mean())),
+                ("min".into(), Json::Num(h.min)),
+                ("max".into(), Json::Num(h.max)),
+                ("p50".into(), Json::Num(h.p50)),
+                ("p90".into(), Json::Num(h.p90)),
+                ("p99".into(), Json::Num(h.p99)),
+            ])
+        })
+        .collect();
+    let quarantined = manifest
+        .quarantined
+        .iter()
+        .map(|q| {
+            Json::Obj(vec![
+                ("unit".into(), Json::Num(q.unit as f64)),
+                ("workload".into(), Json::Str(q.workload.clone())),
+                ("chunk".into(), Json::Num(q.chunk as f64)),
+                ("attempts".into(), Json::Num(q.attempts as f64)),
+                (
+                    "panic".into(),
+                    Json::Str(q.panic.lines().next().unwrap_or("").to_string()),
+                ),
+            ])
+        })
+        .collect();
+    let merged_from = manifest
+        .merged_from
+        .iter()
+        .map(|source| {
+            let shard = match (source.shard_index, source.shard_total) {
+                (Some(i), Some(n)) => Json::Obj(vec![
+                    ("index".into(), Json::Num(i as f64)),
+                    ("total".into(), Json::Num(n as f64)),
+                ]),
+                _ => Json::Null,
+            };
+            Json::Obj(vec![
+                ("path".into(), Json::Str(source.path.clone())),
+                ("shard".into(), shard),
+                ("units".into(), Json::Num(source.units as f64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("fusa-obs/report/v1".into())),
+        ("run_id".into(), Json::Str(manifest.run_id.clone())),
+        ("design".into(), Json::Str(manifest.design.clone())),
+        ("command".into(), Json::Str(manifest.command.clone())),
+        (
+            "created_unix".into(),
+            Json::Num(manifest.created_unix as f64),
+        ),
+        ("wall_seconds".into(), Json::Num(manifest.wall_seconds)),
+        ("threads".into(), Json::Num(manifest.threads as f64)),
+        ("interrupted".into(), Json::Bool(manifest.interrupted)),
+        (
+            "shard".into(),
+            match manifest.shard {
+                Some(shard) => Json::Obj(vec![
+                    ("index".into(), Json::Num(shard.index as f64)),
+                    ("total".into(), Json::Num(shard.total as f64)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        (
+            "peak_rss_bytes".into(),
+            match manifest.peak_rss_bytes {
+                Some(bytes) => Json::Num(bytes as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "top_level_stage_seconds".into(),
+            Json::Num(manifest.top_level_stage_seconds()),
+        ),
+        (
+            "stage_coverage".into(),
+            Json::Num(manifest.stage_coverage()),
+        ),
+        ("build".into(), str_map(&manifest.build)),
+        ("stages".into(), Json::Arr(stages)),
+        ("counters".into(), counters),
+        ("gauges".into(), gauges),
+        ("histograms".into(), Json::Arr(histograms)),
+        ("seeds".into(), seeds),
+        ("config".into(), str_map(&manifest.config)),
+        ("digests".into(), str_map(&manifest.digests)),
+        ("quarantined".into(), Json::Arr(quarantined)),
+        ("merged_from".into(), Json::Arr(merged_from)),
+    ])
+}
+
 fn key_width(lengths: impl Iterator<Item = usize>) -> usize {
     lengths.max().unwrap_or(0).max(4)
 }
@@ -174,7 +328,7 @@ fn key_width(lengths: impl Iterator<Item = usize>) -> usize {
 /// Deterministic fixed-width-friendly number rendering for histogram
 /// statistics: sub-milli values in scientific notation, everything else
 /// with 4 significant-ish decimals.
-fn format_quantity(value: f64) -> String {
+pub(crate) fn format_quantity(value: f64) -> String {
     if value == 0.0 {
         "0".to_string()
     } else if value.abs() < 1e-3 || value.abs() >= 1e9 {
@@ -186,7 +340,7 @@ fn format_quantity(value: f64) -> String {
     }
 }
 
-fn format_bytes(bytes: u64) -> String {
+pub(crate) fn format_bytes(bytes: u64) -> String {
     if bytes >= 1 << 30 {
         format!("{:.2} GiB", bytes as f64 / (1u64 << 30) as f64)
     } else if bytes >= 1 << 20 {
@@ -198,7 +352,7 @@ fn format_bytes(bytes: u64) -> String {
     }
 }
 
-fn bar(fraction: f64, width: usize) -> String {
+pub(crate) fn bar(fraction: f64, width: usize) -> String {
     let filled = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
     let mut out = String::with_capacity(width);
     for i in 0..width {
@@ -391,5 +545,53 @@ mod tests {
         assert_eq!(bar(0.0, 10), "..........");
         assert_eq!(bar(0.5, 10), "#####.....");
         assert_eq!(bar(2.0, 10), "##########");
+    }
+
+    #[test]
+    fn json_report_mirrors_text_sections() {
+        let manifest = RunManifest {
+            run_id: "faults-x".into(),
+            design: "x".into(),
+            command: "fusa faults x".into(),
+            wall_seconds: 2.0,
+            threads: 4,
+            stages: vec![StageTime {
+                name: "campaign".into(),
+                seconds: 1.0,
+                count: 1,
+            }],
+            counters: vec![("gate_evals".into(), 7)],
+            gauges: vec![("campaign.final_rate".into(), 42.5)],
+            seeds: vec![("workloads".into(), 0xdead)],
+            digests: vec![("summary".into(), "fnv1a64:abc".into())],
+            ..RunManifest::default()
+        };
+        let json = render_manifest_report_json(&manifest);
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("fusa-obs/report/v1")
+        );
+        assert_eq!(json.get("run_id").and_then(Json::as_str), Some("faults-x"));
+        let stages = json.get("stages").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            stages[0].get("wall_fraction").and_then(Json::as_f64),
+            Some(0.5)
+        );
+        assert_eq!(
+            json.get("counters")
+                .and_then(|c| c.get("gate_evals"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            json.get("gauges")
+                .and_then(|g| g.get("campaign.final_rate"))
+                .and_then(Json::as_f64),
+            Some(42.5)
+        );
+        // The document round-trips through the parser.
+        let text = json.render_pretty();
+        assert!(Json::parse(&text).is_ok());
+        assert_eq!(json.get("shard"), Some(&Json::Null));
     }
 }

@@ -1,0 +1,368 @@
+//! Live run-status snapshots: the `status.json` telemetry file.
+//!
+//! Every observed run (campaign, training, lint) publishes a
+//! machine-readable [`StatusSnapshot`] into its run directory on the
+//! [`crate::Progress`] heartbeat cadence. The file is rewritten
+//! atomically — written to a sibling temp file and renamed into place —
+//! so concurrent readers (`fusa top`, `fusa export`, node_exporter
+//! textfile collectors) never observe a torn document: every read
+//! either fails with `NotFound` (before the first beat) or parses as a
+//! complete snapshot.
+//!
+//! The CLI arms snapshotting per run via [`set_status_target`]; library
+//! code never writes `status.json` unless a target is armed, so
+//! embedders and tests pay nothing by default. The schema is versioned
+//! (`fusa-obs/status/v1`) and documented in DESIGN.md.
+
+use crate::json::{fmt_f64, Json};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Schema identifier written into every snapshot.
+pub const STATUS_SCHEMA: &str = "fusa-obs/status/v1";
+
+/// Where (and as whom) the current run publishes status snapshots.
+///
+/// Armed process-wide by the CLI at the start of an observed run
+/// ([`set_status_target`]) and read by every [`crate::Progress`]
+/// heartbeat; the identity fields are copied into each snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusTarget {
+    /// Snapshot path, conventionally `<run-dir>/status.json`.
+    pub path: PathBuf,
+    /// Run id (`faults-or1200_icfsm-shard1of3`).
+    pub run_id: String,
+    /// Design slug under analysis.
+    pub design: String,
+    /// `(index, total)` of a `--shard i/n` partial run.
+    pub shard: Option<(u64, u64)>,
+}
+
+static TARGET: Mutex<Option<Arc<StatusTarget>>> = Mutex::new(None);
+
+/// Arms (or disarms, with `None`) process-wide status snapshotting.
+/// The CLI calls this when an observed run begins and clears it when
+/// the run finishes.
+pub fn set_status_target(target: Option<StatusTarget>) {
+    *TARGET.lock().expect("status target poisoned") = target.map(Arc::new);
+}
+
+/// The currently armed status target, if any.
+pub fn status_target() -> Option<Arc<StatusTarget>> {
+    TARGET.lock().expect("status target poisoned").clone()
+}
+
+/// Serialises tests that touch the process-global status target, which
+/// would otherwise race across the parallel test harness.
+#[cfg(test)]
+pub(crate) fn test_target_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Seconds since the Unix epoch, as written into `updated_unix`.
+pub fn unix_now() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+/// One point-in-time view of a live (or just-finished) run phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusSnapshot {
+    /// Run id the snapshot belongs to.
+    pub run_id: String,
+    /// Design slug.
+    pub design: String,
+    /// `(index, total)` of a sharded run.
+    pub shard: Option<(u64, u64)>,
+    /// Writing process id (operator convenience; staleness is judged
+    /// from `updated_unix`, never from pid liveness).
+    pub pid: u64,
+    /// Current phase: the progress label (`campaign`, `train`, `lint`).
+    pub phase: String,
+    /// Unit name for `done`/`total` (`units`, `epochs`, `passes`).
+    pub unit: String,
+    /// Units completed so far (including checkpointed units on resume).
+    pub done: u64,
+    /// Units this run owns in total (shard-local for sharded runs).
+    pub total: u64,
+    /// Auxiliary work units completed (fault-cycles for campaigns).
+    pub work: u64,
+    /// Throughput: work units per second when `work > 0`, otherwise
+    /// done units per second.
+    pub rate: f64,
+    /// Estimated seconds to completion (0 when done or unknown).
+    pub eta_seconds: f64,
+    /// Seconds since the phase started.
+    pub elapsed_seconds: f64,
+    /// Units quarantined after repeated panics so far.
+    pub quarantined: u64,
+    /// Worker threads serving the phase (0 = unknown/single-threaded).
+    pub workers: u64,
+    /// Fraction of `elapsed * workers` spent inside work items, in
+    /// [0, 1]; 0 when the phase does not track worker busy time.
+    pub busy_fraction: f64,
+    /// Peak resident set size, when the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+    /// Wall-clock timestamp of this snapshot (seconds since epoch).
+    /// `fusa top` flags a live run as stalled when this goes stale.
+    pub updated_unix: f64,
+    /// Whether this is the phase's final beat. A finished snapshot with
+    /// `done < total` marks an interrupted or partial (sharded) phase.
+    pub finished: bool,
+}
+
+impl StatusSnapshot {
+    /// Renders the snapshot as a JSON document value.
+    pub fn to_json(&self) -> Json {
+        let shard = match self.shard {
+            Some((index, total)) => Json::Obj(vec![
+                ("index".into(), Json::Num(index as f64)),
+                ("total".into(), Json::Num(total as f64)),
+            ]),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(STATUS_SCHEMA.into())),
+            ("run_id".into(), Json::Str(self.run_id.clone())),
+            ("design".into(), Json::Str(self.design.clone())),
+            ("shard".into(), shard),
+            ("pid".into(), Json::Num(self.pid as f64)),
+            ("phase".into(), Json::Str(self.phase.clone())),
+            ("unit".into(), Json::Str(self.unit.clone())),
+            ("done".into(), Json::Num(self.done as f64)),
+            ("total".into(), Json::Num(self.total as f64)),
+            ("work".into(), Json::Num(self.work as f64)),
+            ("rate".into(), Json::Num(self.rate)),
+            ("eta_seconds".into(), Json::Num(self.eta_seconds)),
+            ("elapsed_seconds".into(), Json::Num(self.elapsed_seconds)),
+            ("quarantined".into(), Json::Num(self.quarantined as f64)),
+            ("workers".into(), Json::Num(self.workers as f64)),
+            ("busy_fraction".into(), Json::Num(self.busy_fraction)),
+            (
+                "peak_rss_bytes".into(),
+                match self.peak_rss_bytes {
+                    Some(bytes) => Json::Num(bytes as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("updated_unix".into(), Json::Num(self.updated_unix)),
+            ("finished".into(), Json::Bool(self.finished)),
+        ])
+    }
+
+    /// Parses a snapshot document, validating the schema marker.
+    pub fn parse(text: &str) -> Result<StatusSnapshot, String> {
+        let json = Json::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("not a status snapshot (no `schema` field)")?;
+        if schema != STATUS_SCHEMA {
+            return Err(format!(
+                "unsupported status schema {schema:?} (expected {STATUS_SCHEMA:?})"
+            ));
+        }
+        let str_field = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("field `{name}` missing"))
+        };
+        let u64_field = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("field `{name}` missing"))
+        };
+        let f64_field = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("field `{name}` missing"))
+        };
+        let shard = match json.get("shard") {
+            Some(Json::Obj(_)) => {
+                let obj = json.get("shard").expect("just matched");
+                match (
+                    obj.get("index").and_then(Json::as_u64),
+                    obj.get("total").and_then(Json::as_u64),
+                ) {
+                    (Some(index), Some(total)) => Some((index, total)),
+                    _ => return Err("field `shard` needs index and total".into()),
+                }
+            }
+            Some(Json::Null) | None => None,
+            _ => return Err("field `shard` must be an object or null".into()),
+        };
+        Ok(StatusSnapshot {
+            run_id: str_field("run_id")?,
+            design: str_field("design")?,
+            shard,
+            pid: u64_field("pid")?,
+            phase: str_field("phase")?,
+            unit: str_field("unit")?,
+            done: u64_field("done")?,
+            total: u64_field("total")?,
+            work: u64_field("work")?,
+            rate: f64_field("rate")?,
+            eta_seconds: f64_field("eta_seconds")?,
+            elapsed_seconds: f64_field("elapsed_seconds")?,
+            quarantined: u64_field("quarantined")?,
+            workers: u64_field("workers")?,
+            busy_fraction: f64_field("busy_fraction")?,
+            peak_rss_bytes: match json.get("peak_rss_bytes") {
+                Some(Json::Null) | None => None,
+                Some(value) => Some(value.as_u64().ok_or("bad value for `peak_rss_bytes`")?),
+            },
+            updated_unix: f64_field("updated_unix")?,
+            finished: match json.get("finished") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("field `finished` missing".into()),
+            },
+        })
+    }
+
+    /// Publishes the snapshot at `path` atomically: the document is
+    /// written to a sibling `.tmp` file and renamed over `path`, so a
+    /// concurrent reader sees either the previous complete snapshot or
+    /// this one — never a prefix.
+    pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json().render_pretty())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads and parses the snapshot at `path`.
+    pub fn read(path: &Path) -> Result<StatusSnapshot, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        StatusSnapshot::parse(&text).map_err(|e| format!("`{}`: {e}", path.display()))
+    }
+
+    /// Progress fraction in [0, 1].
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.done as f64 / self.total as f64).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Age of the snapshot relative to `now_unix`, clamped at zero
+    /// (clock skew between writer and reader must not go negative).
+    pub fn age_seconds(&self, now_unix: f64) -> f64 {
+        (now_unix - self.updated_unix).max(0.0)
+    }
+}
+
+/// `fmt_f64` is re-exported indirectly through `to_json`; keep the
+/// helper referenced so the rendering path stays the shared one.
+const _: fn(f64) -> String = fmt_f64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatusSnapshot {
+        StatusSnapshot {
+            run_id: "faults-or1200_icfsm-shard1of3".into(),
+            design: "or1200_icfsm".into(),
+            shard: Some((1, 3)),
+            pid: 1234,
+            phase: "campaign".into(),
+            unit: "units".into(),
+            done: 37,
+            total: 96,
+            work: 1_000_000,
+            rate: 1.21e7,
+            eta_seconds: 3.2,
+            elapsed_seconds: 1.6,
+            quarantined: 1,
+            workers: 4,
+            busy_fraction: 0.87,
+            peak_rss_bytes: Some(3 << 20),
+            updated_unix: 1_700_000_000.25,
+            finished: false,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snapshot = sample();
+        let text = snapshot.to_json().render_pretty();
+        assert_eq!(StatusSnapshot::parse(&text).unwrap(), snapshot);
+
+        let unsharded = StatusSnapshot {
+            shard: None,
+            peak_rss_bytes: None,
+            finished: true,
+            ..sample()
+        };
+        let text = unsharded.to_json().render();
+        assert_eq!(StatusSnapshot::parse(&text).unwrap(), unsharded);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_documents() {
+        assert!(StatusSnapshot::parse("{}").is_err());
+        assert!(StatusSnapshot::parse("not json").is_err());
+        let wrong_schema = r#"{"schema": "fusa-obs/manifest/v4"}"#;
+        let err = StatusSnapshot::parse(wrong_schema).unwrap_err();
+        assert!(err.contains("unsupported status schema"), "{err}");
+    }
+
+    #[test]
+    fn write_atomic_leaves_only_the_snapshot() {
+        let dir = std::env::temp_dir().join(format!("fusa_status_unit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("status.json");
+        let snapshot = sample();
+        snapshot.write_atomic(&path).unwrap();
+        assert_eq!(StatusSnapshot::read(&path).unwrap(), snapshot);
+        // The temp file was renamed away, not left behind.
+        assert!(!dir.join("status.json.tmp").exists());
+        // A second write replaces the first.
+        let finished = StatusSnapshot {
+            done: 96,
+            finished: true,
+            ..sample()
+        };
+        finished.write_atomic(&path).unwrap();
+        assert_eq!(StatusSnapshot::read(&path).unwrap(), finished);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn target_round_trips_and_clears() {
+        let _guard = test_target_lock();
+        set_status_target(None);
+        assert!(status_target().is_none());
+        set_status_target(Some(StatusTarget {
+            path: PathBuf::from("/tmp/status.json"),
+            run_id: "r".into(),
+            design: "d".into(),
+            shard: None,
+        }));
+        let armed = status_target().expect("armed");
+        assert_eq!(armed.run_id, "r");
+        set_status_target(None);
+        assert!(status_target().is_none());
+    }
+
+    #[test]
+    fn fraction_and_age_are_clamped() {
+        let snapshot = sample();
+        assert!((snapshot.fraction() - 37.0 / 96.0).abs() < 1e-12);
+        assert_eq!(snapshot.age_seconds(snapshot.updated_unix - 5.0), 0.0);
+        assert!((snapshot.age_seconds(snapshot.updated_unix + 2.0) - 2.0).abs() < 1e-9);
+        let empty = StatusSnapshot {
+            total: 0,
+            ..sample()
+        };
+        assert_eq!(empty.fraction(), 0.0);
+    }
+}

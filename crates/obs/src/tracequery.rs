@@ -1,0 +1,351 @@
+//! Trace querying for `fusa trace`: offline analysis of the JSONL
+//! span/event streams written by `--trace-out`.
+//!
+//! The recorder's sink emits one JSON object per line:
+//! `{"ts":…,"kind":"span","thread":…,"name":"campaign/golden","seconds":…}`
+//! for every completed span (full hierarchical path), plus `progress`,
+//! `epoch`, `campaign` … events. [`TraceReport`] aggregates such a
+//! stream into:
+//!
+//! - event counts per kind,
+//! - per-span-path statistics: call count, total wall, **self** wall
+//!   (total minus the total of direct children — a poor man's
+//!   flamegraph), and a latency histogram with p50/p90/p99,
+//! - a span tree rendered by path depth.
+//!
+//! Self time is clamped at zero: spans whose direct children ran on
+//! other threads (the campaign worker pool roots its per-unit spans
+//! under the campaign span) can legitimately accumulate more child
+//! wall than parent wall.
+
+use crate::histogram::Histogram;
+use crate::json::Json;
+use crate::render::format_quantity;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Line filter applied while scanning the stream.
+#[derive(Debug, Clone, Default)]
+pub struct TraceFilter {
+    /// Keep only events of this kind (`span`, `progress`, …).
+    pub kind: Option<String>,
+    /// Keep only events whose `name` field contains this substring.
+    /// Events without a `name` field are dropped when set.
+    pub name_substring: Option<String>,
+}
+
+impl TraceFilter {
+    fn keeps(&self, kind: &str, name: Option<&str>) -> bool {
+        if let Some(want) = &self.kind {
+            if kind != want {
+                return false;
+            }
+        }
+        if let Some(substring) = &self.name_substring {
+            match name {
+                Some(name) => {
+                    if !name.contains(substring.as_str()) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone)]
+pub struct SpanStats {
+    /// Full hierarchical path (`campaign/golden`).
+    pub name: String,
+    /// Completed span count.
+    pub count: u64,
+    /// Σ wall seconds across completions.
+    pub total_seconds: f64,
+    /// Total minus direct children's totals, clamped at zero.
+    pub self_seconds: f64,
+    /// Latency distribution across completions.
+    pub histogram: Histogram,
+}
+
+/// The result of scanning one trace stream.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Lines scanned (excluding blank lines).
+    pub lines_total: usize,
+    /// Lines that were not parseable JSON objects with a `kind`.
+    pub lines_skipped: usize,
+    /// Events kept by the filter, per kind, sorted by kind.
+    pub kind_counts: Vec<(String, u64)>,
+    /// Span aggregates sorted by hierarchical path, parents first.
+    pub spans: Vec<SpanStats>,
+}
+
+impl TraceReport {
+    /// Scans a JSONL trace stream, keeping events the filter accepts.
+    /// Unparseable lines are counted, not fatal: a live run's last line
+    /// may be mid-write.
+    pub fn scan(text: &str, filter: &TraceFilter) -> TraceReport {
+        let mut lines_total = 0usize;
+        let mut lines_skipped = 0usize;
+        let mut kind_counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut spans: BTreeMap<String, (u64, f64, Histogram)> = BTreeMap::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            lines_total += 1;
+            let Ok(event) = Json::parse(line) else {
+                lines_skipped += 1;
+                continue;
+            };
+            let Some(kind) = event.get("kind").and_then(Json::as_str) else {
+                lines_skipped += 1;
+                continue;
+            };
+            let name = event.get("name").and_then(Json::as_str);
+            if !filter.keeps(kind, name) {
+                continue;
+            }
+            *kind_counts.entry(kind.to_string()).or_insert(0) += 1;
+            if kind == "span" {
+                if let (Some(name), Some(seconds)) =
+                    (name, event.get("seconds").and_then(Json::as_f64))
+                {
+                    let entry = spans
+                        .entry(name.to_string())
+                        .or_insert_with(|| (0, 0.0, Histogram::new()));
+                    entry.0 += 1;
+                    entry.1 += seconds;
+                    entry.2.observe(seconds);
+                }
+            }
+        }
+
+        // Self time: subtract direct children's totals from each parent.
+        let mut child_totals: BTreeMap<&str, f64> = BTreeMap::new();
+        for (name, (_, total, _)) in &spans {
+            if let Some(slash) = name.rfind('/') {
+                *child_totals.entry(&name[..slash]).or_insert(0.0) += total;
+            }
+        }
+        let mut rows: Vec<SpanStats> = spans
+            .iter()
+            .map(|(name, (count, total, histogram))| SpanStats {
+                name: name.clone(),
+                count: *count,
+                total_seconds: *total,
+                self_seconds: (total - child_totals.get(name.as_str()).copied().unwrap_or(0.0))
+                    .max(0.0),
+                histogram: histogram.clone(),
+            })
+            .collect();
+        // Segment-wise sort keeps children directly under their parent
+        // even when a sibling name sorts between them bytewise
+        // (`campaign-x` vs `campaign/golden`).
+        rows.sort_by(|a, b| a.name.split('/').cmp(b.name.split('/')));
+
+        TraceReport {
+            lines_total,
+            lines_skipped,
+            kind_counts: kind_counts.into_iter().collect(),
+            spans: rows,
+        }
+    }
+
+    /// Renders the report: kind counts, then the span tree with
+    /// self/total attribution and quantiles.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} event line(s), {} skipped",
+            self.lines_total, self.lines_skipped
+        );
+        if !self.kind_counts.is_empty() {
+            let _ = writeln!(out, "\nevents by kind");
+            for (kind, count) in &self.kind_counts {
+                let _ = writeln!(out, "  {kind:<12} {count}");
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nspan tree ({} path(s))                         count     total      self       p50       p90       p99       max",
+                self.spans.len()
+            );
+            for span in &self.spans {
+                let depth = span.name.matches('/').count();
+                let leaf = span.name.rsplit('/').next().unwrap_or(&span.name);
+                let label = format!("{}{}", "  ".repeat(depth), leaf);
+                let _ = writeln!(
+                    out,
+                    "  {:<44} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                    label,
+                    span.count,
+                    format_quantity(span.total_seconds),
+                    format_quantity(span.self_seconds),
+                    format_quantity(span.histogram.quantile(0.5)),
+                    format_quantity(span.histogram.quantile(0.9)),
+                    format_quantity(span.histogram.quantile(0.99)),
+                    format_quantity(span.histogram.max()),
+                );
+            }
+        }
+        out
+    }
+
+    /// Machine-readable report, schema `fusa-obs/trace/v1`.
+    pub fn to_json(&self) -> Json {
+        let kinds = self
+            .kind_counts
+            .iter()
+            .map(|(kind, count)| {
+                Json::Obj(vec![
+                    ("kind".into(), Json::Str(kind.clone())),
+                    ("count".into(), Json::Num(*count as f64)),
+                ])
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|span| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(span.name.clone())),
+                    ("count".into(), Json::Num(span.count as f64)),
+                    ("total_seconds".into(), Json::Num(span.total_seconds)),
+                    ("self_seconds".into(), Json::Num(span.self_seconds)),
+                    ("p50".into(), Json::Num(span.histogram.quantile(0.5))),
+                    ("p90".into(), Json::Num(span.histogram.quantile(0.9))),
+                    ("p99".into(), Json::Num(span.histogram.quantile(0.99))),
+                    ("max".into(), Json::Num(span.histogram.max())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("fusa-obs/trace/v1".into())),
+            ("lines_total".into(), Json::Num(self.lines_total as f64)),
+            ("lines_skipped".into(), Json::Num(self.lines_skipped as f64)),
+            ("kinds".into(), Json::Arr(kinds)),
+            ("spans".into(), Json::Arr(spans)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(name: &str, seconds: f64) -> String {
+        format!(
+            r#"{{"ts":1.0,"kind":"span","thread":"ThreadId(1)","name":"{name}","seconds":{seconds}}}"#
+        )
+    }
+
+    fn sample_trace() -> String {
+        [
+            span_line("campaign/golden", 1.0),
+            span_line("campaign/units", 2.0),
+            span_line("campaign/units", 4.0),
+            span_line("campaign", 8.0),
+            r#"{"ts":2.0,"kind":"progress","thread":"ThreadId(1)","name":"campaign","done":3,"total":8}"#.to_string(),
+            r#"{"ts":3.0,"kind":"epoch","thread":"ThreadId(1)","epoch":1,"loss":0.5}"#.to_string(),
+            "not json at all".to_string(),
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn scan_aggregates_spans_with_self_time() {
+        let report = TraceReport::scan(&sample_trace(), &TraceFilter::default());
+        assert_eq!(report.lines_total, 7);
+        assert_eq!(report.lines_skipped, 1);
+        assert_eq!(
+            report.kind_counts,
+            vec![
+                ("epoch".to_string(), 1),
+                ("progress".to_string(), 1),
+                ("span".to_string(), 4),
+            ]
+        );
+        assert_eq!(report.spans.len(), 3);
+        let campaign = &report.spans[0];
+        assert_eq!(campaign.name, "campaign");
+        assert_eq!(campaign.count, 1);
+        assert!((campaign.total_seconds - 8.0).abs() < 1e-12);
+        // 8 total − (1 + 6) children = 1 self.
+        assert!((campaign.self_seconds - 1.0).abs() < 1e-12);
+        let units = report
+            .spans
+            .iter()
+            .find(|s| s.name == "campaign/units")
+            .unwrap();
+        assert_eq!(units.count, 2);
+        assert!((units.total_seconds - 6.0).abs() < 1e-12);
+        assert!(
+            (units.self_seconds - 6.0).abs() < 1e-12,
+            "leaf self = total"
+        );
+        assert_eq!(units.histogram.count(), 2);
+    }
+
+    #[test]
+    fn self_time_clamps_at_zero() {
+        // Parallel children: 4 workers × 2 s under a 2 s parent.
+        let text = [
+            span_line("campaign", 2.0),
+            span_line("campaign/unit", 2.0),
+            span_line("campaign/unit", 2.0),
+            span_line("campaign/unit", 2.0),
+            span_line("campaign/unit", 2.0),
+        ]
+        .join("\n");
+        let report = TraceReport::scan(&text, &TraceFilter::default());
+        assert_eq!(report.spans[0].self_seconds, 0.0);
+    }
+
+    #[test]
+    fn filters_by_kind_and_name() {
+        let only_spans = TraceFilter {
+            kind: Some("span".into()),
+            ..TraceFilter::default()
+        };
+        let report = TraceReport::scan(&sample_trace(), &only_spans);
+        assert_eq!(report.kind_counts, vec![("span".to_string(), 4)]);
+
+        let only_units = TraceFilter {
+            kind: Some("span".into()),
+            name_substring: Some("units".into()),
+        };
+        let report = TraceReport::scan(&sample_trace(), &only_units);
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].name, "campaign/units");
+        // Unnamed events are dropped by a name filter.
+        let named = TraceFilter {
+            kind: None,
+            name_substring: Some("campaign".into()),
+        };
+        let report = TraceReport::scan(&sample_trace(), &named);
+        assert!(report.kind_counts.iter().all(|(k, _)| k != "epoch"));
+    }
+
+    #[test]
+    fn renders_tree_and_json() {
+        let report = TraceReport::scan(&sample_trace(), &TraceFilter::default());
+        let text = report.render_text();
+        assert!(text.contains("7 event line(s), 1 skipped"), "{text}");
+        assert!(text.contains("progress"), "{text}");
+        // Children indent under the parent.
+        assert!(text.contains("\n  campaign "), "{text}");
+        assert!(text.contains("    golden"), "{text}");
+        let json = report.to_json();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("fusa-obs/trace/v1")
+        );
+        assert_eq!(json.get("spans").and_then(Json::as_arr).unwrap().len(), 3);
+    }
+}

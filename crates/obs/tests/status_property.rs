@@ -1,0 +1,117 @@
+//! Torn-read property test for `status.json` publication.
+//!
+//! `StatusSnapshot::write_atomic` promises that concurrent readers
+//! never observe a half-written document: every successful read parses
+//! as a complete schema-valid snapshot from the writer's history. This
+//! test hammers one path with a writer rewriting the snapshot as fast
+//! as it can while several readers poll it, and asserts the invariants
+//! on every read that finds the file.
+
+use fusa_obs::{StatusSnapshot, STATUS_SCHEMA};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn snapshot(iteration: u64) -> StatusSnapshot {
+    StatusSnapshot {
+        run_id: "faults-torn-shard0of2".into(),
+        design: "torn".into(),
+        shard: Some((0, 2)),
+        pid: std::process::id() as u64,
+        phase: "campaign".into(),
+        unit: "units".into(),
+        done: iteration,
+        total: 100_000,
+        // Couples `work` to `done` so readers can check cross-field
+        // consistency: a torn read mixing two snapshots would break it.
+        work: iteration * 1_000,
+        rate: iteration as f64,
+        eta_seconds: 1.5,
+        elapsed_seconds: 0.25,
+        quarantined: 1,
+        workers: 4,
+        busy_fraction: 0.75,
+        peak_rss_bytes: Some(1 << 20),
+        updated_unix: 1_700_000_000.0 + iteration as f64,
+        finished: false,
+    }
+}
+
+#[test]
+fn concurrent_reads_are_never_torn() {
+    const WRITES: u64 = 500;
+    const READERS: usize = 3;
+
+    let dir = std::env::temp_dir().join(format!("fusa_status_torn_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("status.json");
+
+    let stop = AtomicBool::new(false);
+    let successful_reads = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let path = &path;
+        let stop = &stop;
+        let successful_reads = &successful_reads;
+        scope.spawn(move || {
+            for iteration in 0..WRITES {
+                snapshot(iteration)
+                    .write_atomic(path)
+                    .expect("atomic write");
+            }
+            stop.store(true, Ordering::Release);
+        });
+        for _ in 0..READERS {
+            scope.spawn(move || {
+                let mut last_done = 0u64;
+                loop {
+                    let finished = stop.load(Ordering::Acquire);
+                    match std::fs::read_to_string(path) {
+                        Ok(text) => {
+                            // THE invariant: whatever the reader got
+                            // parses as one complete snapshot...
+                            let snapshot = StatusSnapshot::parse(&text)
+                                .expect("read snapshot parses completely");
+                            // ...whose fields are mutually consistent
+                            // (no mixing of two generations) ...
+                            assert_eq!(snapshot.work, snapshot.done * 1_000);
+                            assert_eq!(snapshot.run_id, "faults-torn-shard0of2");
+                            assert_eq!(snapshot.total, 100_000);
+                            // ...and writes are observed in order.
+                            assert!(
+                                snapshot.done >= last_done,
+                                "monotone: {} then {}",
+                                last_done,
+                                snapshot.done
+                            );
+                            last_done = snapshot.done;
+                            successful_reads.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // NotFound before the first write is the only
+                        // acceptable failure; after that the file is
+                        // always present (rename never unlinks it).
+                        Err(e) => {
+                            assert_eq!(
+                                e.kind(),
+                                std::io::ErrorKind::NotFound,
+                                "only NotFound reads allowed: {e}"
+                            );
+                            assert_eq!(last_done, 0, "file vanished after a read");
+                        }
+                    }
+                    if finished {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // The schema marker is what guards foreign readers.
+    let final_text = std::fs::read_to_string(&path).unwrap();
+    assert!(final_text.contains(STATUS_SCHEMA));
+    let final_snapshot = StatusSnapshot::parse(&final_text).unwrap();
+    assert_eq!(final_snapshot.done, WRITES - 1);
+    assert!(
+        successful_reads.load(Ordering::Relaxed) >= READERS as u64,
+        "each reader read at least once"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

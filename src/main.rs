@@ -25,8 +25,10 @@ use fusa::gcn::ExplainerConfig;
 use fusa::logicsim::WorkloadSuite;
 use fusa::netlist::{designs, parser::parse_verilog, Netlist, NetlistStats};
 use fusa::obs::{
-    fnv1a64_hex, render_manifest_report, MergeSourceRecord, QuarantinedUnitRecord, RunManifest,
-    ShardRecord,
+    discover_status_files, fnv1a64_hex, render_manifest_report, render_manifest_report_json,
+    render_prometheus, set_status_target, FleetOptions, FleetRun, FleetView, MergeSourceRecord,
+    PromRun, QuarantinedUnitRecord, RunManifest, ShardRecord, StatusSnapshot, StatusTarget,
+    TraceFilter, TraceReport,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -130,6 +132,11 @@ const RUN_FLAGS: &[FlagSpec] = &[
         name: "--structural-features",
         value: None,
         help: "append SCOAP/centrality node-feature channels to the model input",
+    },
+    FlagSpec {
+        name: "--no-status",
+        value: None,
+        help: "disable the live <run-dir>/status.json snapshots",
     },
 ];
 
@@ -370,9 +377,88 @@ const COMMANDS: &[CommandSpec] = &[
         positionals: "<manifest.json>",
         positional_count: 1,
         variadic: false,
-        flags: &[],
+        flags: &[FlagSpec {
+            name: "--json",
+            value: None,
+            help: "machine-readable report (fusa-obs/report/v1)",
+        }],
         run_options: false,
         help: "render a run manifest",
+    },
+    CommandSpec {
+        name: "top",
+        positionals: "<results-root|run-dir>...",
+        positional_count: 1,
+        variadic: true,
+        flags: &[
+            FlagSpec {
+                name: "--once",
+                value: None,
+                help: "render one frame and exit (no refresh loop)",
+            },
+            FlagSpec {
+                name: "--json",
+                value: None,
+                help: "one fleet snapshot as JSON (implies --once)",
+            },
+            FlagSpec {
+                name: "--interval",
+                value: Some("SECS"),
+                help: "refresh period (default 2)",
+            },
+            FlagSpec {
+                name: "--stale",
+                value: Some("SECS"),
+                help: "flag live runs with older heartbeats as stalled (default 30)",
+            },
+        ],
+        run_options: false,
+        help: "live fleet dashboard over status.json snapshots",
+    },
+    CommandSpec {
+        name: "export",
+        positionals: "<run-dir>...",
+        positional_count: 1,
+        variadic: true,
+        flags: &[
+            FlagSpec {
+                name: "--prometheus",
+                value: None,
+                help: "Prometheus textfile-exporter format (the only format so far)",
+            },
+            FlagSpec {
+                name: "--out",
+                value: Some("FILE"),
+                help: "write the rendered metrics (default stdout)",
+            },
+        ],
+        run_options: false,
+        help: "export run status + manifest metrics for scrapers",
+    },
+    CommandSpec {
+        name: "trace",
+        positionals: "<trace.jsonl>",
+        positional_count: 1,
+        variadic: false,
+        flags: &[
+            FlagSpec {
+                name: "--kind",
+                value: Some("KIND"),
+                help: "keep only events of this kind (span, progress, epoch, ...)",
+            },
+            FlagSpec {
+                name: "--name",
+                value: Some("SUBSTR"),
+                help: "keep only events whose name contains SUBSTR",
+            },
+            FlagSpec {
+                name: "--json",
+                value: None,
+                help: "machine-readable report (fusa-obs/trace/v1)",
+            },
+        ],
+        run_options: false,
+        help: "query a --trace-out JSONL stream (span tree, self time, quantiles)",
     },
     CommandSpec {
         name: "compare",
@@ -547,6 +633,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "merge" => cmd_merge(args),
         "report" => cmd_report(args),
         "compare" => cmd_compare(args),
+        "top" => cmd_top(args),
+        "export" => cmd_export(args),
+        "trace" => cmd_trace(args),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -704,6 +793,18 @@ impl ObsSession {
                 run_dir.display()
             );
         }
+        // Arm live status.json snapshots for this run's progress phases
+        // (campaign/train/lint heartbeats); `fusa top` watches these.
+        if args.iter().any(|a| a == "--no-status") {
+            set_status_target(None);
+        } else {
+            set_status_target(Some(StatusTarget {
+                path: run_dir.join("status.json"),
+                run_id: run_id.clone(),
+                design: design_slug.clone(),
+                shard: shard.map(|s| (s.index as u64, s.total as u64)),
+            }));
+        }
         Ok(ObsSession {
             run_id,
             command_line: format!("fusa {}", args.join(" ")),
@@ -786,6 +887,9 @@ impl ObsSession {
         digests: Vec<(String, String)>,
     ) -> Result<(), String> {
         let obs = fusa::obs::global();
+        // Disarm status snapshots: every progress phase has emitted its
+        // final (finished) beat by now.
+        set_status_target(None);
         obs.detach_sink();
         let snapshot = obs.snapshot();
         let mut manifest = RunManifest::new(&self.run_id, &self.command_line, design);
@@ -970,6 +1074,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let mut config = pipeline_config(args)?;
     config.campaign.shard = session.shard;
     let (config_kv, seeds) = manifest_config(&config);
+    let lint = lint_digest(&netlist);
     let analysis = match FusaPipeline::new(config)
         .with_campaign_durability(session.durability(args)?)
         .run(&netlist)
@@ -1002,7 +1107,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             fnv1a64_hex(stable_text.as_bytes()),
         ),
         ("nodes.csv".to_string(), fnv1a64_hex(csv.as_bytes())),
-        lint_digest(&netlist),
+        lint,
     ];
 
     if let Some(path) = flag_value(args, "--report") {
@@ -1034,6 +1139,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     let (config_kv, seeds) = manifest_config(&config);
     let faults = FaultList::all_gate_outputs(&netlist);
     let workloads = WorkloadSuite::generate(&netlist, &config.workloads);
+    let lint = lint_digest(&netlist);
     let report = FaultCampaign::new(config.campaign)
         .with_durability(session.durability(args)?)
         .run(&netlist, &faults, &workloads)
@@ -1059,7 +1165,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
             fnv1a64_hex(stable_summary.as_bytes()),
         ),
         ("criticality.csv".to_string(), fnv1a64_hex(csv.as_bytes())),
-        lint_digest(&netlist),
+        lint,
     ];
     if let Some(path) = flag_value(args, "--csv") {
         std::fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
@@ -1074,6 +1180,10 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
 /// Run inside an [`ObsSession`] so the `lint.findings.*` severity
 /// counters land in the manifest too; `fusa compare` hard-fails on the
 /// digest and annotates counter deltas without gating on them.
+///
+/// Call this *before* the campaign/train phase: each phase republishes
+/// `status.json`, and the run's final snapshot should come from its
+/// dominant phase, not a trailing sub-second lint pass.
 fn lint_digest(netlist: &Netlist) -> (String, String) {
     let report = fusa::lint::lint_netlist(netlist);
     (
@@ -1480,6 +1590,7 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
 
     // Resume from the merged checkpoint: the pending set is empty, so
     // this replays zero units and emits the single-run report.
+    let lint = lint_digest(&netlist);
     let report = FaultCampaign::new(config.campaign)
         .with_durability(DurabilityConfig {
             checkpoint: Some(out.clone()),
@@ -1505,7 +1616,7 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
             fnv1a64_hex(stable_summary.as_bytes()),
         ),
         ("criticality.csv".to_string(), fnv1a64_hex(csv.as_bytes())),
-        lint_digest(&netlist),
+        lint,
     ];
     if let Some(path) = flag_value(args, "--csv") {
         std::fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
@@ -1515,10 +1626,172 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    let path = args.get(1).ok_or("missing manifest path")?;
+    let spec = COMMANDS
+        .iter()
+        .find(|c| c.name == "report")
+        .expect("report spec");
+    let positionals = positional_args(spec, args);
+    let path = positionals.first().ok_or("missing manifest path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let manifest = RunManifest::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
-    print!("{}", render_manifest_report(&manifest));
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", render_manifest_report_json(&manifest).render_pretty());
+    } else {
+        print!("{}", render_manifest_report(&manifest));
+    }
+    Ok(())
+}
+
+/// Builds the fleet view `fusa top` renders: discovers `status.json`
+/// snapshots under the given roots and derives each run's shard-family
+/// key from its checkpoint header (when one exists and parses).
+fn collect_fleet(roots: &[PathBuf], stale_seconds: f64) -> Result<FleetView, String> {
+    let mut runs = Vec::new();
+    for status_path in discover_status_files(roots) {
+        let status = match StatusSnapshot::read(&status_path) {
+            Ok(status) => status,
+            // A run dir may be swept away between discovery and read;
+            // a half-written legacy file is not ours to crash on.
+            Err(_) => continue,
+        };
+        let dir = status_path
+            .parent()
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let family = fusa::faultsim::read_header(&dir.join("checkpoint.jsonl"))
+            .ok()
+            .map(|header| header.family_key());
+        runs.push(FleetRun {
+            dir,
+            status,
+            family,
+        });
+    }
+    if runs.is_empty() {
+        return Err(format!(
+            "no status.json snapshots under {} (runs write them unless --no-status; old runs predate them)",
+            roots
+                .iter()
+                .map(|r| format!("`{}`", r.display()))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+    }
+    Ok(FleetView::build(
+        runs,
+        FleetOptions {
+            stale_seconds,
+            now_unix: fusa::obs::unix_now(),
+        },
+    ))
+}
+
+/// `fusa top <results-root|run-dir>...`: the live fleet dashboard.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let spec = COMMANDS.iter().find(|c| c.name == "top").expect("top spec");
+    let roots: Vec<PathBuf> = positional_args(spec, args)
+        .iter()
+        .map(PathBuf::from)
+        .collect();
+    let json = args.iter().any(|a| a == "--json");
+    let once = json || args.iter().any(|a| a == "--once");
+    let interval = match flag_value(args, "--interval") {
+        Some(value) => value
+            .parse::<f64>()
+            .ok()
+            .filter(|s| *s > 0.0)
+            .ok_or_else(|| format!("bad --interval value `{value}`"))?,
+        None => 2.0,
+    };
+    let stale_seconds = match flag_value(args, "--stale") {
+        Some(value) => value
+            .parse::<f64>()
+            .ok()
+            .filter(|s| *s > 0.0)
+            .ok_or_else(|| format!("bad --stale value `{value}`"))?,
+        None => FleetOptions::DEFAULT_STALE_SECONDS,
+    };
+
+    loop {
+        let view = collect_fleet(&roots, stale_seconds)?;
+        if json {
+            println!("{}", view.to_json().render_pretty());
+        } else {
+            if !once {
+                // ANSI clear + home keeps the dashboard in place.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", view.render_text());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        if once {
+            return Ok(());
+        }
+        // Every run finished and none stalled: the fleet is done,
+        // leave the final frame on screen.
+        if view.live == 0 && view.stalled == 0 {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
+}
+
+/// `fusa export --prometheus <run-dir>...`: render status snapshots and
+/// manifests as a Prometheus textfile for node_exporter to scrape.
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    if !args.iter().any(|a| a == "--prometheus") {
+        return Err("`fusa export` needs a format; pass --prometheus".into());
+    }
+    let spec = COMMANDS
+        .iter()
+        .find(|c| c.name == "export")
+        .expect("export spec");
+    let mut runs = Vec::new();
+    for root in positional_args(spec, args) {
+        let dir = PathBuf::from(root);
+        let status = StatusSnapshot::read(&dir.join("status.json")).ok();
+        let manifest = std::fs::read_to_string(dir.join("manifest.json"))
+            .ok()
+            .and_then(|text| RunManifest::parse(&text).ok());
+        if status.is_none() && manifest.is_none() {
+            return Err(format!(
+                "`{root}` has neither a status.json nor a manifest.json"
+            ));
+        }
+        runs.push(PromRun { status, manifest });
+    }
+    let rendered = render_prometheus(&runs);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("fusa: metrics written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// `fusa trace <trace.jsonl>`: offline span/event query over a
+/// `--trace-out` stream.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let spec = COMMANDS
+        .iter()
+        .find(|c| c.name == "trace")
+        .expect("trace spec");
+    let positionals = positional_args(spec, args);
+    let path = positionals.first().ok_or("missing trace path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let filter = TraceFilter {
+        kind: flag_value(args, "--kind").map(str::to_string),
+        name_substring: flag_value(args, "--name").map(str::to_string),
+    };
+    let report = TraceReport::scan(&text, &filter);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json().render_pretty());
+    } else {
+        print!("{}", report.render_text());
+    }
     Ok(())
 }
 

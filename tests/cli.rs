@@ -519,7 +519,7 @@ fn usage_lists_every_command() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     for name in [
         "designs", "stats", "lint", "analyze", "faults", "rank", "explain", "seu", "harden",
-        "synth", "merge", "report", "compare",
+        "synth", "merge", "report", "compare", "top", "export", "trace",
     ] {
         assert!(stderr.contains(&format!("fusa {name}")), "missing {name}");
     }
@@ -533,6 +533,9 @@ fn usage_lists_every_command() {
     assert!(stderr.contains("--resume"), "{stderr}");
     assert!(stderr.contains("--max-unit-retries N"), "{stderr}");
     assert!(stderr.contains("--strict"), "{stderr}");
+    assert!(stderr.contains("--no-status"), "{stderr}");
+    assert!(stderr.contains("--prometheus"), "{stderr}");
+    assert!(stderr.contains("--stale SECS"), "{stderr}");
 }
 
 #[test]
@@ -832,4 +835,293 @@ fn missing_design_file_reports_cleanly() {
         .unwrap();
     assert!(!output.status.success());
     assert!(String::from_utf8_lossy(&output.stderr).contains("cannot read"));
+}
+
+/// One `--fast` campaign exercises the whole telemetry surface: the
+/// final `status.json` snapshot, `report --json`, `trace` over the
+/// `--trace-out` stream, `export --prometheus`, and the `--no-status`
+/// opt-out.
+#[test]
+fn telemetry_surface_over_one_campaign() {
+    use fusa::obs::StatusSnapshot;
+
+    let dir = std::env::temp_dir().join("fusa_cli_telemetry");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let run_dir = dir.join("run");
+    let trace = dir.join("trace.jsonl");
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--quiet-stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+
+    // The run left a finished, schema-valid status snapshot behind.
+    let status = StatusSnapshot::read(&run_dir.join("status.json")).expect("status.json parses");
+    assert_eq!(status.phase, "campaign");
+    assert_eq!(status.run_id, "faults-or1200_icfsm");
+    assert!(status.finished, "final beat published");
+    assert_eq!(status.done, status.total, "complete run");
+    assert!(status.total > 0);
+    assert!(status.work > 0, "campaign reports fault-cycles");
+    assert!(status.workers > 0);
+    assert!(status.rate > 0.0);
+    assert!((0.0..=1.0).contains(&status.busy_fraction));
+
+    // The final heartbeat figures made it into the manifest gauges.
+    let manifest_text = std::fs::read_to_string(run_dir.join("manifest.json")).unwrap();
+    let manifest = fusa::obs::RunManifest::parse(&manifest_text).unwrap();
+    let final_rate = manifest
+        .gauges
+        .iter()
+        .find(|(name, _)| name == "campaign.final_rate")
+        .map(|&(_, v)| v)
+        .expect("campaign.final_rate gauge recorded");
+    assert!(final_rate > 0.0);
+
+    // `report --json` renders the machine-readable report.
+    let output = fusa()
+        .args([
+            "report",
+            run_dir.join("manifest.json").to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let report = fusa::obs::Json::parse(&String::from_utf8_lossy(&output.stdout))
+        .expect("report --json is JSON");
+    assert_eq!(
+        report.get("schema").and_then(fusa::obs::Json::as_str),
+        Some("fusa-obs/report/v1")
+    );
+    assert_eq!(
+        report.get("run_id").and_then(fusa::obs::Json::as_str),
+        Some("faults-or1200_icfsm")
+    );
+    assert!(report
+        .get("gauges")
+        .and_then(|g| g.get("campaign.final_rate"))
+        .is_some());
+
+    // `trace` aggregates the span stream; the campaign span is there.
+    let output = fusa()
+        .args(["trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("events by kind"), "{text}");
+    assert!(text.contains("span tree"), "{text}");
+    assert!(text.contains("campaign"), "{text}");
+    let output = fusa()
+        .args(["trace", trace.to_str().unwrap(), "--kind", "span", "--json"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let report = fusa::obs::Json::parse(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    assert_eq!(
+        report.get("schema").and_then(fusa::obs::Json::as_str),
+        Some("fusa-obs/trace/v1")
+    );
+    assert_eq!(
+        report
+            .get("kinds")
+            .and_then(fusa::obs::Json::as_arr)
+            .unwrap()
+            .len(),
+        1,
+        "--kind span keeps only spans"
+    );
+
+    // `export --prometheus` renders status + manifest metrics.
+    let metrics = dir.join("metrics.prom");
+    let output = fusa()
+        .args([
+            "export",
+            "--prometheus",
+            run_dir.to_str().unwrap(),
+            "--out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("# TYPE fusa_run_units_done gauge"), "{text}");
+    assert!(text.contains("run=\"faults-or1200_icfsm\""), "{text}");
+    assert!(text.contains("fusa_manifest_wall_seconds{"), "{text}");
+    assert!(text.contains("fusa_run_finished{"), "{text}");
+
+    // `--no-status` suppresses the snapshot file entirely.
+    let quiet_dir = dir.join("no_status");
+    let output = fusa()
+        .args([
+            "faults",
+            "or1200_icfsm",
+            "--fast",
+            "--no-status",
+            "--run-dir",
+            quiet_dir.to_str().unwrap(),
+            "--quiet-stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    assert!(!quiet_dir.join("status.json").exists());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Golden test for `fusa top --once --json` over a handcrafted fixture
+/// fleet: two live shards of one family (one a straggler), one stale
+/// shard, and a finished unsharded run of another design.
+#[test]
+fn top_once_json_over_fixture_fleet() {
+    use fusa::obs::{Json, StatusSnapshot};
+
+    let root = std::env::temp_dir().join("fusa_cli_top_fixture");
+    let _ = std::fs::remove_dir_all(&root);
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_secs_f64();
+    let base = StatusSnapshot {
+        run_id: String::new(),
+        design: "demo".into(),
+        shard: None,
+        pid: 1,
+        phase: "campaign".into(),
+        unit: "units".into(),
+        done: 0,
+        total: 32,
+        work: 0,
+        rate: 50.0,
+        eta_seconds: 10.0,
+        elapsed_seconds: 4.0,
+        quarantined: 0,
+        workers: 2,
+        busy_fraction: 0.8,
+        peak_rss_bytes: None,
+        updated_unix: now,
+        finished: false,
+    };
+    let fixtures = [
+        StatusSnapshot {
+            run_id: "faults-demo-shard0of3".into(),
+            shard: Some((0, 3)),
+            done: 20,
+            eta_seconds: 6.0,
+            ..base.clone()
+        },
+        StatusSnapshot {
+            run_id: "faults-demo-shard1of3".into(),
+            shard: Some((1, 3)),
+            done: 4,
+            eta_seconds: 28.0, // > 1.5x the live median: straggler
+            ..base.clone()
+        },
+        StatusSnapshot {
+            run_id: "faults-demo-shard2of3".into(),
+            shard: Some((2, 3)),
+            done: 2,
+            updated_unix: now - 1_000.0, // stale heartbeat: stalled
+            ..base.clone()
+        },
+        StatusSnapshot {
+            run_id: "analyze-other".into(),
+            design: "other".into(),
+            phase: "train".into(),
+            done: 32,
+            finished: true,
+            ..base.clone()
+        },
+    ];
+    for status in &fixtures {
+        let dir = root.join(&status.run_id);
+        std::fs::create_dir_all(&dir).unwrap();
+        status.write_atomic(&dir.join("status.json")).unwrap();
+    }
+
+    let output = fusa()
+        .args([
+            "top",
+            root.to_str().unwrap(),
+            "--once",
+            "--json",
+            "--stale",
+            "60",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let json = Json::parse(&String::from_utf8_lossy(&output.stdout)).expect("top --json is JSON");
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some("fusa-obs/top/v1")
+    );
+    assert_eq!(json.get("runs_total").and_then(Json::as_u64), Some(4));
+    assert_eq!(
+        json.get("units_done").and_then(Json::as_u64),
+        Some(20 + 4 + 2 + 32)
+    );
+    assert_eq!(json.get("units_total").and_then(Json::as_u64), Some(128));
+    assert_eq!(json.get("live").and_then(Json::as_u64), Some(2));
+    assert_eq!(json.get("finished").and_then(Json::as_u64), Some(1));
+    assert_eq!(json.get("stalled").and_then(Json::as_u64), Some(1));
+    assert_eq!(json.get("stragglers").and_then(Json::as_u64), Some(1));
+    // demo campaign shards group into one family, the train run another.
+    assert_eq!(json.get("families").and_then(Json::as_u64), Some(2));
+    let runs = json.get("runs").and_then(Json::as_arr).unwrap();
+    assert_eq!(runs.len(), 4, "rows sorted by run id");
+    assert_eq!(
+        runs[0].get("run_id").and_then(Json::as_str),
+        Some("analyze-other")
+    );
+    let straggler = runs
+        .iter()
+        .find(|r| r.get("run_id").and_then(Json::as_str) == Some("faults-demo-shard1of3"))
+        .unwrap();
+    assert_eq!(straggler.get("straggler"), Some(&Json::Bool(true)));
+    let stalled = runs
+        .iter()
+        .find(|r| r.get("run_id").and_then(Json::as_str) == Some("faults-demo-shard2of3"))
+        .unwrap();
+    assert_eq!(stalled.get("stalled"), Some(&Json::Bool(true)));
+
+    // The human dashboard renders the same fleet.
+    let output = fusa()
+        .args(["top", root.to_str().unwrap(), "--once", "--stale", "60"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("fleet: 4 run(s)"), "{text}");
+    assert!(text.contains("units: 58/128"), "{text}");
+    assert!(text.contains("STALLED"), "{text}");
+    assert!(text.contains("straggler"), "{text}");
+
+    // And pointing top at nothing fails with a helpful error.
+    let empty = root.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let output = fusa()
+        .args(["top", empty.to_str().unwrap(), "--once"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("no status.json snapshots"),
+        "{output:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
 }
