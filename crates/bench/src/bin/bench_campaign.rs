@@ -182,14 +182,16 @@ fn main() {
 
     let design_sizes = measure_design_sizes(smoke);
     let status_emission = measure_status_emission(smoke);
+    let io_retry = measure_io_retry(smoke);
 
     let json = format!(
-        "{{\n  \"benchmark\": \"campaign_throughput\",\n  \"unit\": \"fault_cycles_per_second\",\n  \"threads\": 1,\n  \"workloads\": {{\n    \"num_workloads\": {},\n    \"vectors_per_workload\": {}\n  }},\n  \"bit_identical_checked\": true,\n  \"designs\": [{}\n  ],\n  \"design_sizes\": [{}\n  ],\n  \"status_emission\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"campaign_throughput\",\n  \"unit\": \"fault_cycles_per_second\",\n  \"threads\": 1,\n  \"workloads\": {{\n    \"num_workloads\": {},\n    \"vectors_per_workload\": {}\n  }},\n  \"bit_identical_checked\": true,\n  \"designs\": [{}\n  ],\n  \"design_sizes\": [{}\n  ],\n  \"status_emission\": {},\n  \"io_retry\": {}\n}}\n",
         workload_config.num_workloads,
         workload_config.vectors_per_workload,
         entries,
         design_sizes,
         status_emission,
+        io_retry,
     );
 
     match std::fs::write(&out_path, &json) {
@@ -323,6 +325,150 @@ fn measure_status_emission(smoke: bool) -> String {
         snapshot_write_seconds,
         heartbeat_seconds,
         steady_state_pct,
+        wall_delta_pct,
+        wall_noise_pct,
+    )
+}
+
+/// Measures the storage-fault retry machinery's cost on the checkpoint
+/// append path: the identical checkpointed campaign with the injection
+/// layer disarmed vs armed with a transient fault every few writes
+/// (each absorbed by one backoff retry). Outcomes are cross-checked
+/// bit-identical per repetition — retries must recover, never perturb.
+/// Like `status_emission`, the wall delta is paired ([off, on, off]
+/// rounds) and reported against the host's off-vs-off noise floor.
+fn measure_io_retry(smoke: bool) -> String {
+    use fusa_faultsim::{DurabilityConfig, IoRetryPolicy};
+    use fusa_obs::{set_io_fault_injection, IoFaultInjection, IoFaultKind};
+
+    let netlist = if smoke {
+        designs::synth_10k(1)
+    } else {
+        designs::synth_30k(1)
+    };
+    let workload_config = WorkloadConfig {
+        num_workloads: if smoke { 2 } else { 8 },
+        vectors_per_workload: if smoke { 32 } else { 64 },
+        ..Default::default()
+    };
+    let faults = sampled_faults(&netlist, if smoke { 256 } else { 512 });
+    let workloads = WorkloadSuite::generate(&netlist, &workload_config);
+    let config = CampaignConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let policy = IoRetryPolicy::default();
+    let fail_every = 3u64;
+    let reps = if smoke { 1 } else { 8 };
+
+    let dir = std::env::temp_dir().join(format!("fusa_bench_ioretry_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("io-retry bench temp dir");
+    let checkpoint = dir.join("checkpoint.jsonl");
+
+    // Both arms checkpoint, so the delta isolates the injection hook +
+    // retry/backoff machinery, not checkpointing itself. The armed arm
+    // fails every `fail_every`-th checkpoint write once; the retry
+    // (with its 1 ms base backoff) absorbs each fault.
+    let run = |armed: bool, io_retry: IoRetryPolicy| {
+        set_io_fault_injection(armed.then(|| IoFaultInjection {
+            fail_nth: Vec::new(),
+            fail_every: Some(fail_every),
+            kind: IoFaultKind::Enospc,
+            targets: vec!["checkpoint".to_string()],
+        }));
+        let campaign = FaultCampaign::new(config).with_durability(DurabilityConfig {
+            checkpoint: Some(checkpoint.clone()),
+            io_retry,
+            ..DurabilityConfig::default()
+        });
+        let started = Instant::now();
+        let report = campaign
+            .run(&netlist, &faults, &workloads)
+            .expect("campaign runs");
+        let seconds = started.elapsed().as_secs_f64();
+        set_io_fault_injection(None);
+        (seconds, report)
+    };
+
+    // Steady-state cost of the retry wrapper on the *unfaulted* path:
+    // both arms run fault-free, toggling only the policy (full budget
+    // vs single-attempt). One unfaulted append does identical work
+    // under either, so any delta beyond the noise floor would expose
+    // bookkeeping overhead in the wrapper itself.
+    let _ = run(false, policy);
+    let mut unfaulted_deltas = Vec::with_capacity(reps);
+    let mut unfaulted_nulls = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let (none_a_seconds, none_a) = run(false, IoRetryPolicy::none());
+        let (full_seconds, full) = run(false, policy);
+        let (none_b_seconds, none_b) = run(false, IoRetryPolicy::none());
+        assert_identical(netlist.name(), &none_a, &full);
+        assert_identical(netlist.name(), &none_a, &none_b);
+        let none_mid = (none_a_seconds + none_b_seconds) / 2.0;
+        unfaulted_deltas.push((full_seconds / none_mid - 1.0) * 100.0);
+        unfaulted_nulls.push(((none_b_seconds / none_a_seconds - 1.0) * 100.0).abs());
+    }
+
+    let run = |armed: bool| run(armed, policy);
+    let mut wall_deltas = Vec::with_capacity(reps);
+    let mut null_deltas = Vec::with_capacity(reps);
+    let mut retries = 0u64;
+    for _ in 0..reps {
+        let (off_a_seconds, off_a) = run(false);
+        let (on_seconds, on) = run(true);
+        let (off_b_seconds, off_b) = run(false);
+        assert_identical(netlist.name(), &off_a, &on);
+        assert_identical(netlist.name(), &off_a, &off_b);
+        assert!(
+            !on.stats().durability_degraded,
+            "transient faults must stay inside the retry budget"
+        );
+        retries = on.stats().checkpoint_write_retries;
+        assert!(retries >= 1, "the armed arm injected no faults");
+        let off_mid = (off_a_seconds + off_b_seconds) / 2.0;
+        wall_deltas.push((on_seconds / off_mid - 1.0) * 100.0);
+        null_deltas.push(((off_b_seconds / off_a_seconds - 1.0) * 100.0).abs());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let median = |mut values: Vec<f64>| -> f64 {
+        values.sort_by(|a, b| a.total_cmp(b));
+        let mid = values.len() / 2;
+        if values.len() % 2 == 1 {
+            values[mid]
+        } else {
+            (values[mid - 1] + values[mid]) / 2.0
+        }
+    };
+    let wall_delta_pct = median(wall_deltas);
+    let wall_noise_pct = median(null_deltas);
+    let unfaulted_delta_pct = median(unfaulted_deltas);
+    let unfaulted_noise_pct = median(unfaulted_nulls);
+    // The deterministic part of the faulted cost: the backoff sleeps
+    // themselves (one first-retry delay per absorbed fault).
+    let backoff_seconds = retries as f64 * policy.delay_after(1).as_secs_f64();
+    println!(
+        "\nI/O retry on {}: unfaulted steady state {:+.2}% (noise floor ±{:.2}%);\n\
+         under faults: {} absorbed/run ({:.1} ms deterministic backoff),\n\
+         paired wall delta {:+.2}% (off-vs-off noise floor ±{:.2}%, {} rounds).",
+        netlist.name(),
+        unfaulted_delta_pct,
+        unfaulted_noise_pct,
+        retries,
+        backoff_seconds * 1e3,
+        wall_delta_pct,
+        wall_noise_pct,
+        reps,
+    );
+    format!(
+        "{{\n    \"design\": \"{}\",\n    \"reps\": {},\n    \"unfaulted_wall_delta_pct\": {:.2},\n    \"unfaulted_wall_noise_floor_pct\": {:.2},\n    \"fail_every\": {},\n    \"retries_per_run\": {},\n    \"backoff_seconds_per_run\": {:.4},\n    \"faulted_wall_delta_pct\": {:.2},\n    \"faulted_wall_noise_floor_pct\": {:.2},\n    \"bit_identical_checked\": true\n  }}",
+        json_escape(netlist.name()),
+        reps,
+        unfaulted_delta_pct,
+        unfaulted_noise_pct,
+        fail_every,
+        retries,
+        backoff_seconds,
         wall_delta_pct,
         wall_noise_pct,
     )

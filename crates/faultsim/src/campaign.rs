@@ -431,7 +431,8 @@ impl FaultCampaign {
             let expected = header.as_ref().expect("header captured with checkpoint");
             completed = checkpoint::load_units(path, expected, unit_count)?;
         }
-        let writer = match (&durability.checkpoint, &header) {
+        let mut checkpoint_lost = false;
+        let mut writer = match (&durability.checkpoint, &header) {
             (Some(path), Some(header)) => {
                 let opened = if durability.resume {
                     CheckpointWriter::append_to(path)
@@ -441,13 +442,20 @@ impl FaultCampaign {
                 match opened {
                     Ok(writer) => Some(writer),
                     Err(e) => {
-                        eprintln!("fusa-faultsim: {e}; continuing without checkpointing");
+                        // Requested durability could not be provided at
+                        // all: that is degraded mode from the first unit.
+                        eprintln!("fusa-faultsim: {e}; continuing degraded without checkpointing");
+                        fusa_obs::mark_degraded(&e.to_string());
+                        checkpoint_lost = true;
                         None
                     }
                 }
             }
             _ => None,
         };
+        if let Some(writer) = writer.as_mut() {
+            writer.set_retry_policy(durability.io_retry);
+        }
         let writer = writer.as_ref();
 
         // Work items are chunk groups: `lane_words` consecutive chunks
@@ -737,6 +745,8 @@ impl FaultCampaign {
             units_from_checkpoint: completed.len(),
             units_quarantined: quarantined.len(),
             unit_retries: retries_total.into_inner(),
+            checkpoint_write_retries: writer.map_or(0, |w| w.write_retries()),
+            durability_degraded: checkpoint_lost || writer.is_some_and(|w| w.degraded()),
             lane_words: config.lane_words,
             cone_build_seconds: cone_build_nanos.into_inner() as f64 / 1e9,
             cone_coverage: if cones_built > 0 && netlist.gate_count() > 0 {

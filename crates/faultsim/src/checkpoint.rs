@@ -60,6 +60,7 @@
 //! ```
 
 use crate::campaign::{CampaignConfig, UnitOutput};
+use crate::durability::IoRetryPolicy;
 use crate::fault::{FaultList, FaultSite};
 use crate::report::FaultOutcome;
 use crate::shard::ShardSpec;
@@ -71,6 +72,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Schema tag of the checkpoint header line.
@@ -604,12 +606,23 @@ pub(crate) fn load_units(
 }
 
 /// Concurrent append-only checkpoint writer. Serialization happens on
-/// the worker thread; the mutex guards only the buffered write. Write
-/// failures degrade to a one-time stderr warning (the campaign result
-/// is not worth less because the checkpoint disk filled up).
+/// the worker thread; the mutex guards only the buffered write.
+///
+/// Write failures are retried with bounded exponential backoff
+/// ([`IoRetryPolicy`]); a write that outlives the budget escalates to
+/// **degraded mode** — checkpointing stops, the campaign continues in
+/// memory, and the degradation is flagged in the summary, manifest and
+/// status snapshots (the campaign result is not worth less because the
+/// checkpoint disk filled up, but the operator must learn the run is no
+/// longer resumable from disk).
 pub(crate) struct CheckpointWriter {
     path: PathBuf,
     file: Mutex<Option<BufWriter<File>>>,
+    retry: IoRetryPolicy,
+    /// Failed-then-retried write attempts (successful or not).
+    write_retries: AtomicU64,
+    /// Set when a write exhausted the retry budget.
+    degraded: AtomicBool,
 }
 
 impl CheckpointWriter {
@@ -620,14 +633,12 @@ impl CheckpointWriter {
     ) -> Result<CheckpointWriter, CheckpointError> {
         let file = File::create(path).map_err(|e| io_error(path, &e))?;
         let mut file = BufWriter::new(file);
-        file.write_all(header.to_json_line().as_bytes())
-            .and_then(|()| file.write_all(b"\n"))
+        let mut line = header.to_json_line();
+        line.push('\n');
+        fusa_obs::write_with_faults("checkpoint", &mut file, line.as_bytes())
             .and_then(|()| file.flush())
             .map_err(|e| io_error(path, &e))?;
-        Ok(CheckpointWriter {
-            path: path.to_path_buf(),
-            file: Mutex::new(Some(file)),
-        })
+        Ok(CheckpointWriter::over(path, file))
     }
 
     /// Reopens an existing checkpoint for appending (resume).
@@ -636,28 +647,81 @@ impl CheckpointWriter {
             .append(true)
             .open(path)
             .map_err(|e| io_error(path, &e))?;
-        Ok(CheckpointWriter {
+        Ok(CheckpointWriter::over(path, BufWriter::new(file)))
+    }
+
+    fn over(path: &Path, file: BufWriter<File>) -> CheckpointWriter {
+        CheckpointWriter {
             path: path.to_path_buf(),
-            file: Mutex::new(Some(BufWriter::new(file))),
-        })
+            file: Mutex::new(Some(file)),
+            retry: IoRetryPolicy::default(),
+            write_retries: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+        }
+    }
+
+    /// Installs the retry policy (before the writer is shared).
+    pub(crate) fn set_retry_policy(&mut self, policy: IoRetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Failed write attempts that were retried so far.
+    pub(crate) fn write_retries(&self) -> u64 {
+        self.write_retries.load(Ordering::Relaxed)
+    }
+
+    /// `true` once a write exhausted its retry budget and checkpointing
+    /// was abandoned for the rest of the run.
+    pub(crate) fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// Appends one completed unit, flushing so a kill after return
     /// cannot tear the record.
+    ///
+    /// Transient failures are retried per the [`IoRetryPolicy`]. A
+    /// failed attempt may have torn a partial line into the file, so
+    /// every retry leads with a newline: the torn fragment becomes its
+    /// own (skipped) line and the fresh record starts clean — resume and
+    /// `fusa merge` already tolerate both blank and undecodable lines.
     pub(crate) fn record(&self, unit: usize, output: &UnitOutput) {
-        let mut line = encode_unit(unit, output);
-        line.push('\n');
-        let mut guard = self.file.lock().expect("checkpoint writer poisoned");
-        if let Some(file) = guard.as_mut() {
-            let outcome = file.write_all(line.as_bytes()).and_then(|()| file.flush());
-            if let Err(e) = outcome {
-                eprintln!(
-                    "fusa-faultsim: checkpoint write to {} failed ({e}); \
-                     checkpointing disabled for the rest of this run",
+        let line = encode_unit(unit, output);
+        // Recover the lock from panicked workers: the protected state is
+        // a buffered file handle, valid regardless of how the owner died
+        // (same idiom as the status-target lock in fusa-obs).
+        let mut guard = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(file) = guard.as_mut() else { return };
+        let mut failed_attempts = 0u32;
+        loop {
+            let mut buf = String::with_capacity(line.len() + 2);
+            if failed_attempts > 0 {
+                buf.push('\n');
+            }
+            buf.push_str(&line);
+            buf.push('\n');
+            let outcome = fusa_obs::write_with_faults("checkpoint", file, buf.as_bytes())
+                .and_then(|()| file.flush());
+            let error = match outcome {
+                Ok(()) => return,
+                Err(error) => error,
+            };
+            failed_attempts += 1;
+            if failed_attempts >= self.retry.max_attempts.max(1) {
+                let reason = format!(
+                    "checkpoint write to {} failed after {failed_attempts} attempt(s): {error}",
                     self.path.display()
                 );
+                eprintln!(
+                    "fusa-faultsim: {reason}; continuing degraded \
+                     (in memory, without checkpointing)"
+                );
+                self.degraded.store(true, Ordering::Relaxed);
+                fusa_obs::mark_degraded(&reason);
                 *guard = None;
+                return;
             }
+            self.write_retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.retry.delay_after(failed_attempts));
         }
     }
 }

@@ -103,6 +103,10 @@ pub struct DurabilityConfig {
     /// flag): once set, workers drain in-flight units and stop claiming
     /// new ones.
     pub interrupt: Option<&'static AtomicBool>,
+    /// Retry/backoff policy for transient checkpoint write failures.
+    /// Exhausting the budget escalates to degraded mode (the campaign
+    /// continues in memory), never to a panic or an abort.
+    pub io_retry: IoRetryPolicy,
 }
 
 impl Default for DurabilityConfig {
@@ -112,7 +116,58 @@ impl Default for DurabilityConfig {
             resume: false,
             max_unit_retries: 2,
             interrupt: None,
+            io_retry: IoRetryPolicy::default(),
         }
+    }
+}
+
+/// Bounded-exponential-backoff policy for storage writes on the
+/// checkpoint append path.
+///
+/// A transient `ENOSPC`/`EIO` (log rotation freeing space, a wobbly
+/// network filesystem) is retried with a short, bounded sleep; only a
+/// write that fails every attempt degrades the run. The policy does not
+/// affect outcomes — like the rest of [`DurabilityConfig`], it only
+/// decides how hard the run fights to stay durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoRetryPolicy {
+    /// Total attempts per write, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Sleep before the first retry, milliseconds; doubles per retry.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for IoRetryPolicy {
+    fn default() -> Self {
+        IoRetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 1,
+            max_delay_ms: 50,
+        }
+    }
+}
+
+impl IoRetryPolicy {
+    /// A policy that never retries (tests wanting first-fault behavior).
+    pub fn none() -> IoRetryPolicy {
+        IoRetryPolicy {
+            max_attempts: 1,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// Backoff before retrying after `failed_attempts` failures:
+    /// `base * 2^(failed_attempts-1)`, capped at `max_delay_ms`.
+    pub fn delay_after(&self, failed_attempts: u32) -> std::time::Duration {
+        let doublings = failed_attempts.saturating_sub(1).min(16);
+        let ms = self
+            .base_delay_ms
+            .saturating_mul(1u64 << doublings)
+            .min(self.max_delay_ms);
+        std::time::Duration::from_millis(ms)
     }
 }
 
@@ -231,6 +286,22 @@ mod tests {
         assert!(inj.should_panic(5, 1));
         assert!(!inj.should_panic(5, 2));
         assert!(!inj.should_panic(4, 1));
+    }
+
+    #[test]
+    fn io_retry_backoff_is_bounded() {
+        let policy = IoRetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 2,
+            max_delay_ms: 10,
+        };
+        assert_eq!(policy.delay_after(1).as_millis(), 2);
+        assert_eq!(policy.delay_after(2).as_millis(), 4);
+        assert_eq!(policy.delay_after(3).as_millis(), 8);
+        assert_eq!(policy.delay_after(4).as_millis(), 10, "capped");
+        assert_eq!(policy.delay_after(40).as_millis(), 10, "no overflow");
+        assert_eq!(IoRetryPolicy::none().max_attempts, 1);
+        assert_eq!(IoRetryPolicy::none().delay_after(1).as_millis(), 0);
     }
 
     #[test]

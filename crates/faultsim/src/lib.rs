@@ -34,6 +34,7 @@ pub mod checkpoint;
 pub mod dataset;
 pub mod durability;
 pub mod fault;
+pub mod fsck;
 pub mod merge;
 pub mod report;
 pub mod seu;
@@ -45,8 +46,11 @@ pub use checkpoint::{
     CHECKPOINT_SCHEMA_V1,
 };
 pub use dataset::CriticalityDataset;
-pub use durability::{CampaignError, DurabilityConfig, FaultInjection, QuarantinedUnit};
+pub use durability::{
+    CampaignError, DurabilityConfig, FaultInjection, IoRetryPolicy, QuarantinedUnit,
+};
 pub use fault::{Fault, FaultList, FaultSite, StuckAt};
+pub use fsck::{fsck_path, FsckError, FsckIssue, FsckOptions, FsckReport};
 pub use merge::{merge_checkpoints, MergeError, MergeOutcome, MergeSource};
 pub use report::{CampaignReport, CampaignStats, FaultOutcome, WorkloadReport};
 pub use seu::{SeuCampaign, SeuConfig, SeuOutcome, SeuReport};

@@ -362,8 +362,9 @@ pub fn merge_checkpoints(inputs: &[PathBuf], out: &Path) -> Result<MergeOutcome,
     })
 }
 
-/// Units of the full campaign a header describes.
-fn campaign_unit_count(header: &CheckpointHeader) -> usize {
+/// Units of the full campaign a header describes. Shared with `fsck`,
+/// which validates a single checkpoint against the same unit space.
+pub(crate) fn campaign_unit_count(header: &CheckpointHeader) -> usize {
     header.workload_count * header.fault_count.div_ceil(LANES)
 }
 
@@ -371,8 +372,9 @@ fn campaign_unit_count(header: &CheckpointHeader) -> usize {
 /// fill `missing`. When every input carries a shard spec with a common
 /// total, holes are grouped per owning shard and the command resumes
 /// that shard's checkpoint if it was among the inputs; otherwise a
-/// single unsharded resume hint is emitted.
-fn rerun_commands(
+/// single unsharded resume hint is emitted. Shared with `fsck`, which
+/// prints the same hints for holes left after a `--repair`.
+pub(crate) fn rerun_commands(
     header: &CheckpointHeader,
     sources: &[MergeSource],
     missing: &[usize],
@@ -655,6 +657,50 @@ mod tests {
             panic!("expected MissingUnits, got {err}");
         };
         assert_eq!(missing, &[last]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_header_line_is_a_typed_error_naming_the_file() {
+        // A tear in the *header* (disk filled while line 1 was written,
+        // or truncation rewound into it) is unrepairable damage — unit
+        // lines cannot be interpreted without the fingerprint. Merging
+        // must fail with a typed error carrying the file path; any panic
+        // here would take down a whole merge over one bad shard.
+        let dir = temp_dir("torn_header");
+        let unit_count = campaign_unit_count(&sample_header(None));
+        let shard1 = ShardSpec { index: 1, total: 2 };
+        let shard2 = ShardSpec { index: 2, total: 2 };
+        let a = dir.join("shard1.jsonl");
+        let b = dir.join("shard2.jsonl");
+        write_checkpoint(
+            &a,
+            &sample_header(Some(shard1)),
+            &owned_units(shard1, unit_count),
+        );
+        write_checkpoint(
+            &b,
+            &sample_header(Some(shard2)),
+            &owned_units(shard2, unit_count),
+        );
+        // Truncate shard 2 mid-header: the file opens, line 1 is garbage.
+        let intact = std::fs::read_to_string(&b).unwrap();
+        std::fs::write(&b, &intact[..40]).unwrap();
+        let err = merge_checkpoints(&[a.clone(), b.clone()], &dir.join("m.jsonl")).unwrap_err();
+        let MergeError::Checkpoint(CheckpointError::Corrupt { path, .. }) = &err else {
+            panic!("expected Checkpoint(Corrupt), got {err}");
+        };
+        assert_eq!(path, &b.display().to_string(), "error names the file");
+
+        // An empty file (torn before any byte of the header) is the
+        // same typed error, not a panic.
+        std::fs::write(&b, "").unwrap();
+        let err = merge_checkpoints(&[a, b.clone()], &dir.join("m2.jsonl")).unwrap_err();
+        let MergeError::Checkpoint(CheckpointError::Corrupt { path, message }) = &err else {
+            panic!("expected Checkpoint(Corrupt), got {err}");
+        };
+        assert_eq!(path, &b.display().to_string());
+        assert!(message.contains("empty"), "{message}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

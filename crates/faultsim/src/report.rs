@@ -92,6 +92,13 @@ pub struct CampaignStats {
     pub units_quarantined: usize,
     /// Unit attempts that panicked and were retried.
     pub unit_retries: u64,
+    /// Checkpoint write attempts that failed transiently and were
+    /// retried (bounded exponential backoff; see `IoRetryPolicy`).
+    pub checkpoint_write_retries: u64,
+    /// `true` when a checkpoint write (or the checkpoint open itself)
+    /// outlived the retry budget: the campaign completed in memory but
+    /// the on-disk checkpoint is untrustworthy for `--resume`.
+    pub durability_degraded: bool,
     /// Units never attempted because the campaign was interrupted.
     pub units_skipped: usize,
     /// Lane width the run used, in 64-lane `u64` words (`0` = legacy
@@ -170,6 +177,15 @@ impl CampaignStats {
         }
         if self.unit_retries > 0 {
             recorder.add("campaign.unit_retries", self.unit_retries);
+        }
+        if self.checkpoint_write_retries > 0 {
+            recorder.add(
+                "campaign.checkpoint_write_retries",
+                self.checkpoint_write_retries,
+            );
+        }
+        if self.durability_degraded {
+            recorder.add("campaign.durability_degraded", 1);
         }
         if self.units_skipped > 0 {
             recorder.add("campaign.units_skipped", self.units_skipped as u64);
@@ -354,6 +370,16 @@ impl CampaignReport {
                 "  interrupted: {done}/{total} units completed (resume with --resume)"
             );
         }
+        if self.stats.durability_degraded {
+            // In the stable summary for the same reason as the lines
+            // above: a run that lost its checkpoint must never digest
+            // identically to one whose durability held.
+            let _ = writeln!(
+                out,
+                "  durability: degraded (checkpoint writes failed; results completed \
+                 in memory, repair with `fusa fsck --repair` before resuming)"
+            );
+        }
         if show_stats && self.stats.wall_seconds > 0.0 {
             let _ = writeln!(
                 out,
@@ -453,6 +479,22 @@ mod tests {
         assert!(text.contains("w0"));
         assert!(text.contains("w1"));
         assert!(text.contains("2 faults"));
+    }
+
+    #[test]
+    fn degraded_runs_change_the_stable_summary() {
+        let clean = fake_report();
+        assert!(!clean.summary_opts(false).contains("durability"));
+        let mut degraded = fake_report();
+        degraded.stats.durability_degraded = true;
+        let text = degraded.summary_opts(false);
+        assert!(text.contains("durability: degraded"), "{text}");
+        assert!(text.contains("fusa fsck"), "{text}");
+        assert_ne!(
+            clean.summary_opts(false),
+            degraded.summary_opts(false),
+            "a degraded run must never digest identically to a durable one"
+        );
     }
 
     #[test]

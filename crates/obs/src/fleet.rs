@@ -20,6 +20,14 @@
 //!   holding up the merge.
 //! - **partial**: a finished run with `done < total` — interrupted, to
 //!   be resumed via its checkpoint.
+//! - **DEGRADED**: the run lost storage durability (a checkpoint or
+//!   trace write outlived its retry budget) and is completing in memory
+//!   only.
+//!
+//! Discovered `status.json` files that fail to read or parse are not
+//! silently dropped: they surface as [`FleetDamage`] entries and render
+//! as `DAMAGED` rows, so a corrupt snapshot is an operator signal
+//! rather than a missing shard nobody notices.
 
 use crate::json::Json;
 use crate::render::{bar, format_quantity};
@@ -43,6 +51,17 @@ pub struct FleetRun {
     /// Checkpoint-identity family key, if the run has a readable
     /// checkpoint. `None` falls back to grouping by design and phase.
     pub family: Option<String>,
+}
+
+/// A discovered `status.json` that could not be read or parsed. The
+/// run exists on disk but its telemetry is unusable — shown as a
+/// `DAMAGED` row instead of vanishing from the fleet aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDamage {
+    /// The unreadable `status.json` path.
+    pub path: PathBuf,
+    /// The read/parse error, verbatim.
+    pub error: String,
 }
 
 /// Aggregation knobs for [`FleetView::build`].
@@ -87,6 +106,8 @@ impl FleetRow {
 pub struct FleetView {
     /// Rows sorted by run id, stable across refreshes.
     pub rows: Vec<FleetRow>,
+    /// Unreadable/corrupt `status.json` files, sorted by path.
+    pub damaged: Vec<FleetDamage>,
     /// Distinct shard families represented.
     pub families: usize,
     /// Σ done over all rows.
@@ -157,7 +178,14 @@ fn median(sorted: &[f64]) -> f64 {
 
 impl FleetView {
     /// Aggregates discovered runs into an annotated fleet view.
-    pub fn build(runs: Vec<FleetRun>, options: FleetOptions) -> FleetView {
+    /// `damaged` carries the status files that failed to read or parse;
+    /// they are kept out of the numeric aggregates but never hidden.
+    pub fn build(
+        runs: Vec<FleetRun>,
+        mut damaged: Vec<FleetDamage>,
+        options: FleetOptions,
+    ) -> FleetView {
+        damaged.sort_by(|a, b| a.path.cmp(&b.path));
         let mut rows: Vec<FleetRow> = runs
             .into_iter()
             .map(|run| {
@@ -241,6 +269,7 @@ impl FleetView {
 
         FleetView {
             rows,
+            damaged,
             families,
             units_done,
             units_total,
@@ -278,6 +307,9 @@ impl FleetView {
             self.stalled,
             self.stragglers,
         ));
+        if !self.damaged.is_empty() {
+            out.push_str(&format!("damaged: {} status file(s)\n", self.damaged.len()));
+        }
         out.push_str(&format!(
             "units: {}/{} ({:.1}%) [{}]  quarantined {}",
             self.units_done,
@@ -329,6 +361,9 @@ impl FleetView {
             if s.quarantined > 0 {
                 flags.push("quarantine");
             }
+            if s.degraded {
+                flags.push("DEGRADED");
+            }
             let eta = if s.finished || s.eta_seconds <= 0.0 {
                 "-".to_string()
             } else {
@@ -343,6 +378,13 @@ impl FleetView {
                 format_quantity(s.rate),
                 eta,
                 flags.join(","),
+            ));
+        }
+        for damage in &self.damaged {
+            out.push_str(&format!(
+                "{}  DAMAGED  {}\n",
+                damage.path.display(),
+                damage.error,
             ));
         }
         out
@@ -382,6 +424,20 @@ impl FleetView {
             ("rate".into(), Json::Num(self.rate)),
             ("eta_seconds".into(), Json::Num(self.eta_seconds)),
             ("runs".into(), Json::Arr(runs)),
+            (
+                "damaged".into(),
+                Json::Arr(
+                    self.damaged
+                        .iter()
+                        .map(|damage| {
+                            Json::Obj(vec![
+                                ("path".into(), Json::Str(damage.path.display().to_string())),
+                                ("error".into(), Json::Str(damage.error.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -410,6 +466,7 @@ mod tests {
             peak_rss_bytes: None,
             updated_unix: 1_000.0,
             finished: false,
+            degraded: false,
         }
     }
 
@@ -435,6 +492,7 @@ mod tests {
                 run("b-shard1of2", snapshot("b-shard1of2", 10, 48), Some("fam")),
                 run("a-shard0of2", snapshot("a-shard0of2", 20, 48), Some("fam")),
             ],
+            Vec::new(),
             options(),
         );
         assert_eq!(view.rows.len(), 2);
@@ -467,6 +525,7 @@ mod tests {
                 run("s2", slow, Some("fam")),
                 run("x", interrupted, None),
             ],
+            Vec::new(),
             options(),
         );
         let by_id = |id: &str| {
@@ -491,7 +550,11 @@ mod tests {
 
     #[test]
     fn json_view_leads_with_aggregates() {
-        let view = FleetView::build(vec![run("a", snapshot("a", 3, 4), None)], options());
+        let view = FleetView::build(
+            vec![run("a", snapshot("a", 3, 4), None)],
+            Vec::new(),
+            options(),
+        );
         let json = view.to_json();
         assert_eq!(
             json.get("schema").and_then(Json::as_str),
@@ -547,6 +610,7 @@ mod tests {
                 run("s0", snapshot("fam-shard0of2", 20, 32), Some("fam")),
                 run("s1", slow, Some("fam")),
             ],
+            Vec::new(),
             options(),
         );
         let text = view.render_text();
@@ -555,5 +619,49 @@ mod tests {
         assert!(text.contains("straggler"), "{text}");
         assert!(text.contains("quarantine"), "{text}");
         assert!(text.contains("fam-shard0of2"), "{text}");
+    }
+
+    #[test]
+    fn damaged_status_files_surface_instead_of_vanishing() {
+        let mut degraded = snapshot("deg", 5, 32);
+        degraded.degraded = true;
+        let view = FleetView::build(
+            vec![run("deg", degraded, None)],
+            vec![
+                FleetDamage {
+                    path: PathBuf::from("/tmp/z/status.json"),
+                    error: "not JSON: unexpected end of input".into(),
+                },
+                FleetDamage {
+                    path: PathBuf::from("/tmp/a/status.json"),
+                    error: "cannot read `/tmp/a/status.json`: Permission denied".into(),
+                },
+            ],
+            options(),
+        );
+        assert_eq!(view.damaged.len(), 2);
+        assert_eq!(view.damaged[0].path, PathBuf::from("/tmp/a/status.json"));
+        let text = view.render_text();
+        assert!(text.contains("damaged: 2 status file(s)"), "{text}");
+        assert!(
+            text.contains("/tmp/z/status.json  DAMAGED  not JSON: unexpected end of input"),
+            "{text}"
+        );
+        assert!(text.contains("DEGRADED"), "{text}");
+        // Aggregates exclude damaged entries but count the healthy run.
+        assert_eq!(view.rows.len(), 1);
+        assert_eq!(view.units_total, 32);
+        let json = view.to_json();
+        let damaged = json.get("damaged").and_then(Json::as_arr).unwrap();
+        assert_eq!(damaged.len(), 2);
+        assert_eq!(
+            damaged[0].get("path").and_then(Json::as_str),
+            Some("/tmp/a/status.json")
+        );
+        assert!(damaged[1]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("not JSON"));
     }
 }

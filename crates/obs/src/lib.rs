@@ -47,6 +47,7 @@ mod compare;
 mod digest;
 mod fleet;
 mod histogram;
+mod iofault;
 mod json;
 mod manifest;
 mod progress;
@@ -63,8 +64,13 @@ pub use compare::{
     DeltaRow, RowStatus,
 };
 pub use digest::{fnv1a64, fnv1a64_hex, Fnv64};
-pub use fleet::{discover_status_files, FleetOptions, FleetRow, FleetRun, FleetView};
+pub use fleet::{discover_status_files, FleetDamage, FleetOptions, FleetRow, FleetRun, FleetView};
 pub use histogram::{Histogram, HistogramSummary};
+pub use iofault::{
+    arm_io_faults_from_env, degraded_reason, durability_degraded, mark_degraded, reset_degraded,
+    set_io_fault_injection, write_file_with_faults, write_with_faults, IoFaultInjection,
+    IoFaultKind,
+};
 pub use json::{Json, JsonError};
 pub use manifest::{
     ManifestError, MergeSourceRecord, QuarantinedUnitRecord, RunManifest, ShardRecord, StageTime,

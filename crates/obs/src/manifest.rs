@@ -101,6 +101,11 @@ pub struct RunManifest {
     /// `true` when the run was interrupted (SIGINT/SIGTERM) and holds
     /// partial results; such runs are resumable via `--resume`.
     pub interrupted: bool,
+    /// `true` when the run's durability degraded: a storage write
+    /// (checkpoint append, trace sink, …) outlived its retry budget and
+    /// the run continued in memory only. Results are complete but the
+    /// on-disk checkpoint is not trustworthy for `--resume`.
+    pub degraded: bool,
     /// The `--shard index/total` slice this run covered; `None` for a
     /// full (or merged) campaign. Sharded runs hold partial results by
     /// design and are completed via `fusa merge`.
@@ -229,6 +234,7 @@ impl RunManifest {
         let _ = writeln!(out, "  \"wall_seconds\": {},", fmt_f64(self.wall_seconds));
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"interrupted\": {},", self.interrupted);
+        let _ = writeln!(out, "  \"degraded\": {},", self.degraded);
         match self.shard {
             Some(shard) => {
                 let _ = writeln!(
@@ -418,6 +424,8 @@ impl RunManifest {
 
         // v3 durability fields; lenient defaults keep v1/v2 parsing.
         let interrupted = matches!(root.get("interrupted"), Some(Json::Bool(true)));
+        // Degraded-durability flag; lenient so pre-flag manifests parse.
+        let degraded = matches!(root.get("degraded"), Some(Json::Bool(true)));
 
         // v4 shard/merge fields; lenient defaults keep v1–v3 parsing.
         let shard = match root.get("shard") {
@@ -481,6 +489,7 @@ impl RunManifest {
             wall_seconds: f64_field("wall_seconds")?,
             threads: u64_field("threads")? as usize,
             interrupted,
+            degraded,
             shard,
             quarantined,
             merged_from,
@@ -577,6 +586,7 @@ mod tests {
             wall_seconds: 2.5,
             threads: 8,
             interrupted: false,
+            degraded: false,
             shard: None,
             quarantined: vec![],
             merged_from: vec![],
@@ -717,6 +727,7 @@ mod tests {
             .to_json()
             .replace("fusa-obs/manifest/v4", "fusa-obs/manifest/v2")
             .replace("  \"interrupted\": false,\n", "")
+            .replace("  \"degraded\": false,\n", "")
             .replace("  \"shard\": null,\n", "")
             .replace("  \"quarantined\": [],\n", "")
             .replace("  \"merged_from\": [],\n", "");
@@ -738,7 +749,8 @@ mod tests {
             .to_json()
             .replace("fusa-obs/manifest/v4", "fusa-obs/manifest/v3")
             .replace("  \"shard\": null,\n", "")
-            .replace("  \"merged_from\": [],\n", "");
+            .replace("  \"merged_from\": [],\n", "")
+            .replace("  \"degraded\": false,\n", "");
         assert!(!text.contains("shard"));
         let manifest = RunManifest::parse(&text).expect("v3 parses");
         assert_eq!(manifest.shard, None);
@@ -787,6 +799,7 @@ mod tests {
     fn durability_fields_round_trip() {
         let mut manifest = sample();
         manifest.interrupted = true;
+        manifest.degraded = true;
         manifest.quarantined = vec![QuarantinedUnitRecord {
             unit: 17,
             workload: "uniform_random#0".into(),
@@ -796,6 +809,7 @@ mod tests {
         }];
         let text = manifest.to_json();
         assert!(text.contains("\"interrupted\": true"));
+        assert!(text.contains("\"degraded\": true"));
         assert!(text.contains("\"quarantined\": [\n"));
         let parsed = RunManifest::parse(&text).expect("parses");
         assert_eq!(parsed, manifest);

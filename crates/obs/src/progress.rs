@@ -201,7 +201,10 @@ impl ProgressShared {
             peak_rss_bytes: crate::rss::peak_rss_bytes(),
             updated_unix: unix_now(),
             finished: final_beat,
+            degraded: crate::iofault::durability_degraded(),
         };
+        // Best-effort on purpose: a failed heartbeat is superseded by
+        // the next one and does not itself degrade durability.
         let _ = snapshot.write_atomic(&target.path);
     }
 }

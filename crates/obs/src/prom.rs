@@ -296,6 +296,7 @@ mod tests {
             peak_rss_bytes: Some(1024),
             updated_unix: 1_700_000_000.0,
             finished: false,
+            degraded: false,
         }
     }
 

@@ -295,14 +295,18 @@ impl Recorder {
         }
         line.push('}');
         line.push('\n');
-        let mut guard = self.sink.lock().expect("sink poisoned");
+        let mut guard = self.sink.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(sink) = guard.as_mut() {
-            if let Err(error) = sink.write_all(line.as_bytes()) {
+            if let Err(error) =
+                crate::iofault::write_with_faults("trace", sink.as_mut(), line.as_bytes())
+            {
                 // A full disk or closed pipe must not kill (or spam) a
-                // multi-hour campaign: warn once and drop the sink.
+                // multi-hour campaign: warn once, drop the sink, and flag
+                // the run degraded — the trace artifact is incomplete.
                 self.sink_attached.store(false, Ordering::Release);
                 *guard = None;
                 eprintln!("fusa-obs: trace sink write failed ({error}); trace output disabled");
+                crate::iofault::mark_degraded(&format!("trace sink write failed: {error}"));
             }
         }
     }

@@ -37,6 +37,14 @@ pub fn render_manifest_report(manifest: &RunManifest) -> String {
             "status  INTERRUPTED — partial run; resume the command with --resume"
         );
     }
+    if manifest.degraded {
+        let _ = writeln!(
+            out,
+            "durability  DEGRADED — a storage write outlived its retry budget; \
+             results completed in memory but the checkpoint is untrustworthy. \
+             Run `fusa fsck <run-dir> --repair` before resuming or merging."
+        );
+    }
     if let Some(shard) = manifest.shard {
         let _ = writeln!(
             out,
@@ -283,6 +291,7 @@ pub fn render_manifest_report_json(manifest: &RunManifest) -> Json {
         ("wall_seconds".into(), Json::Num(manifest.wall_seconds)),
         ("threads".into(), Json::Num(manifest.threads as f64)),
         ("interrupted".into(), Json::Bool(manifest.interrupted)),
+        ("degraded".into(), Json::Bool(manifest.degraded)),
         (
             "shard".into(),
             match manifest.shard {
@@ -376,6 +385,7 @@ mod tests {
             wall_seconds: 2.0,
             threads: 4,
             interrupted: false,
+            degraded: false,
             quarantined: vec![],
             peak_rss_bytes: Some(3 << 20),
             build: vec![("rustc".into(), "rustc 1.95.0".into())],
@@ -441,6 +451,14 @@ mod tests {
         assert!(text.contains("quarantined campaign units (1 excluded after retries):"));
         assert!(text.contains("unit 7 (workload w3, chunk 1, 3 attempts): injected unit fault"));
         assert!(!text.contains("second line"), "only the first panic line");
+        assert!(!text.contains("DEGRADED"), "durable runs carry no flag");
+        let degraded = RunManifest {
+            degraded: true,
+            ..RunManifest::default()
+        };
+        let text = render_manifest_report(&degraded);
+        assert!(text.contains("durability  DEGRADED"));
+        assert!(text.contains("fusa fsck"));
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub struct StatusSnapshot {
     /// Whether this is the phase's final beat. A finished snapshot with
     /// `done < total` marks an interrupted or partial (sharded) phase.
     pub finished: bool,
+    /// `true` once the run's durability degraded (a storage write
+    /// outlived its retry budget; results continue in memory only).
+    /// Absent in pre-degraded-mode snapshots, which parse as `false`.
+    pub degraded: bool,
 }
 
 impl StatusSnapshot {
@@ -151,6 +155,7 @@ impl StatusSnapshot {
             ),
             ("updated_unix".into(), Json::Num(self.updated_unix)),
             ("finished".into(), Json::Bool(self.finished)),
+            ("degraded".into(), Json::Bool(self.degraded)),
         ])
     }
 
@@ -221,6 +226,9 @@ impl StatusSnapshot {
                 Some(Json::Bool(b)) => *b,
                 _ => return Err("field `finished` missing".into()),
             },
+            // Lenient on purpose: snapshots written before degraded mode
+            // existed carry no `degraded` field and must keep parsing.
+            degraded: matches!(json.get("degraded"), Some(Json::Bool(true))),
         })
     }
 
@@ -232,7 +240,13 @@ impl StatusSnapshot {
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
-        std::fs::write(&tmp, self.to_json().render_pretty())?;
+        // Even under an injected short write the rename only happens on
+        // success, so a faulted snapshot never tears the published file.
+        crate::iofault::write_file_with_faults(
+            "status",
+            &tmp,
+            self.to_json().render_pretty().as_bytes(),
+        )?;
         std::fs::rename(&tmp, path)
     }
 
@@ -287,6 +301,7 @@ mod tests {
             peak_rss_bytes: Some(3 << 20),
             updated_unix: 1_700_000_000.25,
             finished: false,
+            degraded: false,
         }
     }
 
@@ -300,10 +315,23 @@ mod tests {
             shard: None,
             peak_rss_bytes: None,
             finished: true,
+            degraded: true,
             ..sample()
         };
         let text = unsharded.to_json().render();
         assert_eq!(StatusSnapshot::parse(&text).unwrap(), unsharded);
+    }
+
+    #[test]
+    fn legacy_snapshot_without_degraded_field_parses() {
+        let snapshot = sample();
+        let text = snapshot
+            .to_json()
+            .render_pretty()
+            .replace(",\n  \"degraded\": false", "");
+        let parsed = StatusSnapshot::parse(&text).expect("pre-degraded-mode snapshots still parse");
+        assert!(!parsed.degraded);
+        assert_eq!(parsed, snapshot);
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn snapshot(iteration: u64) -> StatusSnapshot {
         peak_rss_bytes: Some(1 << 20),
         updated_unix: 1_700_000_000.0 + iteration as f64,
         finished: false,
+        degraded: false,
     }
 }
 

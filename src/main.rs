@@ -26,9 +26,9 @@ use fusa::logicsim::WorkloadSuite;
 use fusa::netlist::{designs, parser::parse_verilog, Netlist, NetlistStats};
 use fusa::obs::{
     discover_status_files, fnv1a64_hex, render_manifest_report, render_manifest_report_json,
-    render_prometheus, set_status_target, FleetOptions, FleetRun, FleetView, MergeSourceRecord,
-    PromRun, QuarantinedUnitRecord, RunManifest, ShardRecord, StatusSnapshot, StatusTarget,
-    TraceFilter, TraceReport,
+    render_prometheus, set_status_target, FleetDamage, FleetOptions, FleetRun, FleetView,
+    MergeSourceRecord, PromRun, QuarantinedUnitRecord, RunManifest, ShardRecord, StatusSnapshot,
+    StatusTarget, TraceFilter, TraceReport,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -127,6 +127,11 @@ const RUN_FLAGS: &[FlagSpec] = &[
         name: "--strict",
         value: None,
         help: "exit nonzero when any campaign unit was quarantined",
+    },
+    FlagSpec {
+        name: "--strict-durability",
+        value: None,
+        help: "exit nonzero when storage writes degraded (results stay printed)",
     },
     FlagSpec {
         name: "--structural-features",
@@ -371,6 +376,19 @@ const COMMANDS: &[CommandSpec] = &[
         ],
         run_options: false,
         help: "union shard checkpoints into one full-campaign report",
+    },
+    CommandSpec {
+        name: "fsck",
+        positionals: "<run-dir|checkpoint>",
+        positional_count: 1,
+        variadic: false,
+        flags: &[FlagSpec {
+            name: "--repair",
+            value: None,
+            help: "rewrite a damaged checkpoint keeping every intact unit record",
+        }],
+        run_options: false,
+        help: "validate (and repair) campaign storage: checkpoint, manifest, status",
     },
     CommandSpec {
         name: "report",
@@ -631,6 +649,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "harden" => cmd_harden(args),
         "synth" => cmd_synth(args),
         "merge" => cmd_merge(args),
+        "fsck" => cmd_fsck(args),
         "report" => cmd_report(args),
         "compare" => cmd_compare(args),
         "top" => cmd_top(args),
@@ -752,6 +771,11 @@ impl ObsSession {
         let obs = fusa::obs::global();
         obs.reset();
         fusa::obs::reset_shutdown();
+        fusa::obs::reset_degraded();
+        // Storage chaos hooks (FUSA_IO_FAIL_*), mirroring the
+        // FUSA_CAMPAIGN_* campaign hooks: no-ops unless the environment
+        // schedules a failure.
+        fusa::obs::arm_io_faults_from_env();
         fusa::obs::install_signal_handlers();
         fusa::obs::set_progress_stderr(args.iter().any(|a| a == "--progress"));
         if let Some(path) = flag_value(args, "--trace-out") {
@@ -837,6 +861,7 @@ impl ObsSession {
             resume: args.iter().any(|a| a == "--resume"),
             max_unit_retries,
             interrupt: Some(fusa::obs::shutdown_flag()),
+            ..DurabilityConfig::default()
         })
     }
 
@@ -906,6 +931,7 @@ impl ObsSession {
         manifest.seeds = seeds;
         manifest.digests = digests;
         manifest.interrupted = self.interrupted;
+        manifest.degraded = fusa::obs::durability_degraded();
         manifest.quarantined = self.quarantined.clone();
         manifest.shard = self.shard.map(|s| ShardRecord {
             index: s.index as u64,
@@ -917,13 +943,13 @@ impl ObsSession {
         // not turn a finished analysis into a nonzero exit: warn and
         // keep the run's stdout results.
         let path = self.run_dir.join("manifest.json");
-        let written = std::fs::create_dir_all(&self.run_dir)
-            .and_then(|()| std::fs::write(&path, manifest.to_json()));
+        let written = std::fs::create_dir_all(&self.run_dir).and_then(|()| {
+            fusa::obs::write_file_with_faults("manifest", &path, manifest.to_json().as_bytes())
+        });
         if let Err(error) = written {
-            eprintln!(
-                "fusa: cannot write manifest `{}` ({error}); continuing without it",
-                path.display()
-            );
+            let reason = format!("manifest write to `{}` failed: {error}", path.display());
+            fusa::obs::mark_degraded(&reason);
+            eprintln!("fusa: {reason}; continuing without it");
             return Ok(());
         }
         if !self.quiet {
@@ -1127,6 +1153,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     }
     session.finish(netlist.name(), config_kv, seeds, digests)?;
     exit_strict(args, analysis.campaign_quarantined.len());
+    exit_strict_durability(args);
     Ok(())
 }
 
@@ -1173,6 +1200,7 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     }
     session.finish(netlist.name(), config_kv, seeds, digests)?;
     exit_strict(args, quarantined_count);
+    exit_strict_durability(args);
     Ok(())
 }
 
@@ -1285,6 +1313,18 @@ fn exit_strict(args: &[String], quarantined: usize) {
     }
 }
 
+/// Under `--strict-durability`, a degraded run — a checkpoint, trace or
+/// manifest write that outlived its retry budget — fails the command
+/// (after the results and manifest are out, so nothing is lost twice).
+fn exit_strict_durability(args: &[String]) {
+    if fusa::obs::durability_degraded() && args.iter().any(|a| a == "--strict-durability") {
+        let reason = fusa::obs::degraded_reason()
+            .unwrap_or_else(|| "a storage write outlived its retry budget".to_string());
+        eprintln!("fusa: --strict-durability: {reason}");
+        std::process::exit(1);
+    }
+}
+
 fn cmd_explain(args: &[String]) -> Result<(), String> {
     let design_arg = args.get(1).ok_or("missing design")?;
     let mut session = ObsSession::begin("explain", design_arg, args)?;
@@ -1335,6 +1375,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let digests = vec![("explanation.txt".to_string(), fnv1a64_hex(text.as_bytes()))];
     session.finish(netlist.name(), config_kv, seeds, digests)?;
     exit_strict(args, analysis.campaign_quarantined.len());
+    exit_strict_durability(args);
     Ok(())
 }
 
@@ -1412,6 +1453,7 @@ fn cmd_harden(args: &[String]) -> Result<(), String> {
     }
     session.finish(netlist.name(), config_kv, seeds, digests)?;
     exit_strict(args, analysis.campaign_quarantined.len());
+    exit_strict_durability(args);
     Ok(())
 }
 
@@ -1446,7 +1488,9 @@ fn cmd_seu(args: &[String]) -> Result<(), String> {
     }
     print!("{text}");
     let digests = vec![("seu.txt".to_string(), fnv1a64_hex(text.as_bytes()))];
-    session.finish(netlist.name(), config_kv, seeds, digests)
+    session.finish(netlist.name(), config_kv, seeds, digests)?;
+    exit_strict_durability(args);
+    Ok(())
 }
 
 /// `fusa synth <size>`: writes a seeded synthetic benchmark netlist.
@@ -1625,6 +1669,31 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
     session.finish(netlist.name(), config_kv, seeds, digests)
 }
 
+/// `fusa fsck <run-dir|checkpoint> [--repair]`: validates campaign
+/// storage line by line, reporting exact damage (file, line, unit,
+/// cause); `--repair` rewrites the checkpoint keeping the valid header
+/// and every intact, digest-passing unit record. Exits 1 when damage
+/// remains unrepaired.
+fn cmd_fsck(args: &[String]) -> Result<(), String> {
+    use fusa::faultsim::{fsck_path, FsckOptions};
+
+    let spec = COMMANDS
+        .iter()
+        .find(|c| c.name == "fsck")
+        .expect("fsck spec");
+    let positionals = positional_args(spec, args);
+    let path = PathBuf::from(*positionals.first().ok_or("missing path")?);
+    let options = FsckOptions {
+        repair: args.iter().any(|a| a == "--repair"),
+    };
+    let report = fsck_path(&path, &options).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    if !report.sound() {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let spec = COMMANDS
         .iter()
@@ -1647,12 +1716,20 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
 /// key from its checkpoint header (when one exists and parses).
 fn collect_fleet(roots: &[PathBuf], stale_seconds: f64) -> Result<FleetView, String> {
     let mut runs = Vec::new();
+    let mut damaged = Vec::new();
     for status_path in discover_status_files(roots) {
         let status = match StatusSnapshot::read(&status_path) {
             Ok(status) => status,
-            // A run dir may be swept away between discovery and read;
-            // a half-written legacy file is not ours to crash on.
-            Err(_) => continue,
+            // An unreadable or corrupt snapshot is an operational signal
+            // (torn write, disk fault), not ours to crash on — and not
+            // ours to hide either: it becomes a flagged DAMAGED row.
+            Err(error) => {
+                damaged.push(FleetDamage {
+                    path: status_path,
+                    error,
+                });
+                continue;
+            }
         };
         let dir = status_path
             .parent()
@@ -1667,7 +1744,7 @@ fn collect_fleet(roots: &[PathBuf], stale_seconds: f64) -> Result<FleetView, Str
             family,
         });
     }
-    if runs.is_empty() {
+    if runs.is_empty() && damaged.is_empty() {
         return Err(format!(
             "no status.json snapshots under {} (runs write them unless --no-status; old runs predate them)",
             roots
@@ -1679,6 +1756,7 @@ fn collect_fleet(roots: &[PathBuf], stale_seconds: f64) -> Result<FleetView, Str
     }
     Ok(FleetView::build(
         runs,
+        damaged,
         FleetOptions {
             stale_seconds,
             now_unix: fusa::obs::unix_now(),

@@ -1014,6 +1014,7 @@ fn top_once_json_over_fixture_fleet() {
         peak_rss_bytes: None,
         updated_unix: now,
         finished: false,
+        degraded: false,
     };
     let fixtures = [
         StatusSnapshot {
